@@ -1,0 +1,68 @@
+"""Figure 10 — DNC-D inference error over DNC across the QA tasks.
+
+Default: a reduced run (5 representative tasks, shortened training) that
+finishes in a few minutes.  Set ``REPRO_FULL=1`` to run all 20 tasks at
+the full (laptop-scale) budget.  Also benchmarks a single training step —
+the unit of work the accuracy study is built from.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import full_scale_requested
+from repro.autodiff import Tensor
+from repro.dnc import DNC, DNCConfig
+from repro.eval import fig10
+from repro.nn import Adam
+from repro.nn.losses import softmax_cross_entropy
+from repro.tasks.babi import BabiTaskSuite, encode_example
+
+QUICK_SETTINGS = fig10.Fig10Settings(
+    task_ids=(6, 15),
+    train_steps=700,
+    finetune_steps=200,
+    eval_examples=40,
+    tile_counts=(2, 4),
+    skim_rates=(0.0, 0.2, 0.5),
+    skim_tiles=2,
+)
+
+
+def test_fig10_accuracy_study(benchmark, save_result):
+    settings = None if full_scale_requested() else QUICK_SETTINGS
+    result = benchmark.pedantic(
+        fig10.run, args=(settings,), rounds=1, iterations=1
+    )
+    save_result(result)
+    mean_row = result.rows[-1]
+    assert mean_row[0] == "mean"
+    # Shape target: heavy skimming (last column) hurts more than none.
+    no_skim = float(mean_row[-3])
+    heavy_skim = float(mean_row[-1])
+    assert heavy_skim >= no_skim
+
+
+def test_dnc_training_step(benchmark):
+    """One forward+backward+update on a bAbI episode (the fig10 unit)."""
+    suite = BabiTaskSuite(rng=0)
+    vocab = suite.vocabulary()
+    model = DNC(
+        DNCConfig(input_size=len(vocab), output_size=len(vocab),
+                  memory_size=16, word_size=8, num_reads=1, hidden_size=48),
+        rng=0,
+    )
+    optimizer = Adam(model.parameters(), lr=3e-3)
+    inputs, answer_id = encode_example(suite.generate(1, 1)[0], vocab)
+    target = np.zeros(len(vocab))
+    target[answer_id] = 1.0
+
+    def step():
+        optimizer.zero_grad()
+        outputs, _ = model(Tensor(inputs))
+        loss = softmax_cross_entropy(outputs[-1], target)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)

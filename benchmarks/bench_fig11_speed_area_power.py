@@ -1,0 +1,65 @@
+"""Figure 11 — speed ladder, runtime/power breakdowns, area/power table.
+
+All six sub-figures regenerate at the paper's full scale (N x W =
+1024 x 64, Nt = 16); the benchmark times the cycle-model evaluation that
+produces them.
+"""
+
+import pytest
+
+from repro.core.config import HiMAConfig
+from repro.core.perf_model import HiMAPerformanceModel
+from repro.eval import fig11
+
+
+def test_fig11a_speed_ladder(benchmark, save_result):
+    result = benchmark.pedantic(fig11.run_speed_ladder, rounds=1, iterations=1)
+    save_result(result)
+    speedups = [float(r[2].rstrip("x")) for r in result.rows]
+    assert speedups == sorted(speedups)  # every feature helps
+    assert speedups[-2] > 5.0  # DNC-D well past the architectural ladder
+
+
+def test_fig11b_runtime_breakdown(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig11.run_runtime_breakdown, rounds=1, iterations=1
+    )
+    save_result(result)
+    assert len(result.rows) == 10
+
+
+def test_fig11c_power_ladder(benchmark, save_result):
+    result = benchmark.pedantic(fig11.run_power_ladder, rounds=1, iterations=1)
+    save_result(result)
+    watts = {row[0]: float(row[1]) for row in result.rows}
+    assert watts["DNC-D (Nt=16)"] < watts["+submatrix (HiMA-DNC)"]
+
+
+def test_fig11d_kernel_power(benchmark, save_result):
+    result = benchmark.pedantic(fig11.run_kernel_power, rounds=1, iterations=1)
+    save_result(result)
+
+
+def test_fig11e_area_power_table(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig11.run_area_power_table, rounds=1, iterations=1
+    )
+    save_result(result)
+    dnc = next(r for r in result.rows if r[0] == "dnc")
+    model_total = float(dnc[4].split("/")[0])
+    assert model_total == pytest.approx(80.69, rel=0.01)
+
+
+def test_fig11f_module_power(benchmark, save_result):
+    result = benchmark.pedantic(fig11.run_module_power, rounds=1, iterations=1)
+    save_result(result)
+
+
+def test_perf_model_evaluation(benchmark):
+    """Cost of one full cycle-model evaluation (HiMA-DNC, Nt=16)."""
+
+    def evaluate():
+        return HiMAPerformanceModel(HiMAConfig.hima_dnc()).inference_time_us()
+
+    time_us = benchmark(evaluate)
+    assert 1.0 < time_us < 1000.0

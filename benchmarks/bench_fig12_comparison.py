@@ -1,0 +1,41 @@
+"""Figure 12 — scalability and comparison with state-of-the-art designs."""
+
+import pytest
+
+from repro.eval import fig12
+from repro.hw.area_model import AreaModel
+
+
+def test_fig12a_scalability(benchmark, save_result):
+    result = benchmark.pedantic(fig12.run_scalability, rounds=1, iterations=1)
+    save_result(result)
+    dnc_rows = [r for r in result.rows if r[0] == "HiMA-DNC"]
+    dncd_rows = [r for r in result.rows if r[0] == "HiMA-DNC-D"]
+    # DNC power grows super-linearly (beyond the ideal column); DNC-D not.
+    assert float(dnc_rows[-1][5].rstrip("x")) > float(dnc_rows[-1][6].rstrip("x"))
+    assert float(dncd_rows[-1][5].rstrip("x")) < float(dnc_rows[-1][5].rstrip("x"))
+
+
+def test_fig12bcd_comparison(benchmark, save_result):
+    result = benchmark.pedantic(fig12.run_comparison, rounds=1, iterations=1)
+    save_result(result)
+    by_name = {row[0]: row for row in result.rows}
+
+    def speed(name):
+        return float(by_name[name][2].rstrip("x"))
+
+    # Paper ordering: DNC-D > DNC > baseline > MANNA ~ Farm >> GPU.
+    assert speed("HiMA-DNC-D") > speed("HiMA-DNC") > speed("HiMA-baseline")
+    assert speed("HiMA-DNC") > speed("MANNA")
+    # DNC-D beats MANNA on both efficiency axes by a large factor.
+    dncd = by_name["HiMA-DNC-D"]
+    assert float(dncd[5].rstrip("x")) > 10.0
+    assert float(dncd[6].rstrip("x")) > 5.0
+
+
+def test_area_model_evaluation(benchmark):
+    def evaluate():
+        return AreaModel(1024, 64, 4, 16).breakdown().total
+
+    total = benchmark(evaluate)
+    assert total == pytest.approx(80.69, rel=0.01)

@@ -1,0 +1,29 @@
+"""Figure 4 — kernel runtime breakdown on CPU (measured) vs GPU (paper).
+
+Benchmarks the full synthetic-bAbI inference episode on the instrumented
+reference DNC at the paper's configuration and regenerates the breakdown.
+"""
+
+import pytest
+
+from repro.eval import fig4
+
+
+def test_fig4_breakdown(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig4.run, kwargs=dict(num_episodes=2), rounds=1, iterations=1
+    )
+    save_result(result)
+    assert len(result.rows) == 5
+
+
+def test_fig4_memory_unit_dominates(benchmark, save_result):
+    """The paper's headline: the memory unit takes >95% of runtime."""
+    result = benchmark.pedantic(
+        fig4.run,
+        kwargs=dict(num_episodes=1, memory_size=512, hidden_size=128),
+        rounds=1, iterations=1,
+    )
+    note = result.notes[1]
+    share = float(note.split(":")[1].split("%")[0])
+    assert share > 85.0

@@ -1,0 +1,48 @@
+"""Figure 5 — NoC hop analysis and speedup scalability.
+
+Benchmarks the cycle-level NoC simulator on DNC-shaped traffic and
+regenerates both the hop table (Fig. 5(a)-(c)) and the scalability curves
+(Fig. 5(d)).
+"""
+
+import pytest
+
+from repro.eval import fig5
+from repro.noc import NoCSimulator, build_topology, traffic
+
+
+def test_fig5_hop_table(benchmark, save_result):
+    result = benchmark(fig5.hop_table, 16)
+    save_result(result)
+    htree = next(r for r in result.rows if r[0] == "htree")
+    assert htree[2] == 8
+
+
+def test_fig5_scalability_curves(benchmark, save_result):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    save_result(result)
+    by_name = {row[0]: row for row in result.rows}
+
+    def final_speedup(name):
+        return float(by_name[name][-1].rstrip("x"))
+
+    # Paper shape: trees saturate; HiMA scales; DNC-D near-ideal.
+    assert final_speedup("hima, DNC") > final_speedup("htree, DNC")
+    assert final_speedup("hima, DNC-D") > final_speedup("hima, DNC")
+
+
+def test_noc_simulator_all_to_all(benchmark):
+    """Raw simulator throughput: 16-tile all-to-all with contention."""
+    topo = build_topology("hima", 16)
+    sim = NoCSimulator(topo)
+    messages = traffic.all_to_all(topo, size=8)
+    result = benchmark(sim.run, messages)
+    assert result.num_delivered == len(messages)
+
+
+def test_noc_simulator_htree_congestion(benchmark):
+    topo = build_topology("htree", 16)
+    sim = NoCSimulator(topo)
+    messages = traffic.all_to_all(topo, size=8)
+    result = benchmark(sim.run, messages)
+    assert result.num_delivered == len(messages)

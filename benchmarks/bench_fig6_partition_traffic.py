@@ -1,0 +1,25 @@
+"""Figure 6(c)/(d) — partition sweeps for external and linkage memories."""
+
+import pytest
+
+from repro.core.partition import optimal_linkage_partition
+from repro.eval import fig6
+
+
+def test_fig6c_memory_read_sweep(benchmark, save_result):
+    result = benchmark(fig6.run_memory_read)
+    save_result(result)
+    # Row-wise reference column is 1.00x everywhere.
+    assert all(row[1] == "1.00x" for row in result.rows)
+
+
+def test_fig6d_forward_backward_sweep(benchmark, save_result):
+    result = benchmark(fig6.run_forward_backward)
+    save_result(result)
+    assert "4x4" in result.notes[-1]
+
+
+def test_partition_optimizer(benchmark):
+    """Brute-force Eq. (3) optimization across all factorizations."""
+    best = benchmark(optimal_linkage_partition, 1024, 64)
+    assert best == (8, 8)

@@ -1,0 +1,42 @@
+"""Section 4.3 / Figure 7 — two-stage usage sort.
+
+Regenerates the cycle table (389 cycles at N=1024, Nt=4) and benchmarks
+the functional sorters themselves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import fig7
+from repro.hw.sorters import CentralizedMergeSorter, MDSASorter, TwoStageSorter
+
+
+def test_fig7_cycle_table(benchmark, save_result):
+    result = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    save_result(result)
+    reference = next(r for r in result.rows if r[0] == 1024 and r[1] == 4)
+    assert reference[4] == 389
+
+
+@pytest.fixture(scope="module")
+def usage_1024():
+    return np.random.default_rng(0).random(1024)
+
+
+def test_two_stage_functional_sort(benchmark, usage_1024):
+    sorter = TwoStageSorter(1024, 4)
+    values, order = benchmark(sorter.sort, usage_1024)
+    assert np.array_equal(values, np.sort(usage_1024))
+
+
+def test_mdsa_local_sort(benchmark, usage_1024):
+    sorter = MDSASorter(256)
+    shard = usage_1024[:256]
+    values, _ = benchmark(sorter.sort, shard)
+    assert np.array_equal(values, np.sort(shard))
+
+
+def test_centralized_merge_sort(benchmark, usage_1024):
+    sorter = CentralizedMergeSorter()
+    values, _ = benchmark(sorter.sort, usage_1024)
+    assert np.array_equal(values, np.sort(usage_1024))

@@ -1,0 +1,40 @@
+"""Table 1 — DNC kernel analysis.
+
+Regenerates the kernel taxonomy with model + measured access counts and
+benchmarks the instrumented reference DNC timestep that produces the
+measured columns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HiMAConfig
+from repro.dnc.numpy_ref import NumpyDNC, NumpyDNCConfig
+from repro.eval import table1
+
+
+@pytest.fixture(scope="module")
+def reference_model():
+    model = NumpyDNC(
+        NumpyDNCConfig(input_size=64, output_size=64, memory_size=1024,
+                       word_size=64, num_reads=4, hidden_size=256),
+        rng=0,
+    )
+    return model
+
+
+def test_table1_regeneration(benchmark, save_result):
+    result = benchmark(table1.run, HiMAConfig(), 1)
+    save_result(result)
+    assert len(result.rows) == 13
+
+
+def test_reference_dnc_timestep(benchmark, reference_model):
+    """One full instrumented DNC timestep at paper scale (1024 x 64)."""
+    state = reference_model.initial_state()
+    x = np.zeros(64)
+
+    def step():
+        reference_model.step(x, state)
+
+    benchmark(step)

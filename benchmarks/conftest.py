@@ -1,0 +1,41 @@
+"""Benchmark helpers: every bench regenerates its paper table/figure.
+
+Rendered experiment tables are written to ``benchmarks/results/<id>.txt``
+(and echoed to stdout, visible with ``pytest -s``), so
+``pytest benchmarks/ --benchmark-only`` leaves the full reproduction
+artifacts on disk alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Persist an ExperimentResult's rendering and echo it."""
+
+    def _save(result) -> str:
+        text = result.render()
+        path = results_dir / f"{result.experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return text
+
+    return _save
+
+
+def full_scale_requested() -> bool:
+    """Opt into the full 20-task Figure 10 run via REPRO_FULL=1."""
+    return os.environ.get("REPRO_FULL", "0") == "1"

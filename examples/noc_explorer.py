@@ -1,0 +1,73 @@
+"""Explore NoC topologies under HiMA's four traffic modes (Section 4.1).
+
+The paper matches each DNC traffic shape to its natural topology:
+CT broadcast/collect -> star, accumulation -> ring, transpose -> diagonal,
+mat-vec/outer product -> full mesh.  This example runs each pattern on
+every topology with the cycle-level simulator, showing why a *multi-mode*
+NoC beats any fixed one — and why the H-tree saturates.
+
+Run:  python examples/noc_explorer.py
+"""
+
+from repro.noc import NoCSimulator, build_topology, hop_statistics, traffic
+from repro.utils.formatting import format_table
+
+TOPOLOGIES = ("htree", "bintree", "mesh", "star", "ring", "hima")
+NUM_PTS = 16
+MESSAGE_SIZE = 8
+
+PATTERNS = {
+    "broadcast (star mode)": lambda t: traffic.broadcast(t, MESSAGE_SIZE),
+    "gather (star mode)": lambda t: traffic.gather(t, MESSAGE_SIZE),
+    "ring accumulate (ring mode)": lambda t: traffic.ring_accumulate(
+        t, MESSAGE_SIZE
+    ),
+    "transpose (diagonal mode)": lambda t: traffic.transpose_exchange(
+        t, MESSAGE_SIZE
+    ),
+    "all-to-all (full mode)": lambda t: traffic.all_to_all(t, MESSAGE_SIZE),
+}
+
+
+def main():
+    print(f"Hop statistics ({NUM_PTS} PTs):\n")
+    hop_rows = []
+    for name in TOPOLOGIES:
+        stats = hop_statistics(build_topology(name, NUM_PTS))
+        hop_rows.append([
+            name, stats.worst_case, f"{stats.average:.2f}",
+            stats.ct_worst_case,
+        ])
+    print(format_table(
+        ["topology", "worst PT-PT", "avg PT-PT", "worst CT-PT"], hop_rows
+    ))
+    print("\npaper: H-tree worst case 8 hops; HiMA-NoC (5x5) 4 hops\n")
+
+    rows = []
+    for pattern_name, make in PATTERNS.items():
+        row = [pattern_name]
+        latencies = {}
+        for topo_name in TOPOLOGIES:
+            topo = build_topology(topo_name, NUM_PTS)
+            sim = NoCSimulator(topo)
+            latencies[topo_name] = sim.run(make(topo)).makespan
+        best = min(latencies.values())
+        for topo_name in TOPOLOGIES:
+            value = latencies[topo_name]
+            marker = " *" if value == best else ""
+            row.append(f"{value}{marker}")
+        rows.append(row)
+
+    print(format_table(
+        ["pattern"] + list(TOPOLOGIES), rows,
+        title=f"Makespan (cycles) per traffic pattern, {NUM_PTS} PTs, "
+              f"{MESSAGE_SIZE}-flit messages (* = best)",
+    ))
+    print(
+        "\nNo fixed topology wins everywhere — the multi-mode HiMA-NoC is "
+        "competitive on every pattern, which is the Section 4.1 argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

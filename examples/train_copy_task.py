@@ -1,0 +1,91 @@
+"""Train a DNC on the copy task, then distribute it as DNC-D.
+
+The copy task is the classic MANN probe: memorize a bit sequence, then
+reproduce it.  This exercises content-based writes, the allocation
+weighting, and temporal linkage reads — exactly the kernels HiMA
+accelerates.  After training the monolithic DNC we build a DNC-D
+(distributed) model from its weights, fine-tune the per-tile heads, and
+compare accuracy — a miniature of the paper's Figure 10 methodology.
+
+Run:  python examples/train_copy_task.py            (~1 minute)
+"""
+
+import numpy as np
+
+from repro.autodiff import Tensor, no_grad
+from repro.dnc import DNC, DNCConfig, DNCD, DNCDConfig
+from repro.nn import Adam, clip_grad_norm
+from repro.nn.losses import sigmoid_binary_cross_entropy
+from repro.tasks import CopyTask
+
+TRAIN_STEPS = 500
+FINETUNE_STEPS = 150
+
+
+def train(model, task, steps, lr=1e-2, log_every=100, label="model"):
+    optimizer = Adam(model.parameters(), lr=lr)
+    for step in range(1, steps + 1):
+        sample = task.sample()
+        optimizer.zero_grad()
+        outputs, _ = model(Tensor(sample.inputs))
+        recall = np.flatnonzero(sample.mask)
+        loss = sigmoid_binary_cross_entropy(
+            outputs[recall], sample.targets[recall]
+        )
+        loss.backward()
+        clip_grad_norm(model.parameters(), 10.0)
+        optimizer.step()
+        if step % log_every == 0:
+            print(f"  [{label}] step {step:4d}  loss {loss.item():.4f}")
+
+
+def accuracy(model, task, episodes=30):
+    correct = total = 0
+    with no_grad():
+        for _ in range(episodes):
+            sample = task.sample()
+            outputs, _ = model(Tensor(sample.inputs))
+            recall = sample.mask == 1
+            predictions = (outputs.data[recall] > 0).astype(float)
+            correct += np.sum(predictions == sample.targets[recall])
+            total += predictions.size
+    return correct / total
+
+
+def main():
+    task = CopyTask(num_bits=4, min_length=2, max_length=4, rng=0)
+
+    print(f"Training DNC on the copy task ({TRAIN_STEPS} steps)...")
+    dnc = DNC(
+        DNCConfig(input_size=task.input_size, output_size=task.output_size,
+                  memory_size=16, word_size=8, num_reads=1, hidden_size=48),
+        rng=0,
+    )
+    train(dnc, task, TRAIN_STEPS, label="DNC")
+    dnc_acc = accuracy(dnc, task)
+    print(f"DNC bit accuracy: {dnc_acc:.1%}\n")
+
+    for num_tiles in (2, 4):
+        print(f"Distributing as DNC-D with Nt={num_tiles} "
+              f"(fine-tune {FINETUNE_STEPS} steps)...")
+        dncd = DNCD(
+            DNCDConfig(input_size=task.input_size,
+                       output_size=task.output_size,
+                       memory_size=16, word_size=8, num_reads=1,
+                       hidden_size=48, num_tiles=num_tiles),
+            rng=0,
+        )
+        dncd.init_from_dnc(dnc)
+        train(dncd, task, FINETUNE_STEPS, lr=3e-3, log_every=75,
+              label=f"DNC-D Nt={num_tiles}")
+        dncd_acc = accuracy(dncd, task)
+        delta = 100 * (dnc_acc - dncd_acc)
+        print(f"DNC-D Nt={num_tiles} bit accuracy: {dncd_acc:.1%} "
+              f"({delta:+.1f}pp vs DNC)\n")
+
+    print("Paper shape (Fig. 10): distribution costs some accuracy, and the "
+          "cost grows with the tile count.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+where the `wheel` package (needed by the PEP 517 editable path) is absent.
+All project metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

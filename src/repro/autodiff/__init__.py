@@ -1,0 +1,28 @@
+"""Minimal reverse-mode automatic differentiation over numpy arrays.
+
+The DNC and DNC-D models (``repro.dnc``) are trained end to end; since no
+deep-learning framework is available offline, this subpackage provides a
+small but complete tape-based autodiff engine:
+
+* :class:`~repro.autodiff.tensor.Tensor` — array wrapper building the tape,
+* :mod:`~repro.autodiff.ops` — differentiable primitives (matmul, softmax,
+  gather, cumprod, ...),
+* :mod:`~repro.autodiff.functional` — composite NN functions,
+* :mod:`~repro.autodiff.grad_check` — numerical gradient verification used
+  heavily in the test suite.
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autodiff import ops
+from repro.autodiff import functional
+from repro.autodiff.grad_check import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "functional",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,94 @@
+"""Composite differentiable functions used by the DNC model.
+
+These build on the primitives in :mod:`repro.autodiff.ops` and implement
+the handful of special functions the DNC interface requires (Graves et
+al., 2016, "Hybrid computing using a neural network with dynamic external
+memory", Methods section).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+
+_EPSILON = 1e-8
+
+
+def oneplus(x) -> Tensor:
+    """``oneplus(x) = 1 + log(1 + e^x)`` — maps reals to ``[1, inf)``.
+
+    Used for the read/write strengths ``beta`` in the DNC interface.
+    """
+    return ops.softplus(x) + 1.0
+
+
+def l2_norm(x, axis: int = -1, keepdims: bool = True) -> Tensor:
+    """Euclidean norm with an epsilon floor for differentiability at 0."""
+    squared = ops.sum(ops.mul(x, x), axis=axis, keepdims=keepdims)
+    return ops.sqrt(squared + _EPSILON)
+
+
+def normalize(x, axis: int = -1) -> Tensor:
+    """Scale ``x`` to unit L2 norm along ``axis``."""
+    return ops.div(x, l2_norm(x, axis=axis, keepdims=True))
+
+
+def cosine_similarity(memory, key, axis: int = -1) -> Tensor:
+    """Cosine similarity between each memory row and a key.
+
+    ``memory`` has shape ``(..., N, W)`` and ``key`` shape ``(..., W)``;
+    the result has shape ``(..., N)``.  This is the DNC kernel pair
+    *Normalize* + *Similarity* (CW.(1)/(2) and CR.(1)/(2) in the paper's
+    Figure 2).
+    """
+    memory = as_tensor(memory)
+    key = as_tensor(key)
+    mem_unit = normalize(memory, axis=axis)
+    key_unit = normalize(key, axis=axis)
+    # (..., N, W) @ (..., W) -> (..., N)
+    return ops.matmul(mem_unit, key_unit)
+
+
+def content_weighting(memory, key, strength) -> Tensor:
+    """Content-based addressing: ``softmax(strength * cos_sim(M, k))``.
+
+    ``strength`` is a positive scalar tensor (typically ``oneplus`` of a
+    controller output).
+    """
+    similarity = cosine_similarity(memory, key)
+    return ops.softmax(ops.mul(similarity, strength), axis=-1)
+
+
+def weighted_softmax(scores, strength, axis: int = -1) -> Tensor:
+    """Softmax of ``strength * scores`` (DNC similarity sharpening)."""
+    return ops.softmax(ops.mul(scores, strength), axis=axis)
+
+
+def batch_outer(a, b) -> Tensor:
+    """Batched outer product: ``(..., n) x (..., m) -> (..., n, m)``."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    a_col = ops.reshape(a, a.shape + (1,))
+    b_row = ops.reshape(b, b.shape[:-1] + (1, b.shape[-1]))
+    return ops.mul(a_col, b_row)
+
+
+def one_hot(indices: np.ndarray, depth: int) -> Tensor:
+    """Constant one-hot encoding tensor (no gradient; labels are data)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    eye = np.eye(depth, dtype=np.float64)
+    return Tensor(eye[indices])
+
+
+__all__ = [
+    "oneplus",
+    "l2_norm",
+    "normalize",
+    "cosine_similarity",
+    "content_weighting",
+    "weighted_softmax",
+    "batch_outer",
+    "one_hot",
+]

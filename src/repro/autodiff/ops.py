@@ -1,0 +1,442 @@
+"""Differentiable primitive operations.
+
+Each op computes a forward numpy result and registers one vjp closure per
+input on the result tensor.  Broadcasting arithmetic reduces gradients back
+to the input shapes with :func:`~repro.autodiff.tensor.unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, as_tensor, make_result, unbroadcast
+
+# ---------------------------------------------------------------------------
+# Elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data + b.data
+    return make_result(
+        out,
+        [
+            (a, lambda g: unbroadcast(g, a.shape)),
+            (b, lambda g: unbroadcast(g, b.shape)),
+        ],
+    )
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data - b.data
+    return make_result(
+        out,
+        [
+            (a, lambda g: unbroadcast(g, a.shape)),
+            (b, lambda g: unbroadcast(-g, b.shape)),
+        ],
+    )
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data * b.data
+    return make_result(
+        out,
+        [
+            (a, lambda g: unbroadcast(g * b.data, a.shape)),
+            (b, lambda g: unbroadcast(g * a.data, b.shape)),
+        ],
+    )
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data / b.data
+    return make_result(
+        out,
+        [
+            (a, lambda g: unbroadcast(g / b.data, a.shape)),
+            (b, lambda g: unbroadcast(-g * a.data / (b.data**2), b.shape)),
+        ],
+    )
+
+
+def neg(a) -> Tensor:
+    a = as_tensor(a)
+    return make_result(-a.data, [(a, lambda g: -g)])
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise ``a ** exponent`` for a constant scalar exponent."""
+    a = as_tensor(a)
+    out = a.data**exponent
+    return make_result(
+        out, [(a, lambda g: g * exponent * a.data ** (exponent - 1))]
+    )
+
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.exp(a.data)
+    return make_result(out, [(a, lambda g: g * out)])
+
+
+def log(a) -> Tensor:
+    a = as_tensor(a)
+    return make_result(np.log(a.data), [(a, lambda g: g / a.data)])
+
+
+def sqrt(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.sqrt(a.data)
+    return make_result(out, [(a, lambda g: g / (2.0 * out))])
+
+
+def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    a = as_tensor(a)
+    return make_result(np.abs(a.data), [(a, lambda g: g * np.sign(a.data))])
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum; gradient splits ties equally."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.maximum(a.data, b.data)
+    a_mask = (a.data > b.data) + 0.5 * (a.data == b.data)
+    b_mask = 1.0 - a_mask
+    return make_result(
+        out,
+        [
+            (a, lambda g: unbroadcast(g * a_mask, a.shape)),
+            (b, lambda g: unbroadcast(g * b_mask, b.shape)),
+        ],
+    )
+
+
+def clip(a, low: float, high: float) -> Tensor:
+    """Clamp values into ``[low, high]``; gradient is zero outside."""
+    a = as_tensor(a)
+    out = np.clip(a.data, low, high)
+    mask = ((a.data >= low) & (a.data <= high)).astype(np.float64)
+    return make_result(out, [(a, lambda g: g * mask)])
+
+
+# ---------------------------------------------------------------------------
+# Nonlinearities
+# ---------------------------------------------------------------------------
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.tanh(a.data)
+    return make_result(out, [(a, lambda g: g * (1.0 - out**2))])
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    out = 1.0 / (1.0 + np.exp(-np.clip(a.data, -60.0, 60.0)))
+    return make_result(out, [(a, lambda g: g * out * (1.0 - out))])
+
+
+def relu(a) -> Tensor:
+    a = as_tensor(a)
+    mask = (a.data > 0).astype(np.float64)
+    return make_result(a.data * mask, [(a, lambda g: g * mask)])
+
+
+def softplus(a) -> Tensor:
+    """Numerically stable ``log(1 + exp(a))``."""
+    a = as_tensor(a)
+    x = a.data
+    out = np.where(x > 30.0, x, np.log1p(np.exp(np.minimum(x, 30.0))))
+    sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+    return make_result(out, [(a, lambda g: g * sig)])
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra & shape
+# ---------------------------------------------------------------------------
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product with numpy batching semantics."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data @ b.data
+
+    def vjp_a(g):
+        if b.data.ndim == 1:
+            # (..., n) @ (n,) -> (...): outer product restores the matrix grad.
+            grad = np.expand_dims(g, -1) * b.data
+        elif a.data.ndim == 1:
+            grad = g @ np.swapaxes(b.data, -1, -2)
+        else:
+            grad = g @ np.swapaxes(b.data, -1, -2)
+        return unbroadcast(grad.reshape(grad.shape), a.shape)
+
+    def vjp_b(g):
+        if a.data.ndim == 1:
+            grad = np.expand_dims(a.data, -1) * g
+        elif b.data.ndim == 1:
+            grad = np.swapaxes(a.data, -1, -2) @ np.expand_dims(g, -1)
+            grad = grad[..., 0]
+            # Sum over any batch dims broadcast away.
+            while grad.ndim > b.data.ndim:
+                grad = grad.sum(axis=0)
+            return grad
+        else:
+            grad = np.swapaxes(a.data, -1, -2) @ g
+        return unbroadcast(grad, b.shape)
+
+    return make_result(out, [(a, vjp_a), (b, vjp_b)])
+
+
+def outer(a, b) -> Tensor:
+    """Outer product of two vectors: ``out[i, j] = a[i] * b[j]``."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.outer(a.data, b.data)
+    return make_result(
+        out,
+        [
+            (a, lambda g: g @ b.data),
+            (b, lambda g: a.data @ g),
+        ],
+    )
+
+
+def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    a = as_tensor(a)
+    out = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = tuple(np.argsort(axes))
+    return make_result(out, [(a, lambda g: np.transpose(g, inverse))])
+
+
+def reshape(a, shape: Tuple[int, ...]) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.reshape(shape)
+    return make_result(out, [(a, lambda g: g.reshape(a.shape))])
+
+
+def concat(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    parents = []
+    for i, t in enumerate(tensors):
+        lo, hi = offsets[i], offsets[i + 1]
+
+        def vjp(g, lo=lo, hi=hi):
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(lo, hi)
+            return g[tuple(slicer)]
+
+        parents.append((t, vjp))
+    return make_result(out, parents)
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+    parents = []
+    for i, t in enumerate(tensors):
+        def vjp(g, i=i):
+            return np.take(g, i, axis=axis)
+
+        parents.append((t, vjp))
+    return make_result(out, parents)
+
+
+def getitem(a, index) -> Tensor:
+    """Basic/advanced indexing with scatter-add gradient."""
+    a = as_tensor(a)
+    out = a.data[index]
+
+    def vjp(g):
+        grad = np.zeros_like(a.data)
+        np.add.at(grad, index, g)
+        return grad
+
+    return make_result(np.array(out, copy=True), [(a, vjp)])
+
+
+# ---------------------------------------------------------------------------
+# Reductions & scans
+# ---------------------------------------------------------------------------
+
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    a = as_tensor(a)
+    out = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def vjp(g):
+        if axis is None:
+            return np.broadcast_to(g, a.shape).copy()
+        g_expanded = g if keepdims else np.expand_dims(g, axis)
+        return np.broadcast_to(g_expanded, a.shape).copy()
+
+    return make_result(out, [(a, vjp)])
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    if axis is None:
+        count = a.data.size
+    else:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        count = int(np.prod([a.shape[ax] for ax in axes]))
+    return mul(sum(a, axis=axis, keepdims=keepdims), 1.0 / count)
+
+
+def cumsum(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    out = np.cumsum(a.data, axis=axis)
+
+    def vjp(g):
+        return np.flip(np.cumsum(np.flip(g, axis=axis), axis=axis), axis=axis)
+
+    return make_result(out, [(a, vjp)])
+
+
+def cumprod(a, axis: int = -1, exclusive: bool = False) -> Tensor:
+    """Cumulative product along ``axis``.
+
+    ``exclusive=True`` returns ``[1, x0, x0*x1, ...]`` — exactly the form
+    needed by the DNC allocation weighting.  The gradient uses the
+    reverse-cumsum identity when all inputs are nonzero and falls back to
+    an exact quadratic computation when zeros are present.
+    """
+    a = as_tensor(a)
+    x = a.data
+    inclusive = np.cumprod(x, axis=axis)
+    if exclusive:
+        ones_shape = list(x.shape)
+        ones_shape[axis] = 1
+        shifted = np.concatenate(
+            [np.ones(ones_shape), np.take(inclusive, range(x.shape[axis] - 1), axis=axis)],
+            axis=axis,
+        )
+        out = shifted
+    else:
+        out = inclusive
+
+    def vjp(g):
+        if np.all(x != 0):
+            # d out_i / d x_j = out_i / x_j for j contributing to out_i.
+            prod_grad = g * out
+            flipped = np.flip(np.cumsum(np.flip(prod_grad, axis=axis), axis=axis), axis=axis)
+            if exclusive:
+                # out_i depends on x_j only for j < i.
+                rolled = np.roll(flipped, -1, axis=axis)
+                index = [slice(None)] * x.ndim
+                index[axis] = -1
+                rolled[tuple(index)] = 0.0
+                return rolled / x
+            return flipped / x
+        return _cumprod_grad_dense(x, g, axis, exclusive)
+
+    return make_result(out, [(a, vjp)])
+
+
+def _cumprod_grad_dense(x: np.ndarray, g: np.ndarray, axis: int, exclusive: bool) -> np.ndarray:
+    """Exact O(n^2) cumprod gradient that tolerates zeros in ``x``."""
+    x_moved = np.moveaxis(x, axis, -1)
+    g_moved = np.moveaxis(g, axis, -1)
+    n = x_moved.shape[-1]
+    grad = np.zeros_like(x_moved)
+    flat_x = x_moved.reshape(-1, n)
+    flat_g = g_moved.reshape(-1, n)
+    flat_grad = grad.reshape(-1, n)
+    for row in range(flat_x.shape[0]):
+        xs, gs = flat_x[row], flat_g[row]
+        for j in range(n):
+            start = j + 1 if exclusive else j
+            for i in range(start, n):
+                members = list(range(i)) if exclusive else list(range(i + 1))
+                members.remove(j)
+                flat_grad[row, j] += gs[i] * np.prod(xs[members]) if members else gs[i]
+    return np.moveaxis(flat_grad.reshape(x_moved.shape), -1, axis)
+
+
+# ---------------------------------------------------------------------------
+# Gather / scatter
+# ---------------------------------------------------------------------------
+
+
+def take_along_axis(a, indices: np.ndarray, axis: int) -> Tensor:
+    """Differentiable :func:`numpy.take_along_axis` (indices are constant)."""
+    a = as_tensor(a)
+    indices = np.asarray(indices)
+    axis = axis % a.data.ndim  # normalize so the vjp index matches dims
+    out = np.take_along_axis(a.data, indices, axis=axis)
+
+    def vjp(g):
+        grad = np.zeros_like(a.data)
+        np.add.at(
+            grad,
+            _along_axis_index(indices, a.data.shape, axis),
+            g,
+        )
+        return grad
+
+    return make_result(out, [(a, vjp)])
+
+
+def _along_axis_index(indices: np.ndarray, shape: Tuple[int, ...], axis: int):
+    """Build a fancy index equivalent to take_along_axis semantics."""
+    index = []
+    for dim in range(len(shape)):
+        if dim == axis:
+            index.append(indices)
+        else:
+            view = [1] * indices.ndim
+            view[dim] = indices.shape[dim]
+            index.append(np.arange(indices.shape[dim]).reshape(view))
+    return tuple(index)
+
+
+# ---------------------------------------------------------------------------
+# Softmax (fused, numerically stable)
+# ---------------------------------------------------------------------------
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exped = np.exp(shifted)
+    out = exped / exped.sum(axis=axis, keepdims=True)
+
+    def vjp(g):
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return out * (g - dot)
+
+    return make_result(out, [(a, vjp)])
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_z
+    soft = np.exp(out)
+
+    def vjp(g):
+        return g - soft * g.sum(axis=axis, keepdims=True)
+
+    return make_result(out, [(a, vjp)])
+
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "power", "exp", "log", "sqrt", "abs",
+    "maximum", "clip", "tanh", "sigmoid", "relu", "softplus", "matmul",
+    "outer", "transpose", "reshape", "concat", "stack", "getitem", "sum",
+    "mean", "cumsum", "cumprod", "take_along_axis", "softmax", "log_softmax",
+]

@@ -1,0 +1,308 @@
+"""The :class:`Tensor` class and reverse-mode backpropagation tape.
+
+A ``Tensor`` wraps a ``numpy.ndarray`` plus the information needed to run
+reverse-mode differentiation: the parent tensors it was computed from and,
+for each parent, a vector-Jacobian-product (vjp) closure.  Calling
+:meth:`Tensor.backward` topologically sorts the graph and accumulates
+gradients into every reachable tensor with ``requires_grad=True``.
+
+Design notes
+------------
+* Gradients are plain ``numpy.ndarray`` objects (no higher-order grads).
+* Broadcasting in arithmetic ops is supported; vjps reduce gradients back
+  to the parent shape via :func:`unbroadcast`.
+* A global :func:`no_grad` context manager disables tape construction for
+  inference-heavy code paths (e.g. accuracy evaluation loops).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GradientError
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether tape construction is currently enabled."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction inside its body."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum along axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed array node in the autodiff graph.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 numpy array.
+    requires_grad:
+        Whether gradients should be accumulated into this tensor.
+    parents:
+        Internal — ``(parent, vjp)`` pairs recorded by ops.
+    name:
+        Optional label used in error messages and debugging.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "parents", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Optional[Sequence[Tuple["Tensor", Callable]]] = None,
+        name: str = "",
+    ):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.parents: List[Tuple[Tensor, Callable]] = (
+            list(parents) if (parents and _GRAD_ENABLED) else []
+        )
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Shape & representation
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    # ------------------------------------------------------------------
+    # Graph mechanics
+    # ------------------------------------------------------------------
+    def _needs_tape(self) -> bool:
+        return self.requires_grad or bool(self.parents)
+
+    def detach(self) -> "Tensor":
+        """Return a view of the data cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to ones (so scalars need no argument).  Raises
+        :class:`~repro.errors.GradientError` when called on a non-scalar
+        without an explicit output gradient.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise GradientError(
+                    "backward() on a non-scalar tensor requires an explicit "
+                    f"gradient (shape {self.shape})"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise GradientError(
+                f"output gradient shape {grad.shape} does not match tensor "
+                f"shape {self.data.shape}"
+            )
+
+        order = self._topological_order()
+        grads = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+            for parent, vjp in node.parents:
+                contribution = vjp(node_grad)
+                if contribution is None:
+                    continue
+                existing = grads.get(id(parent))
+                if existing is None:
+                    grads[id(parent)] = contribution
+                else:
+                    grads[id(parent)] = existing + contribution
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Return tensors reachable from ``self`` in reverse topological order."""
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent, _ in node.parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Operator overloads (delegate to repro.autodiff.ops)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from repro.autodiff import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from repro.autodiff import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other):
+        from repro.autodiff import ops
+
+        return ops.sub(other, self)
+
+    def __mul__(self, other):
+        from repro.autodiff import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from repro.autodiff import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other):
+        from repro.autodiff import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self):
+        from repro.autodiff import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent: float):
+        from repro.autodiff import ops
+
+        return ops.power(self, exponent)
+
+    def __matmul__(self, other):
+        from repro.autodiff import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index):
+        from repro.autodiff import ops
+
+        return ops.getitem(self, index)
+
+    # Convenience methods mirroring numpy style -------------------------
+    def sum(self, axis=None, keepdims: bool = False):
+        from repro.autodiff import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from repro.autodiff import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from repro.autodiff import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, *axes):
+        from repro.autodiff import ops
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return ops.transpose(self, axes or None)
+
+    @property
+    def T(self):
+        from repro.autodiff import ops
+
+        return ops.transpose(self, None)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` (Tensor, array, or scalar) into a Tensor leaf."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def make_result(
+    data: np.ndarray,
+    parents: Sequence[Tuple[Tensor, Callable]],
+) -> Tensor:
+    """Build an op-result tensor, dropping the tape when grads are disabled.
+
+    Parents whose subtree contains no gradient-requiring tensor are pruned
+    so inference builds no graph at all.
+    """
+    if not _GRAD_ENABLED:
+        return Tensor(data)
+    live = [(p, vjp) for p, vjp in parents if p._needs_tape()]
+    return Tensor(data, parents=live)

@@ -1,0 +1,130 @@
+"""HiMA architecture configuration and prototype presets.
+
+The three named prototypes of the paper's evaluation:
+
+* **HiMA-baseline** — H-tree NoC (as MANNA), centralized usage sort at
+  the CT, row-wise linkage partition.
+* **HiMA-DNC** — all architectural features: multi-mode HiMA-NoC,
+  two-stage usage sort, optimal submatrix-wise linkage partition.
+* **HiMA-DNC-D** — HiMA-DNC plus the distributed DNC-D model (optionally
+  with usage skimming and the approximate softmax).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.errors import ConfigError
+from repro.utils.validation import check_in, check_probability, check_positive
+
+_NOC_CHOICES = ("hima", "htree", "bintree", "mesh", "star", "ring")
+
+
+@dataclass(frozen=True)
+class HiMAConfig:
+    """Full architecture + workload configuration.
+
+    Defaults follow the paper's prototypes: ``N x W = 1024 x 64``, ``R=4``
+    read heads, ``Nt=16`` PTs, 500 MHz, 32-bit datapath.
+    """
+
+    memory_size: int = 1024
+    word_size: int = 64
+    num_reads: int = 4
+    num_tiles: int = 16
+    hidden_size: int = 256
+
+    # Architectural features (Figure 11(a) ladder).
+    noc: str = "hima"
+    two_stage_sort: bool = True
+    submatrix_partition: bool = True
+
+    # Algorithmic features (Section 5).
+    distributed: bool = False
+    skim_fraction: float = 0.0
+    approx_softmax: bool = False
+
+    # Implementation parameters.
+    macs_per_cycle: int = 2048  # per-PT M-M engine throughput
+    link_words_per_cycle: int = 32  # NoC link width (words/flit)
+    clock_hz: float = 500e6
+    sequence_length: int = 8  # timesteps per inference "test"
+
+    def __post_init__(self):
+        check_positive("memory_size", self.memory_size)
+        check_positive("word_size", self.word_size)
+        check_positive("num_reads", self.num_reads)
+        check_positive("num_tiles", self.num_tiles)
+        check_in("noc", self.noc, _NOC_CHOICES)
+        check_probability("skim_fraction", self.skim_fraction)
+        check_positive("macs_per_cycle", self.macs_per_cycle)
+        check_positive("link_words_per_cycle", self.link_words_per_cycle)
+        check_positive("sequence_length", self.sequence_length)
+        if self.memory_size % self.num_tiles != 0:
+            raise ConfigError(
+                f"memory_size ({self.memory_size}) must be divisible by "
+                f"num_tiles ({self.num_tiles})"
+            )
+        if self.num_tiles & (self.num_tiles - 1):
+            raise ConfigError(
+                f"num_tiles must be a power of two, got {self.num_tiles}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def local_rows(self) -> int:
+        """External-memory rows per PT (row-wise partition)."""
+        return self.memory_size // self.num_tiles
+
+    @property
+    def linkage_partition(self) -> Tuple[int, int]:
+        """Linkage submatrix grid ``(Nt_h, Nt_w)``.
+
+        Submatrix-wise: the Eq. (3) optimum (near-square, e.g. 4x4 at
+        ``Nt=16``); otherwise row-wise ``(Nt, 1)``.
+        """
+        if not self.submatrix_partition:
+            return (self.num_tiles, 1)
+        from repro.core.partition import optimal_linkage_partition
+
+        return optimal_linkage_partition(self.memory_size, self.num_tiles)
+
+    @property
+    def effective_sort_length(self) -> int:
+        """Usage entries entering the sorter after skimming."""
+        skimmed = int(math.floor(self.skim_fraction * self.memory_size))
+        return self.memory_size - (skimmed if skimmed > 1 else 0)
+
+    # ------------------------------------------------------------------
+    # Prototype presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def baseline(cls, **overrides) -> "HiMAConfig":
+        """HiMA-baseline: H-tree NoC, centralized sort, row-wise linkage."""
+        base = dict(
+            noc="htree", two_stage_sort=False, submatrix_partition=False,
+            distributed=False,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def hima_dnc(cls, **overrides) -> "HiMAConfig":
+        """HiMA-DNC: all architectural features."""
+        return cls(**overrides)
+
+    @classmethod
+    def hima_dncd(cls, skim_fraction: float = 0.0, **overrides) -> "HiMAConfig":
+        """HiMA-DNC-D: distributed model (optionally skimming/approx)."""
+        base = dict(distributed=True, skim_fraction=skim_fraction)
+        base.update(overrides)
+        return cls(**base)
+
+    def with_features(self, **changes) -> "HiMAConfig":
+        """Functional update (frozen dataclass helper)."""
+        return replace(self, **changes)
+
+
+__all__ = ["HiMAConfig"]

@@ -1,0 +1,462 @@
+"""Functional tiled execution engine with traffic accounting.
+
+:class:`TiledEngine` executes one DNC timestep *the way HiMA does*: every
+kernel operates on per-tile shards (row-wise external/state memories,
+submatrix-wise linkage), inter-tile data movement is performed explicitly
+and logged to a :class:`TrafficLog`, and the numerical result is — by
+construction and by test — identical to the monolithic reference DNC
+(:class:`repro.dnc.numpy_ref.NumpyDNC`).
+
+In distributed (DNC-D) mode every tile runs the complete soft write/read
+on its local shard only; the engine verifies the *no inter-PT traffic*
+property that gives DNC-D its near-ideal scaling (paper Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import HiMAConfig
+from repro.core.mapping import MemoryMap
+from repro.dnc import numpy_ref as K  # the shared numpy kernels
+from repro.dnc.approx import SoftmaxApproximator, skimmed_sort_order
+from repro.dnc.numpy_ref import NumpyDNC, NumpyDNCConfig, NumpyDNCState
+from repro.errors import SimulationError
+from repro.hw.sorters import TwoStageSorter
+from repro.noc.packet import Message
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One logged inter-tile transfer (words of 32-bit data)."""
+
+    kernel: str
+    src: int
+    dst: int
+    words: int
+
+
+class TrafficLog:
+    """Accumulates :class:`TrafficEvent` records for one or more steps."""
+
+    def __init__(self, ct_node: int):
+        self.ct_node = ct_node
+        self.events: List[TrafficEvent] = []
+
+    def add(self, kernel: str, src: int, dst: int, words: int) -> None:
+        if words <= 0 or src == dst:
+            return
+        self.events.append(TrafficEvent(kernel, src, dst, int(words)))
+
+    # ------------------------------------------------------------------
+    def total_words(self) -> int:
+        return sum(e.words for e in self.events)
+
+    def words_by_kernel(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for e in self.events:
+            totals[e.kernel] = totals.get(e.kernel, 0) + e.words
+        return totals
+
+    def inter_pt_words(self) -> int:
+        """Words exchanged directly between PTs (excludes CT traffic)."""
+        return sum(
+            e.words
+            for e in self.events
+            if e.src != self.ct_node and e.dst != self.ct_node
+        )
+
+    def messages(
+        self, link_words_per_cycle: int, kernel: Optional[str] = None
+    ) -> List[Message]:
+        """Convert events to NoC messages (flit size = link width)."""
+        messages = []
+        msg_id = 0
+        for e in self.events:
+            if kernel is not None and e.kernel != kernel:
+                continue
+            size = max(1, -(-e.words // link_words_per_cycle))
+            messages.append(Message(msg_id, e.src, e.dst, size=size))
+            msg_id += 1
+        return messages
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class TiledEngine:
+    """Sharded, traffic-accounted DNC execution over HiMA's tiles."""
+
+    def __init__(self, config: HiMAConfig, rng: SeedLike = 0):
+        self.config = config
+        self.memory_map = MemoryMap(config)
+        self.traffic = TrafficLog(ct_node=config.num_tiles)
+        ref_config = NumpyDNCConfig(
+            input_size=config.word_size,
+            output_size=config.word_size,
+            memory_size=config.memory_size,
+            word_size=config.word_size,
+            num_reads=config.num_reads,
+            hidden_size=config.hidden_size,
+            skim_fraction=config.skim_fraction,
+            softmax_approx=(
+                SoftmaxApproximator() if config.approx_softmax else None
+            ),
+        )
+        #: Weight container + monolithic reference semantics.
+        self.reference = NumpyDNC(ref_config, rng=rng)
+        if config.two_stage_sort and not config.distributed:
+            self.sorter = TwoStageSorter(config.memory_size, config.num_tiles)
+        else:
+            self.sorter = None
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> NumpyDNCState:
+        return self.reference.initial_state()
+
+    def step(
+        self, x: np.ndarray, state: NumpyDNCState
+    ) -> Tuple[np.ndarray, NumpyDNCState]:
+        """One sharded timestep; logs traffic into :attr:`self.traffic`."""
+        if self.config.distributed:
+            return self._step_distributed(x, state)
+        return self._step_dnc(x, state)
+
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        state = self.initial_state()
+        outputs = np.empty((inputs.shape[0], self.reference.config.output_size))
+        for t in range(inputs.shape[0]):
+            outputs[t], state = self.step(inputs[t], state)
+        return outputs
+
+    # ------------------------------------------------------------------
+    # DNC mode: exact sharded execution
+    # ------------------------------------------------------------------
+    def _step_dnc(
+        self, x: np.ndarray, state: NumpyDNCState
+    ) -> Tuple[np.ndarray, NumpyDNCState]:
+        cfg = self.config
+        mmap = self.memory_map
+        ref = self.reference
+        nt = cfg.num_tiles
+        ct = mmap.ct_node
+        n, w, r = cfg.memory_size, cfg.word_size, cfg.num_reads
+        log = self.traffic
+
+        # --- Controller at CT; interface vectors broadcast to PTs. -------
+        lstm_h, lstm_c, interface = self._controller(x, state)
+        for t in range(nt):
+            log.add("interface_broadcast", ct, t, ref.config.interface_size)
+
+        shards = [mmap.external_rows(t) for t in range(nt)]
+
+        # --- Content-based write weighting (normalize + similarity). -----
+        # Row-wise shards: normalization fully local; scores need one
+        # global softmax -> tiles exchange (max, sum) psums with the CT.
+        scores = np.empty(n)
+        key_unit = K.l2_normalize(interface.write_key)
+        for t, rows in enumerate(shards):
+            scores[rows] = K.l2_normalize(state.memory[rows]) @ key_unit
+            log.add("similarity", t, ct, 2)  # local max + local exp-sum
+        content_w = self._softmax(interface.write_strength * scores)
+        for t in range(nt):
+            log.add("similarity", ct, t, 2)  # global max + normalizer back
+
+        # --- History-based write weighting. -------------------------------
+        psi = np.empty(n)
+        usage = np.empty(n)
+        for t, rows in enumerate(shards):
+            psi[rows] = K.retention(interface.free_gates, state.read_w[:, rows])
+            usage[rows] = K.usage_update(
+                state.usage[rows], state.write_w[rows], psi[rows]
+            )
+
+        order = self._usage_sort(usage, log)
+        alloc = K.allocation_from_order(usage, order)
+        # Running product hand-off between tiles in sorted order.
+        for hop in range(nt - 1):
+            log.add("allocation", hop, hop + 1, 1)
+
+        write_w = np.empty(n)
+        memory = np.empty_like(state.memory)
+        for t, rows in enumerate(shards):
+            write_w[rows] = K.write_weight_merge(
+                content_w[rows], alloc[rows],
+                interface.write_gate, interface.allocation_gate,
+            )
+            memory[rows] = K.erase_write(
+                state.memory[rows], write_w[rows],
+                interface.erase, interface.write_vector,
+            )
+
+        # --- Linkage + precedence (submatrix-wise blocks). ----------------
+        linkage = self._linkage_update(state, write_w, log)
+        # Global sum of w_w: psum ring ending at the CT.
+        for hop in range(nt - 1):
+            log.add("precedence", hop, hop + 1, 1)
+        log.add("precedence", nt - 1, ct, 1)
+        precedence = np.empty(n)
+        total_w = write_w.sum()
+        for t, rows in enumerate(shards):
+            precedence[rows] = (1.0 - total_w) * state.precedence[rows] + write_w[rows]
+
+        # --- Content-based read weighting on the updated memory. ----------
+        rkey_unit = K.l2_normalize(interface.read_keys)
+        rscores = np.empty((r, n))
+        for t, rows in enumerate(shards):
+            rscores[:, rows] = rkey_unit @ K.l2_normalize(memory[rows]).T
+            log.add("similarity", t, ct, 2 * r)
+        content_r = self._softmax(
+            interface.read_strengths[:, None] * rscores, axis=-1
+        )
+        for t in range(nt):
+            log.add("similarity", ct, t, 2 * r)
+
+        # --- Forward-backward over the linkage blocks. ---------------------
+        fwd, bwd = self._forward_backward(linkage, state.read_w, log)
+
+        read_w = np.empty((r, n))
+        for t, rows in enumerate(shards):
+            read_w[:, rows] = K.read_weight_merge(
+                content_r[:, rows], fwd[:, rows], bwd[:, rows],
+                interface.read_modes,
+            )
+
+        # --- Memory read: local partials + psum reduction at the CT. ------
+        read_vecs = np.zeros((r, w))
+        for t, rows in enumerate(shards):
+            read_vecs += read_w[:, rows] @ memory[rows]
+            log.add("memory_read", t, ct, r * w)
+
+        y = self._output(lstm_h, read_vecs)
+        new_state = NumpyDNCState(
+            memory=memory, usage=usage, precedence=precedence, linkage=linkage,
+            write_w=write_w, read_w=read_w, read_vecs=read_vecs,
+            lstm_h=lstm_h, lstm_c=lstm_c,
+        )
+        return y, new_state
+
+    # ------------------------------------------------------------------
+    def _linkage_update(
+        self, state: NumpyDNCState, write_w: np.ndarray, log: TrafficLog
+    ) -> np.ndarray:
+        """Blockwise linkage update with segment-distribution traffic."""
+        cfg = self.config
+        mmap = self.memory_map
+        n = cfg.memory_size
+        linkage = np.empty_like(state.linkage)
+        for t in range(cfg.num_tiles):
+            rows, cols = mmap.linkage_block(t)
+            # Fetch w_w row segment and (w_w, p) column segments from the
+            # row-wise owners of those index ranges.
+            for owner in mmap.row_segment_owners(rows):
+                log.add("linkage", owner, t, mmap.rows_per_tile)
+            for owner in mmap.row_segment_owners(cols):
+                log.add("linkage", owner, t, 2 * mmap.rows_per_tile)
+            w_rows = write_w[rows][:, None]
+            w_cols = write_w[cols][None, :]
+            p_cols = state.precedence[cols][None, :]
+            block = (1.0 - w_rows - w_cols) * state.linkage[rows, cols] + (
+                w_rows * p_cols
+            )
+            linkage[rows, cols] = block
+        linkage[np.arange(n), np.arange(n)] = 0.0
+        return linkage
+
+    def _forward_backward(
+        self, linkage: np.ndarray, prev_read_w: np.ndarray, log: TrafficLog
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Blockwise ``f = L w_r`` / ``b = L^T w_r`` with psum traffic."""
+        cfg = self.config
+        mmap = self.memory_map
+        r, n = prev_read_w.shape
+        fwd = np.zeros((r, n))
+        bwd = np.zeros((r, n))
+        nt_h, nt_w = mmap.nt_h, mmap.nt_w
+        for t in range(cfg.num_tiles):
+            rows, cols = mmap.linkage_block(t)
+            block = linkage[rows, cols]
+            # Operand segments arrive from their row-wise owners.
+            for owner in mmap.row_segment_owners(cols):
+                log.add("forward_backward", owner, t, r * mmap.rows_per_tile)
+            for owner in mmap.row_segment_owners(rows):
+                log.add("forward_backward", owner, t, r * mmap.rows_per_tile)
+            fwd[:, rows.start : rows.stop] += prev_read_w[:, cols] @ block.T
+            bwd[:, cols.start : cols.stop] += prev_read_w[:, rows] @ block
+            # Partial results reduce across the block row/column; the last
+            # tile in each chain forwards to the segment owner.
+            bi, bj = mmap.linkage_grid_index(t)
+            if bj + 1 < nt_w:
+                log.add("forward_backward", t, t + 1, r * mmap.block_rows)
+            if bi + 1 < nt_h:
+                log.add("forward_backward", t, t + nt_w, r * mmap.block_cols)
+        return fwd, bwd
+
+    def _usage_sort(self, usage: np.ndarray, log: TrafficLog) -> np.ndarray:
+        """Sorted order via the configured sorter, with traffic."""
+        cfg = self.config
+        ct = self.memory_map.ct_node
+        n_local = cfg.local_rows
+        if cfg.skim_fraction > 0.0:
+            order = skimmed_sort_order(usage, cfg.skim_fraction)
+            effective = cfg.effective_sort_length
+            per_tile = max(1, effective // cfg.num_tiles)
+        elif self.sorter is not None:
+            _, order = self.sorter.sort(usage)
+            per_tile = n_local
+        else:
+            order = np.argsort(usage, kind="stable")
+            per_tile = n_local
+        for t in range(cfg.num_tiles):
+            log.add("usage_sort", t, ct, per_tile)  # (sorted) shard to CT
+            log.add("usage_sort", ct, t, per_tile)  # merged order back
+        return order
+
+    # ------------------------------------------------------------------
+    # DNC-D mode: purely local tiles
+    # ------------------------------------------------------------------
+    def _step_distributed(
+        self, x: np.ndarray, state: NumpyDNCState
+    ) -> Tuple[np.ndarray, NumpyDNCState]:
+        """DNC-D: every tile updates only its shard; reads merge at the CT.
+
+        The global linkage matrix keeps only the block-diagonal (each
+        tile's local ``n x n`` linkage); read vectors merge with uniform
+        weights (the trainable ``alpha`` lives in the learned model,
+        :class:`repro.dnc.distributed.DNCD`).
+        """
+        cfg = self.config
+        mmap = self.memory_map
+        ref = self.reference
+        ct = mmap.ct_node
+        nt = cfg.num_tiles
+        n, w, r = cfg.memory_size, cfg.word_size, cfg.num_reads
+        log = self.traffic
+
+        lstm_h, lstm_c, interface = self._controller(x, state)
+        for t in range(nt):
+            log.add("interface_broadcast", ct, t, ref.config.interface_size)
+
+        memory = np.empty_like(state.memory)
+        usage = np.empty(n)
+        precedence = np.empty(n)
+        linkage = np.zeros_like(state.linkage)
+        write_w = np.empty(n)
+        read_w = np.empty((r, n))
+        read_vecs = np.zeros((r, w))
+        key_unit = K.l2_normalize(interface.write_key)
+        rkey_unit = K.l2_normalize(interface.read_keys)
+
+        for t in range(nt):
+            rows = mmap.external_rows(t)
+            local_mem = state.memory[rows]
+            scores = K.l2_normalize(local_mem) @ key_unit
+            content_w = self._softmax(interface.write_strength * scores)
+
+            psi = K.retention(interface.free_gates, state.read_w[:, rows])
+            local_usage = K.usage_update(
+                state.usage[rows], state.write_w[rows], psi
+            )
+            if cfg.skim_fraction > 0.0:
+                order = skimmed_sort_order(local_usage, cfg.skim_fraction)
+            else:
+                order = np.argsort(local_usage, kind="stable")
+            alloc = K.allocation_from_order(local_usage, order)
+            local_write_w = K.write_weight_merge(
+                content_w, alloc, interface.write_gate, interface.allocation_gate
+            )
+            local_new_mem = K.erase_write(
+                local_mem, local_write_w, interface.erase, interface.write_vector
+            )
+            local_link = K.linkage_update(
+                state.linkage[rows, rows], local_write_w, state.precedence[rows]
+            )
+            local_prec = K.precedence_update(state.precedence[rows], local_write_w)
+
+            local_rscores = rkey_unit @ K.l2_normalize(local_new_mem).T
+            local_content_r = self._softmax(
+                interface.read_strengths[:, None] * local_rscores, axis=-1
+            )
+            local_fwd, local_bwd = K.forward_backward(
+                local_link, state.read_w[:, rows]
+            )
+            local_read_w = K.read_weight_merge(
+                local_content_r, local_fwd, local_bwd, interface.read_modes
+            )
+            local_reads = K.read_vectors(local_new_mem, local_read_w)
+
+            memory[rows] = local_new_mem
+            usage[rows] = local_usage
+            precedence[rows] = local_prec
+            linkage[rows, rows] = local_link
+            write_w[rows] = local_write_w
+            read_w[:, rows] = local_read_w
+            # Eq. (4) with uniform alpha: the engine models dataflow, the
+            # trained alpha lives in repro.dnc.distributed.DNCD.
+            read_vecs += local_reads / nt
+            log.add("read_vector_collect", t, ct, r * w)
+
+        y = self._output(lstm_h, read_vecs)
+        new_state = NumpyDNCState(
+            memory=memory, usage=usage, precedence=precedence, linkage=linkage,
+            write_w=write_w, read_w=read_w, read_vecs=read_vecs,
+            lstm_h=lstm_h, lstm_c=lstm_c,
+        )
+        return y, new_state
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _controller(self, x: np.ndarray, state: NumpyDNCState):
+        ref = self.reference
+        h = ref.config.hidden_size
+        controller_in = np.concatenate([x, state.read_vecs.reshape(-1)])
+        gates = controller_in @ ref.w_x + state.lstm_h @ ref.w_h + ref.b
+        i_g = K._sigmoid(gates[0 * h : 1 * h])
+        f_g = K._sigmoid(gates[1 * h : 2 * h])
+        g_g = np.tanh(gates[2 * h : 3 * h])
+        o_g = K._sigmoid(gates[3 * h : 4 * h])
+        lstm_c = f_g * state.lstm_c + i_g * g_g
+        lstm_h = o_g * np.tanh(lstm_c)
+        flat = lstm_h @ ref.w_if + ref.b_if
+        interface = K.parse_interface(
+            flat, ref.config.word_size, ref.config.num_reads
+        )
+        return lstm_h, lstm_c, interface
+
+    def _output(self, lstm_h: np.ndarray, read_vecs: np.ndarray) -> np.ndarray:
+        ref = self.reference
+        output_in = np.concatenate([lstm_h, read_vecs.reshape(-1)])
+        return output_in @ ref.w_y + ref.b_y
+
+    def _softmax(self, scores: np.ndarray, axis: int = -1) -> np.ndarray:
+        approx = self.reference.config.softmax_approx
+        if approx is not None:
+            return approx.softmax(scores, axis=axis)
+        return K.exact_softmax(scores, axis=axis)
+
+    def verify_against_reference(self, steps: int = 3, rng: SeedLike = 7) -> float:
+        """Run both paths on random input; return max abs output error.
+
+        Raises :class:`~repro.errors.SimulationError` in DNC mode if the
+        sharded execution diverges from the monolithic reference.
+        """
+        from repro.utils.rng import new_rng
+
+        gen = new_rng(rng)
+        inputs = gen.standard_normal((steps, self.reference.config.input_size))
+        ours = self.run(inputs)
+        reference_out = self.reference.run(inputs)
+        error = float(np.max(np.abs(ours - reference_out)))
+        if not self.config.distributed and error > 1e-9:
+            raise SimulationError(
+                f"tiled execution diverged from reference (max err {error:.3e})"
+            )
+        return error
+
+
+__all__ = ["TiledEngine", "TrafficLog", "TrafficEvent"]

@@ -1,0 +1,284 @@
+"""Kernel registry: the paper's Table 1 as executable metadata.
+
+Each :class:`KernelSpec` carries the kernel's type (access vs state),
+category, primitives, and callables computing external/state-memory access
+counts and NoC traffic for a given :class:`~repro.core.config.HiMAConfig`.
+``table1_rows`` renders the table; the test suite checks the formulas
+against the instrumented reference DNC's measured counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import HiMAConfig
+from repro.core.partition import (
+    forward_backward_traffic_words,
+    linkage_distribution_traffic,
+)
+from repro.dnc.instrumentation import KernelCategory
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One DNC kernel's Table 1 row."""
+
+    name: str
+    kernel_type: str  # "access" or "state"
+    category: KernelCategory
+    primitives: Tuple[str, ...]
+    ext_mem_order: str  # big-O string from Table 1
+    state_mem_order: str
+    noc_order: str
+    ext_mem_accesses: Callable[[HiMAConfig], int]
+    state_mem_accesses: Callable[[HiMAConfig], int]
+    ops: Callable[[HiMAConfig], int]
+    noc_words: Callable[[HiMAConfig], float]
+
+
+def _linkage_grid(config: HiMAConfig) -> Tuple[int, int]:
+    return config.linkage_partition
+
+
+def _no_traffic(config: HiMAConfig) -> float:
+    return 0.0
+
+
+KERNEL_REGISTRY: Dict[str, KernelSpec] = {}
+
+
+def _register(spec: KernelSpec) -> None:
+    KERNEL_REGISTRY[spec.name] = spec
+
+
+_register(KernelSpec(
+    name="normalize",
+    kernel_type="access",
+    category=KernelCategory.CONTENT_WEIGHTING,
+    primitives=("inner-prod",),
+    ext_mem_order="O(NW)",
+    state_mem_order="O(W)",
+    noc_order="O(Nt N)",
+    ext_mem_accesses=lambda c: 2 * c.memory_size * c.word_size,
+    state_mem_accesses=lambda c: (1 + c.num_reads) * c.word_size,
+    ops=lambda c: 4 * c.memory_size * c.word_size
+    + 2 * (1 + c.num_reads) * c.word_size,
+    # Row-wise external partition keeps normalization local; a column
+    # split would cost 2N(Nt_w - 1) (Eq. 1).
+    noc_words=_no_traffic,
+))
+
+_register(KernelSpec(
+    name="similarity",
+    kernel_type="access",
+    category=KernelCategory.CONTENT_WEIGHTING,
+    primitives=("inner-prod", "softmax"),
+    ext_mem_order="O(NW)",
+    state_mem_order="O(W)",
+    noc_order="O(Nt)",
+    ext_mem_accesses=lambda c: 2 * c.memory_size * c.word_size,
+    state_mem_accesses=lambda c: (1 + c.num_reads) * c.word_size,
+    ops=lambda c: 2 * (1 + c.num_reads) * c.memory_size * c.word_size
+    + 5 * (1 + c.num_reads) * c.memory_size,
+    # Psum exchange + softmax redistribution: 2(Nt-1) per head group.
+    noc_words=lambda c: 0.0 if c.distributed
+    else 2.0 * (c.num_tiles - 1) * (1 + c.num_reads),
+))
+
+_register(KernelSpec(
+    name="memory_write",
+    kernel_type="access",
+    category=KernelCategory.MEMORY_ACCESS,
+    primitives=("el-add/sub/mult", "outer-prod"),
+    ext_mem_order="O(NW)",
+    state_mem_order="O(N)",
+    noc_order="O(Nt N)",
+    ext_mem_accesses=lambda c: 2 * c.memory_size * c.word_size,
+    state_mem_accesses=lambda c: c.memory_size,
+    ops=lambda c: 4 * c.memory_size * c.word_size,
+    noc_words=_no_traffic,  # element-wise, fully local under row-wise split
+))
+
+_register(KernelSpec(
+    name="memory_read",
+    kernel_type="access",
+    category=KernelCategory.MEMORY_ACCESS,
+    primitives=("transpose", "mat-vec mult"),
+    ext_mem_order="O(NW)",
+    state_mem_order="O(N)",
+    noc_order="O(Nt N W)",
+    ext_mem_accesses=lambda c: c.memory_size * c.word_size,
+    state_mem_accesses=lambda c: c.num_reads * c.memory_size,
+    ops=lambda c: 2 * c.num_reads * c.memory_size * c.word_size,
+    # Row-wise: psum reduction of R read vectors, W(Nt-1) words each.
+    noc_words=lambda c: 0.0 if c.distributed
+    else float(c.num_reads * c.word_size * (c.num_tiles - 1)),
+))
+
+_register(KernelSpec(
+    name="retention",
+    kernel_type="state",
+    category=KernelCategory.HIST_WRITE_WEIGHTING,
+    primitives=("el-mult", "vec acc-prod"),
+    ext_mem_order="No",
+    state_mem_order="O(RN)",
+    noc_order="No",
+    ext_mem_accesses=lambda c: 0,
+    state_mem_accesses=lambda c: c.num_reads * c.memory_size,
+    ops=lambda c: 2 * c.num_reads * c.memory_size,
+    noc_words=_no_traffic,
+))
+
+_register(KernelSpec(
+    name="usage",
+    kernel_type="state",
+    category=KernelCategory.HIST_WRITE_WEIGHTING,
+    primitives=("el-add/sub/mult",),
+    ext_mem_order="No",
+    state_mem_order="O(N)",
+    noc_order="No",
+    ext_mem_accesses=lambda c: 0,
+    state_mem_accesses=lambda c: 2 * c.memory_size,
+    ops=lambda c: 4 * c.memory_size,
+    noc_words=_no_traffic,
+))
+
+_register(KernelSpec(
+    name="usage_sort",
+    kernel_type="state",
+    category=KernelCategory.HIST_WRITE_WEIGHTING,
+    primitives=("sort",),
+    ext_mem_order="No",
+    state_mem_order="O(N)",
+    noc_order="O(N)",
+    ext_mem_accesses=lambda c: 0,
+    state_mem_accesses=lambda c: c.memory_size,
+    ops=lambda c: int(
+        c.effective_sort_length * max(math.log2(max(c.effective_sort_length, 2)), 1)
+    ),
+    # Two-stage: sorted shards stream to the CT and sorted order returns.
+    noc_words=lambda c: 0.0 if c.distributed else 2.0 * c.effective_sort_length,
+))
+
+_register(KernelSpec(
+    name="allocation",
+    kernel_type="state",
+    category=KernelCategory.HIST_WRITE_WEIGHTING,
+    primitives=("vec acc-prod",),
+    ext_mem_order="No",
+    state_mem_order="O(N)",
+    noc_order="O(Nt)",
+    ext_mem_accesses=lambda c: 0,
+    state_mem_accesses=lambda c: c.memory_size,
+    ops=lambda c: 3 * c.effective_sort_length,
+    noc_words=lambda c: 0.0 if c.distributed else float(c.num_tiles - 1),
+))
+
+_register(KernelSpec(
+    name="write_weight_merge",
+    kernel_type="state",
+    category=KernelCategory.HIST_WRITE_WEIGHTING,
+    primitives=("el-add/sub",),
+    ext_mem_order="No",
+    state_mem_order="O(N)",
+    noc_order="No",
+    ext_mem_accesses=lambda c: 0,
+    state_mem_accesses=lambda c: c.memory_size,
+    ops=lambda c: 4 * c.memory_size,
+    noc_words=_no_traffic,
+))
+
+_register(KernelSpec(
+    name="linkage",
+    kernel_type="state",
+    category=KernelCategory.HIST_READ_WEIGHTING,
+    primitives=("mat expand", "outer-prod", "el-add/sub/mult"),
+    ext_mem_order="No",
+    state_mem_order="O(N^2)",
+    noc_order="O(Nt N)",
+    ext_mem_accesses=lambda c: 0,
+    state_mem_accesses=lambda c: (
+        2 * (c.memory_size // c.num_tiles) ** 2 * c.num_tiles
+        if c.distributed else 2 * c.memory_size**2
+    ),
+    ops=lambda c: (
+        4 * (c.memory_size // c.num_tiles) ** 2 * c.num_tiles
+        if c.distributed else 4 * c.memory_size**2
+    ),
+    noc_words=lambda c: 0.0 if c.distributed else linkage_distribution_traffic(
+        c.memory_size, c.num_tiles, *c.linkage_partition
+    ),
+))
+
+_register(KernelSpec(
+    name="precedence",
+    kernel_type="state",
+    category=KernelCategory.HIST_READ_WEIGHTING,
+    primitives=("el-add", "vec acc-sum"),
+    ext_mem_order="No",
+    state_mem_order="O(N)",
+    noc_order="O(Nt)",
+    ext_mem_accesses=lambda c: 0,
+    state_mem_accesses=lambda c: 2 * c.memory_size,
+    ops=lambda c: 3 * c.memory_size,
+    noc_words=lambda c: 0.0 if c.distributed else float(c.num_tiles - 1),
+))
+
+_register(KernelSpec(
+    name="forward_backward",
+    kernel_type="state",
+    category=KernelCategory.HIST_READ_WEIGHTING,
+    primitives=("transpose", "mat-vec mult"),
+    ext_mem_order="No",
+    state_mem_order="O(N^2)",
+    noc_order="O(Nt N^2)",
+    ext_mem_accesses=lambda c: 0,
+    state_mem_accesses=lambda c: (
+        2 * (c.memory_size // c.num_tiles) ** 2 * c.num_tiles
+        if c.distributed else 2 * c.memory_size**2
+    ),
+    ops=lambda c: (
+        4 * c.num_reads * (c.memory_size // c.num_tiles) ** 2 * c.num_tiles
+        if c.distributed else 4 * c.num_reads * c.memory_size**2
+    ),
+    noc_words=lambda c: 0.0 if c.distributed else forward_backward_traffic_words(
+        c.memory_size, c.num_reads, c.num_tiles, *c.linkage_partition
+    ),
+))
+
+_register(KernelSpec(
+    name="read_weight_merge",
+    kernel_type="state",
+    category=KernelCategory.HIST_READ_WEIGHTING,
+    primitives=("el-add",),
+    ext_mem_order="No",
+    state_mem_order="O(RN)",
+    noc_order="No",
+    ext_mem_accesses=lambda c: 0,
+    state_mem_accesses=lambda c: c.num_reads * c.memory_size,
+    ops=lambda c: 5 * c.num_reads * c.memory_size,
+    noc_words=_no_traffic,
+))
+
+
+def table1_rows(config: HiMAConfig) -> List[List[str]]:
+    """Render the registry as Table 1 rows for ``config``."""
+    rows = []
+    for spec in KERNEL_REGISTRY.values():
+        rows.append([
+            spec.kernel_type,
+            spec.name,
+            ", ".join(spec.primitives),
+            spec.ext_mem_order,
+            f"{spec.ext_mem_accesses(config):,}",
+            spec.state_mem_order,
+            f"{spec.state_mem_accesses(config):,}",
+            spec.noc_order,
+            f"{spec.noc_words(config):,.0f}",
+        ])
+    return rows
+
+
+__all__ = ["KernelSpec", "KERNEL_REGISTRY", "table1_rows"]

@@ -1,0 +1,67 @@
+"""Speed / area-efficiency / energy-efficiency metrics (Fig. 12(b)-(d)).
+
+Following the paper: area efficiency = throughput / area and energy
+efficiency = throughput / power, with areas technology-normalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.errors import ConfigError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class EfficiencyMetrics:
+    """One design's headline numbers."""
+
+    name: str
+    seconds_per_test: float
+    area_mm2: float
+    power_w: float
+
+    def __post_init__(self):
+        check_positive("seconds_per_test", self.seconds_per_test)
+        check_positive("area_mm2", self.area_mm2)
+        check_positive("power_w", self.power_w)
+
+    @property
+    def throughput(self) -> float:
+        """Tests per second."""
+        return 1.0 / self.seconds_per_test
+
+    @property
+    def area_efficiency(self) -> float:
+        return self.throughput / self.area_mm2
+
+    @property
+    def energy_efficiency(self) -> float:
+        return self.throughput / self.power_w
+
+
+def compare_designs(
+    designs: Iterable[EfficiencyMetrics], reference: EfficiencyMetrics
+) -> List[Dict[str, float]]:
+    """Ratios of each design against ``reference`` (the paper's Fig. 12).
+
+    Returns one dict per design with ``speedup``, ``area_ratio``,
+    ``power_ratio``, ``area_eff_ratio``, ``energy_eff_ratio``.
+    """
+    rows = []
+    for design in designs:
+        rows.append({
+            "name": design.name,
+            "speedup": reference.seconds_per_test / design.seconds_per_test,
+            "area_ratio": design.area_mm2 / reference.area_mm2,
+            "power_ratio": design.power_w / reference.power_w,
+            "area_eff_ratio": design.area_efficiency / reference.area_efficiency,
+            "energy_eff_ratio": (
+                design.energy_efficiency / reference.energy_efficiency
+            ),
+        })
+    return rows
+
+
+__all__ = ["EfficiencyMetrics", "compare_designs"]

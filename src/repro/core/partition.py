@@ -1,0 +1,174 @@
+"""Submatrix-wise memory-partition traffic models (paper Section 4.2).
+
+A generalized submatrix partition divides an ``N x C`` matrix across
+``Nt = Nt_h x Nt_w`` tiles (``Nt_h`` block rows, ``Nt_w`` block columns).
+Row-wise (``Nt_w = 1``) and column-wise (``Nt_h = 1``) are the two
+extremes.  The closed forms below are the paper's Equations (1)-(3); the
+brute-force optimizers recover its conclusions:
+
+* external memory: row-wise is optimal (Eq. 1 and Eq. 2),
+* linkage memory: the interior optimum — 4x4 at ``Nt = 16`` (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A submatrix partition: ``rows x cols`` tile grid."""
+
+    rows: int  # Nt_h: block rows
+    cols: int  # Nt_w: block columns
+
+    def __post_init__(self):
+        check_positive("rows", self.rows)
+        check_positive("cols", self.cols)
+
+    @property
+    def num_tiles(self) -> int:
+        return self.rows * self.cols
+
+    def block_shape(self, matrix_rows: int, matrix_cols: int) -> Tuple[int, int]:
+        """Shape of one tile's submatrix block."""
+        if matrix_rows % self.rows or matrix_cols % self.cols:
+            raise ConfigError(
+                f"matrix {matrix_rows}x{matrix_cols} does not divide into a "
+                f"{self.rows}x{self.cols} grid"
+            )
+        return matrix_rows // self.rows, matrix_cols // self.cols
+
+
+def factor_pairs(num_tiles: int) -> List[Tuple[int, int]]:
+    """All ``(Nt_h, Nt_w)`` factorizations of ``num_tiles``."""
+    check_positive("num_tiles", num_tiles)
+    pairs = []
+    for rows in range(1, num_tiles + 1):
+        if num_tiles % rows == 0:
+            pairs.append((rows, num_tiles // rows))
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# Closed-form inter-tile transfer counts
+# ---------------------------------------------------------------------------
+
+
+def content_weighting_traffic(memory_rows: int, nt_h: int, nt_w: int) -> int:
+    """Eq. (1): normalization + similarity transfers.
+
+    Column-split rows need ``2N(Nt_w - 1)`` transfers to normalize; the
+    similarity psum reduction costs ``2(Nt_h - 1)``.
+    """
+    return 2 * memory_rows * (nt_w - 1) + 2 * (nt_h - 1)
+
+
+def memory_read_traffic(
+    memory_rows: int, word_size: int, num_tiles: int, nt_h: int, nt_w: int
+) -> float:
+    """Eq. (2): transpose + matrix-vector multiply in the memory-read kernel.
+
+    ``Nt_w (Nt_w - 1) N / Nt`` submatrix-element transfers plus
+    ``W (Nt_h - 1)`` partial-sum transfers.
+    """
+    return nt_w * (nt_w - 1) * memory_rows / num_tiles + word_size * (nt_h - 1)
+
+
+def forward_backward_traffic(num_tiles: int, nt_h: int, nt_w: int) -> float:
+    """Eq. (3): forward + backward pass over the linkage matrix
+    (relative units, exactly as printed in the paper).
+
+    Both row-wise and column-wise extremes are suboptimal; the minimum is
+    the near-square grid (4x4 for ``Nt = 16``).
+    """
+    forward = nt_h * (nt_h - 1) / num_tiles + nt_w
+    backward = nt_w * (nt_w - 1) / num_tiles + nt_h
+    return forward + backward
+
+
+def forward_backward_traffic_words(
+    memory_rows: int, num_reads: int, num_tiles: int, nt_h: int, nt_w: int
+) -> float:
+    """Absolute word count for the forward-backward kernel.
+
+    The Eq. (2) structure applied to the ``N x N`` linkage, per read head
+    and per direction: psum transfers across block columns for the
+    forward pass and across block rows for the backward pass, plus the
+    read-weighting segment distribution.
+    """
+    n = memory_rows
+    per_head_forward = nt_w * (nt_w - 1) * n / num_tiles + (n / nt_h) * (nt_h - 1)
+    per_head_backward = nt_h * (nt_h - 1) * n / num_tiles + (n / nt_w) * (nt_w - 1)
+    segment_distribution = 2 * n  # w_r segments to block owners, results back
+    return num_reads * (per_head_forward + per_head_backward + segment_distribution)
+
+
+def linkage_distribution_traffic(
+    memory_rows: int, num_tiles: int, nt_h: int, nt_w: int
+) -> float:
+    """Words to distribute ``w_w`` / ``p`` segments for the linkage update.
+
+    Every linkage tile needs its block-row segment of ``w_w`` (``N/Nt_h``
+    words) and the block-column segments of ``w_w`` and ``p`` (``N/Nt_w``
+    each); Table 1 lists this kernel's NoC traffic as ``O(Nt * N)``.
+    """
+    n = memory_rows
+    return num_tiles * (n / nt_h + 2 * n / nt_w)
+
+
+# ---------------------------------------------------------------------------
+# Optimizers
+# ---------------------------------------------------------------------------
+
+
+def optimal_external_partition(
+    memory_rows: int, word_size: int, num_tiles: int
+) -> Tuple[int, int]:
+    """Brute-force Eq. (1) + Eq. (2) minimizer for the external memory.
+
+    Returns ``(Nt_h, Nt_w)``; the paper's conclusion (row-wise,
+    ``(Nt, 1)``) emerges for all realistic ``N >> Nt``.
+    """
+    best = None
+    best_cost = None
+    for nt_h, nt_w in factor_pairs(num_tiles):
+        cost = content_weighting_traffic(memory_rows, nt_h, nt_w) + (
+            memory_read_traffic(memory_rows, word_size, num_tiles, nt_h, nt_w)
+        )
+        if best_cost is None or cost < best_cost:
+            best, best_cost = (nt_h, nt_w), cost
+    return best
+
+
+def optimal_linkage_partition(memory_rows: int, num_tiles: int) -> Tuple[int, int]:
+    """Brute-force Eq. (3) minimizer for the linkage memory.
+
+    Ties break toward the more row-dominant grid for determinism.
+    """
+    best = None
+    best_cost = None
+    for nt_h, nt_w in factor_pairs(num_tiles):
+        cost = forward_backward_traffic(num_tiles, nt_h, nt_w)
+        if best_cost is None or cost < best_cost or (
+            cost == best_cost and nt_h > best[0]
+        ):
+            best, best_cost = (nt_h, nt_w), cost
+    return best
+
+
+__all__ = [
+    "Partition",
+    "factor_pairs",
+    "content_weighting_traffic",
+    "memory_read_traffic",
+    "forward_backward_traffic",
+    "forward_backward_traffic_words",
+    "linkage_distribution_traffic",
+    "optimal_external_partition",
+    "optimal_linkage_partition",
+]

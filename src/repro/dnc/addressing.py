@@ -1,0 +1,221 @@
+"""Differentiable DNC addressing kernels.
+
+Every function here corresponds to a row of the paper's Table 1 (or a
+labelled block of its Figure 2 dataflow) and operates on the trailing
+dimensions, so an arbitrary leading batch shape is supported:
+
+========================  ==========================================
+paper kernel              function
+========================  ==========================================
+Normalize + Similarity    :func:`content_weights` (CW/CR (1)-(2))
+Retention (HW.1)          :func:`retention_vector`
+Usage (HW.2)              :func:`usage_vector`
+Usage Sort + Allocation   :func:`allocation_weights` (HW.2-3)
+Wr. Weight Merge (WM)     :func:`write_weights`
+Memory Write (MW)         :func:`erase_and_write`
+Linkage (HR.1)            :func:`linkage_update`
+Precedence (HR.2)         :func:`precedence_update`
+Forward-backward (HR.3)   :func:`forward_backward_weights`
+Rd. Weight Merge (RM)     :func:`read_weights`
+Memory Read (MR)          :func:`read_vectors`
+========================  ==========================================
+
+Sort order is treated as a constant (gradients flow through the gathered
+values, not the permutation), matching standard DNC implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.functional import normalize
+from repro.autodiff.tensor import Tensor, as_tensor
+
+_EPSILON = 1e-6
+
+
+def content_weights(memory: Tensor, keys: Tensor, strengths: Tensor) -> Tensor:
+    """Content-based addressing for one or more heads.
+
+    ``memory``: ``(..., N, W)``; ``keys``: ``(..., H, W)``;
+    ``strengths``: ``(..., H)``.  Returns ``(..., H, N)`` weightings, each
+    a softmax over the ``N`` memory rows.
+    """
+    mem_unit = normalize(memory, axis=-1)
+    key_unit = normalize(keys, axis=-1)
+    # (..., H, W) @ (..., W, N) -> (..., H, N)
+    similarity = ops.matmul(key_unit, ops.transpose(mem_unit, _swap_last(memory.ndim)))
+    strengths_col = ops.reshape(strengths, strengths.shape + (1,))
+    return ops.softmax(ops.mul(similarity, strengths_col), axis=-1)
+
+
+def retention_vector(free_gates: Tensor, prev_read_weights: Tensor) -> Tensor:
+    """``psi[i] = prod_r (1 - f_r * w_r[r, i])`` — HW.(1).
+
+    ``free_gates``: ``(..., R)``; ``prev_read_weights``: ``(..., R, N)``.
+    Returns ``(..., N)``.  The product over the (small) R axis is unrolled
+    so gradients stay exact even with zero factors.
+    """
+    num_reads = prev_read_weights.shape[-2]
+    gates_col = ops.reshape(free_gates, free_gates.shape + (1,))
+    factors = ops.sub(1.0, ops.mul(gates_col, prev_read_weights))
+    result: Optional[Tensor] = None
+    for r in range(num_reads):
+        factor = factors[..., r, :]
+        result = factor if result is None else ops.mul(result, factor)
+    return result
+
+
+def usage_vector(
+    prev_usage: Tensor, prev_write_weights: Tensor, retention: Tensor
+) -> Tensor:
+    """``u = (u_prev + w_w - u_prev o w_w) o psi`` — HW.(2)."""
+    increased = ops.sub(
+        ops.add(prev_usage, prev_write_weights),
+        ops.mul(prev_usage, prev_write_weights),
+    )
+    return ops.mul(increased, retention)
+
+
+def allocation_weights(
+    usage: Tensor, sort_order: Optional[np.ndarray] = None
+) -> Tensor:
+    """Allocation weighting over free slots — HW.(2)-(3).
+
+    ``a[phi_j] = (1 - u[phi_j]) * prod_{k<j} u[phi_k]`` where ``phi`` sorts
+    usage ascending.  ``sort_order`` overrides the permutation — this is
+    the hook used by *usage skimming* (the hardware skips sorting the
+    skimmed pool, so the permutation is only partially sorted; see
+    :func:`repro.dnc.approx.skimmed_sort_order`).
+    """
+    usage = as_tensor(usage)
+    # The DNC adds a small epsilon floor so products stay differentiable.
+    safe_usage = ops.add(ops.mul(usage, 1.0 - _EPSILON), _EPSILON)
+    if sort_order is None:
+        sort_order = np.argsort(safe_usage.data, axis=-1, kind="stable")
+    sorted_usage = ops.take_along_axis(safe_usage, sort_order, axis=-1)
+    prod_before = ops.cumprod(sorted_usage, axis=-1, exclusive=True)
+    sorted_alloc = ops.mul(ops.sub(1.0, sorted_usage), prod_before)
+    inverse = np.argsort(sort_order, axis=-1, kind="stable")
+    return ops.take_along_axis(sorted_alloc, inverse, axis=-1)
+
+
+def write_weights(
+    content_w: Tensor,
+    allocation_w: Tensor,
+    write_gate: Tensor,
+    allocation_gate: Tensor,
+) -> Tensor:
+    """``w_w = g_w * (g_a * a + (1 - g_a) * c_w)`` — WM.
+
+    ``content_w``/``allocation_w``: ``(..., N)``; gates: ``(...,)``.
+    """
+    gate_a = ops.reshape(allocation_gate, allocation_gate.shape + (1,))
+    gate_w = ops.reshape(write_gate, write_gate.shape + (1,))
+    mix = ops.add(
+        ops.mul(gate_a, allocation_w), ops.mul(ops.sub(1.0, gate_a), content_w)
+    )
+    return ops.mul(gate_w, mix)
+
+
+def erase_and_write(
+    memory: Tensor, write_w: Tensor, erase: Tensor, write_vector: Tensor
+) -> Tensor:
+    """``M = M o (1 - w_w e^T) + w_w v^T`` — MW.
+
+    ``memory``: ``(..., N, W)``; ``write_w``: ``(..., N)``;
+    ``erase``/``write_vector``: ``(..., W)``.
+    """
+    w_col = ops.reshape(write_w, write_w.shape + (1,))
+    erase_row = ops.reshape(erase, erase.shape[:-1] + (1, erase.shape[-1]))
+    value_row = ops.reshape(
+        write_vector, write_vector.shape[:-1] + (1, write_vector.shape[-1])
+    )
+    keep = ops.sub(1.0, ops.mul(w_col, erase_row))
+    return ops.add(ops.mul(memory, keep), ops.mul(w_col, value_row))
+
+
+def precedence_update(prev_precedence: Tensor, write_w: Tensor) -> Tensor:
+    """``p = (1 - sum_i w_w[i]) p_prev + w_w`` — HR.(2)."""
+    total = ops.sum(write_w, axis=-1, keepdims=True)
+    return ops.add(ops.mul(ops.sub(1.0, total), prev_precedence), write_w)
+
+
+def linkage_update(
+    prev_linkage: Tensor, write_w: Tensor, prev_precedence: Tensor
+) -> Tensor:
+    """``L[i,j] = (1 - w[i] - w[j]) L_prev[i,j] + w[i] p_prev[j]`` — HR.(1).
+
+    The diagonal is forced to zero (a slot cannot precede itself).
+    ``prev_linkage``: ``(..., N, N)``.
+    """
+    n = write_w.shape[-1]
+    w_col = ops.reshape(write_w, write_w.shape + (1,))
+    w_row = ops.reshape(write_w, write_w.shape[:-1] + (1, n))
+    p_row = ops.reshape(
+        prev_precedence, prev_precedence.shape[:-1] + (1, n)
+    )
+    decay = ops.sub(ops.sub(1.0, w_col), w_row)
+    updated = ops.add(ops.mul(decay, prev_linkage), ops.mul(w_col, p_row))
+    off_diagonal = Tensor(1.0 - np.eye(n))
+    return ops.mul(updated, off_diagonal)
+
+
+def forward_backward_weights(
+    linkage: Tensor, prev_read_weights: Tensor
+) -> Tuple[Tensor, Tensor]:
+    """``f_r = L w_r`` and ``b_r = L^T w_r`` for each read head — HR.(3).
+
+    ``linkage``: ``(..., N, N)``; ``prev_read_weights``: ``(..., R, N)``.
+    Returns two ``(..., R, N)`` tensors.
+    """
+    linkage_t = ops.transpose(linkage, _swap_last(linkage.ndim))
+    forward = ops.matmul(prev_read_weights, linkage_t)
+    backward = ops.matmul(prev_read_weights, linkage)
+    return forward, backward
+
+
+def read_weights(
+    content_r: Tensor, forward: Tensor, backward: Tensor, read_modes: Tensor
+) -> Tensor:
+    """``w_r = m_1 b + m_2 c + m_3 f`` per head — RM.
+
+    ``read_modes``: ``(..., R, 3)`` ordered ``[backward, content, forward]``.
+    """
+    m_backward = read_modes[..., 0:1]
+    m_content = read_modes[..., 1:2]
+    m_forward = read_modes[..., 2:3]
+    return ops.add(
+        ops.add(ops.mul(m_backward, backward), ops.mul(m_content, content_r)),
+        ops.mul(m_forward, forward),
+    )
+
+
+def read_vectors(memory: Tensor, read_w: Tensor) -> Tensor:
+    """``v_r = M^T w_r`` per head — MR.  Returns ``(..., R, W)``."""
+    return ops.matmul(read_w, memory)
+
+
+def _swap_last(ndim: int) -> Tuple[int, ...]:
+    """Axes permutation swapping the last two dimensions."""
+    axes = list(range(ndim))
+    axes[-1], axes[-2] = axes[-2], axes[-1]
+    return tuple(axes)
+
+
+__all__ = [
+    "content_weights",
+    "retention_vector",
+    "usage_vector",
+    "allocation_weights",
+    "write_weights",
+    "erase_and_write",
+    "precedence_update",
+    "linkage_update",
+    "forward_backward_weights",
+    "read_weights",
+    "read_vectors",
+]

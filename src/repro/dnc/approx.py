@@ -1,0 +1,148 @@
+"""Approximation techniques from paper Section 5.2.
+
+Usage skimming
+--------------
+The paper observes that the least significant usage entries have little
+effect on the write allocation and proposes discarding the ``K`` smallest
+entries from the sort, reducing sort and allocation complexity
+proportionally.  Behaviourally we model the hardware exactly as built: the
+skimmed pool (the K-fraction of slots with the smallest usage) is *not
+sorted* — its members are emitted in index order ahead of the sorted
+remainder — so the allocation product runs over a partially sorted
+sequence.  For small ``K`` every pool member is nearly free and allocation
+mass still lands on a nearly-free slot (small error); for large ``K`` the
+pool swallows genuinely used slots and the index-order choice misallocates
+(large error), reproducing the Figure 10 trend.
+
+Softmax approximation
+---------------------
+A hybrid of piece-wise linear approximation (PLA) and a look-up table
+(LUT): the input range is cut into a few segments, each approximated by an
+affine function whose ``(slope, intercept)`` pair is stored in a LUT —
+one multiply and one add per element, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_probability
+
+
+def skimmed_sort_order(usage: np.ndarray, skim_fraction: float) -> np.ndarray:
+    """Partially sorted permutation modelling usage skimming.
+
+    Returns, for each row of ``usage`` (last axis, length ``N``), a
+    permutation consisting of the ``K = floor(skim_fraction * N)``
+    smallest-usage indices in *index order* (unsorted — the hardware skips
+    them) followed by the remaining indices sorted ascending by usage.
+    ``skim_fraction=0`` degenerates to a full argsort.
+    """
+    check_probability("skim_fraction", skim_fraction)
+    usage = np.asarray(usage)
+    n = usage.shape[-1]
+    k = int(np.floor(skim_fraction * n))
+    if k <= 1:
+        return np.argsort(usage, axis=-1, kind="stable")
+
+    flat = usage.reshape(-1, n)
+    orders = np.empty_like(flat, dtype=np.int64)
+    for row in range(flat.shape[0]):
+        values = flat[row]
+        pool = np.argpartition(values, k - 1)[:k]
+        pool.sort()  # index order, NOT usage order: the pool is unsorted
+        rest_mask = np.ones(n, dtype=bool)
+        rest_mask[pool] = False
+        rest = np.flatnonzero(rest_mask)
+        rest = rest[np.argsort(values[rest], kind="stable")]
+        orders[row, :k] = pool
+        orders[row, k:] = rest
+    return orders.reshape(usage.shape)
+
+
+def skim_usage(usage: np.ndarray, skim_fraction: float) -> Tuple[np.ndarray, int]:
+    """Return the skimmed sort order and the number of entries actually sorted.
+
+    The second value feeds the hardware cycle model: the sorter only
+    processes ``N - K`` entries.
+    """
+    usage = np.asarray(usage)
+    n = usage.shape[-1]
+    k = int(np.floor(skim_fraction * n))
+    return skimmed_sort_order(usage, skim_fraction), n - max(k - 1, 0) if k > 1 else n
+
+
+class SoftmaxApproximator:
+    """PLA+LUT softmax: affine exp segments, 1 multiply + 1 add per element.
+
+    Parameters
+    ----------
+    num_segments:
+        Number of affine pieces (LUT entries).  The paper uses "a small
+        number of line pieces"; 32 gives a worst-case exp error under 2 %
+        with a 64-word LUT.
+    input_range:
+        Approximation domain ``[-input_range, 0]``.  Softmax inputs are
+        max-shifted so they always fall in ``(-inf, 0]``; values below the
+        range floor are flushed to 0 (their true exp is negligible).
+    """
+
+    def __init__(self, num_segments: int = 32, input_range: float = 12.0):
+        check_positive("num_segments", num_segments)
+        check_positive("input_range", input_range)
+        self.num_segments = int(num_segments)
+        self.input_range = float(input_range)
+        edges = np.linspace(-self.input_range, 0.0, self.num_segments + 1)
+        left, right = edges[:-1], edges[1:]
+        exp_left, exp_right = np.exp(left), np.exp(right)
+        # Chord interpolation per segment: exact at both segment endpoints.
+        self._slopes = (exp_right - exp_left) / (right - left)
+        self._intercepts = exp_left - self._slopes * left
+        self._edges = edges
+
+    # ------------------------------------------------------------------
+    def exp(self, x: np.ndarray) -> np.ndarray:
+        """Approximate ``exp(x)`` for ``x <= 0`` (clipped, LUT + affine)."""
+        x = np.asarray(x, dtype=np.float64)
+        clipped = np.maximum(x, -self.input_range)
+        segment = np.minimum(
+            ((clipped + self.input_range) / self.input_range * self.num_segments).astype(int),
+            self.num_segments - 1,
+        )
+        approx = self._slopes[segment] * clipped + self._intercepts[segment]
+        # Below the domain floor the true exp is ~1e-7; flush to zero.
+        return np.where(x < -self.input_range, 0.0, approx)
+
+    def softmax(self, scores: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Approximate softmax (max-shifted, approx exp, normalized)."""
+        scores = np.asarray(scores, dtype=np.float64)
+        shifted = scores - scores.max(axis=axis, keepdims=True)
+        exped = self.exp(shifted)
+        total = exped.sum(axis=axis, keepdims=True)
+        # All-zero rows can only occur if every input underflowed; fall back
+        # to uniform (matches the exact softmax limit under extreme shift).
+        safe_total = np.where(total == 0.0, 1.0, total)
+        uniform = 1.0 / scores.shape[axis]
+        out = exped / safe_total
+        return np.where(total == 0.0, uniform, out)
+
+    # ------------------------------------------------------------------
+    def max_exp_error(self, samples: int = 10_000) -> float:
+        """Worst absolute error of :meth:`exp` over the domain."""
+        xs = np.linspace(-self.input_range, 0.0, samples)
+        return float(np.max(np.abs(self.exp(xs) - np.exp(xs))))
+
+    def lut_cost_words(self) -> int:
+        """LUT storage in 32-bit words: one (slope, intercept) pair per segment."""
+        return 2 * self.num_segments
+
+    def __repr__(self) -> str:
+        return (
+            f"SoftmaxApproximator(num_segments={self.num_segments}, "
+            f"input_range={self.input_range})"
+        )
+
+
+__all__ = ["skimmed_sort_order", "skim_usage", "SoftmaxApproximator"]

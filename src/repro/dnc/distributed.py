@@ -1,0 +1,230 @@
+"""DNC-D: the distributed DNC model (paper Section 5.1).
+
+In DNC-D the external memory and *all* state memories are sharded across
+``Nt`` tiles.  The controller sends each tile its own sub interface
+vector; every tile executes the complete soft write / soft read purely on
+its local shard (no inter-tile traffic, no global usage sort); and the
+``Nt`` local read vectors are merged by a trainable weighted sum
+
+    ``v_r = sum_i alpha_i * v_r_i``        (paper Eq. 4)
+
+with ``alpha in [0, 1]`` determined by the LSTM (implemented as a softmax
+head over the controller state, so the weights are trainable, bounded, and
+sum to one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor
+from repro.dnc.interface import InterfaceSpec
+from repro.dnc.memory import AddressingOptions, MemoryState, MemoryUnit
+from repro.dnc.model import DNC, DNCConfig
+from repro.errors import ConfigError
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMCell, LSTMState
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class DNCDConfig:
+    """Hyper-parameters for DNC-D: a :class:`DNCConfig` plus a tile count.
+
+    ``memory_size`` must divide evenly into ``num_tiles`` local shards.
+    """
+
+    input_size: int
+    output_size: int
+    memory_size: int = 32
+    word_size: int = 8
+    num_reads: int = 2
+    hidden_size: int = 64
+    num_tiles: int = 4
+
+    def __post_init__(self):
+        if self.num_tiles <= 0:
+            raise ConfigError(f"num_tiles must be positive, got {self.num_tiles}")
+        if self.memory_size % self.num_tiles != 0:
+            raise ConfigError(
+                f"memory_size ({self.memory_size}) must be divisible by "
+                f"num_tiles ({self.num_tiles})"
+            )
+
+    @property
+    def local_memory_size(self) -> int:
+        """Rows per tile: ``n = N / Nt``."""
+        return self.memory_size // self.num_tiles
+
+    @property
+    def interface_size(self) -> int:
+        return InterfaceSpec(self.word_size, self.num_reads).size
+
+    def to_dnc_config(self) -> DNCConfig:
+        """The equivalent monolithic DNC configuration."""
+        return DNCConfig(
+            input_size=self.input_size,
+            output_size=self.output_size,
+            memory_size=self.memory_size,
+            word_size=self.word_size,
+            num_reads=self.num_reads,
+            hidden_size=self.hidden_size,
+        )
+
+
+@dataclass
+class DNCDState:
+    """Controller state plus one :class:`MemoryState` per tile."""
+
+    controller: LSTMState
+    tiles: List[MemoryState]
+    merged_reads: Tensor  # (..., R, W) previous merged read vectors
+
+    def detach(self) -> "DNCDState":
+        return DNCDState(
+            self.controller.detach(),
+            [tile.detach() for tile in self.tiles],
+            self.merged_reads.detach(),
+        )
+
+
+class DNCD(Module):
+    """Distributed DNC with trainable read-vector merge (paper Eq. 4)."""
+
+    def __init__(
+        self,
+        config: DNCDConfig,
+        options: Optional[AddressingOptions] = None,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        self.config = config
+        self.tiles: List[MemoryUnit] = []
+        for t in range(config.num_tiles):
+            unit = MemoryUnit(
+                config.local_memory_size,
+                config.word_size,
+                config.num_reads,
+                options=options,
+            )
+            # Register each tile as a child module under a stable name.
+            setattr(self, f"tile_{t}", unit)
+            self.tiles.append(unit)
+
+        controller_input = config.input_size + config.num_reads * config.word_size
+        self.controller = LSTMCell(controller_input, config.hidden_size, rng=rng)
+        # Sub interface vectors: one head per tile, emitted as one wide
+        # linear layer and split (paper Figure 8: v_i_1 .. v_i_Nt).
+        self.interface_layer = Linear(
+            config.hidden_size, config.num_tiles * config.interface_size, rng=rng
+        )
+        # Trainable merge weights alpha, determined by the LSTM.
+        self.merge_layer = Linear(config.hidden_size, config.num_tiles, rng=rng)
+        output_input = config.hidden_size + config.num_reads * config.word_size
+        self.output_layer = Linear(output_input, config.output_size, rng=rng)
+
+    # ------------------------------------------------------------------
+    def initial_state(self, batch_size: Optional[int] = None) -> DNCDState:
+        lead = () if batch_size is None else (batch_size,)
+        r, w = self.config.num_reads, self.config.word_size
+        return DNCDState(
+            controller=self.controller.initial_state(batch_size),
+            tiles=[unit.initial_state(batch_size) for unit in self.tiles],
+            merged_reads=Tensor(np.zeros(lead + (r, w))),
+        )
+
+    def step(self, x: Tensor, state: DNCDState) -> Tuple[Tensor, DNCDState]:
+        """One timestep of distributed execution (paper Figure 8)."""
+        read_flat = _flatten(state.merged_reads)
+        controller_in = ops.concat([x, read_flat], axis=-1)
+        hidden, controller_state = self.controller(controller_in, state.controller)
+
+        interfaces_flat = self.interface_layer(hidden)
+        alphas = ops.softmax(self.merge_layer(hidden), axis=-1)
+
+        spec_size = self.config.interface_size
+        new_tiles: List[MemoryState] = []
+        local_reads: List[Tensor] = []
+        for t, unit in enumerate(self.tiles):
+            sub = interfaces_flat[..., t * spec_size : (t + 1) * spec_size]
+            interface = unit.interface_spec.parse(sub)
+            reads, tile_state = unit.step(state.tiles[t], interface)
+            new_tiles.append(tile_state)
+            local_reads.append(reads)
+
+        merged = self._merge_reads(local_reads, alphas)
+        output_in = ops.concat([hidden, _flatten(merged)], axis=-1)
+        output = self.output_layer(output_in)
+        new_state = DNCDState(controller_state, new_tiles, merged)
+        return output, new_state
+
+    def forward(
+        self, inputs: Tensor, state: Optional[DNCDState] = None
+    ) -> Tuple[Tensor, DNCDState]:
+        """Run a whole ``(T, ..., input_size)`` sequence."""
+        if state is None:
+            batch = inputs.shape[1] if inputs.ndim == 3 else None
+            state = self.initial_state(batch)
+        outputs: List[Tensor] = []
+        for t in range(inputs.shape[0]):
+            y, state = self.step(inputs[t], state)
+            outputs.append(y)
+        return ops.stack(outputs, axis=0), state
+
+    # ------------------------------------------------------------------
+    def _merge_reads(self, local_reads: List[Tensor], alphas: Tensor) -> Tensor:
+        """Weighted sum of per-tile read vectors (paper Eq. 4)."""
+        merged: Optional[Tensor] = None
+        for t, reads in enumerate(local_reads):
+            alpha = alphas[..., t]
+            alpha_b = ops.reshape(alpha, alpha.shape + (1, 1))
+            term = ops.mul(alpha_b, reads)
+            merged = term if merged is None else ops.add(merged, term)
+        return merged
+
+    # ------------------------------------------------------------------
+    def init_from_dnc(self, dnc: DNC) -> None:
+        """Warm-start from a trained monolithic :class:`DNC`.
+
+        Controller and output weights are copied; each tile's interface
+        head is initialized with the DNC's interface head so every tile
+        starts with the global addressing behaviour, and the merge head
+        starts uniform.  Used by the Figure 10 study to measure DNC-D
+        degradation after a short fine-tune rather than a full retrain.
+        """
+        if dnc.config.word_size != self.config.word_size or (
+            dnc.config.num_reads != self.config.num_reads
+        ):
+            raise ConfigError("DNC and DNC-D must share word_size and num_reads")
+        if dnc.config.hidden_size != self.config.hidden_size or (
+            dnc.config.input_size != self.config.input_size
+        ):
+            raise ConfigError("DNC and DNC-D must share controller dimensions")
+
+        self.controller.load_state_dict(dnc.controller.state_dict())
+        self.output_layer.load_state_dict(dnc.output_layer.state_dict())
+        spec = self.config.interface_size
+        for t in range(self.config.num_tiles):
+            self.interface_layer.weight.data[:, t * spec : (t + 1) * spec] = (
+                dnc.interface_layer.weight.data
+            )
+            self.interface_layer.bias.data[t * spec : (t + 1) * spec] = (
+                dnc.interface_layer.bias.data
+            )
+        self.merge_layer.weight.data[:] = 0.0
+        self.merge_layer.bias.data[:] = 0.0
+
+
+def _flatten(read_vectors: Tensor) -> Tensor:
+    """``(..., R, W) -> (..., R*W)``."""
+    shape = read_vectors.shape
+    return ops.reshape(read_vectors, shape[:-2] + (shape[-2] * shape[-1],))
+
+
+__all__ = ["DNCD", "DNCDConfig", "DNCDState"]

@@ -1,0 +1,120 @@
+"""Interface-vector codec between the controller and the memory unit.
+
+At each timestep the LSTM controller emits a flat *interface vector*
+``v_i`` (paper Figures 1-2).  :class:`InterfaceSpec` defines its layout and
+:meth:`InterfaceSpec.parse` splits it into the named, squashed components
+of :class:`Interface` exactly as in Graves et al. (2016):
+
+===================  ==========  =======================================
+component            size        squashing
+===================  ==========  =======================================
+read keys            R x W       (none)
+read strengths       R           oneplus
+write key            W           (none)
+write strength       1           oneplus
+erase vector         W           sigmoid
+write vector         W           (none)
+free gates           R           sigmoid
+allocation gate      1           sigmoid
+write gate           1           sigmoid
+read modes           R x 3       softmax over the 3 modes
+===================  ==========  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.autodiff import ops
+from repro.autodiff.functional import oneplus
+from repro.autodiff.tensor import Tensor
+from repro.errors import ShapeError
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class Interface:
+    """Parsed interface-vector components (all :class:`Tensor`).
+
+    Shapes below are for the unbatched case; a leading batch dimension is
+    preserved by :meth:`InterfaceSpec.parse`.
+    """
+
+    read_keys: Tensor  # (R, W)
+    read_strengths: Tensor  # (R,)
+    write_key: Tensor  # (W,)
+    write_strength: Tensor  # ()
+    erase: Tensor  # (W,)
+    write_vector: Tensor  # (W,)
+    free_gates: Tensor  # (R,)
+    allocation_gate: Tensor  # ()
+    write_gate: Tensor  # ()
+    read_modes: Tensor  # (R, 3) rows sum to 1: [backward, content, forward]
+
+
+class InterfaceSpec:
+    """Layout of the flat interface vector for a ``(W, R)`` memory unit."""
+
+    def __init__(self, word_size: int, num_reads: int):
+        check_positive("word_size", word_size)
+        check_positive("num_reads", num_reads)
+        self.word_size = word_size
+        self.num_reads = num_reads
+
+    @property
+    def size(self) -> int:
+        """Total flat length: ``W*R + 3W + 5R + 3``."""
+        w, r = self.word_size, self.num_reads
+        return w * r + 3 * w + 5 * r + 3
+
+    def _segments(self) -> Tuple[Tuple[str, int], ...]:
+        w, r = self.word_size, self.num_reads
+        return (
+            ("read_keys", r * w),
+            ("read_strengths", r),
+            ("write_key", w),
+            ("write_strength", 1),
+            ("erase", w),
+            ("write_vector", w),
+            ("free_gates", r),
+            ("allocation_gate", 1),
+            ("write_gate", 1),
+            ("read_modes", r * 3),
+        )
+
+    def parse(self, flat: Tensor) -> Interface:
+        """Split and squash a flat interface tensor of shape ``(..., size)``."""
+        if flat.shape[-1] != self.size:
+            raise ShapeError(
+                f"interface vector has length {flat.shape[-1]}, expected {self.size}"
+            )
+        w, r = self.word_size, self.num_reads
+        lead = flat.shape[:-1]
+        pieces = {}
+        offset = 0
+        for name, length in self._segments():
+            pieces[name] = flat[..., offset : offset + length]
+            offset += length
+
+        read_keys = ops.reshape(pieces["read_keys"], lead + (r, w))
+        read_modes = ops.softmax(
+            ops.reshape(pieces["read_modes"], lead + (r, 3)), axis=-1
+        )
+        return Interface(
+            read_keys=read_keys,
+            read_strengths=oneplus(pieces["read_strengths"]),
+            write_key=pieces["write_key"],
+            write_strength=oneplus(ops.reshape(pieces["write_strength"], lead + ())),
+            erase=ops.sigmoid(pieces["erase"]),
+            write_vector=pieces["write_vector"],
+            free_gates=ops.sigmoid(pieces["free_gates"]),
+            allocation_gate=ops.sigmoid(
+                ops.reshape(pieces["allocation_gate"], lead + ())
+            ),
+            write_gate=ops.sigmoid(ops.reshape(pieces["write_gate"], lead + ())),
+            read_modes=read_modes,
+        )
+
+
+__all__ = ["Interface", "InterfaceSpec"]

@@ -1,0 +1,220 @@
+"""The DNC memory unit: one soft-write + soft-read step.
+
+:class:`MemoryUnit` owns no trainable parameters — it is pure dataflow
+(paper Figure 2) — but is a :class:`~repro.nn.module.Module` so models can
+compose it.  All state lives in the immutable :class:`MemoryState`; each
+:meth:`MemoryUnit.step` returns a fresh state, which keeps the
+backpropagation tape intact across timesteps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.dnc import addressing
+from repro.dnc.approx import SoftmaxApproximator, skimmed_sort_order
+from repro.dnc.interface import Interface, InterfaceSpec
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class AddressingOptions:
+    """Optional approximations (paper Section 5.2).
+
+    ``skim_fraction``: fraction ``K`` of smallest usage entries excluded
+    from the usage sort (0 disables).  ``softmax_approx``: a PLA+LUT
+    approximator replacing the exact softmax in content weighting;
+    inference-only (its output is detached from the tape).
+    """
+
+    skim_fraction: float = 0.0
+    softmax_approx: Optional[SoftmaxApproximator] = None
+
+    def __post_init__(self):
+        check_probability("skim_fraction", self.skim_fraction)
+
+
+@dataclass
+class MemoryState:
+    """All persistent memory-unit state (the paper's "state memories").
+
+    Shapes (unbatched; a leading batch dimension is supported throughout):
+
+    * ``memory``       — ``(N, W)`` external memory ``M``
+    * ``usage``        — ``(N,)`` usage vector ``u``
+    * ``precedence``   — ``(N,)`` precedence vector ``p``
+    * ``linkage``      — ``(N, N)`` temporal linkage ``L``
+    * ``write_weights``— ``(N,)`` previous write weighting ``w_w``
+    * ``read_weights`` — ``(R, N)`` previous read weightings ``w_r``
+    * ``read_vectors`` — ``(R, W)`` previous read vectors ``v_r``
+    """
+
+    memory: Tensor
+    usage: Tensor
+    precedence: Tensor
+    linkage: Tensor
+    write_weights: Tensor
+    read_weights: Tensor
+    read_vectors: Tensor
+
+    def detach(self) -> "MemoryState":
+        """Cut the tape (used for truncated BPTT)."""
+        return MemoryState(
+            self.memory.detach(),
+            self.usage.detach(),
+            self.precedence.detach(),
+            self.linkage.detach(),
+            self.write_weights.detach(),
+            self.read_weights.detach(),
+            self.read_vectors.detach(),
+        )
+
+
+class MemoryUnit(Module):
+    """DNC external memory with content- and history-based addressing.
+
+    Parameters
+    ----------
+    memory_size:
+        Number of memory rows ``N``.
+    word_size:
+        Row width ``W``.
+    num_reads:
+        Number of parallel read heads ``R``.
+    options:
+        Optional :class:`AddressingOptions` enabling the Section 5.2
+        approximations.
+    """
+
+    def __init__(
+        self,
+        memory_size: int,
+        word_size: int,
+        num_reads: int = 1,
+        options: Optional[AddressingOptions] = None,
+    ):
+        super().__init__()
+        check_positive("memory_size", memory_size)
+        check_positive("word_size", word_size)
+        check_positive("num_reads", num_reads)
+        self.memory_size = memory_size
+        self.word_size = word_size
+        self.num_reads = num_reads
+        self.options = options or AddressingOptions()
+        self.interface_spec = InterfaceSpec(word_size, num_reads)
+
+    # ------------------------------------------------------------------
+    def initial_state(self, batch_size: Optional[int] = None) -> MemoryState:
+        """Zeroed memory state (optionally batched)."""
+        lead = () if batch_size is None else (batch_size,)
+        n, w, r = self.memory_size, self.word_size, self.num_reads
+        return MemoryState(
+            memory=Tensor(np.zeros(lead + (n, w))),
+            usage=Tensor(np.zeros(lead + (n,))),
+            precedence=Tensor(np.zeros(lead + (n,))),
+            linkage=Tensor(np.zeros(lead + (n, n))),
+            write_weights=Tensor(np.zeros(lead + (n,))),
+            read_weights=Tensor(np.zeros(lead + (r, n))),
+            read_vectors=Tensor(np.zeros(lead + (r, w))),
+        )
+
+    # ------------------------------------------------------------------
+    def step(
+        self, state: MemoryState, interface: Interface
+    ) -> Tuple[Tensor, MemoryState]:
+        """One full soft-write + soft-read (paper Figure 2, left to right).
+
+        Returns ``(read_vectors, new_state)`` with read vectors of shape
+        ``(..., R, W)``.
+        """
+        # --- Soft write -------------------------------------------------
+        # CW.(1)-(2): content-based write weighting on the previous memory.
+        write_key = interface.write_key
+        keys = write_key.reshape(write_key.shape[:-1] + (1, self.word_size))
+        strength = interface.write_strength.reshape(
+            interface.write_strength.shape + (1,)
+        )
+        content_w = addressing.content_weights(state.memory, keys, strength)
+        content_w = content_w[..., 0, :]
+
+        # HW.(1)-(3): retention -> usage -> (sort) -> allocation.
+        retention = addressing.retention_vector(
+            interface.free_gates, state.read_weights
+        )
+        usage = addressing.usage_vector(state.usage, state.write_weights, retention)
+        sort_order = None
+        if self.options.skim_fraction > 0.0:
+            sort_order = skimmed_sort_order(usage.data, self.options.skim_fraction)
+        allocation = addressing.allocation_weights(usage, sort_order=sort_order)
+
+        # WM: merge content- and history-based write weightings.
+        write_w = addressing.write_weights(
+            content_w, allocation, interface.write_gate, interface.allocation_gate
+        )
+
+        # MW: erase + write the external memory.
+        memory = addressing.erase_and_write(
+            state.memory, write_w, interface.erase, interface.write_vector
+        )
+
+        # HR.(1)-(2): linkage and precedence track write order history.
+        linkage = addressing.linkage_update(state.linkage, write_w, state.precedence)
+        precedence = addressing.precedence_update(state.precedence, write_w)
+
+        # --- Soft read ----------------------------------------------------
+        # CR.(1)-(2) on the *updated* memory.
+        content_r = self._content_read_weights(memory, interface)
+
+        # HR.(3): forward/backward through the updated linkage.
+        forward, backward = addressing.forward_backward_weights(
+            linkage, state.read_weights
+        )
+
+        # RM + MR.
+        read_w = addressing.read_weights(
+            content_r, forward, backward, interface.read_modes
+        )
+        read_vecs = addressing.read_vectors(memory, read_w)
+
+        new_state = MemoryState(
+            memory=memory,
+            usage=usage,
+            precedence=precedence,
+            linkage=linkage,
+            write_weights=write_w,
+            read_weights=read_w,
+            read_vectors=read_vecs,
+        )
+        return read_vecs, new_state
+
+    # ------------------------------------------------------------------
+    def _content_read_weights(self, memory: Tensor, interface: Interface) -> Tensor:
+        """Content read weighting, optionally with the approximate softmax."""
+        if self.options.softmax_approx is None:
+            return addressing.content_weights(
+                memory, interface.read_keys, interface.read_strengths
+            )
+        # Inference-only path: compute scores exactly, replace the softmax
+        # by the PLA+LUT approximation (detached from the tape).
+        from repro.autodiff.functional import normalize
+
+        mem_unit = normalize(memory, axis=-1).data
+        key_unit = normalize(interface.read_keys, axis=-1).data
+        similarity = key_unit @ np.swapaxes(mem_unit, -1, -2)
+        scores = similarity * interface.read_strengths.data[..., None]
+        return Tensor(self.options.softmax_approx.softmax(scores, axis=-1))
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryUnit(N={self.memory_size}, W={self.word_size}, "
+            f"R={self.num_reads})"
+        )
+
+
+__all__ = ["MemoryUnit", "MemoryState", "AddressingOptions"]

@@ -1,0 +1,140 @@
+"""The full DNC: LSTM controller + memory unit (Graves et al., 2016).
+
+The controller receives ``[x_t ; r_{t-1,1..R}]``, emits the interface
+vector for the memory unit, and the model output combines the controller
+hidden state with the fresh read vectors:
+``y_t = W_y [h_t ; r_t]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor
+from repro.dnc.interface import InterfaceSpec
+from repro.dnc.memory import AddressingOptions, MemoryState, MemoryUnit
+from repro.errors import ConfigError
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMCell, LSTMState
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class DNCConfig:
+    """Hyper-parameters of a DNC model.
+
+    The paper's bAbI configuration is ``memory_size=1024, word_size=64,
+    num_reads=4, hidden_size=256`` (Figure 4 caption); the defaults here
+    are laptop-scale for training studies.
+    """
+
+    input_size: int
+    output_size: int
+    memory_size: int = 32
+    word_size: int = 8
+    num_reads: int = 2
+    hidden_size: int = 64
+
+    def __post_init__(self):
+        for name in ("input_size", "output_size", "memory_size",
+                     "word_size", "num_reads", "hidden_size"):
+            value = getattr(self, name)
+            if int(value) <= 0:
+                raise ConfigError(f"{name} must be positive, got {value!r}")
+
+    @property
+    def interface_size(self) -> int:
+        return InterfaceSpec(self.word_size, self.num_reads).size
+
+
+@dataclass
+class DNCState:
+    """Controller + memory state carried across timesteps."""
+
+    controller: LSTMState
+    memory: MemoryState
+
+    def detach(self) -> "DNCState":
+        return DNCState(self.controller.detach(), self.memory.detach())
+
+
+class DNC(Module):
+    """Differentiable Neural Computer.
+
+    Parameters
+    ----------
+    config:
+        A :class:`DNCConfig`.
+    options:
+        Optional :class:`~repro.dnc.memory.AddressingOptions` to enable
+        usage skimming / approximate softmax at inference.
+    rng:
+        Seed or generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        config: DNCConfig,
+        options: Optional[AddressingOptions] = None,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        self.config = config
+        self.memory_unit = MemoryUnit(
+            config.memory_size, config.word_size, config.num_reads, options=options
+        )
+        controller_input = config.input_size + config.num_reads * config.word_size
+        self.controller = LSTMCell(controller_input, config.hidden_size, rng=rng)
+        self.interface_layer = Linear(
+            config.hidden_size, config.interface_size, rng=rng
+        )
+        output_input = config.hidden_size + config.num_reads * config.word_size
+        self.output_layer = Linear(output_input, config.output_size, rng=rng)
+
+    # ------------------------------------------------------------------
+    def initial_state(self, batch_size: Optional[int] = None) -> DNCState:
+        return DNCState(
+            self.controller.initial_state(batch_size),
+            self.memory_unit.initial_state(batch_size),
+        )
+
+    def step(self, x: Tensor, state: DNCState) -> Tuple[Tensor, DNCState]:
+        """One timestep: returns ``(y_t, new_state)``."""
+        read_flat = _flatten_reads(state.memory.read_vectors)
+        controller_in = ops.concat([x, read_flat], axis=-1)
+        hidden, controller_state = self.controller(controller_in, state.controller)
+
+        interface = self.memory_unit.interface_spec.parse(
+            self.interface_layer(hidden)
+        )
+        read_vectors, memory_state = self.memory_unit.step(state.memory, interface)
+
+        output_in = ops.concat([hidden, _flatten_reads(read_vectors)], axis=-1)
+        output = self.output_layer(output_in)
+        return output, DNCState(controller_state, memory_state)
+
+    def forward(
+        self, inputs: Tensor, state: Optional[DNCState] = None
+    ) -> Tuple[Tensor, DNCState]:
+        """Run a whole ``(T, ..., input_size)`` sequence."""
+        if state is None:
+            batch = inputs.shape[1] if inputs.ndim == 3 else None
+            state = self.initial_state(batch)
+        outputs: List[Tensor] = []
+        for t in range(inputs.shape[0]):
+            y, state = self.step(inputs[t], state)
+            outputs.append(y)
+        return ops.stack(outputs, axis=0), state
+
+
+def _flatten_reads(read_vectors: Tensor) -> Tensor:
+    """``(..., R, W) -> (..., R*W)``."""
+    shape = read_vectors.shape
+    return ops.reshape(read_vectors, shape[:-2] + (shape[-2] * shape[-1],))
+
+
+__all__ = ["DNC", "DNCConfig", "DNCState"]

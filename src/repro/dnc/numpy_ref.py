@@ -1,0 +1,442 @@
+"""Inference-only, instrumented numpy DNC.
+
+This is the "functional model of DNC in Python" the paper verified its RTL
+against (Section 7).  It serves three roles:
+
+1. **Kernel profiling** — every kernel is wrapped in
+   :class:`~repro.dnc.instrumentation.KernelRecorder` timing/counting, which
+   regenerates Table 1's access columns and the Figure 4 CPU breakdown.
+2. **Reference semantics** — the tiled execution engine
+   (:mod:`repro.core.engine`) reuses the module-level kernel functions on
+   partitioned state and is tested for exact agreement with this model.
+3. **Speed** — it skips the autodiff tape, so large (1024 x 64) profiling
+   runs stay fast.
+
+The kernel functions are exact numpy mirrors of
+:mod:`repro.dnc.addressing`; the test suite asserts both paths agree to
+float64 precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dnc.approx import SoftmaxApproximator, skimmed_sort_order
+from repro.dnc.instrumentation import KernelRecorder
+from repro.errors import ConfigError
+from repro.utils.rng import SeedLike, new_rng
+
+_EPSILON = 1e-6
+_NORM_EPSILON = 1e-8
+
+# ---------------------------------------------------------------------------
+# Module-level numpy kernels (shared with the tiled engine)
+# ---------------------------------------------------------------------------
+
+
+def l2_normalize(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Unit-normalize along ``axis`` with an epsilon floor."""
+    norms = np.sqrt((x * x).sum(axis=axis, keepdims=True) + _NORM_EPSILON)
+    return x / norms
+
+
+def exact_softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = scores - scores.max(axis=axis, keepdims=True)
+    exped = np.exp(shifted)
+    return exped / exped.sum(axis=axis, keepdims=True)
+
+
+def content_scores(memory: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Cosine similarity between memory rows and keys: ``(H, N)``."""
+    mem_unit = l2_normalize(memory, axis=-1)
+    key_unit = l2_normalize(keys, axis=-1)
+    return key_unit @ mem_unit.T
+
+
+def retention(free_gates: np.ndarray, prev_read_w: np.ndarray) -> np.ndarray:
+    """``psi[i] = prod_r (1 - f_r w_r[r, i])``."""
+    return np.prod(1.0 - free_gates[:, None] * prev_read_w, axis=0)
+
+
+def usage_update(
+    prev_usage: np.ndarray, prev_write_w: np.ndarray, psi: np.ndarray
+) -> np.ndarray:
+    return (prev_usage + prev_write_w - prev_usage * prev_write_w) * psi
+
+
+def allocation_from_order(usage: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Allocation weighting given a (possibly partially sorted) order."""
+    safe = usage * (1.0 - _EPSILON) + _EPSILON
+    sorted_usage = safe[order]
+    prod_before = np.concatenate([[1.0], np.cumprod(sorted_usage[:-1])])
+    sorted_alloc = (1.0 - sorted_usage) * prod_before
+    alloc = np.empty_like(sorted_alloc)
+    alloc[order] = sorted_alloc
+    return alloc
+
+
+def write_weight_merge(
+    content_w: np.ndarray, alloc_w: np.ndarray, g_w: float, g_a: float
+) -> np.ndarray:
+    return g_w * (g_a * alloc_w + (1.0 - g_a) * content_w)
+
+
+def erase_write(
+    memory: np.ndarray, write_w: np.ndarray, erase: np.ndarray, value: np.ndarray
+) -> np.ndarray:
+    keep = 1.0 - np.outer(write_w, erase)
+    return memory * keep + np.outer(write_w, value)
+
+
+def linkage_update(
+    prev_linkage: np.ndarray, write_w: np.ndarray, prev_precedence: np.ndarray
+) -> np.ndarray:
+    n = write_w.shape[0]
+    decay = 1.0 - write_w[:, None] - write_w[None, :]
+    updated = decay * prev_linkage + np.outer(write_w, prev_precedence)
+    updated[np.arange(n), np.arange(n)] = 0.0
+    return updated
+
+
+def precedence_update(prev_p: np.ndarray, write_w: np.ndarray) -> np.ndarray:
+    return (1.0 - write_w.sum()) * prev_p + write_w
+
+
+def forward_backward(
+    linkage: np.ndarray, prev_read_w: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``f_r = L w_r``, ``b_r = L^T w_r`` for all R heads at once."""
+    forward = prev_read_w @ linkage.T
+    backward = prev_read_w @ linkage
+    return forward, backward
+
+
+def read_weight_merge(
+    content_r: np.ndarray,
+    forward: np.ndarray,
+    backward: np.ndarray,
+    read_modes: np.ndarray,
+) -> np.ndarray:
+    return (
+        read_modes[:, 0:1] * backward
+        + read_modes[:, 1:2] * content_r
+        + read_modes[:, 2:3] * forward
+    )
+
+
+def read_vectors(memory: np.ndarray, read_w: np.ndarray) -> np.ndarray:
+    return read_w @ memory
+
+
+# ---------------------------------------------------------------------------
+# Interface parsing (numpy)
+# ---------------------------------------------------------------------------
+
+
+def _oneplus(x: np.ndarray) -> np.ndarray:
+    return 1.0 + np.log1p(np.exp(np.minimum(x, 30.0))) + np.maximum(x - 30.0, 0.0)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+@dataclass
+class NumpyInterface:
+    """Parsed numpy interface components (mirrors ``dnc.interface``)."""
+
+    read_keys: np.ndarray  # (R, W)
+    read_strengths: np.ndarray  # (R,)
+    write_key: np.ndarray  # (W,)
+    write_strength: float
+    erase: np.ndarray  # (W,)
+    write_vector: np.ndarray  # (W,)
+    free_gates: np.ndarray  # (R,)
+    allocation_gate: float
+    write_gate: float
+    read_modes: np.ndarray  # (R, 3)
+
+
+def parse_interface(flat: np.ndarray, word_size: int, num_reads: int) -> NumpyInterface:
+    """Split and squash a flat interface vector (numpy mirror)."""
+    w, r = word_size, num_reads
+    expected = w * r + 3 * w + 5 * r + 3
+    if flat.shape[-1] != expected:
+        raise ConfigError(
+            f"interface length {flat.shape[-1]} does not match expected {expected}"
+        )
+    cursor = [0]
+
+    def take(count: int) -> np.ndarray:
+        piece = flat[cursor[0] : cursor[0] + count]
+        cursor[0] += count
+        return piece
+
+    read_keys = take(r * w).reshape(r, w)
+    read_strengths = _oneplus(take(r))
+    write_key = take(w)
+    write_strength = float(_oneplus(take(1))[0])
+    erase = _sigmoid(take(w))
+    write_vector = take(w)
+    free_gates = _sigmoid(take(r))
+    allocation_gate = float(_sigmoid(take(1))[0])
+    write_gate = float(_sigmoid(take(1))[0])
+    read_modes = exact_softmax(take(3 * r).reshape(r, 3), axis=-1)
+    return NumpyInterface(
+        read_keys,
+        read_strengths,
+        write_key,
+        write_strength,
+        erase,
+        write_vector,
+        free_gates,
+        allocation_gate,
+        write_gate,
+        read_modes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The instrumented model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NumpyDNCConfig:
+    """Configuration of the instrumented reference DNC.
+
+    Defaults match the paper's profiling setup (Figure 4 caption):
+    ``N x W = 1024 x 64``, 1-layer LSTM of size 256.
+    """
+
+    input_size: int = 64
+    output_size: int = 64
+    memory_size: int = 1024
+    word_size: int = 64
+    num_reads: int = 4
+    hidden_size: int = 256
+    skim_fraction: float = 0.0
+    softmax_approx: Optional[SoftmaxApproximator] = None
+
+    @property
+    def interface_size(self) -> int:
+        w, r = self.word_size, self.num_reads
+        return w * r + 3 * w + 5 * r + 3
+
+
+@dataclass
+class NumpyDNCState:
+    """Full inference state of the reference DNC."""
+
+    memory: np.ndarray
+    usage: np.ndarray
+    precedence: np.ndarray
+    linkage: np.ndarray
+    write_w: np.ndarray
+    read_w: np.ndarray
+    read_vecs: np.ndarray
+    lstm_h: np.ndarray
+    lstm_c: np.ndarray
+
+
+class NumpyDNC:
+    """Instrumented, inference-only DNC with randomly initialized weights.
+
+    Weight values do not matter for profiling (the dataflow is
+    input-independent); a seed keeps runs reproducible.  The
+    :attr:`recorder` accumulates per-kernel statistics across steps.
+    """
+
+    def __init__(self, config: NumpyDNCConfig, rng: SeedLike = 0):
+        rng = new_rng(rng)
+        self.config = config
+        self.recorder = KernelRecorder()
+        c = config
+        controller_in = c.input_size + c.num_reads * c.word_size
+        scale = 0.1
+        self.w_x = scale * rng.standard_normal((controller_in, 4 * c.hidden_size))
+        self.w_h = scale * rng.standard_normal((c.hidden_size, 4 * c.hidden_size))
+        self.b = np.zeros(4 * c.hidden_size)
+        self.w_if = scale * rng.standard_normal((c.hidden_size, c.interface_size))
+        self.b_if = np.zeros(c.interface_size)
+        self.w_y = scale * rng.standard_normal(
+            (c.hidden_size + c.num_reads * c.word_size, c.output_size)
+        )
+        self.b_y = np.zeros(c.output_size)
+
+    # ------------------------------------------------------------------
+    def load_from_dnc(self, dnc) -> None:
+        """Copy weights from a trained :class:`repro.dnc.model.DNC`.
+
+        Used by the agreement tests: the instrumented numpy path and the
+        autodiff path must produce bit-identical float64 outputs.
+        """
+        c = self.config
+        model_cfg = dnc.config
+        if (model_cfg.memory_size, model_cfg.word_size, model_cfg.num_reads,
+                model_cfg.hidden_size) != (c.memory_size, c.word_size,
+                                           c.num_reads, c.hidden_size):
+            raise ConfigError("DNC configuration does not match NumpyDNCConfig")
+        self.w_x = dnc.controller.w_x.data.copy()
+        self.w_h = dnc.controller.w_h.data.copy()
+        self.b = dnc.controller.bias.data.copy()
+        self.w_if = dnc.interface_layer.weight.data.copy()
+        self.b_if = dnc.interface_layer.bias.data.copy()
+        self.w_y = dnc.output_layer.weight.data.copy()
+        self.b_y = dnc.output_layer.bias.data.copy()
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> NumpyDNCState:
+        c = self.config
+        return NumpyDNCState(
+            memory=np.zeros((c.memory_size, c.word_size)),
+            usage=np.zeros(c.memory_size),
+            precedence=np.zeros(c.memory_size),
+            linkage=np.zeros((c.memory_size, c.memory_size)),
+            write_w=np.zeros(c.memory_size),
+            read_w=np.zeros((c.num_reads, c.memory_size)),
+            read_vecs=np.zeros((c.num_reads, c.word_size)),
+            lstm_h=np.zeros(c.hidden_size),
+            lstm_c=np.zeros(c.hidden_size),
+        )
+
+    def _softmax(self, scores: np.ndarray, axis: int = -1) -> np.ndarray:
+        if self.config.softmax_approx is not None:
+            return self.config.softmax_approx.softmax(scores, axis=axis)
+        return exact_softmax(scores, axis=axis)
+
+    # ------------------------------------------------------------------
+    def step(self, x: np.ndarray, state: NumpyDNCState) -> Tuple[np.ndarray, NumpyDNCState]:
+        """One instrumented timestep; returns ``(y, new_state)``."""
+        c = self.config
+        n, w, r, h = c.memory_size, c.word_size, c.num_reads, c.hidden_size
+        rec = self.recorder
+
+        # --- Controller -------------------------------------------------
+        controller_in = np.concatenate([x, state.read_vecs.reshape(-1)])
+        lstm_ops = 2 * (controller_in.size + h) * 4 * h
+        with rec.measure("lstm", ops=lstm_ops):
+            gates = controller_in @ self.w_x + state.lstm_h @ self.w_h + self.b
+            i_g = _sigmoid(gates[0 * h : 1 * h])
+            f_g = _sigmoid(gates[1 * h : 2 * h])
+            g_g = np.tanh(gates[2 * h : 3 * h])
+            o_g = _sigmoid(gates[3 * h : 4 * h])
+            lstm_c = f_g * state.lstm_c + i_g * g_g
+            lstm_h = o_g * np.tanh(lstm_c)
+            interface_flat = lstm_h @ self.w_if + self.b_if
+        interface = parse_interface(interface_flat, w, r)
+
+        # --- Soft write ---------------------------------------------------
+        # Normalize: rows of M and the write key (CW.1).
+        with rec.measure("normalize", ops=2 * n * w + 2 * w, ext_mem=n * w, state_mem=w):
+            mem_unit = l2_normalize(state.memory)
+            wkey_unit = l2_normalize(interface.write_key)
+        # Similarity + softmax (CW.2).
+        with rec.measure("similarity", ops=2 * n * w + 5 * n, ext_mem=n * w, state_mem=w):
+            scores = mem_unit @ wkey_unit
+            content_w = self._softmax(interface.write_strength * scores)
+
+        with rec.measure("retention", ops=2 * r * n, state_mem=r * n):
+            psi = retention(interface.free_gates, state.read_w)
+        with rec.measure("usage", ops=4 * n, state_mem=2 * n):
+            usage = usage_update(state.usage, state.write_w, psi)
+        with rec.measure(
+            "usage_sort", ops=int(n * max(np.log2(n), 1.0)), state_mem=n
+        ):
+            if c.skim_fraction > 0:
+                order = skimmed_sort_order(usage, c.skim_fraction)
+            else:
+                order = np.argsort(usage, kind="stable")
+        with rec.measure("allocation", ops=3 * n, state_mem=n):
+            alloc = allocation_from_order(usage, order)
+        with rec.measure("write_weight_merge", ops=4 * n, state_mem=n):
+            write_w = write_weight_merge(
+                content_w, alloc, interface.write_gate, interface.allocation_gate
+            )
+        with rec.measure(
+            "memory_write", ops=4 * n * w, ext_mem=2 * n * w, state_mem=n
+        ):
+            memory = erase_write(
+                state.memory, write_w, interface.erase, interface.write_vector
+            )
+
+        with rec.measure("linkage", ops=4 * n * n, state_mem=2 * n * n):
+            linkage = linkage_update(state.linkage, write_w, state.precedence)
+        with rec.measure("precedence", ops=3 * n, state_mem=2 * n):
+            precedence = precedence_update(state.precedence, write_w)
+
+        # --- Soft read ----------------------------------------------------
+        with rec.measure(
+            "normalize", ops=2 * n * w + 2 * r * w, ext_mem=n * w, state_mem=r * w
+        ):
+            mem_unit = l2_normalize(memory)
+            rkey_unit = l2_normalize(interface.read_keys)
+        with rec.measure(
+            "similarity", ops=2 * r * n * w + 5 * r * n, ext_mem=n * w, state_mem=r * w
+        ):
+            rscores = rkey_unit @ mem_unit.T
+            content_r = self._softmax(
+                interface.read_strengths[:, None] * rscores, axis=-1
+            )
+        with rec.measure(
+            "forward_backward", ops=4 * r * n * n, state_mem=2 * n * n
+        ):
+            fwd, bwd = forward_backward(linkage, state.read_w)
+        with rec.measure("read_weight_merge", ops=5 * r * n, state_mem=r * n):
+            read_w = read_weight_merge(content_r, fwd, bwd, interface.read_modes)
+        with rec.measure(
+            "memory_read", ops=2 * r * n * w, ext_mem=n * w, state_mem=r * n
+        ):
+            read_vecs = read_vectors(memory, read_w)
+
+        # --- Output -------------------------------------------------------
+        with rec.measure("lstm", ops=2 * (h + r * w) * c.output_size):
+            output_in = np.concatenate([lstm_h, read_vecs.reshape(-1)])
+            y = output_in @ self.w_y + self.b_y
+
+        new_state = NumpyDNCState(
+            memory=memory,
+            usage=usage,
+            precedence=precedence,
+            linkage=linkage,
+            write_w=write_w,
+            read_w=read_w,
+            read_vecs=read_vecs,
+            lstm_h=lstm_h,
+            lstm_c=lstm_c,
+        )
+        return y, new_state
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        """Run a ``(T, input_size)`` sequence; returns ``(T, output_size)``."""
+        state = self.initial_state()
+        outputs = np.empty((inputs.shape[0], self.config.output_size))
+        for t in range(inputs.shape[0]):
+            outputs[t], state = self.step(inputs[t], state)
+        return outputs
+
+
+__all__ = [
+    "NumpyDNC",
+    "NumpyDNCConfig",
+    "NumpyDNCState",
+    "NumpyInterface",
+    "parse_interface",
+    "l2_normalize",
+    "exact_softmax",
+    "content_scores",
+    "retention",
+    "usage_update",
+    "allocation_from_order",
+    "write_weight_merge",
+    "erase_write",
+    "linkage_update",
+    "precedence_update",
+    "forward_backward",
+    "read_weight_merge",
+    "read_vectors",
+]

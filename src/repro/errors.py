@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything raised by this package with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime
+simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class ShapeError(ReproError):
+    """A tensor or matrix argument has an incompatible shape."""
+
+
+class GradientError(ReproError):
+    """Backpropagation was requested through an invalid graph state."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an inconsistent state."""
+
+
+class RoutingError(SimulationError):
+    """No route exists between two nodes under the current NoC mode."""
+
+
+class CapacityError(SimulationError):
+    """A hardware resource (buffer, memory bank, sorter) overflowed."""

@@ -1,0 +1,239 @@
+"""Figure 10 — DNC-D inference error over DNC across the 20 QA tasks.
+
+For each task family: train a (laptop-scale) DNC with our autodiff engine
+on that task's episodes, construct DNC-D models at several tile counts by
+warm-starting from the trained DNC and fine-tuning the per-tile interface
+and merge heads, then measure the error-rate increase over the DNC.  The
+usage-skimming sweep evaluates the fine-tuned DNC-D with skimming applied
+at inference only, as in the paper.
+
+Methodology notes
+-----------------
+* **Per-task vocabulary and model** — bAbI tasks are independent (paper
+  Section 3.2), so each family trains its own model on its own closed
+  vocabulary.
+* **Batched training** — episodes within a family share template lengths,
+  so same-length minibatches train the numpy autodiff DNC ~5x faster in
+  wall-clock than single-episode steps.
+* **Scale substitution** (DESIGN.md) — the paper trains 1024 x 64
+  memories on real bAbI; pure-numpy training at that scale is infeasible,
+  so memory and tile counts are scaled proportionally.  Shape targets:
+  error grows with ``Nt``; a moderate skim rate (K=20%) adds little;
+  K=50% degrades sharply.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.dnc.distributed import DNCD, DNCDConfig
+from repro.dnc.memory import AddressingOptions
+from repro.dnc.model import DNC, DNCConfig
+from repro.eval.runners import ExperimentResult, register
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.tasks.babi import BabiTaskSuite, QAExample, encode_example
+from repro.tasks.encoding import Vocabulary
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class Fig10Settings:
+    """Scaled-down Figure 10 experiment parameters."""
+
+    task_ids: Sequence[int] = tuple(range(1, 21))
+    train_steps: int = 800  # batched minibatch steps
+    finetune_steps: int = 250
+    batch_size: int = 8
+    train_examples: int = 200
+    eval_examples: int = 48
+    memory_size: int = 32
+    word_size: int = 16
+    num_reads: int = 2
+    hidden_size: int = 128
+    tile_counts: Sequence[int] = (2, 4)  # scaled analog of Nt=4/16(/32)
+    skim_rates: Sequence[float] = (0.0, 0.2, 0.5)
+    skim_tiles: int = 2  # tile count whose DNC-D gets the skim sweep
+    learning_rate: float = 3e-3
+    seed: int = 0
+
+
+def _task_vocabulary(examples: Sequence[QAExample]) -> Vocabulary:
+    """Closed per-task vocabulary covering every token and answer."""
+    vocab = Vocabulary()
+    for example in examples:
+        for token in example.tokens:
+            vocab.add(token)
+        vocab.add(example.answer)
+    return vocab
+
+
+def _length_groups(
+    examples: Sequence[QAExample], vocab: Vocabulary
+) -> List[List[Tuple[np.ndarray, int]]]:
+    """Group encoded episodes by sequence length for batched training."""
+    groups: Dict[int, List[Tuple[np.ndarray, int]]] = defaultdict(list)
+    for example in examples:
+        encoded = encode_example(example, vocab)
+        groups[encoded[0].shape[0]].append(encoded)
+    return list(groups.values())
+
+
+def _train_model(model, examples, vocab, steps, lr, seed, batch_size=8) -> None:
+    """Train (or fine-tune) with same-length minibatches and Adam."""
+    optimizer = Adam(model.parameters(), lr=lr)
+    rng = new_rng(seed)
+    groups = _length_groups(examples, vocab)
+    vocab_size = len(vocab)
+    for _ in range(steps):
+        group = groups[int(rng.integers(0, len(groups)))]
+        idx = rng.integers(0, len(group), size=batch_size)
+        inputs = np.stack([group[i][0] for i in idx], axis=1)  # (T, B, V)
+        answers = [group[i][1] for i in idx]
+        optimizer.zero_grad()
+        outputs, _ = model(Tensor(inputs))
+        targets = np.zeros((batch_size, vocab_size))
+        targets[np.arange(batch_size), answers] = 1.0
+        loss = softmax_cross_entropy(outputs[-1], targets)
+        loss.backward()
+        clip_grad_norm(model.parameters(), 10.0)
+        optimizer.step()
+
+
+def _error_rate(model, examples, vocab) -> float:
+    """Fraction of episodes whose final-step argmax misses the answer."""
+    errors = 0
+    with no_grad():
+        for group in _length_groups(examples, vocab):
+            inputs = np.stack([x for x, _ in group], axis=1)
+            answers = np.asarray([aid for _, aid in group])
+            outputs, _ = model(Tensor(inputs))
+            predictions = np.argmax(outputs.data[-1], axis=-1)
+            errors += int(np.sum(predictions != answers))
+    return errors / len(examples)
+
+
+def _make_dncd(
+    settings: Fig10Settings,
+    vocab_size: int,
+    num_tiles: int,
+    dnc: DNC,
+    options: Optional[AddressingOptions] = None,
+) -> DNCD:
+    config = DNCDConfig(
+        input_size=vocab_size,
+        output_size=vocab_size,
+        memory_size=settings.memory_size,
+        word_size=settings.word_size,
+        num_reads=settings.num_reads,
+        hidden_size=settings.hidden_size,
+        num_tiles=num_tiles,
+    )
+    model = DNCD(config, options=options, rng=settings.seed)
+    model.init_from_dnc(dnc)
+    return model
+
+
+@register("fig10")
+def run(settings: Optional[Fig10Settings] = None) -> ExperimentResult:
+    settings = settings or Fig10Settings()
+    suite = BabiTaskSuite(rng=settings.seed)
+
+    headers = (
+        ["task", "DNC err"]
+        + [f"DNC-D Nt={nt} (+pp)" for nt in settings.tile_counts]
+        + [f"K={int(k * 100)}% (+pp)" for k in settings.skim_rates]
+    )
+    rows: List[List[object]] = []
+    deltas_by_nt: Dict[int, List[float]] = {nt: [] for nt in settings.tile_counts}
+    deltas_by_k: Dict[float, List[float]] = {k: [] for k in settings.skim_rates}
+
+    for task_id in settings.task_ids:
+        train_examples = suite.generate(task_id, settings.train_examples)
+        eval_examples = suite.generate(task_id, settings.eval_examples)
+        vocab = _task_vocabulary(list(train_examples) + list(eval_examples))
+        vocab_size = len(vocab)
+
+        dnc = DNC(
+            DNCConfig(
+                input_size=vocab_size,
+                output_size=vocab_size,
+                memory_size=settings.memory_size,
+                word_size=settings.word_size,
+                num_reads=settings.num_reads,
+                hidden_size=settings.hidden_size,
+            ),
+            rng=settings.seed,
+        )
+        _train_model(dnc, train_examples, vocab, settings.train_steps,
+                     settings.learning_rate, settings.seed + task_id,
+                     batch_size=settings.batch_size)
+        # Snapshot for DNC-D warm starts, then give the DNC the same extra
+        # budget the DNC-D fine-tune gets (matched total training steps,
+        # so the deltas isolate the *distribution* penalty).
+        snapshot = dnc.state_dict()
+        _train_model(dnc, train_examples, vocab, settings.finetune_steps,
+                     settings.learning_rate, settings.seed + task_id + 999,
+                     batch_size=settings.batch_size)
+        err_dnc = _error_rate(dnc, eval_examples, vocab)
+        warm_start = DNC(dnc.config, rng=settings.seed)
+        warm_start.load_state_dict(snapshot)
+
+        row: List[object] = [task_id, f"{100 * err_dnc:.1f}%"]
+        finetuned: Dict[int, DNCD] = {}
+        for nt in settings.tile_counts:
+            dncd = _make_dncd(settings, vocab_size, nt, warm_start)
+            _train_model(dncd, train_examples, vocab, settings.finetune_steps,
+                         settings.learning_rate, settings.seed + task_id + nt,
+                         batch_size=settings.batch_size)
+            finetuned[nt] = dncd
+            err = _error_rate(dncd, eval_examples, vocab)
+            delta = 100.0 * (err - err_dnc)
+            deltas_by_nt[nt].append(delta)
+            row.append(f"{delta:+.1f}")
+
+        skim_base = finetuned.get(settings.skim_tiles)
+        for k in settings.skim_rates:
+            if skim_base is None:
+                row.append("-")
+                continue
+            options = AddressingOptions(skim_fraction=k)
+            for unit in skim_base.tiles:
+                unit.options = options
+            err = _error_rate(skim_base, eval_examples, vocab)
+            for unit in skim_base.tiles:
+                unit.options = AddressingOptions()
+            delta = 100.0 * (err - err_dnc)
+            deltas_by_k[k].append(delta)
+            row.append(f"{delta:+.1f}")
+        rows.append(row)
+
+    summary: List[object] = ["mean", "-"]
+    for nt in settings.tile_counts:
+        summary.append(f"{np.mean(deltas_by_nt[nt]):+.1f}")
+    for k in settings.skim_rates:
+        values = deltas_by_k[k]
+        summary.append(f"{np.mean(values):+.1f}" if values else "-")
+    rows.append(summary)
+
+    notes = [
+        "values are error-rate increases over the DNC in percentage points",
+        f"scaled substitution: memory {settings.memory_size}x"
+        f"{settings.word_size}, tiles {tuple(settings.tile_counts)} stand in "
+        "for the paper's 1024x64 with Nt=4/16/32 (see DESIGN.md); skim "
+        f"sweep applied to the Nt={settings.skim_tiles} DNC-D",
+        "paper shape: error grows with Nt (avg <6% up to Nt=32); "
+        "K=20% adds ~5.8pp at Nt=16; K=50% exceeds +15pp",
+    ]
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="DNC-D inference error over DNC (synthetic bAbI tasks)",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+    )

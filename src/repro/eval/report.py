@@ -1,0 +1,54 @@
+"""Run every registered experiment and render a consolidated report.
+
+``python -m repro.eval.report`` regenerates every table/figure (Figure 10
+runs in its reduced default configuration; pass ``--full`` for all 20
+tasks at the full training budget).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.eval import fig10
+from repro.eval.runners import EXPERIMENTS
+
+#: Experiments cheap enough to always run.
+FAST_EXPERIMENTS = (
+    "table1", "fig5", "fig6c", "fig6d", "fig7",
+    "fig11a", "fig11b", "fig11c", "fig11d", "fig11e", "fig11f",
+    "fig12a", "fig12bcd",
+)
+
+
+def generate_report(include_slow: bool = False, full_fig10: bool = False) -> str:
+    """Render all experiments to one text report."""
+    sections: List[str] = []
+    for experiment_id in FAST_EXPERIMENTS:
+        sections.append(EXPERIMENTS[experiment_id]().render())
+    if include_slow:
+        sections.append(EXPERIMENTS["fig4"]().render())
+        settings = None
+        if not full_fig10:
+            settings = fig10.Fig10Settings(
+                task_ids=(6, 15), train_steps=700, finetune_steps=200,
+                eval_examples=40, tile_counts=(2, 4), skim_tiles=2,
+            )
+        sections.append(EXPERIMENTS["fig10"](settings).render())
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slow", action="store_true",
+                        help="include fig4 (profiling) and fig10 (training)")
+    parser.add_argument("--full", action="store_true",
+                        help="run fig10 on all 20 tasks at full budget")
+    args = parser.parse_args(argv)
+    print(generate_report(include_slow=args.slow, full_fig10=args.full))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

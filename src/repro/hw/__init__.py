@@ -1,0 +1,24 @@
+"""Hardware component models: sorters, compute fabric, memories, and the
+calibrated 40 nm area/power libraries."""
+
+from repro.hw.pe import PE, PEMode
+from repro.hw.cpt import ConfigurableProcessingTree
+from repro.hw.mm_engine import MMEngine
+from repro.hw.memory_bank import MemoryBank
+from repro.hw.tech import TechnologyNode, normalize_area
+from repro.hw.area_model import AreaModel, AreaBreakdown
+from repro.hw.power_model import PowerModel, PowerBreakdown
+
+__all__ = [
+    "PE",
+    "PEMode",
+    "ConfigurableProcessingTree",
+    "MMEngine",
+    "MemoryBank",
+    "TechnologyNode",
+    "normalize_area",
+    "AreaModel",
+    "AreaBreakdown",
+    "PowerModel",
+    "PowerBreakdown",
+]

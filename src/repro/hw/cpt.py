@@ -1,0 +1,68 @@
+"""Configurable processing tree (CPT) — the M-M engine's reduction fabric.
+
+A binary tree of compute cells (adders / multipliers / special-function
+units / bypass routes) that reduces a vector of partial results in
+``log2(width)`` pipeline stages (paper Section 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.validation import check_power_of_two
+
+_REDUCERS: dict = {
+    "add": lambda a, b: a + b,
+    "max": max,
+    "min": min,
+    "multiply": lambda a, b: a * b,
+}
+
+
+class ConfigurableProcessingTree:
+    """Binary reduction tree over ``width`` inputs.
+
+    ``width`` must be a power of two; shorter vectors are padded with the
+    reducer's identity.
+    """
+
+    def __init__(self, width: int):
+        check_power_of_two("width", width)
+        self.width = width
+        #: Pipeline stages = tree depth.
+        self.depth = int(math.log2(width)) if width > 1 else 1
+
+    def reduce(self, values: Sequence[float], op: str = "add") -> float:
+        """Reduce up to ``width`` values through the tree."""
+        if op not in _REDUCERS:
+            raise ConfigError(f"unsupported CPT op {op!r}; use {sorted(_REDUCERS)}")
+        values = list(float(v) for v in values)
+        if len(values) > self.width:
+            raise ConfigError(
+                f"CPT(width={self.width}) got {len(values)} inputs"
+            )
+        if not values:
+            raise ConfigError("CPT.reduce needs at least one value")
+        identity = {"add": 0.0, "max": -math.inf, "min": math.inf, "multiply": 1.0}[op]
+        values += [identity] * (self.width - len(values))
+        reducer = _REDUCERS[op]
+        level = values
+        while len(level) > 1:
+            level = [reducer(level[i], level[i + 1]) for i in range(0, len(level), 2)]
+        return float(level[0])
+
+    def reduce_cycles(self, num_vectors: int = 1) -> int:
+        """Cycles to stream ``num_vectors`` reductions through the tree."""
+        if num_vectors < 1:
+            raise ConfigError("num_vectors must be >= 1")
+        return num_vectors + self.depth - 1
+
+    def __repr__(self) -> str:
+        return f"ConfigurableProcessingTree(width={self.width}, depth={self.depth})"
+
+
+__all__ = ["ConfigurableProcessingTree"]

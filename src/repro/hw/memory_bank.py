@@ -1,0 +1,71 @@
+"""SRAM bank model: functional storage with access counting.
+
+Area and energy of banks are computed by :mod:`repro.hw.area_model` /
+:mod:`repro.hw.power_model`; this class provides capacity bookkeeping and
+a functional array with read/write counters so simulations can report
+access statistics (the paper's Table 1 access columns).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigError
+from repro.utils.validation import check_positive
+
+
+class MemoryBank:
+    """One SRAM bank of ``words`` entries of ``bits_per_word`` bits."""
+
+    def __init__(self, name: str, words: int, bits_per_word: int = 32):
+        check_positive("words", words)
+        check_positive("bits_per_word", bits_per_word)
+        self.name = name
+        self.words = words
+        self.bits_per_word = bits_per_word
+        self._data = np.zeros(words)
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def bytes(self) -> int:
+        return self.words * self.bits_per_word // 8
+
+    @property
+    def kilobytes(self) -> float:
+        return self.bytes / 1024.0
+
+    # ------------------------------------------------------------------
+    def read(self, address: int, length: int = 1) -> np.ndarray:
+        """Read ``length`` consecutive words."""
+        self._check_range(address, length)
+        self.reads += length
+        return self._data[address : address + length].copy()
+
+    def write(self, address: int, values: np.ndarray) -> None:
+        """Write consecutive words starting at ``address``."""
+        values = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        self._check_range(address, len(values))
+        self.writes += len(values)
+        self._data[address : address + len(values)] = values
+
+    def _check_range(self, address: int, length: int) -> None:
+        if length < 1:
+            raise ConfigError("access length must be >= 1")
+        if address < 0 or address + length > self.words:
+            raise CapacityError(
+                f"bank {self.name!r}: access [{address}, {address + length}) "
+                f"out of range [0, {self.words})"
+            )
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:
+        return f"MemoryBank({self.name!r}, {self.kilobytes:.1f} KB)"
+
+
+__all__ = ["MemoryBank"]

@@ -1,0 +1,96 @@
+"""Matrix-matrix (M-M) engine: the PT compute fabric cycle model.
+
+An array of :class:`~repro.hw.pe.PE` elements feeding a
+:class:`~repro.hw.cpt.ConfigurableProcessingTree`.  The functional methods
+compute real results (used in tests to cross-check numpy); the ``cycles_*``
+methods provide the timing model used by
+:class:`repro.core.perf_model.HiMAPerformanceModel`:
+
+    ``cycles = ceil(ops / macs_per_cycle) + pipeline_depth``
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.hw.cpt import ConfigurableProcessingTree
+from repro.hw.pe import PE, PEMode
+from repro.utils.validation import check_positive, check_power_of_two
+
+
+class MMEngine:
+    """Per-tile compute engine.
+
+    Parameters
+    ----------
+    macs_per_cycle:
+        Peak multiply-accumulate throughput of the PE array (lanes x PEs).
+    cpt_width:
+        Width of the reduction tree (sets the pipeline depth).
+    """
+
+    def __init__(self, macs_per_cycle: int = 2048, cpt_width: int = 64):
+        check_positive("macs_per_cycle", macs_per_cycle)
+        self.macs_per_cycle = macs_per_cycle
+        self.cpt = ConfigurableProcessingTree(cpt_width)
+        self.pipeline_depth = self.cpt.depth + 2  # operand fetch + writeback
+
+    # ------------------------------------------------------------------
+    # Functional reference operations
+    # ------------------------------------------------------------------
+    def matvec(self, matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+        """``matrix @ vector`` (checked reference implementation)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        vector = np.asarray(vector, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != vector.shape[0]:
+            raise ConfigError(
+                f"matvec shape mismatch: {matrix.shape} @ {vector.shape}"
+            )
+        return matrix @ vector
+
+    def outer(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        return np.outer(np.asarray(u, dtype=np.float64), np.asarray(v, dtype=np.float64))
+
+    def elementwise(self, a: np.ndarray, b: np.ndarray, op: str) -> np.ndarray:
+        ops_map = {
+            "add": np.add,
+            "sub": np.subtract,
+            "mul": np.multiply,
+        }
+        if op not in ops_map:
+            raise ConfigError(f"unsupported elementwise op {op!r}")
+        return ops_map[op](np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Cycle model
+    # ------------------------------------------------------------------
+    def cycles_for_ops(self, num_ops: int) -> int:
+        """Cycles for ``num_ops`` arithmetic operations on this engine."""
+        if num_ops < 0:
+            raise ConfigError("num_ops must be >= 0")
+        if num_ops == 0:
+            return 0
+        return math.ceil(num_ops / self.macs_per_cycle) + self.pipeline_depth
+
+    def cycles_matvec(self, rows: int, cols: int) -> int:
+        """Matrix-vector multiply: ``rows * cols`` MACs."""
+        return self.cycles_for_ops(rows * cols)
+
+    def cycles_outer(self, rows: int, cols: int) -> int:
+        return self.cycles_for_ops(rows * cols)
+
+    def cycles_elementwise(self, elements: int, ops_per_element: int = 1) -> int:
+        return self.cycles_for_ops(elements * ops_per_element)
+
+    def __repr__(self) -> str:
+        return (
+            f"MMEngine(macs_per_cycle={self.macs_per_cycle}, "
+            f"pipeline_depth={self.pipeline_depth})"
+        )
+
+
+__all__ = ["MMEngine"]

@@ -1,0 +1,84 @@
+"""Processing element (PE) of the M-M engine (paper Section 6).
+
+Each PE holds a small register file for intermediate values and supports
+bypass, add, multiply, multiply-then-add, and add-then-multiply modes.
+The functional model executes one operation per cycle; the cycle cost of
+larger computations is handled by :class:`~repro.hw.mm_engine.MMEngine`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigError
+
+
+class PEMode(Enum):
+    """Operating modes of a PE."""
+
+    BYPASS = "bypass"
+    ADD = "add"
+    MULTIPLY = "multiply"
+    MULTIPLY_ADD = "multiply_add"  # (a * b) + rf
+    ADD_MULTIPLY = "add_multiply"  # (a + b) * rf
+
+
+class PE:
+    """One processing element with an ``rf_depth``-entry register file."""
+
+    def __init__(self, rf_depth: int = 4):
+        if rf_depth < 1:
+            raise ConfigError(f"rf_depth must be >= 1, got {rf_depth}")
+        self.rf_depth = rf_depth
+        self.rf = np.zeros(rf_depth)
+        self.ops_executed = 0
+
+    def write_rf(self, index: int, value: float) -> None:
+        """Load an intermediate value into the register file."""
+        if not 0 <= index < self.rf_depth:
+            raise CapacityError(
+                f"RF index {index} out of range 0..{self.rf_depth - 1}"
+            )
+        self.rf[index] = value
+
+    def read_rf(self, index: int) -> float:
+        if not 0 <= index < self.rf_depth:
+            raise CapacityError(
+                f"RF index {index} out of range 0..{self.rf_depth - 1}"
+            )
+        return float(self.rf[index])
+
+    def execute(self, mode: PEMode, a: float, b: float = 0.0, rf_index: int = 0) -> float:
+        """One cycle of computation in ``mode``; result also lands in RF."""
+        if mode is PEMode.BYPASS:
+            result = a
+        elif mode is PEMode.ADD:
+            result = a + b
+        elif mode is PEMode.MULTIPLY:
+            result = a * b
+        elif mode is PEMode.MULTIPLY_ADD:
+            result = a * b + self.rf[rf_index]
+        elif mode is PEMode.ADD_MULTIPLY:
+            result = (a + b) * self.rf[rf_index]
+        else:  # pragma: no cover - enum is closed
+            raise ConfigError(f"unsupported mode {mode}")
+        self.rf[rf_index] = result
+        self.ops_executed += 1
+        return float(result)
+
+    def mac_sequence(self, a: np.ndarray, b: np.ndarray, rf_index: int = 0) -> float:
+        """Dot product via repeated multiply-add (clears the accumulator)."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.shape != b.shape:
+            raise ConfigError(f"operand shapes differ: {a.shape} vs {b.shape}")
+        self.rf[rf_index] = 0.0
+        for x, y in zip(a, b):
+            self.execute(PEMode.MULTIPLY_ADD, float(x), float(y), rf_index)
+        return float(self.rf[rf_index])
+
+
+__all__ = ["PE", "PEMode"]

@@ -1,0 +1,120 @@
+"""Energy/power model (40 nm, 500 MHz).
+
+Power is derived from per-event energy constants applied to the workload
+activity the performance model reports for one timestep:
+
+    ``P_module = (energy per event x events per timestep) / timestep``
+
+Constants are calibrated against the paper's Figure 11(d)/(f) module and
+kernel power breakdowns for HiMA-DNC (Nt=16, N x W = 1024 x 64); the
+DNC-D numbers then *follow* from its reduced activity, which is the
+experiment the model must predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.errors import ConfigError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """Per-event energies (pJ) and static powers (W), 40 nm / 32-bit."""
+
+    pj_per_op: float = 1.05  # one 32-bit arithmetic op in the M-M engine
+    pj_per_mem_access: float = 3.05  # one 32-bit SRAM access
+    pj_per_hop_word: float = 30.0  # one 32-bit word across one router hop
+    other_w_per_pt: float = 0.144  # control, buffer loaders, clock tree
+    ct_pj_per_op: float = 0.30  # CT LSTM MAC (dense array)
+    ct_static_w: float = 0.03
+
+
+@dataclass
+class WorkloadActivity:
+    """Per-timestep event counts produced by the performance model."""
+
+    pt_ops: float  # arithmetic ops across all PTs
+    mem_accesses: float  # SRAM word accesses across all PTs
+    noc_hop_words: float  # word-hops across the NoC
+    lstm_ops: float  # controller (CT) arithmetic ops
+    num_tiles: int
+    timestep_cycles: float
+    clock_hz: float = 500e6
+
+    def timestep_seconds(self) -> float:
+        if self.timestep_cycles <= 0:
+            raise ConfigError("timestep_cycles must be positive")
+        return self.timestep_cycles / self.clock_hz
+
+
+@dataclass
+class PowerBreakdown:
+    """Module-level power report (W)."""
+
+    modules: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.modules.values())
+
+    def fraction(self, module: str) -> float:
+        return self.modules[module] / self.total if self.total else 0.0
+
+
+class PowerModel:
+    """Maps :class:`WorkloadActivity` to module and kernel power."""
+
+    MODULES = ("pt_mm_engine", "pt_memory", "pt_router", "pt_other", "ct")
+
+    def __init__(self, constants: EnergyConstants = EnergyConstants()):
+        self.constants = constants
+
+    # ------------------------------------------------------------------
+    def estimate(self, activity: WorkloadActivity) -> PowerBreakdown:
+        """Module power for one steady-state workload."""
+        c = self.constants
+        seconds = activity.timestep_seconds()
+        pj = 1e-12
+        modules = {
+            "pt_mm_engine": c.pj_per_op * activity.pt_ops * pj / seconds,
+            "pt_memory": c.pj_per_mem_access * activity.mem_accesses * pj / seconds,
+            "pt_router": c.pj_per_hop_word * activity.noc_hop_words * pj / seconds,
+            "pt_other": c.other_w_per_pt * activity.num_tiles,
+            "ct": c.ct_pj_per_op * activity.lstm_ops * pj / seconds + c.ct_static_w,
+        }
+        return PowerBreakdown(modules)
+
+    # ------------------------------------------------------------------
+    def kernel_power(
+        self,
+        kernel_activity: Mapping[str, WorkloadActivity],
+        total_cycles: float,
+        clock_hz: float = 500e6,
+    ) -> Dict[str, float]:
+        """Average power attributed to each kernel over a full timestep.
+
+        ``kernel_activity`` maps kernel name to its event counts (with
+        ``timestep_cycles`` set to the *kernel's own* duration); the
+        returned powers are energy/total-time so they sum to the dynamic
+        part of the timestep average.
+        """
+        check_positive("total_cycles", total_cycles)
+        total_seconds = total_cycles / clock_hz
+        c = self.constants
+        pj = 1e-12
+        result: Dict[str, float] = {}
+        for kernel, act in kernel_activity.items():
+            energy = (
+                c.pj_per_op * act.pt_ops
+                + c.pj_per_mem_access * act.mem_accesses
+                + c.pj_per_hop_word * act.noc_hop_words
+                + c.ct_pj_per_op * act.lstm_ops
+            ) * pj
+            result[kernel] = energy / total_seconds
+        return result
+
+
+__all__ = ["EnergyConstants", "WorkloadActivity", "PowerBreakdown", "PowerModel"]

@@ -1,0 +1,26 @@
+"""Hardware sorter models — functional behaviour plus cycle counts.
+
+* :mod:`repro.hw.sorters.bitonic` — bitonic networks and the P-input
+  dual-mode pipelined bitonic sorter (DPBS) [24],
+* :mod:`repro.hw.sorters.mdsa` — the 2-D multi-dimensional sorting
+  algorithm (MDSA) local sorter [24],
+* :mod:`repro.hw.sorters.merge` — the centralized merge-sort baseline [4]
+  and the Nt-input parallel merge sorter (PMS) [23],
+* :mod:`repro.hw.sorters.two_stage` — HiMA's local-global two-stage usage
+  sort (paper Section 4.3).
+"""
+
+from repro.hw.sorters.bitonic import bitonic_sort, bitonic_stage_count, DPBS
+from repro.hw.sorters.mdsa import MDSASorter
+from repro.hw.sorters.merge import CentralizedMergeSorter, ParallelMergeSorter
+from repro.hw.sorters.two_stage import TwoStageSorter
+
+__all__ = [
+    "bitonic_sort",
+    "bitonic_stage_count",
+    "DPBS",
+    "MDSASorter",
+    "CentralizedMergeSorter",
+    "ParallelMergeSorter",
+    "TwoStageSorter",
+]

@@ -1,0 +1,120 @@
+"""Merge-sort hardware models.
+
+:class:`CentralizedMergeSorter` is the baseline the paper compares against
+([4]): a single engine taking ``N * log2(N)`` cycles for a length-``N``
+vector.
+
+:class:`ParallelMergeSorter` (PMS) is the high-performance merge sorter of
+Mashimo et al. [23] used in HiMA's CT: it merges ``Nt`` sorted streams and
+emits ``Nt`` sorted outputs per cycle after a pipeline fill of ``D_PMS``
+cycles.  With the depth model ``D_PMS = 2*log2(Nt) + 3`` the 4-input PMS
+has the paper's ``D_PMS = 7``, and merging 4 streams of 256 entries takes
+``256 + 7 = 263`` cycles, matching Section 4.3.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.validation import check_power_of_two
+
+
+class CentralizedMergeSorter:
+    """Single-engine merge sort (the [4] baseline cycle model)."""
+
+    def sort(self, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Sort ascending; returns ``(sorted_values, argsort_indices)``."""
+        values = np.asarray(values, dtype=np.float64)
+        order = np.argsort(values, kind="stable")
+        return values[order], order
+
+    def cycle_count(self, length: int) -> int:
+        """``N log2 N`` cycles (N=1024 -> 10240, as quoted in Sec. 4.3)."""
+        if length <= 1:
+            return 0
+        return int(length * math.ceil(math.log2(length)))
+
+    def pipelined_cycle_count(self, length: int, num_streams: int = 4) -> int:
+        """Cycle count of the *hardware* centralized sorter of Fig. 7(a).
+
+        The [4]-style engine pre-sorts buffered chunks and then merges
+        them through a single-output merge controller: one output per
+        cycle after the chunks are pre-sorted.  This is the model used
+        for the HiMA-baseline prototype (its modest 1.12x two-stage gain
+        implies the baseline is far better than the naive ``N log N``
+        software bound).
+        """
+        if length <= 1:
+            return 0
+        if num_streams < 1:
+            raise ConfigError("num_streams must be >= 1")
+        from repro.hw.sorters.mdsa import MDSASorter
+
+        chunk = math.ceil(length / num_streams)
+        presort = MDSASorter(chunk).cycle_count(chunk)
+        return presort + length
+
+
+class ParallelMergeSorter:
+    """``Nt``-input parallel merge sorter (PMS) [23].
+
+    Merges ``num_inputs`` pre-sorted streams, producing ``num_inputs``
+    outputs per cycle once the ``depth``-stage pipeline fills.
+    """
+
+    def __init__(self, num_inputs: int):
+        check_power_of_two("num_inputs", num_inputs)
+        self.num_inputs = num_inputs
+        #: Pipeline depth: 2*log2(Nt) + 3 (7 stages for the 4-input PMS).
+        self.depth = 2 * int(math.log2(num_inputs)) + 3 if num_inputs > 1 else 1
+
+    def merge(self, streams: Sequence[np.ndarray]) -> np.ndarray:
+        """Functionally merge sorted streams into one sorted array."""
+        if len(streams) != self.num_inputs:
+            raise ConfigError(
+                f"PMS({self.num_inputs}) got {len(streams)} input streams"
+            )
+        for i, stream in enumerate(streams):
+            arr = np.asarray(stream)
+            if arr.ndim != 1:
+                raise ConfigError(f"stream {i} is not 1-D")
+            if len(arr) > 1 and np.any(np.diff(arr) < 0):
+                raise ConfigError(f"stream {i} is not sorted ascending")
+        merged = list(heapq.merge(*[list(map(float, s)) for s in streams]))
+        return np.asarray(merged, dtype=np.float64)
+
+    def merge_with_sources(
+        self, streams: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+        """Merge and report, per output, ``(stream_index, element_index)``.
+
+        The CT uses this to write sorted usage entries back to the owning
+        PTs (paper Figure 7(b): per-bank read pointers).
+        """
+        entries = []
+        for s_idx, stream in enumerate(streams):
+            for e_idx, value in enumerate(np.asarray(stream, dtype=np.float64)):
+                entries.append((float(value), s_idx, e_idx))
+        entries.sort(key=lambda item: (item[0], item[1], item[2]))
+        values = np.asarray([e[0] for e in entries])
+        sources = [(e[1], e[2]) for e in entries]
+        return values, sources
+
+    def cycle_count(self, per_stream_length: int) -> int:
+        """``n + D_PMS`` cycles to merge streams of length ``n`` each."""
+        if per_stream_length < 0:
+            raise ConfigError("per_stream_length must be >= 0")
+        if per_stream_length == 0:
+            return 0
+        return per_stream_length + self.depth
+
+    def __repr__(self) -> str:
+        return f"ParallelMergeSorter(inputs={self.num_inputs}, depth={self.depth})"
+
+
+__all__ = ["CentralizedMergeSorter", "ParallelMergeSorter"]

@@ -1,0 +1,108 @@
+"""HiMA's local-global two-stage usage sort (paper Section 4.3).
+
+Stage 1: every PT sorts its local usage shard (length ``n = N / Nt``)
+with an MDSA sorter in ``6 * (P + D_DPBS)`` cycles (all PTs in parallel).
+Stage 2: the CT merges the ``Nt`` sorted shards with an ``Nt``-input PMS
+in ``n + D_PMS`` cycles.
+
+Reference point (paper): ``N = 1024, Nt = 4`` gives
+``6*(16+5) + 256 + 7 = 389`` cycles versus ``N log2 N = 10240`` for the
+centralized merge sort — a 26x reduction.
+
+Usage skimming composes naturally: only ``(1-K) * n`` entries per tile
+enter the sorters, shrinking both stages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.hw.sorters.mdsa import MDSASorter
+from repro.hw.sorters.merge import ParallelMergeSorter
+from repro.utils.validation import check_positive
+
+
+class TwoStageSorter:
+    """Distributed usage sorter across ``num_tiles`` PTs plus the CT.
+
+    Parameters
+    ----------
+    total_length:
+        Global usage vector length ``N`` (divisible by ``num_tiles``).
+    num_tiles:
+        PT count ``Nt`` (power of two, for the PMS).
+    """
+
+    def __init__(self, total_length: int, num_tiles: int):
+        check_positive("total_length", total_length)
+        check_positive("num_tiles", num_tiles)
+        if total_length % num_tiles != 0:
+            raise ConfigError(
+                f"total_length ({total_length}) must divide evenly across "
+                f"{num_tiles} tiles"
+            )
+        self.total_length = total_length
+        self.num_tiles = num_tiles
+        self.local_length = total_length // num_tiles
+        self.local_sorter = MDSASorter(self.local_length)
+        self.merger = ParallelMergeSorter(num_tiles)
+
+    # ------------------------------------------------------------------
+    def sort(self, usage: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Sort a global usage vector; returns ``(values, global_indices)``.
+
+        The vector is sharded row-block-wise across tiles exactly as
+        HiMA's memory partition does, so tile ``t`` owns entries
+        ``[t*n, (t+1)*n)``.
+        """
+        usage = np.asarray(usage, dtype=np.float64)
+        if usage.shape != (self.total_length,):
+            raise ConfigError(
+                f"expected usage of shape ({self.total_length},), got {usage.shape}"
+            )
+        n = self.local_length
+        local_sorted: List[np.ndarray] = []
+        local_orders: List[np.ndarray] = []
+        for t in range(self.num_tiles):
+            values, order = self.local_sorter.sort(usage[t * n : (t + 1) * n])
+            local_sorted.append(values)
+            local_orders.append(order)
+
+        merged, sources = self.merger.merge_with_sources(local_sorted)
+        global_indices = np.asarray(
+            [local_orders[s][e] + s * n for s, e in sources], dtype=np.int64
+        )
+        return merged, global_indices
+
+    # ------------------------------------------------------------------
+    def cycle_count(self, effective_length: int = None) -> int:
+        """Total latency: stage-1 (parallel) + stage-2 (merge).
+
+        ``effective_length`` models usage skimming (only ``N - K``
+        entries are sorted); defaults to the full ``N``.
+        """
+        total = self.total_length if effective_length is None else effective_length
+        per_tile = math.ceil(total / self.num_tiles)
+        stage1 = self.local_sorter.cycle_count(per_tile)
+        stage2 = self.merger.cycle_count(per_tile)
+        return stage1 + stage2
+
+    def stage_cycles(self) -> Tuple[int, int]:
+        """(stage-1, stage-2) cycle counts at full length."""
+        return (
+            self.local_sorter.cycle_count(self.local_length),
+            self.merger.cycle_count(self.local_length),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoStageSorter(N={self.total_length}, Nt={self.num_tiles}, "
+            f"cycles={self.cycle_count()})"
+        )
+
+
+__all__ = ["TwoStageSorter"]

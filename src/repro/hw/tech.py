@@ -1,0 +1,41 @@
+"""Technology-node normalization.
+
+The paper compares its 40 nm design against MANNA (15 nm) by normalizing
+area "based on each design's process technology" (Section 7.4).  Area is
+scaled by the square of the feature-size ratio, the standard first-order
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS process node."""
+
+    nm: float
+
+    def __post_init__(self):
+        check_positive("nm", self.nm)
+
+    def area_scale_to(self, other: "TechnologyNode") -> float:
+        """Multiplier converting area at this node to ``other``'s node."""
+        return (other.nm / self.nm) ** 2
+
+
+#: The paper's nodes.
+NODE_40NM = TechnologyNode(40.0)
+NODE_15NM = TechnologyNode(15.0)
+
+
+def normalize_area(area_mm2: float, from_node: TechnologyNode, to_node: TechnologyNode) -> float:
+    """Scale ``area_mm2`` measured at ``from_node`` to ``to_node``."""
+    check_positive("area_mm2", area_mm2)
+    return area_mm2 * from_node.area_scale_to(to_node)
+
+
+__all__ = ["TechnologyNode", "normalize_area", "NODE_40NM", "NODE_15NM"]

@@ -1,0 +1,33 @@
+"""Neural-network building blocks on top of :mod:`repro.autodiff`.
+
+Provides the LSTM controller used by the DNC, plus the optimizers and
+losses needed to train DNC/DNC-D for the Figure 10 accuracy study.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMCell, LSTM, LSTMState
+from repro.nn.optim import SGD, Adam, RMSProp, clip_grad_norm
+from repro.nn.losses import (
+    mse_loss,
+    softmax_cross_entropy,
+    sigmoid_binary_cross_entropy,
+)
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "LSTMCell",
+    "LSTM",
+    "LSTMState",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "clip_grad_norm",
+    "mse_loss",
+    "softmax_cross_entropy",
+    "sigmoid_binary_cross_entropy",
+    "init",
+]

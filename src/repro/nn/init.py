@@ -1,0 +1,39 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def xavier_uniform(shape, rng: SeedLike = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a 2-D weight."""
+    rng = new_rng(rng)
+    fan_in, fan_out = shape[0], shape[-1]
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(shape, rng: SeedLike = None, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization (recommended for recurrent weights)."""
+    rng = new_rng(rng)
+    rows, cols = shape
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def normal(shape, rng: SeedLike = None, std: float = 0.1) -> np.ndarray:
+    rng = new_rng(rng)
+    return std * rng.standard_normal(shape)
+
+
+__all__ = ["xavier_uniform", "orthogonal", "zeros", "normal"]

@@ -1,0 +1,44 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, as_tensor
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = ops.sub(prediction, as_tensor(target))
+    return ops.mean(ops.mul(diff, diff))
+
+
+def softmax_cross_entropy(logits: Tensor, target_probs, axis: int = -1) -> Tensor:
+    """Cross entropy between a softmax over ``logits`` and target probs.
+
+    ``target_probs`` is a constant distribution (e.g. one-hot labels);
+    the mean is taken over all leading dimensions.
+    """
+    target = as_tensor(target_probs)
+    log_probs = ops.log_softmax(logits, axis=axis)
+    per_example = ops.neg(ops.sum(ops.mul(target, log_probs), axis=axis))
+    return ops.mean(per_example)
+
+
+def sigmoid_binary_cross_entropy(logits: Tensor, targets) -> Tensor:
+    """Numerically stable elementwise BCE with logits, averaged.
+
+    Uses ``max(x, 0) - x*t + log(1 + exp(-|x|))``, the standard stable
+    form; this is the loss for bit-vector tasks (copy / repeat-copy).
+    """
+    logits = as_tensor(logits)
+    targets = as_tensor(targets)
+    zeros = Tensor(np.zeros(logits.shape))
+    relu_term = ops.maximum(logits, zeros)
+    linear_term = ops.mul(logits, targets)
+    abs_term = ops.softplus(ops.neg(ops.abs(logits)))
+    return ops.mean(ops.add(ops.sub(relu_term, linear_term), abs_term))
+
+
+__all__ = ["mse_loss", "softmax_cross_entropy", "sigmoid_binary_cross_entropy"]

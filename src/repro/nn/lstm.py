@@ -1,0 +1,105 @@
+"""LSTM cell and multi-step wrapper — the DNC controller network.
+
+The paper's prototypes use a 1-layer LSTM of size 256 as the controller
+(Figure 4 caption); here the size is configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class LSTMState:
+    """Hidden and cell state of one LSTM layer (shape ``(..., hidden)``)."""
+
+    hidden: Tensor
+    cell: Tensor
+
+    def detach(self) -> "LSTMState":
+        """Truncate backpropagation at this state (for TBPTT)."""
+        return LSTMState(self.hidden.detach(), self.cell.detach())
+
+
+class LSTMCell(Module):
+    """Single LSTM cell with fused gate weights.
+
+    Gates are computed as ``[i, f, g, o] = x W_x + h W_h + b`` and split;
+    a unit forget-gate bias is applied at initialization, the standard
+    trick for learning long-term dependencies.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: SeedLike = None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = Parameter(
+            init.xavier_uniform((input_size, 4 * hidden_size), rng), name="w_x"
+        )
+        self.w_h = Parameter(
+            np.concatenate(
+                [init.orthogonal((hidden_size, hidden_size), rng) for _ in range(4)],
+                axis=1,
+            ),
+            name="w_h",
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias, name="bias")
+
+    def initial_state(self, batch_size: Optional[int] = None) -> LSTMState:
+        """Zero state; batched when ``batch_size`` is given."""
+        shape = (self.hidden_size,) if batch_size is None else (batch_size, self.hidden_size)
+        return LSTMState(Tensor(np.zeros(shape)), Tensor(np.zeros(shape)))
+
+    def forward(self, x: Tensor, state: LSTMState) -> Tuple[Tensor, LSTMState]:
+        gates = ops.add(
+            ops.add(ops.matmul(x, self.w_x), ops.matmul(state.hidden, self.w_h)),
+            self.bias,
+        )
+        h = self.hidden_size
+        i_gate = ops.sigmoid(gates[..., 0 * h : 1 * h])
+        f_gate = ops.sigmoid(gates[..., 1 * h : 2 * h])
+        g_gate = ops.tanh(gates[..., 2 * h : 3 * h])
+        o_gate = ops.sigmoid(gates[..., 3 * h : 4 * h])
+        new_cell = ops.add(ops.mul(f_gate, state.cell), ops.mul(i_gate, g_gate))
+        new_hidden = ops.mul(o_gate, ops.tanh(new_cell))
+        return new_hidden, LSTMState(new_hidden, new_cell)
+
+
+class LSTM(Module):
+    """Unrolls an :class:`LSTMCell` over a sequence.
+
+    Input shape ``(T, ..., input_size)``; returns outputs of shape
+    ``(T, ..., hidden_size)`` and the final state.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: SeedLike = None):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def initial_state(self, batch_size: Optional[int] = None) -> LSTMState:
+        return self.cell.initial_state(batch_size)
+
+    def forward(
+        self, inputs: Tensor, state: Optional[LSTMState] = None
+    ) -> Tuple[Tensor, LSTMState]:
+        if state is None:
+            batch = inputs.shape[1] if inputs.ndim == 3 else None
+            state = self.initial_state(batch)
+        outputs: List[Tensor] = []
+        for t in range(inputs.shape[0]):
+            hidden, state = self.cell(inputs[t], state)
+            outputs.append(hidden)
+        return ops.stack(outputs, axis=0), state

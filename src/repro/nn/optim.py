@@ -1,0 +1,120 @@
+"""Optimizers and gradient clipping.
+
+The DNC paper trains with RMSProp; Adam converges faster on the small
+synthetic tasks used for the Figure 10 study, so both are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.utils.validation import check_positive
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging divergence).
+    """
+    check_positive("max_norm", max_norm)
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        check_positive("lr", lr)
+        self.parameters: List[Parameter] = list(parameters)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.data += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp as used in the original DNC paper (Graves et al., 2016)."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-4,
+        decay: float = 0.9,
+        momentum: float = 0.9,
+        eps: float = 1e-10,
+    ):
+        super().__init__(parameters, lr)
+        self.decay, self.momentum, self.eps = decay, momentum, eps
+        self._mean_square = [np.zeros_like(p.data) for p in self.parameters]
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, ms, v in zip(self.parameters, self._mean_square, self._velocity):
+            if p.grad is None:
+                continue
+            ms *= self.decay
+            ms += (1.0 - self.decay) * p.grad**2
+            v *= self.momentum
+            v += self.lr * p.grad / np.sqrt(ms + self.eps)
+            p.data -= v

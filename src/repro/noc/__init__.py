@@ -1,0 +1,36 @@
+"""Cycle-level network-on-chip simulator.
+
+Implements every topology the paper compares (Figure 5):
+
+* ``htree``   — MANNA's H-tree [33],
+* ``bintree`` — MAERI-style binary tree with adjacent sub-tree links [22],
+* ``mesh``    — 2-D mesh (XY-style deterministic shortest-path routing),
+* ``star``    — all PTs directly attached to the CT,
+* ``ring``    — PT ring through the CT,
+* ``hima``    — the proposed mesh + diagonal-link multi-mode HiMA-NoC.
+
+Messages are simulated with deterministic shortest-path routing,
+link-level contention (stalling, as the paper assumes for its scalability
+study), serialization proportional to message size, and single-cycle
+feed-through on uncongested routers.
+"""
+
+from repro.noc.topology import Topology, build_topology, TOPOLOGY_BUILDERS
+from repro.noc.routing import RoutingTable
+from repro.noc.packet import Message
+from repro.noc.simulator import NoCSimulator, SimulationResult
+from repro.noc import traffic
+from repro.noc.analysis import hop_statistics, worst_case_hops
+
+__all__ = [
+    "Topology",
+    "build_topology",
+    "TOPOLOGY_BUILDERS",
+    "RoutingTable",
+    "Message",
+    "NoCSimulator",
+    "SimulationResult",
+    "traffic",
+    "hop_statistics",
+    "worst_case_hops",
+]

@@ -1,0 +1,59 @@
+"""Topology analysis: hop statistics and saturation sweeps.
+
+Reproduces the hop-count claims of the paper's Figure 5(a)-(c): worst-case
+8 hops for the 16-PT H-tree / binary tree, 4 hops for the 5x5 HiMA-NoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.noc.routing import RoutingTable
+from repro.noc.topology import Topology
+
+
+@dataclass
+class HopStatistics:
+    """PT-to-PT hop-count summary for one topology."""
+
+    topology: str
+    num_pts: int
+    worst_case: int
+    average: float
+    ct_worst_case: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.topology}(PTs={self.num_pts}): worst={self.worst_case} "
+            f"avg={self.average:.2f} ct_worst={self.ct_worst_case}"
+        )
+
+
+def hop_statistics(topology: Topology) -> HopStatistics:
+    """Hop counts over all PT pairs plus CT round-trips."""
+    routing = RoutingTable(topology)
+    pts = topology.pt_nodes
+    pair_hops: List[int] = []
+    for src in pts:
+        for dst in pts:
+            if src != dst:
+                pair_hops.append(routing.hops(src, dst))
+    ct_hops = [routing.hops(topology.ct_node, pt) for pt in pts]
+    return HopStatistics(
+        topology=topology.name,
+        num_pts=topology.num_pts,
+        worst_case=max(pair_hops) if pair_hops else 0,
+        average=float(np.mean(pair_hops)) if pair_hops else 0.0,
+        ct_worst_case=max(ct_hops) if ct_hops else 0,
+    )
+
+
+def worst_case_hops(topology: Topology) -> int:
+    """Worst PT-to-PT hop count (the paper's headline metric)."""
+    return hop_statistics(topology).worst_case
+
+
+__all__ = ["HopStatistics", "hop_statistics", "worst_case_hops"]

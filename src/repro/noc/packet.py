@@ -1,0 +1,51 @@
+"""Message abstraction for the NoC simulator.
+
+Simulation is message-granular: a message of ``size`` flits occupies each
+link on its route for ``size`` cycles (serialization), so long transfers
+create the congestion the paper's scalability study depends on.
+``depends_on`` expresses computation chains (e.g. ring accumulation,
+where partial sums hop tile to tile sequentially).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Message:
+    """One NoC transfer.
+
+    Parameters
+    ----------
+    msg_id:
+        Unique id (also the deterministic arbitration tie-breaker).
+    src / dst:
+        Topology node ids.
+    size:
+        Payload size in flits (>= 1); one flit crosses one link per cycle.
+    inject_cycle:
+        Earliest cycle the message may leave its source.
+    depends_on:
+        Optional id of a message that must be *delivered* before this one
+        can be injected (models compute dependencies between transfers).
+    """
+
+    msg_id: int
+    src: int
+    dst: int
+    size: int = 1
+    inject_cycle: int = 0
+    depends_on: Optional[int] = None
+
+    def __post_init__(self):
+        if self.size < 1:
+            raise ConfigError(f"message size must be >= 1, got {self.size}")
+        if self.src == self.dst:
+            raise ConfigError(f"message {self.msg_id} has src == dst == {self.src}")
+
+
+__all__ = ["Message"]

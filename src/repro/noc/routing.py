@@ -1,0 +1,72 @@
+"""Deterministic shortest-path routing tables.
+
+Routes are computed by breadth-first search with lexicographic
+tie-breaking on node ids, so the same (topology, src, dst) always yields
+the same path — a requirement for reproducible congestion results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.errors import RoutingError
+from repro.noc.topology import Topology
+
+
+class RoutingTable:
+    """All-pairs deterministic shortest paths for one topology."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._paths: Dict[Tuple[int, int], List[int]] = {}
+        self._bfs_trees: Dict[int, Dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    def _parents_from(self, src: int) -> Dict[int, int]:
+        """BFS parent map from ``src`` with sorted-neighbour determinism."""
+        if src in self._bfs_trees:
+            return self._bfs_trees[src]
+        graph = self.topology.graph
+        parents: Dict[int, int] = {src: src}
+        queue = deque([src])
+        while queue:
+            node = queue.popleft()
+            for neighbor in sorted(graph.neighbors(node)):
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    queue.append(neighbor)
+        self._bfs_trees[src] = parents
+        return parents
+
+    def path(self, src: int, dst: int) -> List[int]:
+        """Node sequence from ``src`` to ``dst`` inclusive."""
+        key = (src, dst)
+        if key in self._paths:
+            return self._paths[key]
+        parents = self._parents_from(src)
+        if dst not in parents:
+            raise RoutingError(
+                f"no route from {src} to {dst} in topology "
+                f"{self.topology.name!r}"
+            )
+        route = [dst]
+        while route[-1] != src:
+            route.append(parents[route[-1]])
+        route.reverse()
+        self._paths[key] = route
+        return route
+
+    def links(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """Directed link sequence of the route."""
+        nodes = self.path(src, dst)
+        return list(zip(nodes[:-1], nodes[1:]))
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count between two nodes (0 when equal)."""
+        if src == dst:
+            return 0
+        return len(self.path(src, dst)) - 1
+
+
+__all__ = ["RoutingTable"]

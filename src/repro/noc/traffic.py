@@ -1,0 +1,164 @@
+"""Traffic-pattern generators for the DNC kernel mix.
+
+Each generator returns a list of :class:`~repro.noc.packet.Message` for a
+given topology.  These are the communication shapes the paper identifies
+in Section 4.1:
+
+* **broadcast / gather** — interface-vector distribution and read-vector
+  collection (CT <-> PT; star-friendly),
+* **ring accumulation** — partial-sum chains (psum reduction for
+  similarity; ring-friendly),
+* **transpose exchange** — submatrix swaps along grid diagonals
+  (diagonal-friendly),
+* **all-to-all** — matrix-vector multiply / vector outer product
+  (full-mesh-friendly).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.noc.packet import Message
+from repro.noc.topology import Topology
+from repro.utils.rng import SeedLike, new_rng
+
+
+class MessageFactory:
+    """Allocates unique, consecutive message ids across patterns."""
+
+    def __init__(self, start: int = 0):
+        self._counter = itertools.count(start)
+
+    def make(
+        self,
+        src: int,
+        dst: int,
+        size: int = 1,
+        inject_cycle: int = 0,
+        depends_on: Optional[int] = None,
+    ) -> Message:
+        return Message(
+            msg_id=next(self._counter),
+            src=src,
+            dst=dst,
+            size=size,
+            inject_cycle=inject_cycle,
+            depends_on=depends_on,
+        )
+
+
+def broadcast(
+    topology: Topology, size: int = 1, factory: Optional[MessageFactory] = None
+) -> List[Message]:
+    """CT sends one ``size``-flit message to every PT (interface vectors)."""
+    factory = factory or MessageFactory()
+    ct = topology.ct_node
+    return [factory.make(ct, pt, size=size) for pt in topology.pt_nodes]
+
+
+def gather(
+    topology: Topology, size: int = 1, factory: Optional[MessageFactory] = None
+) -> List[Message]:
+    """Every PT sends one message to the CT (read-vector collection)."""
+    factory = factory or MessageFactory()
+    ct = topology.ct_node
+    return [factory.make(pt, ct, size=size) for pt in topology.pt_nodes]
+
+
+def ring_accumulate(
+    topology: Topology, size: int = 1, factory: Optional[MessageFactory] = None
+) -> List[Message]:
+    """Sequential partial-sum chain: PT0 -> PT1 -> ... -> CT.
+
+    Each hop *depends* on the previous delivery (the tile must add its
+    contribution before forwarding), modelling accumulation latency.
+    """
+    factory = factory or MessageFactory()
+    nodes = list(topology.pt_nodes) + [topology.ct_node]
+    messages: List[Message] = []
+    previous: Optional[int] = None
+    for src, dst in zip(nodes[:-1], nodes[1:]):
+        msg = factory.make(src, dst, size=size, depends_on=previous)
+        messages.append(msg)
+        previous = msg.msg_id
+    return messages
+
+
+def all_to_all(
+    topology: Topology, size: int = 1, factory: Optional[MessageFactory] = None
+) -> List[Message]:
+    """Every PT sends to every other PT (mat-vec / outer product)."""
+    factory = factory or MessageFactory()
+    messages = []
+    for src in topology.pt_nodes:
+        for dst in topology.pt_nodes:
+            if src != dst:
+                messages.append(factory.make(src, dst, size=size))
+    return messages
+
+
+def transpose_exchange(
+    topology: Topology, size: int = 1, factory: Optional[MessageFactory] = None
+) -> List[Message]:
+    """Submatrix transpose: tile at grid ``(r, c)`` swaps with ``(c, r)``.
+
+    Requires grid positions.  Topologies without geometry (trees, star,
+    ring) fall back to a pairwise exchange between PT ``i`` and PT
+    ``num_pts - 1 - i`` — the same volume, worst-case-distance pattern.
+    """
+    factory = factory or MessageFactory()
+    messages: List[Message] = []
+    if topology.positions:
+        pos_to_node: Dict[Tuple[int, int], int] = {
+            pos: node
+            for node, pos in topology.positions.items()
+            if node in set(topology.pt_nodes)
+        }
+        for node in topology.pt_nodes:
+            r, c = topology.positions[node]
+            partner = pos_to_node.get((c, r))
+            if partner is not None and partner != node:
+                messages.append(factory.make(node, partner, size=size))
+        if messages:
+            return messages
+    n = topology.num_pts
+    for i, src in enumerate(topology.pt_nodes):
+        dst = topology.pt_nodes[n - 1 - i]
+        if src != dst:
+            messages.append(factory.make(src, dst, size=size))
+    return messages
+
+
+def random_uniform(
+    topology: Topology,
+    num_messages: int,
+    size: int = 1,
+    rng: SeedLike = None,
+    factory: Optional[MessageFactory] = None,
+) -> List[Message]:
+    """Uniform-random PT-to-PT traffic (stress/benchmark pattern)."""
+    if topology.num_pts < 2:
+        raise ConfigError("random traffic needs at least two PTs")
+    rng = new_rng(rng)
+    factory = factory or MessageFactory()
+    messages = []
+    pts = topology.pt_nodes
+    for _ in range(num_messages):
+        src, dst = rng.choice(len(pts), size=2, replace=False)
+        messages.append(factory.make(pts[int(src)], pts[int(dst)], size=size))
+    return messages
+
+
+__all__ = [
+    "MessageFactory",
+    "broadcast",
+    "gather",
+    "ring_accumulate",
+    "all_to_all",
+    "transpose_exchange",
+    "random_uniform",
+]

@@ -1,0 +1,27 @@
+"""Synthetic workloads for the DNC.
+
+* :mod:`repro.tasks.copy` — copy / repeat-copy bit-sequence tasks (the
+  classic NTM probes; used to validate that training works end to end).
+* :mod:`repro.tasks.recall` — associative recall.
+* :mod:`repro.tasks.babi` — a deterministic, offline 20-task bAbI-like QA
+  generator standing in for the bAbI download (see DESIGN.md,
+  substitutions table).
+* :mod:`repro.tasks.encoding` — vocabulary and one-hot sequence encoding.
+"""
+
+from repro.tasks.encoding import Vocabulary, encode_tokens
+from repro.tasks.copy import CopyTask, RepeatCopyTask
+from repro.tasks.recall import AssociativeRecallTask
+from repro.tasks.babi import BabiTaskSuite, QAExample, encode_example, TASK_NAMES
+
+__all__ = [
+    "Vocabulary",
+    "encode_tokens",
+    "CopyTask",
+    "RepeatCopyTask",
+    "AssociativeRecallTask",
+    "BabiTaskSuite",
+    "QAExample",
+    "encode_example",
+    "TASK_NAMES",
+]

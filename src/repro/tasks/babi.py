@@ -1,0 +1,370 @@
+"""Synthetic 20-task bAbI-like QA generator.
+
+The paper profiles and evaluates DNC on the bAbI dataset (Weston et al.,
+2015): 20 independent tasks, each testing one aspect of QA behaviour.
+The dataset cannot be downloaded offline, so this module generates a
+structurally faithful substitute: 20 template task families over a shared
+small-world vocabulary (people, places, objects), each producing a story
+(token sequence), a question, and a single-token answer.  Generation is
+deterministic given a seed.
+
+Every story exercises the DNC memory: facts must be written at
+presentation time and retrieved (possibly through multi-hop chains) at
+question time, so the access pattern — the thing HiMA accelerates — is
+preserved even though the surface text is synthetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tasks.encoding import Vocabulary, encode_tokens
+from repro.utils.rng import RngMixin, SeedLike
+
+PEOPLE = ["mary", "john", "sandra", "daniel", "fred", "bill"]
+PLACES = ["bathroom", "office", "kitchen", "garden", "hallway", "bedroom", "park", "school"]
+OBJECTS = ["football", "milk", "apple", "cake", "box", "key"]
+ANIMALS = ["wolf", "sheep", "mouse", "cat", "swan", "frog"]
+COLORS = ["white", "green", "gray", "yellow"]
+DIRECTIONS = ["north", "south", "east", "west"]
+SHAPES = ["triangle", "square", "circle", "rectangle"]
+MOTIVES = ["thirsty", "hungry", "tired", "bored"]
+
+#: Names of the 20 task families, mirroring the bAbI task list.
+TASK_NAMES = [
+    "single-supporting-fact",
+    "two-supporting-facts",
+    "three-supporting-facts",
+    "two-arg-relations",
+    "three-arg-relations",
+    "yes-no-questions",
+    "counting",
+    "lists-sets",
+    "simple-negation",
+    "indefinite-knowledge",
+    "basic-coreference",
+    "conjunction",
+    "compound-coreference",
+    "time-reasoning",
+    "basic-deduction",
+    "basic-induction",
+    "positional-reasoning",
+    "size-reasoning",
+    "path-finding",
+    "agents-motivations",
+]
+
+
+@dataclass
+class QAExample:
+    """One QA episode: story+question tokens and the answer token."""
+
+    task_id: int
+    tokens: List[str]
+    answer: str
+
+
+class BabiTaskSuite(RngMixin):
+    """Deterministic generator for the 20 synthetic QA task families.
+
+    Task ids are 1-based (matching bAbI conventions).  All tasks share one
+    :meth:`vocabulary`, so a single model can train across tasks.
+    """
+
+    NUM_TASKS = 20
+
+    def __init__(self, rng: SeedLike = 0):
+        self.seed(rng)
+        self._generators: Dict[int, Callable[[], QAExample]] = {
+            i + 1: getattr(self, f"_task_{i + 1:02d}") for i in range(self.NUM_TASKS)
+        }
+
+    # ------------------------------------------------------------------
+    def generate(self, task_id: int, num_examples: int) -> List[QAExample]:
+        """Generate ``num_examples`` episodes of task ``task_id`` (1..20)."""
+        if task_id not in self._generators:
+            raise ConfigError(f"task_id must be 1..{self.NUM_TASKS}, got {task_id}")
+        return [self._generators[task_id]() for _ in range(num_examples)]
+
+    def generate_all(self, per_task: int) -> Dict[int, List[QAExample]]:
+        """Generate ``per_task`` episodes for every task family."""
+        return {tid: self.generate(tid, per_task) for tid in range(1, self.NUM_TASKS + 1)}
+
+    def vocabulary(self) -> Vocabulary:
+        """The closed vocabulary covering every task family."""
+        vocab = Vocabulary(["?", ".", "yes", "no", "maybe", "nothing"])
+        for group in (
+            PEOPLE, PLACES, OBJECTS, ANIMALS, COLORS, DIRECTIONS, SHAPES, MOTIVES,
+        ):
+            for token in group:
+                vocab.add(token)
+        for token in (
+            "moved", "went", "to", "the", "took", "dropped", "grabbed", "where",
+            "is", "was", "what", "who", "how", "many", "in", "of", "gave", "she",
+            "he", "they", "and", "then", "not", "either", "or", "are", "afraid",
+            "a", "color", "above", "below", "bigger", "than", "fit", "does",
+            "do", "you", "go", "from", "why", "did", "carrying", "one", "two",
+            "three", "zero", "morning", "afternoon", "evening", "this",
+        ):
+            vocab.add(token)
+        return vocab
+
+    # ------------------------------------------------------------------
+    # Shared world helpers
+    # ------------------------------------------------------------------
+    def _pick(self, pool: Sequence[str], count: int) -> List[str]:
+        idx = self.rng.choice(len(pool), size=count, replace=False)
+        return [pool[i] for i in idx]
+
+    def _one(self, pool: Sequence[str]) -> str:
+        return pool[int(self.rng.integers(0, len(pool)))]
+
+    # ------------------------------------------------------------------
+    # Task families 1..20
+    # ------------------------------------------------------------------
+    def _task_01(self) -> QAExample:
+        """Single supporting fact: track one person through moves."""
+        people = self._pick(PEOPLE, 3)
+        tokens: List[str] = []
+        locations = {}
+        for person in people:
+            place = self._one(PLACES)
+            locations[person] = place
+            tokens += [person, "moved", "to", "the", place, "."]
+        target = self._one(people)
+        tokens += ["where", "is", target, "?"]
+        return QAExample(1, tokens, locations[target])
+
+    def _task_02(self) -> QAExample:
+        """Two supporting facts: object follows its holder."""
+        person = self._one(PEOPLE)
+        obj = self._one(OBJECTS)
+        place1, place2 = self._pick(PLACES, 2)
+        tokens = [person, "took", "the", obj, "."]
+        tokens += [person, "went", "to", "the", place1, "."]
+        tokens += [person, "went", "to", "the", place2, "."]
+        tokens += ["where", "is", "the", obj, "?"]
+        return QAExample(2, tokens, place2)
+
+    def _task_03(self) -> QAExample:
+        """Three supporting facts: object dropped mid-journey."""
+        person = self._one(PEOPLE)
+        obj = self._one(OBJECTS)
+        place1, place2, place3 = self._pick(PLACES, 3)
+        tokens = [person, "took", "the", obj, "."]
+        tokens += [person, "went", "to", "the", place1, "."]
+        tokens += [person, "went", "to", "the", place2, "."]
+        tokens += [person, "dropped", "the", obj, "."]
+        tokens += [person, "went", "to", "the", place3, "."]
+        tokens += ["where", "is", "the", obj, "?"]
+        return QAExample(3, tokens, place2)
+
+    def _task_04(self) -> QAExample:
+        """Two-argument relations: directional facts."""
+        place1, place2 = self._pick(PLACES, 2)
+        direction = self._one(DIRECTIONS)
+        tokens = ["the", place1, "is", direction, "of", "the", place2, "."]
+        tokens += ["what", "is", direction, "of", "the", place2, "?"]
+        return QAExample(4, tokens, place1)
+
+    def _task_05(self) -> QAExample:
+        """Three-argument relations: giver / object / receiver."""
+        giver, receiver = self._pick(PEOPLE, 2)
+        obj = self._one(OBJECTS)
+        tokens = [giver, "gave", "the", obj, "to", receiver, "."]
+        tokens += ["who", "gave", "the", obj, "?"]
+        return QAExample(5, tokens, giver)
+
+    def _task_06(self) -> QAExample:
+        """Yes/no questions about location."""
+        person = self._one(PEOPLE)
+        place_true, place_other = self._pick(PLACES, 2)
+        tokens = [person, "went", "to", "the", place_true, "."]
+        asked = place_true if self.rng.random() < 0.5 else place_other
+        tokens += ["is", person, "in", "the", asked, "?"]
+        return QAExample(6, tokens, "yes" if asked == place_true else "no")
+
+    def _task_07(self) -> QAExample:
+        """Counting objects carried."""
+        person = self._one(PEOPLE)
+        count = int(self.rng.integers(0, 4))
+        objs = self._pick(OBJECTS, max(count, 1))
+        tokens: List[str] = []
+        for i in range(count):
+            tokens += [person, "grabbed", "the", objs[i], "."]
+        if count == 0:
+            place = self._one(PLACES)
+            tokens += [person, "went", "to", "the", place, "."]
+        tokens += ["how", "many", "is", person, "carrying", "?"]
+        answer = ["zero", "one", "two", "three"][count]
+        return QAExample(7, tokens, answer)
+
+    def _task_08(self) -> QAExample:
+        """Lists/sets: report (the first) carried object, or nothing."""
+        person = self._one(PEOPLE)
+        carrying = self.rng.random() < 0.75
+        tokens: List[str] = []
+        answer = "nothing"
+        if carrying:
+            obj = self._one(OBJECTS)
+            answer = obj
+            tokens += [person, "grabbed", "the", obj, "."]
+        else:
+            tokens += [person, "went", "to", "the", self._one(PLACES), "."]
+        tokens += ["what", "is", person, "carrying", "?"]
+        return QAExample(8, tokens, answer)
+
+    def _task_09(self) -> QAExample:
+        """Simple negation."""
+        person = self._one(PEOPLE)
+        place = self._one(PLACES)
+        negated = self.rng.random() < 0.5
+        if negated:
+            tokens = [person, "is", "not", "in", "the", place, "."]
+        else:
+            tokens = [person, "is", "in", "the", place, "."]
+        tokens += ["is", person, "in", "the", place, "?"]
+        return QAExample(9, tokens, "no" if negated else "yes")
+
+    def _task_10(self) -> QAExample:
+        """Indefinite knowledge: either/or."""
+        person = self._one(PEOPLE)
+        place1, place2, place3 = self._pick(PLACES, 3)
+        tokens = [person, "is", "either", "in", "the", place1, "or", "the",
+                  place2, "."]
+        choice = self.rng.random()
+        if choice < 1 / 3:
+            asked, answer = place1, "maybe"
+        elif choice < 2 / 3:
+            asked, answer = place2, "maybe"
+        else:
+            asked, answer = place3, "no"
+        tokens += ["is", person, "in", "the", asked, "?"]
+        return QAExample(10, tokens, answer)
+
+    def _task_11(self) -> QAExample:
+        """Basic coreference: pronoun refers to the last-named person."""
+        person = self._one(PEOPLE)
+        place1, place2 = self._pick(PLACES, 2)
+        pronoun = "she" if person in ("mary", "sandra") else "he"
+        tokens = [person, "went", "to", "the", place1, "."]
+        tokens += [pronoun, "then", "went", "to", "the", place2, "."]
+        tokens += ["where", "is", person, "?"]
+        return QAExample(11, tokens, place2)
+
+    def _task_12(self) -> QAExample:
+        """Conjunction: two subjects move together."""
+        person1, person2 = self._pick(PEOPLE, 2)
+        place = self._one(PLACES)
+        tokens = [person1, "and", person2, "went", "to", "the", place, "."]
+        target = person1 if self.rng.random() < 0.5 else person2
+        tokens += ["where", "is", target, "?"]
+        return QAExample(12, tokens, place)
+
+    def _task_13(self) -> QAExample:
+        """Compound coreference: 'they' refers to the pair."""
+        person1, person2 = self._pick(PEOPLE, 2)
+        place1, place2 = self._pick(PLACES, 2)
+        tokens = [person1, "and", person2, "went", "to", "the", place1, "."]
+        tokens += ["they", "then", "went", "to", "the", place2, "."]
+        target = person1 if self.rng.random() < 0.5 else person2
+        tokens += ["where", "is", target, "?"]
+        return QAExample(13, tokens, place2)
+
+    def _task_14(self) -> QAExample:
+        """Time reasoning: facts presented out of chronological order."""
+        person = self._one(PEOPLE)
+        place1, place2, place3 = self._pick(PLACES, 3)
+        times = ["morning", "afternoon", "evening"]
+        places = [place1, place2, place3]
+        order = self.rng.permutation(3)
+        tokens: List[str] = []
+        for idx in order:
+            tokens += ["in", "the", times[idx], person, "went", "to", "the",
+                       places[idx], "."]
+        asked = int(self.rng.integers(0, 3))
+        tokens += ["where", "was", person, "in", "the", times[asked], "?"]
+        return QAExample(14, tokens, places[asked])
+
+    def _task_15(self) -> QAExample:
+        """Basic deduction: species-level fear transfers to individuals."""
+        predator, prey = self._pick(ANIMALS, 2)
+        name = self._one(PEOPLE)
+        tokens = [prey, "are", "afraid", "of", predator, "."]
+        tokens += [name, "is", "a", prey, "."]
+        tokens += ["what", "is", name, "afraid", "of", "?"]
+        return QAExample(15, tokens, predator)
+
+    def _task_16(self) -> QAExample:
+        """Basic induction: color generalizes within a species."""
+        animal = self._one(ANIMALS)
+        color = self._one(COLORS)
+        name1, name2 = self._pick(PEOPLE, 2)
+        tokens = [name1, "is", "a", animal, "."]
+        tokens += [name1, "is", color, "."]
+        tokens += [name2, "is", "a", animal, "."]
+        tokens += ["what", "color", "is", name2, "?"]
+        return QAExample(16, tokens, color)
+
+    def _task_17(self) -> QAExample:
+        """Positional reasoning: above/below consistency."""
+        shape1, shape2 = self._pick(SHAPES, 2)
+        tokens = ["the", shape1, "is", "above", "the", shape2, "."]
+        ask_below = self.rng.random() < 0.5
+        if ask_below:
+            tokens += ["is", "the", shape2, "below", "the", shape1, "?"]
+            answer = "yes"
+        else:
+            tokens += ["is", "the", shape1, "below", "the", shape2, "?"]
+            answer = "no"
+        return QAExample(17, tokens, answer)
+
+    def _task_18(self) -> QAExample:
+        """Size reasoning: bigger-than implies does-not-fit."""
+        obj1, obj2 = self._pick(OBJECTS, 2)
+        tokens = ["the", obj1, "is", "bigger", "than", "the", obj2, "."]
+        ask_big_in_small = self.rng.random() < 0.5
+        if ask_big_in_small:
+            tokens += ["does", "the", obj1, "fit", "in", "the", obj2, "?"]
+            answer = "no"
+        else:
+            tokens += ["does", "the", obj2, "fit", "in", "the", obj1, "?"]
+            answer = "yes"
+        return QAExample(18, tokens, answer)
+
+    def _task_19(self) -> QAExample:
+        """Path finding: one-hop direction between places."""
+        place1, place2 = self._pick(PLACES, 2)
+        direction = self._one(DIRECTIONS)
+        tokens = ["the", place1, "is", direction, "of", "the", place2, "."]
+        tokens += ["how", "do", "you", "go", "from", place2, "to", place1, "?"]
+        return QAExample(19, tokens, direction)
+
+    def _task_20(self) -> QAExample:
+        """Agents' motivations: why did X go somewhere."""
+        person = self._one(PEOPLE)
+        motive = self._one(MOTIVES)
+        place = self._one(PLACES)
+        tokens = [person, "is", motive, "."]
+        tokens += [person, "went", "to", "the", place, "."]
+        tokens += ["why", "did", person, "go", "to", "the", place, "?"]
+        return QAExample(20, tokens, motive)
+
+
+def encode_example(
+    example: QAExample, vocab: Vocabulary
+) -> Tuple[np.ndarray, int]:
+    """One-hot inputs ``(T, |V|)`` and the answer token id.
+
+    The model is trained to emit the answer at the final timestep (the
+    ``?`` token position), the standard bAbI readout convention.
+    """
+    inputs = encode_tokens(example.tokens, vocab)
+    return inputs, vocab.id_of(example.answer)
+
+
+__all__ = ["BabiTaskSuite", "QAExample", "encode_example", "TASK_NAMES"]

@@ -1,0 +1,137 @@
+"""Copy and repeat-copy bit-sequence tasks.
+
+The copy task is the canonical MANN probe (Graves et al., 2014): the model
+receives a random bit sequence followed by an end marker and must
+reproduce the sequence from memory.  Input layout per timestep:
+
+    ``[bit_0 .. bit_{B-1}, start_marker, end_marker]``
+
+Targets carry the bits only; a mask selects the recall phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import RngMixin, SeedLike, new_rng
+
+
+@dataclass
+class BitSequenceSample:
+    """One sampled episode: inputs ``(T, B+2)``, targets ``(T, B)``,
+    and a ``(T,)`` mask that is 1 during the recall phase."""
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    mask: np.ndarray
+
+
+class CopyTask(RngMixin):
+    """Random bit-sequence copy task.
+
+    Parameters
+    ----------
+    num_bits:
+        Width ``B`` of each pattern.
+    min_length / max_length:
+        Sequence length range (inclusive), sampled uniformly per episode.
+    """
+
+    def __init__(
+        self,
+        num_bits: int = 4,
+        min_length: int = 2,
+        max_length: int = 6,
+        rng: SeedLike = None,
+    ):
+        if min_length < 1 or max_length < min_length:
+            raise ConfigError(
+                f"invalid length range [{min_length}, {max_length}]"
+            )
+        self.num_bits = num_bits
+        self.min_length = min_length
+        self.max_length = max_length
+        self.seed(rng)
+
+    @property
+    def input_size(self) -> int:
+        return self.num_bits + 2
+
+    @property
+    def output_size(self) -> int:
+        return self.num_bits
+
+    def sample(self) -> BitSequenceSample:
+        """One episode: present -> end marker -> silent recall phase."""
+        length = int(self.rng.integers(self.min_length, self.max_length + 1))
+        bits = (self.rng.random((length, self.num_bits)) > 0.5).astype(float)
+        total = 2 * length + 2
+        inputs = np.zeros((total, self.input_size))
+        targets = np.zeros((total, self.num_bits))
+        mask = np.zeros(total)
+
+        inputs[0, self.num_bits] = 1.0  # start marker
+        inputs[1 : length + 1, : self.num_bits] = bits
+        inputs[length + 1, self.num_bits + 1] = 1.0  # end marker
+        targets[length + 2 :, :] = bits
+        mask[length + 2 :] = 1.0
+        return BitSequenceSample(inputs, targets, mask)
+
+
+class RepeatCopyTask(RngMixin):
+    """Repeat-copy: reproduce the pattern ``k`` times.
+
+    The repeat count is presented (normalized) on the end-marker channel.
+    """
+
+    def __init__(
+        self,
+        num_bits: int = 4,
+        min_length: int = 2,
+        max_length: int = 4,
+        min_repeats: int = 1,
+        max_repeats: int = 3,
+        rng: SeedLike = None,
+    ):
+        if min_repeats < 1 or max_repeats < min_repeats:
+            raise ConfigError(
+                f"invalid repeat range [{min_repeats}, {max_repeats}]"
+            )
+        self.num_bits = num_bits
+        self.min_length = min_length
+        self.max_length = max_length
+        self.min_repeats = min_repeats
+        self.max_repeats = max_repeats
+        self.seed(rng)
+
+    @property
+    def input_size(self) -> int:
+        return self.num_bits + 2
+
+    @property
+    def output_size(self) -> int:
+        return self.num_bits
+
+    def sample(self) -> BitSequenceSample:
+        length = int(self.rng.integers(self.min_length, self.max_length + 1))
+        repeats = int(self.rng.integers(self.min_repeats, self.max_repeats + 1))
+        bits = (self.rng.random((length, self.num_bits)) > 0.5).astype(float)
+        total = 2 + length + repeats * length
+        inputs = np.zeros((total, self.input_size))
+        targets = np.zeros((total, self.num_bits))
+        mask = np.zeros(total)
+
+        inputs[0, self.num_bits] = 1.0
+        inputs[1 : length + 1, : self.num_bits] = bits
+        inputs[length + 1, self.num_bits + 1] = repeats / self.max_repeats
+        recall = np.tile(bits, (repeats, 1))
+        targets[length + 2 :, :] = recall
+        mask[length + 2 :] = 1.0
+        return BitSequenceSample(inputs, targets, mask)
+
+
+__all__ = ["CopyTask", "RepeatCopyTask", "BitSequenceSample"]

@@ -1,0 +1,55 @@
+"""Vocabulary and one-hot encoding for token-sequence tasks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class Vocabulary:
+    """Bidirectional token <-> id map with deterministic ordering."""
+
+    def __init__(self, tokens: Iterable[str] = ()):
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        for token in tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        """Add ``token`` if new; return its id."""
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    def id_of(self, token: str) -> int:
+        if token not in self._token_to_id:
+            raise ConfigError(f"token {token!r} not in vocabulary")
+        return self._token_to_id[token]
+
+    def token_of(self, index: int) -> str:
+        return self._id_to_token[index]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def tokens(self) -> List[str]:
+        return list(self._id_to_token)
+
+
+def encode_tokens(tokens: Sequence[str], vocab: Vocabulary) -> np.ndarray:
+    """One-hot encode a token sequence: ``(T, len(vocab))``."""
+    out = np.zeros((len(tokens), len(vocab)))
+    for t, token in enumerate(tokens):
+        out[t, vocab.id_of(token)] = 1.0
+    return out
+
+
+__all__ = ["Vocabulary", "encode_tokens"]

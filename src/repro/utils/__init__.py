@@ -1,0 +1,22 @@
+"""Shared utilities: seeded RNG helpers, table formatting, validation."""
+
+from repro.utils.rng import RngMixin, new_rng
+from repro.utils.formatting import format_table, format_ratio, format_breakdown
+from repro.utils.validation import (
+    check_positive,
+    check_probability,
+    check_power_of_two,
+    check_in,
+)
+
+__all__ = [
+    "RngMixin",
+    "new_rng",
+    "format_table",
+    "format_ratio",
+    "format_breakdown",
+    "check_positive",
+    "check_probability",
+    "check_power_of_two",
+    "check_in",
+]

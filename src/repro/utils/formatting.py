@@ -1,0 +1,62 @@
+"""Plain-text rendering of tables, ratios, and percentage breakdowns.
+
+The benchmark harness prints every reproduced table/figure as text; these
+helpers keep the rendering consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_ratio(value: float, reference: float) -> str:
+    """Render ``value`` relative to ``reference`` as an ``N.NNx`` factor."""
+    if reference == 0:
+        return "inf x"
+    return f"{value / reference:.3g}x"
+
+
+def format_breakdown(parts: Mapping[str, float], title: str = "") -> str:
+    """Render a name->value mapping as percentages of the total."""
+    total = sum(parts.values())
+    lines = [title] if title else []
+    for name, value in parts.items():
+        pct = 100.0 * value / total if total else 0.0
+        lines.append(f"  {name:<32s} {pct:5.1f}%  ({value:.4g})")
+    lines.append(f"  {'total':<32s} 100.0%  ({total:.4g})")
+    return "\n".join(lines)

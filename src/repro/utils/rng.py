@@ -1,0 +1,48 @@
+"""Deterministic random-number-generation helpers.
+
+Every stochastic component in the library accepts either an integer seed or
+an existing :class:`numpy.random.Generator`.  ``new_rng`` normalizes both
+forms, so experiments are reproducible end to end from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a freshly seeded generator, an ``int`` a deterministic
+    one, and an existing generator is passed through unchanged so that a
+    caller can thread one RNG through many components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list:
+    """Split ``rng`` into ``count`` independent child generators."""
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+class RngMixin:
+    """Mixin giving a class a lazily created, seedable ``self.rng``."""
+
+    _rng: Optional[np.random.Generator] = None
+
+    def seed(self, seed: SeedLike) -> None:
+        """(Re)seed this component's private generator."""
+        self._rng = new_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = new_rng(None)
+        return self._rng

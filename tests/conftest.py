@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import HiMAConfig
+from repro.dnc.model import DNC, DNCConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dnc_config():
+    """A DNC small enough for gradient checks and fast training."""
+    return DNCConfig(
+        input_size=5, output_size=3, memory_size=8, word_size=4,
+        num_reads=2, hidden_size=12,
+    )
+
+
+@pytest.fixture
+def small_dnc(small_dnc_config):
+    return DNC(small_dnc_config, rng=0)
+
+
+@pytest.fixture
+def small_hima_config():
+    """A HiMA config small enough for fast engine/perf tests."""
+    return HiMAConfig(
+        memory_size=64, word_size=16, num_reads=2, num_tiles=4,
+        hidden_size=32, sequence_length=4,
+    )

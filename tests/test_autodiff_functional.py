@@ -1,0 +1,111 @@
+"""Composite functions: oneplus, normalization, content weighting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor, check_gradients, functional, ops
+
+
+def rand(rng, *shape):
+    return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+class TestOneplus:
+    def test_range_is_at_least_one(self, rng):
+        out = functional.oneplus(Tensor(rng.standard_normal(100)))
+        assert np.all(out.data >= 1.0)
+
+    def test_value_at_zero(self):
+        out = functional.oneplus(Tensor([0.0]))
+        assert out.data[0] == pytest.approx(1.0 + np.log(2.0))
+
+    def test_gradient(self, rng):
+        check_gradients(functional.oneplus, [rand(rng, 5)])
+
+
+class TestNormalize:
+    def test_unit_norm(self, rng):
+        out = functional.normalize(Tensor(rng.standard_normal((4, 6))))
+        norms = np.linalg.norm(out.data, axis=-1)
+        assert np.allclose(norms, 1.0, atol=1e-4)
+
+    def test_gradient(self, rng):
+        check_gradients(functional.normalize, [rand(rng, 3, 4)])
+
+    def test_zero_vector_does_not_nan(self):
+        out = functional.normalize(Tensor(np.zeros((1, 4))))
+        assert np.all(np.isfinite(out.data))
+
+
+class TestCosineSimilarity:
+    def test_range(self, rng):
+        memory = Tensor(rng.standard_normal((10, 6)))
+        key = Tensor(rng.standard_normal(6))
+        sim = functional.cosine_similarity(memory, key)
+        assert sim.shape == (10,)
+        assert np.all(sim.data <= 1.0 + 1e-6)
+        assert np.all(sim.data >= -1.0 - 1e-6)
+
+    def test_identical_row_scores_highest(self, rng):
+        memory = Tensor(rng.standard_normal((5, 6)))
+        key = Tensor(memory.data[2].copy())
+        sim = functional.cosine_similarity(memory, key)
+        assert int(np.argmax(sim.data)) == 2
+
+    def test_gradient(self, rng):
+        check_gradients(
+            functional.cosine_similarity, [rand(rng, 5, 4), rand(rng, 4)]
+        )
+
+
+class TestContentWeighting:
+    def test_simplex_output(self, rng):
+        memory = Tensor(rng.standard_normal((8, 4)))
+        key = Tensor(rng.standard_normal(4))
+        strength = Tensor(np.array(3.0))
+        w = functional.content_weighting(memory, key, strength)
+        assert w.data.sum() == pytest.approx(1.0)
+        assert np.all(w.data >= 0)
+
+    def test_high_strength_sharpens(self):
+        # Orthogonal rows: the matching row wins decisively at high beta.
+        memory = Tensor(np.eye(4))
+        key = Tensor(np.eye(4)[3])
+        soft = functional.content_weighting(memory, key, Tensor(np.array(1.0)))
+        sharp = functional.content_weighting(memory, key, Tensor(np.array(50.0)))
+        assert sharp.data[3] > soft.data[3]
+        assert sharp.data[3] > 0.99
+
+    def test_gradient(self, rng):
+        check_gradients(
+            functional.content_weighting,
+            [rand(rng, 5, 4), rand(rng, 4),
+             Tensor(np.array(2.0), requires_grad=True)],
+        )
+
+
+class TestBatchOuterOneHot:
+    def test_batch_outer_matches_numpy(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((2, 4))
+        out = functional.batch_outer(Tensor(a), Tensor(b))
+        expected = np.einsum("bi,bj->bij", a, b)
+        assert np.allclose(out.data, expected)
+
+    def test_batch_outer_gradient(self, rng):
+        check_gradients(functional.batch_outer, [rand(rng, 2, 3), rand(rng, 2, 4)])
+
+    def test_one_hot(self):
+        out = functional.one_hot(np.array([0, 2]), 3)
+        assert np.allclose(out.data, [[1, 0, 0], [0, 0, 1]])
+
+
+@given(st.integers(2, 6), st.integers(2, 5))
+@settings(max_examples=15, deadline=None)
+def test_weighted_softmax_simplex_property(n, w):
+    rng = np.random.default_rng(n * 10 + w)
+    scores = Tensor(rng.standard_normal(n))
+    strength = Tensor(np.array(float(w)))
+    out = functional.weighted_softmax(scores, strength)
+    assert out.data.sum() == pytest.approx(1.0)

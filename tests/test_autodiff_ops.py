@@ -1,0 +1,238 @@
+"""Gradient checks for every primitive op (fixed cases + hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor, check_gradients, ops
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+def t(array):
+    return Tensor(np.asarray(array, dtype=np.float64), requires_grad=True)
+
+
+def rand(rng, *shape):
+    return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize("fn", [
+        ops.add, ops.sub, ops.mul,
+    ])
+    def test_binary_ops(self, fn, rng):
+        check_gradients(fn, [rand(rng, 3, 4), rand(rng, 3, 4)])
+
+    def test_binary_broadcasting(self, rng):
+        check_gradients(ops.add, [rand(rng, 3, 4), rand(rng, 4)])
+        check_gradients(ops.mul, [rand(rng, 2, 1, 4), rand(rng, 3, 4)])
+
+    def test_div(self, rng):
+        denom = Tensor(rng.random((3, 4)) + 0.5, requires_grad=True)
+        check_gradients(ops.div, [rand(rng, 3, 4), denom])
+
+    def test_unary_ops(self, rng):
+        for fn in (ops.neg, ops.exp, ops.tanh, ops.sigmoid, ops.softplus):
+            check_gradients(fn, [rand(rng, 5)])
+
+    def test_log_sqrt_on_positive(self, rng):
+        x = Tensor(rng.random(5) + 0.5, requires_grad=True)
+        check_gradients(ops.log, [x])
+        check_gradients(ops.sqrt, [x])
+
+    def test_power(self, rng):
+        x = Tensor(rng.random(5) + 0.5, requires_grad=True)
+        check_gradients(lambda a: ops.power(a, 3.0), [x])
+
+    def test_abs_away_from_zero(self):
+        x = t([-2.0, -1.0, 1.0, 3.0])
+        check_gradients(ops.abs, [x])
+
+    def test_relu_away_from_zero(self):
+        x = t([-2.0, -1.0, 1.0, 3.0])
+        check_gradients(ops.relu, [x])
+
+    def test_maximum(self):
+        a = t([1.0, 5.0, -2.0])
+        b = t([2.0, 1.0, -3.0])
+        check_gradients(ops.maximum, [a, b])
+
+    def test_maximum_tie_splits_gradient(self):
+        a = t([1.0])
+        b = t([1.0])
+        out = ops.maximum(a, b)
+        out.backward(np.ones(1))
+        assert a.grad[0] == pytest.approx(0.5)
+        assert b.grad[0] == pytest.approx(0.5)
+
+    def test_clip_gradient_masked(self):
+        x = t([-2.0, 0.5, 2.0])
+        out = ops.clip(x, -1.0, 1.0)
+        out.backward(np.ones(3))
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+        assert np.allclose(out.data, [-1.0, 0.5, 1.0])
+
+    def test_sigmoid_extreme_values_stable(self):
+        x = t([-1000.0, 1000.0])
+        out = ops.sigmoid(x)
+        assert np.all(np.isfinite(out.data))
+        assert out.data[0] == pytest.approx(0.0)
+        assert out.data[1] == pytest.approx(1.0)
+
+    def test_softplus_extreme_values_stable(self):
+        x = t([-1000.0, 1000.0])
+        out = ops.softplus(x)
+        assert np.all(np.isfinite(out.data))
+        assert out.data[1] == pytest.approx(1000.0)
+
+
+class TestMatmulGradients:
+    def test_2d(self, rng):
+        check_gradients(ops.matmul, [rand(rng, 3, 4), rand(rng, 4, 5)])
+
+    def test_matrix_vector(self, rng):
+        check_gradients(ops.matmul, [rand(rng, 3, 4), rand(rng, 4)])
+
+    def test_vector_matrix(self, rng):
+        check_gradients(ops.matmul, [rand(rng, 4), rand(rng, 4, 5)])
+
+    def test_batched(self, rng):
+        check_gradients(ops.matmul, [rand(rng, 2, 3, 4), rand(rng, 2, 4, 5)])
+
+    def test_batched_against_unbatched_operand(self, rng):
+        check_gradients(ops.matmul, [rand(rng, 2, 3, 4), rand(rng, 4, 5)])
+
+    def test_batched_matrix_times_vector(self, rng):
+        check_gradients(ops.matmul, [rand(rng, 2, 3, 4), rand(rng, 4)])
+
+    def test_outer(self, rng):
+        check_gradients(ops.outer, [rand(rng, 3), rand(rng, 4)])
+
+
+class TestShapeOps:
+    def test_transpose_default_and_axes(self, rng):
+        check_gradients(lambda a: ops.transpose(a), [rand(rng, 3, 4)])
+        check_gradients(
+            lambda a: ops.transpose(a, (2, 0, 1)), [rand(rng, 2, 3, 4)]
+        )
+
+    def test_reshape(self, rng):
+        check_gradients(lambda a: ops.reshape(a, (4, 3)), [rand(rng, 3, 4)])
+
+    def test_concat(self, rng):
+        check_gradients(
+            lambda a, b: ops.concat([a, b], axis=1),
+            [rand(rng, 2, 3), rand(rng, 2, 4)],
+        )
+
+    def test_stack(self, rng):
+        check_gradients(
+            lambda a, b: ops.stack([a, b], axis=0),
+            [rand(rng, 2, 3), rand(rng, 2, 3)],
+        )
+
+    def test_getitem_slice(self, rng):
+        check_gradients(lambda a: a[1:3], [rand(rng, 5, 2)])
+
+    def test_getitem_fancy_index_accumulates(self):
+        a = t([1.0, 2.0, 3.0])
+        out = a[np.array([0, 0, 2])]
+        out.backward(np.ones(3))
+        assert np.allclose(a.grad, [2.0, 0.0, 1.0])
+
+
+class TestReductions:
+    def test_sum_all_and_axis(self, rng):
+        check_gradients(lambda a: ops.sum(a), [rand(rng, 3, 4)])
+        check_gradients(lambda a: ops.sum(a, axis=1), [rand(rng, 3, 4)])
+        check_gradients(
+            lambda a: ops.sum(a, axis=0, keepdims=True), [rand(rng, 3, 4)]
+        )
+
+    def test_mean(self, rng):
+        check_gradients(lambda a: ops.mean(a), [rand(rng, 3, 4)])
+        check_gradients(lambda a: ops.mean(a, axis=1), [rand(rng, 3, 4)])
+
+    def test_cumsum(self, rng):
+        check_gradients(lambda a: ops.cumsum(a, axis=-1), [rand(rng, 6)])
+        check_gradients(lambda a: ops.cumsum(a, axis=0), [rand(rng, 3, 4)])
+
+
+class TestCumprod:
+    def test_inclusive_exclusive_values(self):
+        x = t([2.0, 3.0, 4.0])
+        assert np.allclose(ops.cumprod(x).data, [2.0, 6.0, 24.0])
+        assert np.allclose(
+            ops.cumprod(x, exclusive=True).data, [1.0, 2.0, 6.0]
+        )
+
+    def test_gradients_nonzero_input(self, rng):
+        x = Tensor(rng.random(6) + 0.1, requires_grad=True)
+        check_gradients(lambda a: ops.cumprod(a), [x])
+        check_gradients(lambda a: ops.cumprod(a, exclusive=True), [x])
+
+    def test_gradients_with_zero_entry(self):
+        x = t([0.5, 0.0, 0.3, 0.7])
+        check_gradients(lambda a: ops.cumprod(a), [x])
+        check_gradients(lambda a: ops.cumprod(a, exclusive=True), [x])
+
+    def test_gradients_2d_axis(self, rng):
+        x = Tensor(rng.random((2, 5)) + 0.1, requires_grad=True)
+        check_gradients(lambda a: ops.cumprod(a, axis=-1, exclusive=True), [x])
+
+
+class TestGatherSoftmax:
+    def test_take_along_axis_1d(self, rng):
+        x = rand(rng, 6)
+        idx = np.argsort(rng.random(6))
+        check_gradients(lambda a: ops.take_along_axis(a, idx, axis=0), [x])
+
+    def test_take_along_axis_2d(self, rng):
+        x = rand(rng, 3, 5)
+        idx = np.argsort(rng.random((3, 5)), axis=1)
+        check_gradients(lambda a: ops.take_along_axis(a, idx, axis=1), [x])
+
+    def test_take_along_axis_roundtrip(self, rng):
+        x = rand(rng, 8)
+        order = np.argsort(x.data)
+        inverse = np.argsort(order)
+        restored = ops.take_along_axis(
+            ops.take_along_axis(x, order, 0), inverse, 0
+        )
+        assert np.allclose(restored.data, x.data)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = ops.softmax(rand(rng, 4, 6), axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_gradient(self, rng):
+        check_gradients(lambda a: ops.softmax(a, axis=-1), [rand(rng, 3, 5)])
+
+    def test_softmax_stable_for_large_inputs(self):
+        out = ops.softmax(t([1000.0, 1000.0, -1000.0]))
+        assert np.allclose(out.data[:2], 0.5)
+
+    def test_log_softmax_gradient(self, rng):
+        check_gradients(lambda a: ops.log_softmax(a, axis=-1), [rand(rng, 3, 5)])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rand(rng, 7)
+        assert np.allclose(
+            ops.log_softmax(x).data, np.log(ops.softmax(x).data)
+        )
+
+
+@given(st.lists(st.floats(-3, 3), min_size=2, max_size=8))
+@settings(**SETTINGS)
+def test_softmax_property_simplex(values):
+    out = ops.softmax(Tensor(np.array(values)))
+    assert np.all(out.data >= 0)
+    assert out.data.sum() == pytest.approx(1.0)
+
+
+@given(st.lists(st.floats(0.05, 0.95), min_size=2, max_size=7))
+@settings(**SETTINGS)
+def test_cumprod_gradient_property(values):
+    x = Tensor(np.array(values), requires_grad=True)
+    check_gradients(lambda a: ops.cumprod(a, exclusive=True), [x], atol=1e-4)

@@ -1,0 +1,162 @@
+"""Tensor mechanics: tape construction, backward, no_grad, broadcasting."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, is_grad_enabled, no_grad, ops
+from repro.autodiff.tensor import unbroadcast
+from repro.errors import GradientError
+
+
+class TestTensorBasics:
+    def test_wraps_data_as_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_wrapping_tensor_unwraps_data(self):
+        inner = Tensor([1.0, 2.0])
+        outer = Tensor(inner)
+        assert np.array_equal(outer.data, inner.data)
+
+    def test_repr_mentions_grad_flag(self):
+        t = Tensor([1.0], requires_grad=True, name="w")
+        assert "requires_grad=True" in repr(t)
+        assert "w" in repr(t)
+
+    def test_item_and_len(self):
+        assert Tensor(3.5).item() == 3.5
+        assert len(Tensor([1, 2, 3])) == 3
+
+    def test_detach_cuts_tape(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert b.parents == []
+        assert not b.requires_grad
+
+
+class TestBackward:
+    def test_scalar_backward_default_grad(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = ops.sum(a * a)
+        loss.backward()
+        assert np.allclose(a.grad, [2.0, 4.0])
+
+    def test_nonscalar_backward_requires_grad_argument(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = a * 2.0
+        with pytest.raises(GradientError):
+            out.backward()
+
+    def test_wrong_grad_shape_rejected(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = a * 2.0
+        with pytest.raises(GradientError):
+            out.backward(np.ones(4))
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        for _ in range(2):
+            loss = ops.sum(a * 3.0)
+            loss.backward()
+        assert np.allclose(a.grad, [6.0, 6.0])
+
+    def test_zero_grad_clears(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        ops.sum(a).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # loss = a*a + a*a should give grad 4a, not 2a.
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * a
+        loss = ops.sum(b + b)
+        loss.backward()
+        assert np.allclose(a.grad, [12.0])
+
+    def test_shared_subexpression_deep_chain(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        x = a * a          # 4
+        y = x * x          # 16, dy/da = 4a^3 = 32
+        ops.sum(y).backward()
+        assert np.allclose(a.grad, [32.0])
+
+
+class TestNoGrad:
+    def test_no_grad_builds_no_tape(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert out.parents == []
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestUnbroadcast:
+    def test_identity_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sums_leading_dims(self):
+        g = np.ones((4, 2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+        assert np.all(unbroadcast(g, (2, 3)) == 4.0)
+
+    def test_sums_size_one_dims(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (1, 3))
+        assert out.shape == (1, 3)
+        assert np.all(out == 2.0)
+
+    def test_broadcast_add_gradients(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        ops.sum(a + b).backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.all(b.grad == 2.0)
+
+
+class TestOperatorOverloads:
+    def test_arithmetic_operators(self):
+        a = Tensor([2.0])
+        assert (a + 1).data[0] == 3.0
+        assert (1 + a).data[0] == 3.0
+        assert (a - 1).data[0] == 1.0
+        assert (1 - a).data[0] == -1.0
+        assert (a * 3).data[0] == 6.0
+        assert (a / 2).data[0] == 1.0
+        assert (4 / a).data[0] == 2.0
+        assert (-a).data[0] == -2.0
+        assert (a**2).data[0] == 4.0
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2))
+        b = Tensor([[1.0], [2.0]])
+        assert np.allclose((a @ b).data, [[1.0], [2.0]])
+
+    def test_getitem_and_transpose(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert np.allclose(a[0].data, [0, 1, 2])
+        assert a.T.shape == (3, 2)
+        assert a.reshape(3, 2).shape == (3, 2)
+        assert a.transpose(1, 0).shape == (3, 2)
+
+    def test_sum_mean_methods(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.sum().item() == 15.0
+        assert a.mean().item() == 2.5
+        assert a.sum(axis=0).shape == (3,)

@@ -1,0 +1,49 @@
+"""Guard: `pytest benchmarks/` must collect the bench files.
+
+The bench files are named ``bench_*.py``; pytest only collects them
+because pyproject.toml widens ``python_files``.  This test fails loudly
+if that configuration regresses (the symptom would be a silent
+"no tests ran" from the benchmark harness).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_bench_files_are_collected():
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "--collect-only",
+         "-q", "--no-header", "-p", "no:cacheprovider"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "bench_fig11_speed_area_power.py" in result.stdout
+    assert "bench_table1_kernel_analysis.py" in result.stdout
+    # All eight bench files collect at least one test each.
+    collected = sum(
+        int(line.rsplit(":", 1)[1])
+        for line in result.stdout.splitlines()
+        if line.startswith("benchmarks/bench_") and ":" in line
+    )
+    assert collected >= 20
+
+
+def test_every_figure_has_a_bench_file():
+    bench_dir = REPO_ROOT / "benchmarks"
+    names = {p.name for p in bench_dir.glob("bench_*.py")}
+    expected = {
+        "bench_table1_kernel_analysis.py",
+        "bench_fig4_runtime_breakdown.py",
+        "bench_fig5_noc_scalability.py",
+        "bench_fig6_partition_traffic.py",
+        "bench_fig7_two_stage_sort.py",
+        "bench_fig10_dncd_accuracy.py",
+        "bench_fig11_speed_area_power.py",
+        "bench_fig12_comparison.py",
+    }
+    assert expected <= names

@@ -1,0 +1,173 @@
+"""HiMAConfig and the submatrix partition model (Eqs. 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import HiMAConfig
+from repro.core.partition import (
+    Partition,
+    content_weighting_traffic,
+    factor_pairs,
+    forward_backward_traffic,
+    forward_backward_traffic_words,
+    linkage_distribution_traffic,
+    memory_read_traffic,
+    optimal_external_partition,
+    optimal_linkage_partition,
+)
+from repro.errors import ConfigError
+
+
+class TestHiMAConfig:
+    def test_defaults_are_paper_prototype(self):
+        cfg = HiMAConfig()
+        assert (cfg.memory_size, cfg.word_size, cfg.num_reads,
+                cfg.num_tiles) == (1024, 64, 4, 16)
+        assert cfg.clock_hz == 500e6
+
+    def test_presets(self):
+        base = HiMAConfig.baseline()
+        assert base.noc == "htree"
+        assert not base.two_stage_sort and not base.submatrix_partition
+        dnc = HiMAConfig.hima_dnc()
+        assert dnc.noc == "hima" and dnc.two_stage_sort
+        dncd = HiMAConfig.hima_dncd(skim_fraction=0.2)
+        assert dncd.distributed and dncd.skim_fraction == 0.2
+
+    def test_local_rows(self):
+        assert HiMAConfig().local_rows == 64
+
+    def test_linkage_partition_modes(self):
+        assert HiMAConfig().linkage_partition == (4, 4)
+        assert HiMAConfig(submatrix_partition=False).linkage_partition == (16, 1)
+
+    def test_effective_sort_length(self):
+        assert HiMAConfig().effective_sort_length == 1024
+        skim = HiMAConfig(skim_fraction=0.2)
+        assert skim.effective_sort_length == 1024 - 204
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HiMAConfig(memory_size=100, num_tiles=16)  # not divisible
+        with pytest.raises(ConfigError):
+            HiMAConfig(num_tiles=12)  # not a power of two
+        with pytest.raises(ConfigError):
+            HiMAConfig(noc="torus")
+        with pytest.raises(ConfigError):
+            HiMAConfig(skim_fraction=2.0)
+
+    def test_with_features_is_functional_update(self):
+        cfg = HiMAConfig()
+        updated = cfg.with_features(num_tiles=8)
+        assert updated.num_tiles == 8
+        assert cfg.num_tiles == 16
+
+
+class TestFactorPairs:
+    def test_sixteen(self):
+        assert factor_pairs(16) == [(1, 16), (2, 8), (4, 4), (8, 2), (16, 1)]
+
+    def test_products_correct(self):
+        for n in (4, 12, 48):
+            for rows, cols in factor_pairs(n):
+                assert rows * cols == n
+
+    def test_partition_block_shape(self):
+        p = Partition(4, 4)
+        assert p.num_tiles == 16
+        assert p.block_shape(1024, 1024) == (256, 256)
+        with pytest.raises(ConfigError):
+            p.block_shape(1001, 1024)
+
+
+class TestEq1ContentWeighting:
+    def test_row_wise_minimal(self):
+        # Eq. (1): row-wise costs 2(Nt-1); column-wise costs 2N(Nt-1).
+        assert content_weighting_traffic(1024, 16, 1) == 30
+        assert content_weighting_traffic(1024, 1, 16) == 2 * 1024 * 15
+        row = content_weighting_traffic(1024, 16, 1)
+        for nt_h, nt_w in factor_pairs(16):
+            assert content_weighting_traffic(1024, nt_h, nt_w) >= row
+
+
+class TestEq2MemoryRead:
+    def test_column_wise_quadratically_worse(self):
+        row = memory_read_traffic(1024, 64, 16, 16, 1)
+        col = memory_read_traffic(1024, 64, 16, 1, 16)
+        assert col > 10 * row
+
+    def test_row_wise_value(self):
+        # Nt_w=1: W(Nt-1) psum transfers only.
+        assert memory_read_traffic(1024, 64, 16, 16, 1) == 64 * 15
+
+    def test_monotone_toward_column_wise_tail(self):
+        values = [
+            memory_read_traffic(1024, 64, 16, 16 // w, w)
+            for w in (2, 4, 8, 16)
+        ]
+        assert values == sorted(values)
+
+
+class TestEq3ForwardBackward:
+    def test_interior_optimum_at_16_tiles(self):
+        assert optimal_linkage_partition(1024, 16) == (4, 4)
+
+    def test_extremes_suboptimal(self):
+        square = forward_backward_traffic(16, 4, 4)
+        assert forward_backward_traffic(16, 16, 1) > square
+        assert forward_backward_traffic(16, 1, 16) > square
+
+    def test_symmetry(self):
+        assert forward_backward_traffic(16, 2, 8) == pytest.approx(
+            forward_backward_traffic(16, 8, 2)
+        )
+
+    def test_sixty_four_tiles_optimum_square(self):
+        assert optimal_linkage_partition(1024, 64) == (8, 8)
+
+    def test_words_model_prefers_square_too(self):
+        square = forward_backward_traffic_words(1024, 4, 16, 4, 4)
+        row = forward_backward_traffic_words(1024, 4, 16, 16, 1)
+        assert square < row
+
+    def test_linkage_distribution_order_nt_n(self):
+        # Table 1 claims O(Nt * N) traffic for the linkage kernel.
+        small = linkage_distribution_traffic(1024, 16, 4, 4)
+        double_n = linkage_distribution_traffic(2048, 16, 4, 4)
+        assert double_n == pytest.approx(2 * small)
+
+
+class TestOptimizers:
+    def test_external_optimum_is_row_wise(self):
+        # Row-wise exactly for moderate tile counts; at Nt=64 the paper's
+        # own Eq. (2) admits Nt_w=2 ("Nt_w should generally be kept low").
+        for nt in (4, 16):
+            assert optimal_external_partition(1024, 64, nt) == (nt, 1)
+        nt_h, nt_w = optimal_external_partition(1024, 64, 64)
+        assert nt_w <= 2
+
+    def test_brute_force_matches_manual_scan(self):
+        nt = 16
+        best = min(
+            factor_pairs(nt),
+            key=lambda p: forward_backward_traffic(nt, *p),
+        )
+        assert optimal_linkage_partition(1024, nt) == best
+
+
+@given(st.sampled_from([4, 8, 16, 32, 64]))
+@settings(max_examples=10, deadline=None)
+def test_optimal_linkage_is_global_minimum_property(nt):
+    best = optimal_linkage_partition(1024, nt)
+    best_cost = forward_backward_traffic(nt, *best)
+    for pair in factor_pairs(nt):
+        assert forward_backward_traffic(nt, *pair) >= best_cost - 1e-9
+
+
+@given(st.sampled_from([4, 8, 16, 32]), st.sampled_from([256, 1024, 4096]))
+@settings(max_examples=15, deadline=None)
+def test_eq2_row_wise_never_worse_than_column_property(nt, n):
+    row = memory_read_traffic(n, 64, nt, nt, 1)
+    col = memory_read_traffic(n, 64, nt, 1, nt)
+    assert row <= col

@@ -1,0 +1,124 @@
+"""Memory map placement and the Table 1 kernel registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HiMAConfig
+from repro.core.kernels import KERNEL_REGISTRY, table1_rows
+from repro.core.mapping import MemoryMap
+from repro.dnc.instrumentation import KERNEL_CATEGORIES
+from repro.dnc.numpy_ref import NumpyDNC, NumpyDNCConfig
+from repro.errors import ConfigError
+
+
+class TestMemoryMap:
+    @pytest.fixture
+    def mmap(self, small_hima_config):
+        return MemoryMap(small_hima_config)  # N=64, Nt=4 -> 2x2 linkage grid
+
+    def test_external_rows_partition_everything(self, mmap):
+        covered = []
+        for t in range(4):
+            rows = mmap.external_rows(t)
+            covered.extend(range(rows.start, rows.stop))
+        assert covered == list(range(64))
+
+    def test_owner_of_row(self, mmap):
+        assert mmap.owner_of_row(0) == 0
+        assert mmap.owner_of_row(16) == 1
+        assert mmap.owner_of_row(63) == 3
+        with pytest.raises(ConfigError):
+            mmap.owner_of_row(64)
+
+    def test_linkage_blocks_tile_grid(self, mmap):
+        assert (mmap.nt_h, mmap.nt_w) == (2, 2)
+        seen = np.zeros((64, 64), dtype=int)
+        for t in range(4):
+            rows, cols = mmap.linkage_block(t)
+            seen[rows, cols] += 1
+        assert np.all(seen == 1)  # exact cover, no overlap
+
+    def test_grid_index_round_trip(self, mmap):
+        for t in range(4):
+            bi, bj = mmap.linkage_grid_index(t)
+            assert t == bi * mmap.nt_w + bj
+
+    def test_row_segment_owners(self, mmap):
+        owners = mmap.row_segment_owners(slice(0, 32))
+        assert owners == (0, 1)
+        assert mmap.row_segment_owners(slice(48, 64)) == (3,)
+
+    def test_ct_node_id(self, mmap):
+        assert mmap.ct_node == 4
+
+    def test_tile_bounds(self, mmap):
+        with pytest.raises(ConfigError):
+            mmap.external_rows(4)
+
+
+class TestKernelRegistry:
+    def test_fourteen_kernels_minus_lstm(self):
+        # Table 1 lists 13 memory-unit kernels; the controller is separate.
+        assert len(KERNEL_REGISTRY) == 13
+        assert "lstm" not in KERNEL_REGISTRY
+
+    def test_every_kernel_has_category(self):
+        for name in KERNEL_REGISTRY:
+            assert name in KERNEL_CATEGORIES
+
+    def test_access_vs_state_split(self):
+        access = {n for n, s in KERNEL_REGISTRY.items() if s.kernel_type == "access"}
+        assert access == {"normalize", "similarity", "memory_write", "memory_read"}
+        state = {n for n, s in KERNEL_REGISTRY.items() if s.kernel_type == "state"}
+        assert "usage_sort" in state and "linkage" in state
+
+    def test_state_kernels_have_no_ext_access(self):
+        cfg = HiMAConfig()
+        for name, spec in KERNEL_REGISTRY.items():
+            if spec.kernel_type == "state":
+                assert spec.ext_mem_accesses(cfg) == 0, name
+
+    def test_formulas_match_instrumented_reference(self):
+        """Registry access formulas == instrumented per-step counts."""
+        cfg = HiMAConfig(memory_size=32, word_size=8, num_reads=2,
+                         num_tiles=4, hidden_size=16)
+        ref = NumpyDNC(
+            NumpyDNCConfig(input_size=8, output_size=8, memory_size=32,
+                           word_size=8, num_reads=2, hidden_size=16),
+            rng=0,
+        )
+        steps = 3
+        ref.run(np.zeros((steps, 8)))
+        for name in ("memory_write", "memory_read", "retention", "usage",
+                     "linkage", "forward_backward", "precedence"):
+            spec = KERNEL_REGISTRY[name]
+            measured = ref.recorder.stats[name]
+            assert measured.ext_mem_accesses == steps * spec.ext_mem_accesses(cfg), name
+            assert measured.state_mem_accesses == steps * spec.state_mem_accesses(cfg), name
+
+    def test_distributed_shrinks_linkage_kernels(self):
+        dnc = HiMAConfig.hima_dnc()
+        dncd = HiMAConfig.hima_dncd()
+        for name in ("linkage", "forward_backward"):
+            spec = KERNEL_REGISTRY[name]
+            assert spec.ops(dncd) == spec.ops(dnc) // dnc.num_tiles
+            assert spec.noc_words(dncd) == 0.0
+
+    def test_skimming_reduces_sort_ops(self):
+        exact = HiMAConfig()
+        skim = HiMAConfig(skim_fraction=0.5)
+        sort = KERNEL_REGISTRY["usage_sort"]
+        assert sort.ops(skim) < sort.ops(exact)
+
+    def test_table1_rows_render(self):
+        rows = table1_rows(HiMAConfig())
+        assert len(rows) == 13
+        for row in rows:
+            assert len(row) == 9
+
+    def test_forward_backward_dominates_traffic(self):
+        cfg = HiMAConfig()
+        fb = KERNEL_REGISTRY["forward_backward"].noc_words(cfg)
+        for name, spec in KERNEL_REGISTRY.items():
+            if name != "forward_backward":
+                assert spec.noc_words(cfg) <= fb

@@ -1,0 +1,323 @@
+"""DNC addressing-kernel invariants and gradients.
+
+Checks the mathematical invariants of the DNC (Graves et al. 2016):
+weightings live on the simplex (or sub-simplex), usage stays in [0, 1],
+the linkage keeps a zero diagonal with rows/columns summing below one —
+plus gradient checks and exact agreement with the numpy mirrors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor, check_gradients, ops
+from repro.dnc import addressing
+from repro.dnc import numpy_ref as K
+
+SETTINGS = dict(max_examples=15, deadline=None)
+
+
+def simplex(rng, n):
+    w = rng.random(n)
+    return w / w.sum()
+
+
+def sub_simplex(rng, n, scale=0.8):
+    return simplex(rng, n) * scale
+
+
+class TestContentWeights:
+    def test_simplex_per_head(self, rng):
+        memory = Tensor(rng.standard_normal((8, 4)))
+        keys = Tensor(rng.standard_normal((3, 4)))
+        strengths = Tensor(rng.random(3) + 1.0)
+        w = addressing.content_weights(memory, keys, strengths)
+        assert w.shape == (3, 8)
+        assert np.allclose(w.data.sum(axis=-1), 1.0)
+        assert np.all(w.data >= 0)
+
+    def test_agrees_with_numpy_mirror(self, rng):
+        memory = rng.standard_normal((8, 4))
+        keys = rng.standard_normal((2, 4))
+        strengths = rng.random(2) + 1.0
+        ours = addressing.content_weights(
+            Tensor(memory), Tensor(keys), Tensor(strengths)
+        ).data
+        scores = K.content_scores(memory, keys)
+        reference = K.exact_softmax(strengths[:, None] * scores, axis=-1)
+        assert np.allclose(ours, reference)
+
+    def test_gradient(self, rng):
+        memory = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        keys = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        strengths = Tensor(rng.random(2) + 1.0, requires_grad=True)
+        check_gradients(addressing.content_weights, [memory, keys, strengths])
+
+
+class TestRetentionUsage:
+    def test_retention_range(self, rng):
+        free = Tensor(rng.random(2))
+        read_w = Tensor(np.stack([sub_simplex(rng, 6), sub_simplex(rng, 6)]))
+        psi = addressing.retention_vector(free, read_w)
+        assert psi.shape == (6,)
+        assert np.all((psi.data >= 0) & (psi.data <= 1))
+
+    def test_retention_identity_when_gates_closed(self, rng):
+        free = Tensor(np.zeros(2))
+        read_w = Tensor(np.stack([sub_simplex(rng, 6), sub_simplex(rng, 6)]))
+        psi = addressing.retention_vector(free, read_w)
+        assert np.allclose(psi.data, 1.0)
+
+    def test_retention_agrees_with_numpy(self, rng):
+        free = rng.random(3)
+        read_w = np.stack([sub_simplex(rng, 5) for _ in range(3)])
+        ours = addressing.retention_vector(Tensor(free), Tensor(read_w)).data
+        assert np.allclose(ours, K.retention(free, read_w))
+
+    def test_usage_stays_in_unit_interval(self, rng):
+        usage = Tensor(rng.random(6))
+        write_w = Tensor(sub_simplex(rng, 6))
+        psi = Tensor(rng.random(6))
+        u = addressing.usage_vector(usage, write_w, psi)
+        assert np.all((u.data >= 0) & (u.data <= 1))
+
+    def test_usage_increases_with_write(self, rng):
+        usage = Tensor(np.full(6, 0.3))
+        write_w = Tensor(np.eye(6)[0] * 0.9)
+        psi = Tensor(np.ones(6))
+        u = addressing.usage_vector(usage, write_w, psi)
+        assert u.data[0] > 0.3
+        assert np.allclose(u.data[1:], 0.3)
+
+    def test_gradients(self, rng):
+        free = Tensor(rng.random(2), requires_grad=True)
+        read_w = Tensor(
+            np.stack([sub_simplex(rng, 5), sub_simplex(rng, 5)]),
+            requires_grad=True,
+        )
+        check_gradients(addressing.retention_vector, [free, read_w])
+
+
+class TestAllocation:
+    def test_simplex_bound(self, rng):
+        usage = Tensor(rng.random(8))
+        alloc = addressing.allocation_weights(usage)
+        assert np.all(alloc.data >= 0)
+        assert alloc.data.sum() <= 1.0 + 1e-9
+
+    def test_prefers_least_used_slot(self, rng):
+        usage_values = rng.random(8) * 0.5 + 0.4
+        usage_values[5] = 0.01
+        alloc = addressing.allocation_weights(Tensor(usage_values))
+        assert int(np.argmax(alloc.data)) == 5
+
+    def test_fully_used_memory_gets_no_allocation(self):
+        alloc = addressing.allocation_weights(Tensor(np.ones(6)))
+        assert np.all(alloc.data < 1e-4)
+
+    def test_free_memory_allocates_first_slot(self):
+        alloc = addressing.allocation_weights(Tensor(np.zeros(6)))
+        assert alloc.data[0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_agrees_with_numpy_mirror(self, rng):
+        usage = rng.random(10)
+        ours = addressing.allocation_weights(Tensor(usage)).data
+        order = np.argsort(usage, kind="stable")
+        assert np.allclose(ours, K.allocation_from_order(usage, order))
+
+    def test_custom_sort_order_hook(self, rng):
+        usage = rng.random(6)
+        order = np.argsort(usage, kind="stable")[::-1].copy()
+        ours = addressing.allocation_weights(Tensor(usage), sort_order=order)
+        assert np.allclose(ours.data, K.allocation_from_order(usage, order))
+
+    def test_gradient(self, rng):
+        # Well-separated usage values: finite differences must not flip
+        # the sort order (the permutation is treated as a constant).
+        values = np.linspace(0.1, 0.9, 6)
+        rng.shuffle(values)
+        usage = Tensor(values, requires_grad=True)
+        check_gradients(addressing.allocation_weights, [usage], atol=1e-4)
+
+    def test_batched(self, rng):
+        usage = Tensor(rng.random((3, 6)))
+        alloc = addressing.allocation_weights(usage)
+        assert alloc.shape == (3, 6)
+        assert np.all(alloc.data.sum(axis=-1) <= 1.0 + 1e-9)
+
+
+class TestWriteAndMemory:
+    def test_write_weights_convex_mix(self, rng):
+        content = Tensor(simplex(rng, 6))
+        alloc = Tensor(simplex(rng, 6))
+        w = addressing.write_weights(
+            content, alloc, Tensor(np.array(1.0)), Tensor(np.array(0.5))
+        )
+        assert w.data.sum() == pytest.approx(1.0)
+
+    def test_write_gate_zero_means_no_write(self, rng):
+        content = Tensor(simplex(rng, 6))
+        alloc = Tensor(simplex(rng, 6))
+        w = addressing.write_weights(
+            content, alloc, Tensor(np.array(0.0)), Tensor(np.array(0.5))
+        )
+        assert np.allclose(w.data, 0.0)
+
+    def test_erase_and_write_full_erase(self, rng):
+        memory = Tensor(rng.standard_normal((4, 3)))
+        write_w = Tensor(np.eye(4)[1])
+        erase = Tensor(np.ones(3))
+        value = Tensor(np.array([7.0, 8.0, 9.0]))
+        new = addressing.erase_and_write(memory, write_w, erase, value)
+        assert np.allclose(new.data[1], [7.0, 8.0, 9.0])
+        assert np.allclose(new.data[0], memory.data[0])
+
+    def test_erase_and_write_agrees_with_numpy(self, rng):
+        memory = rng.standard_normal((5, 3))
+        write_w = sub_simplex(rng, 5)
+        erase = rng.random(3)
+        value = rng.standard_normal(3)
+        ours = addressing.erase_and_write(
+            Tensor(memory), Tensor(write_w), Tensor(erase), Tensor(value)
+        ).data
+        assert np.allclose(ours, K.erase_write(memory, write_w, erase, value))
+
+    def test_gradients(self, rng):
+        memory = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        write_w = Tensor(sub_simplex(rng, 4), requires_grad=True)
+        erase = Tensor(rng.random(3), requires_grad=True)
+        value = Tensor(rng.standard_normal(3), requires_grad=True)
+        check_gradients(
+            addressing.erase_and_write, [memory, write_w, erase, value]
+        )
+
+
+class TestLinkage:
+    def test_diagonal_always_zero(self, rng):
+        linkage = Tensor(rng.random((6, 6)) * 0.1)
+        write_w = Tensor(sub_simplex(rng, 6))
+        precedence = Tensor(sub_simplex(rng, 6))
+        new = addressing.linkage_update(linkage, write_w, precedence)
+        assert np.allclose(np.diag(new.data), 0.0)
+
+    def test_rows_and_columns_bounded(self, rng):
+        linkage = Tensor(np.zeros((6, 6)))
+        write_w = Tensor(sub_simplex(rng, 6))
+        precedence = Tensor(sub_simplex(rng, 6))
+        new = addressing.linkage_update(linkage, write_w, precedence)
+        assert np.all(new.data.sum(axis=0) <= 1.0 + 1e-9)
+        assert np.all(new.data.sum(axis=1) <= 1.0 + 1e-9)
+
+    def test_tracks_write_order(self):
+        # Write slot 0 then slot 1: linkage[1, 0] should become large.
+        linkage = Tensor(np.zeros((3, 3)))
+        p0 = Tensor(np.zeros(3))
+        w0 = Tensor(np.eye(3)[0])
+        linkage = addressing.linkage_update(linkage, w0, p0)
+        p1 = addressing.precedence_update(p0, w0)
+        w1 = Tensor(np.eye(3)[1])
+        linkage = addressing.linkage_update(linkage, w1, p1)
+        assert linkage.data[1, 0] == pytest.approx(1.0)
+
+    def test_agrees_with_numpy(self, rng):
+        linkage = rng.random((5, 5)) * 0.1
+        np.fill_diagonal(linkage, 0.0)
+        write_w = sub_simplex(rng, 5)
+        precedence = sub_simplex(rng, 5)
+        ours = addressing.linkage_update(
+            Tensor(linkage), Tensor(write_w), Tensor(precedence)
+        ).data
+        assert np.allclose(
+            ours, K.linkage_update(linkage, write_w, precedence)
+        )
+
+    def test_precedence_simplex_preserved(self, rng):
+        precedence = Tensor(sub_simplex(rng, 6))
+        write_w = Tensor(sub_simplex(rng, 6))
+        new = addressing.precedence_update(precedence, write_w)
+        assert new.data.sum() <= 1.0 + 1e-9
+        assert np.all(new.data >= 0)
+
+    def test_precedence_full_write_replaces(self, rng):
+        precedence = Tensor(sub_simplex(rng, 6))
+        write_w = Tensor(simplex(rng, 6))  # sums to exactly 1
+        new = addressing.precedence_update(precedence, write_w)
+        assert np.allclose(new.data, write_w.data)
+
+    def test_gradients(self, rng):
+        linkage = Tensor(rng.random((4, 4)) * 0.1, requires_grad=True)
+        write_w = Tensor(sub_simplex(rng, 4), requires_grad=True)
+        precedence = Tensor(sub_simplex(rng, 4), requires_grad=True)
+        check_gradients(
+            addressing.linkage_update, [linkage, write_w, precedence]
+        )
+
+
+class TestForwardBackwardRead:
+    def test_shapes_and_agreement(self, rng):
+        linkage = rng.random((6, 6)) * 0.1
+        read_w = np.stack([sub_simplex(rng, 6) for _ in range(2)])
+        fwd, bwd = addressing.forward_backward_weights(
+            Tensor(linkage), Tensor(read_w)
+        )
+        ref_fwd, ref_bwd = K.forward_backward(linkage, read_w)
+        assert np.allclose(fwd.data, ref_fwd)
+        assert np.allclose(bwd.data, ref_bwd)
+
+    def test_read_weights_convex(self, rng):
+        content = Tensor(np.stack([simplex(rng, 6), simplex(rng, 6)]))
+        fwd = Tensor(np.stack([sub_simplex(rng, 6), sub_simplex(rng, 6)]))
+        bwd = Tensor(np.stack([sub_simplex(rng, 6), sub_simplex(rng, 6)]))
+        modes = Tensor(np.stack([simplex(rng, 3), simplex(rng, 3)]))
+        w = addressing.read_weights(content, fwd, bwd, modes)
+        assert w.shape == (2, 6)
+        assert np.all(w.data.sum(axis=-1) <= 1.0 + 1e-9)
+
+    def test_pure_content_mode(self, rng):
+        content = Tensor(np.stack([simplex(rng, 6)]))
+        fwd = Tensor(np.stack([sub_simplex(rng, 6)]))
+        bwd = Tensor(np.stack([sub_simplex(rng, 6)]))
+        modes = Tensor(np.array([[0.0, 1.0, 0.0]]))
+        w = addressing.read_weights(content, fwd, bwd, modes)
+        assert np.allclose(w.data, content.data)
+
+    def test_read_vectors_shape_and_value(self, rng):
+        memory = rng.standard_normal((6, 4))
+        read_w = np.stack([simplex(rng, 6) for _ in range(3)])
+        out = addressing.read_vectors(Tensor(memory), Tensor(read_w))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data, read_w @ memory)
+
+    def test_gradients(self, rng):
+        linkage = Tensor(rng.random((4, 4)) * 0.2, requires_grad=True)
+        read_w = Tensor(
+            np.stack([sub_simplex(rng, 4)]), requires_grad=True
+        )
+        check_gradients(
+            lambda l, w: ops.concat(
+                list(addressing.forward_backward_weights(l, w)), axis=0
+            ),
+            [linkage, read_w],
+        )
+
+
+@given(st.integers(2, 10))
+@settings(**SETTINGS)
+def test_allocation_simplex_property(n):
+    rng = np.random.default_rng(n)
+    alloc = addressing.allocation_weights(Tensor(rng.random(n)))
+    assert np.all(alloc.data >= -1e-12)
+    assert alloc.data.sum() <= 1.0 + 1e-9
+
+
+@given(st.integers(2, 8), st.integers(1, 3))
+@settings(**SETTINGS)
+def test_usage_bounded_property(n, r):
+    rng = np.random.default_rng(n * 7 + r)
+    usage = Tensor(rng.random(n))
+    write_w = Tensor(sub_simplex(rng, n))
+    free = Tensor(rng.random(r))
+    read_w = Tensor(np.stack([sub_simplex(rng, n) for _ in range(r)]))
+    psi = addressing.retention_vector(free, read_w)
+    u = addressing.usage_vector(usage, write_w, psi)
+    assert np.all((u.data >= -1e-12) & (u.data <= 1.0 + 1e-12))

@@ -1,0 +1,136 @@
+"""Usage skimming and softmax approximation (paper Section 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnc.approx import SoftmaxApproximator, skim_usage, skimmed_sort_order
+from repro.errors import ConfigError
+
+
+class TestSkimmedSortOrder:
+    def test_zero_skim_is_exact_argsort(self, rng):
+        usage = rng.random(32)
+        order = skimmed_sort_order(usage, 0.0)
+        assert np.array_equal(order, np.argsort(usage, kind="stable"))
+
+    def test_order_is_a_permutation(self, rng):
+        usage = rng.random(40)
+        order = skimmed_sort_order(usage, 0.3)
+        assert sorted(order.tolist()) == list(range(40))
+
+    def test_pool_contains_k_smallest(self, rng):
+        usage = rng.random(20)
+        order = skimmed_sort_order(usage, 0.25)
+        k = 5
+        pool = set(order[:k].tolist())
+        true_smallest = set(np.argsort(usage)[:k].tolist())
+        assert pool == true_smallest
+
+    def test_pool_in_index_order_not_usage_order(self):
+        usage = np.array([0.05, 0.9, 0.01, 0.8, 0.03, 0.7, 0.95, 0.85])
+        order = skimmed_sort_order(usage, 0.5)  # k = 4 smallest: 0, 2, 4, 5
+        assert order[:4].tolist() == sorted(order[:4].tolist())
+
+    def test_rest_sorted_by_usage(self, rng):
+        usage = rng.random(24)
+        order = skimmed_sort_order(usage, 0.25)
+        rest = usage[order[6:]]
+        assert np.all(np.diff(rest) >= 0)
+
+    def test_batched(self, rng):
+        usage = rng.random((3, 16))
+        order = skimmed_sort_order(usage, 0.25)
+        assert order.shape == (3, 16)
+        for row in range(3):
+            assert sorted(order[row].tolist()) == list(range(16))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigError):
+            skimmed_sort_order(np.ones(4), 1.5)
+
+    def test_skim_usage_reports_sorted_length(self, rng):
+        usage = rng.random(100)
+        order, effective = skim_usage(usage, 0.2)
+        assert effective == 81  # 100 - (20 - 1)
+        assert sorted(order.tolist()) == list(range(100))
+        _, full = skim_usage(usage, 0.0)
+        assert full == 100
+
+
+class TestSoftmaxApproximator:
+    def test_exp_error_bound(self):
+        assert SoftmaxApproximator().max_exp_error() < 0.02
+
+    def test_more_segments_reduce_error(self):
+        coarse = SoftmaxApproximator(num_segments=4)
+        fine = SoftmaxApproximator(num_segments=64)
+        assert fine.max_exp_error() < coarse.max_exp_error()
+
+    def test_exp_exact_at_segment_edges(self):
+        approx = SoftmaxApproximator(num_segments=8, input_range=8.0)
+        edges = np.linspace(-8.0, 0.0, 9)[1:]  # interior + zero edges
+        assert np.allclose(approx.exp(edges), np.exp(edges), atol=1e-12)
+
+    def test_underflow_flushes_to_zero(self):
+        approx = SoftmaxApproximator(input_range=8.0)
+        assert approx.exp(np.array([-100.0]))[0] == 0.0
+
+    def test_softmax_close_to_exact(self, rng):
+        approx = SoftmaxApproximator(num_segments=16)
+        scores = rng.standard_normal((5, 12)) * 3.0
+        exact = np.exp(scores - scores.max(-1, keepdims=True))
+        exact /= exact.sum(-1, keepdims=True)
+        ours = approx.softmax(scores, axis=-1)
+        assert np.max(np.abs(ours - exact)) < 0.02
+
+    def test_softmax_is_distribution(self, rng):
+        approx = SoftmaxApproximator()
+        out = approx.softmax(rng.standard_normal((4, 9)), axis=-1)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+        assert np.all(out >= 0)
+
+    def test_softmax_extreme_spread_falls_back_gracefully(self):
+        approx = SoftmaxApproximator(input_range=8.0)
+        out = approx.softmax(np.array([0.0, -100.0, -200.0]))
+        assert out[0] == pytest.approx(1.0)
+        assert np.allclose(out[1:], 0.0)
+
+    def test_lut_cost(self):
+        assert SoftmaxApproximator(num_segments=16).lut_cost_words() == 32
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            SoftmaxApproximator(num_segments=0)
+        with pytest.raises(ConfigError):
+            SoftmaxApproximator(input_range=-1.0)
+
+    def test_cost_is_one_multiply_one_add(self):
+        # Structural property: the approximation is affine per segment,
+        # so applying it to a segment interior equals slope*x + intercept.
+        approx = SoftmaxApproximator(num_segments=4, input_range=4.0)
+        x = -1.5  # inside segment [-2, -1)
+        segment = int((x + 4.0) / 4.0 * 4)
+        expected = approx._slopes[segment] * x + approx._intercepts[segment]
+        assert approx.exp(np.array([x]))[0] == pytest.approx(expected)
+
+
+@given(
+    st.integers(8, 64),
+    st.floats(0.0, 0.9),
+)
+@settings(max_examples=25, deadline=None)
+def test_skim_order_permutation_property(n, fraction):
+    rng = np.random.default_rng(n)
+    usage = rng.random(n)
+    order = skimmed_sort_order(usage, fraction)
+    assert sorted(order.tolist()) == list(range(n))
+
+
+@given(st.integers(2, 32))
+@settings(max_examples=25, deadline=None)
+def test_approx_softmax_distribution_property(n):
+    rng = np.random.default_rng(n)
+    approx = SoftmaxApproximator()
+    out = approx.softmax(rng.standard_normal(n) * 5.0)
+    assert out.sum() == pytest.approx(1.0)

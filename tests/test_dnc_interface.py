@@ -1,0 +1,92 @@
+"""Interface-vector codec tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.dnc.interface import InterfaceSpec
+from repro.errors import ConfigError, ShapeError
+
+
+class TestInterfaceSpec:
+    def test_size_formula(self):
+        spec = InterfaceSpec(word_size=64, num_reads=4)
+        assert spec.size == 64 * 4 + 3 * 64 + 5 * 4 + 3
+
+    def test_size_small(self):
+        assert InterfaceSpec(word_size=4, num_reads=1).size == 4 + 12 + 5 + 3
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            InterfaceSpec(word_size=0, num_reads=1)
+        with pytest.raises(ConfigError):
+            InterfaceSpec(word_size=4, num_reads=0)
+
+    def test_wrong_length_rejected(self):
+        spec = InterfaceSpec(4, 2)
+        with pytest.raises(ShapeError):
+            spec.parse(Tensor(np.zeros(spec.size + 1)))
+
+
+class TestParse:
+    @pytest.fixture
+    def parsed(self, rng):
+        spec = InterfaceSpec(word_size=6, num_reads=3)
+        return spec.parse(Tensor(rng.standard_normal(spec.size))), spec
+
+    def test_shapes(self, parsed):
+        interface, spec = parsed
+        assert interface.read_keys.shape == (3, 6)
+        assert interface.read_strengths.shape == (3,)
+        assert interface.write_key.shape == (6,)
+        assert interface.write_strength.shape == ()
+        assert interface.erase.shape == (6,)
+        assert interface.write_vector.shape == (6,)
+        assert interface.free_gates.shape == (3,)
+        assert interface.allocation_gate.shape == ()
+        assert interface.write_gate.shape == ()
+        assert interface.read_modes.shape == (3, 3)
+
+    def test_squashing_ranges(self, parsed):
+        interface, _ = parsed
+        assert np.all(interface.read_strengths.data >= 1.0)
+        assert float(interface.write_strength.data) >= 1.0
+        for gated in (interface.erase, interface.free_gates):
+            assert np.all((gated.data >= 0) & (gated.data <= 1))
+        assert 0 <= float(interface.allocation_gate.data) <= 1
+        assert 0 <= float(interface.write_gate.data) <= 1
+
+    def test_read_modes_simplex(self, parsed):
+        interface, _ = parsed
+        assert np.allclose(interface.read_modes.data.sum(axis=-1), 1.0)
+        assert np.all(interface.read_modes.data >= 0)
+
+    def test_batched_parse(self, rng):
+        spec = InterfaceSpec(word_size=4, num_reads=2)
+        flat = Tensor(rng.standard_normal((5, spec.size)))
+        interface = spec.parse(flat)
+        assert interface.read_keys.shape == (5, 2, 4)
+        assert interface.write_strength.shape == (5,)
+        assert interface.read_modes.shape == (5, 2, 3)
+
+    def test_deterministic_layout(self, rng):
+        # Perturbing only the write-key segment must not change read keys.
+        spec = InterfaceSpec(word_size=4, num_reads=2)
+        flat = rng.standard_normal(spec.size)
+        a = spec.parse(Tensor(flat.copy()))
+        flat2 = flat.copy()
+        offset = 2 * 4 + 2  # read keys + read strengths
+        flat2[offset : offset + 4] += 1.0
+        b = spec.parse(Tensor(flat2))
+        assert np.allclose(a.read_keys.data, b.read_keys.data)
+        assert not np.allclose(a.write_key.data, b.write_key.data)
+
+    def test_gradient_flows_through_parse(self, rng):
+        spec = InterfaceSpec(word_size=4, num_reads=2)
+        flat = Tensor(rng.standard_normal(spec.size), requires_grad=True)
+        interface = spec.parse(flat)
+        from repro.autodiff import ops
+
+        loss = ops.sum(interface.read_modes) + ops.sum(interface.erase)
+        loss.backward()
+        assert flat.grad is not None

@@ -1,0 +1,212 @@
+"""MemoryUnit, DNC, and DNC-D model tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, no_grad, ops
+from repro.dnc import (
+    DNC,
+    DNCConfig,
+    DNCD,
+    DNCDConfig,
+    AddressingOptions,
+    MemoryUnit,
+)
+from repro.dnc.interface import InterfaceSpec
+from repro.errors import ConfigError
+from repro.nn.losses import mse_loss
+
+
+def random_interface(unit, rng):
+    spec = unit.interface_spec
+    return spec.parse(Tensor(rng.standard_normal(spec.size)))
+
+
+class TestMemoryUnit:
+    def test_initial_state_shapes(self):
+        unit = MemoryUnit(8, 4, num_reads=2)
+        state = unit.initial_state()
+        assert state.memory.shape == (8, 4)
+        assert state.linkage.shape == (8, 8)
+        assert state.read_weights.shape == (2, 8)
+        batched = unit.initial_state(batch_size=3)
+        assert batched.memory.shape == (3, 8, 4)
+
+    def test_step_shapes_and_invariants(self, rng):
+        unit = MemoryUnit(8, 4, num_reads=2)
+        state = unit.initial_state()
+        for _ in range(3):
+            reads, state = unit.step(state, random_interface(unit, rng))
+        assert reads.shape == (2, 4)
+        assert np.all((state.usage.data >= 0) & (state.usage.data <= 1))
+        assert state.write_weights.data.sum() <= 1.0 + 1e-9
+        assert np.all(state.read_weights.data.sum(axis=-1) <= 1.0 + 1e-9)
+        assert np.allclose(np.diag(state.linkage.data), 0.0)
+
+    def test_batched_step(self, rng):
+        unit = MemoryUnit(8, 4, num_reads=2)
+        state = unit.initial_state(batch_size=3)
+        spec = unit.interface_spec
+        interface = spec.parse(Tensor(rng.standard_normal((3, spec.size))))
+        reads, state = unit.step(state, interface)
+        assert reads.shape == (3, 2, 4)
+        assert state.memory.shape == (3, 8, 4)
+
+    def test_write_actually_stores_content(self, rng):
+        unit = MemoryUnit(8, 4, num_reads=1)
+        state = unit.initial_state()
+        _, state = unit.step(state, random_interface(unit, rng))
+        assert np.any(state.memory.data != 0)
+
+    def test_detach_cuts_tape(self, rng):
+        unit = MemoryUnit(8, 4, num_reads=1)
+        spec = unit.interface_spec
+        flat = Tensor(rng.standard_normal(spec.size), requires_grad=True)
+        _, state = unit.step(unit.initial_state(), spec.parse(flat))
+        detached = state.detach()
+        assert detached.memory.parents == []
+
+    def test_skim_option_changes_allocation_order_only(self, rng):
+        exact = MemoryUnit(16, 4, num_reads=1)
+        skim = MemoryUnit(
+            16, 4, num_reads=1, options=AddressingOptions(skim_fraction=0.5)
+        )
+        state_e, state_s = exact.initial_state(), skim.initial_state()
+        spec = exact.interface_spec
+        for step in range(4):
+            flat = Tensor(rng.standard_normal(spec.size))
+            _, state_e = exact.step(state_e, spec.parse(flat))
+            _, state_s = skim.step(state_s, spec.parse(flat))
+        # Same interface stream, different allocation approximation.
+        assert state_e.memory.shape == state_s.memory.shape
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressingOptions(skim_fraction=1.5)
+
+
+class TestDNC:
+    def test_forward_shapes(self, small_dnc, rng):
+        xs = Tensor(rng.standard_normal((6, 5)))
+        ys, state = small_dnc(xs)
+        assert ys.shape == (6, 3)
+        assert state.memory.memory.shape == (8, 4)
+
+    def test_step_state_threading(self, small_dnc, rng):
+        state = small_dnc.initial_state()
+        y1, state = small_dnc.step(Tensor(rng.standard_normal(5)), state)
+        y2, state = small_dnc.step(Tensor(rng.standard_normal(5)), state)
+        assert y1.shape == (3,)
+        assert not np.allclose(state.memory.memory.data, 0.0)
+
+    def test_all_parameters_receive_gradients(self, small_dnc, rng):
+        xs = Tensor(rng.standard_normal((5, 5)))
+        ys, _ = small_dnc(xs)
+        mse_loss(ys, np.zeros((5, 3))).backward()
+        for name, param in small_dnc.named_parameters():
+            assert param.grad is not None, name
+            assert np.any(param.grad != 0), name
+
+    def test_batched_forward(self, small_dnc, rng):
+        xs = Tensor(rng.standard_normal((4, 3, 5)))  # (T, B, in)
+        ys, state = small_dnc(xs)
+        assert ys.shape == (4, 3, 3)
+        assert state.memory.memory.shape == (3, 8, 4)
+
+    def test_batched_matches_unbatched(self, small_dnc, rng):
+        xs = rng.standard_normal((4, 5))
+        ys_single, _ = small_dnc(Tensor(xs))
+        batched = np.stack([xs, xs], axis=1)
+        ys_batch, _ = small_dnc(Tensor(batched))
+        assert np.allclose(ys_batch.data[:, 0], ys_single.data, atol=1e-10)
+        assert np.allclose(ys_batch.data[:, 1], ys_single.data, atol=1e-10)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            DNCConfig(input_size=0, output_size=3)
+
+    def test_interface_size_property(self, small_dnc_config):
+        spec = InterfaceSpec(
+            small_dnc_config.word_size, small_dnc_config.num_reads
+        )
+        assert small_dnc_config.interface_size == spec.size
+
+    def test_state_detach_enables_tbptt(self, small_dnc, rng):
+        state = small_dnc.initial_state()
+        _, state = small_dnc.step(Tensor(rng.standard_normal(5)), state)
+        state = state.detach()
+        y, _ = small_dnc.step(Tensor(rng.standard_normal(5)), state)
+        ops.sum(y).backward()  # must not traverse into the detached past
+
+
+class TestDNCD:
+    @pytest.fixture
+    def dncd_config(self):
+        return DNCDConfig(
+            input_size=5, output_size=3, memory_size=16, word_size=4,
+            num_reads=2, hidden_size=12, num_tiles=4,
+        )
+
+    def test_forward_shapes(self, dncd_config, rng):
+        model = DNCD(dncd_config, rng=0)
+        ys, state = model(Tensor(rng.standard_normal((5, 5))))
+        assert ys.shape == (5, 3)
+        assert len(state.tiles) == 4
+        assert state.tiles[0].memory.shape == (4, 4)
+
+    def test_local_memory_size(self, dncd_config):
+        assert dncd_config.local_memory_size == 4
+
+    def test_tile_divisibility_enforced(self):
+        with pytest.raises(ConfigError):
+            DNCDConfig(
+                input_size=5, output_size=3, memory_size=10, num_tiles=4
+            )
+
+    def test_gradients_flow(self, dncd_config, rng):
+        model = DNCD(dncd_config, rng=0)
+        ys, _ = model(Tensor(rng.standard_normal((4, 5))))
+        mse_loss(ys, np.zeros((4, 3))).backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert all(grads)
+
+    def test_init_from_dnc_copies_controller(self, dncd_config, rng):
+        dnc = DNC(dncd_config.to_dnc_config(), rng=1)
+        model = DNCD(dncd_config, rng=0)
+        model.init_from_dnc(dnc)
+        assert np.allclose(
+            model.controller.w_x.data, dnc.controller.w_x.data
+        )
+        spec = dncd_config.interface_size
+        for t in range(4):
+            assert np.allclose(
+                model.interface_layer.weight.data[:, t * spec : (t + 1) * spec],
+                dnc.interface_layer.weight.data,
+            )
+
+    def test_init_from_dnc_rejects_mismatch(self, dncd_config):
+        wrong = DNC(
+            DNCConfig(input_size=5, output_size=3, memory_size=16,
+                      word_size=8, num_reads=2, hidden_size=12),
+            rng=0,
+        )
+        model = DNCD(dncd_config, rng=0)
+        with pytest.raises(ConfigError):
+            model.init_from_dnc(wrong)
+
+    def test_merge_weights_on_simplex(self, dncd_config, rng):
+        model = DNCD(dncd_config, rng=0)
+        state = model.initial_state()
+        x = Tensor(rng.standard_normal(5))
+        read_flat = ops.reshape(state.merged_reads, (8,))
+        hidden, _ = model.controller(
+            ops.concat([x, read_flat], axis=-1), state.controller
+        )
+        alphas = ops.softmax(model.merge_layer(hidden), axis=-1)
+        assert alphas.data.sum() == pytest.approx(1.0)
+
+    def test_no_grad_inference(self, dncd_config, rng):
+        model = DNCD(dncd_config, rng=0)
+        with no_grad():
+            ys, _ = model(Tensor(rng.standard_normal((3, 5))))
+        assert ys.parents == []

@@ -1,0 +1,155 @@
+"""Instrumented numpy reference DNC: agreement + instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.dnc import DNC, DNCConfig, NumpyDNC, NumpyDNCConfig
+from repro.dnc.instrumentation import (
+    KERNEL_CATEGORIES,
+    KernelCategory,
+    KernelRecorder,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def pair():
+    """Matched (autodiff DNC, numpy reference) with shared weights."""
+    cfg = DNCConfig(
+        input_size=5, output_size=3, memory_size=8, word_size=4,
+        num_reads=2, hidden_size=12,
+    )
+    dnc = DNC(cfg, rng=0)
+    ref = NumpyDNC(
+        NumpyDNCConfig(
+            input_size=5, output_size=3, memory_size=8, word_size=4,
+            num_reads=2, hidden_size=12,
+        ),
+        rng=0,
+    )
+    ref.load_from_dnc(dnc)
+    return dnc, ref
+
+
+class TestAgreement:
+    def test_outputs_match_autodiff_model(self, pair, rng):
+        dnc, ref = pair
+        xs = rng.standard_normal((6, 5))
+        ys_autodiff, _ = dnc(Tensor(xs))
+        ys_ref = ref.run(xs)
+        assert np.allclose(ys_ref, ys_autodiff.data, atol=1e-9)
+
+    def test_state_matches_after_steps(self, pair, rng):
+        dnc, ref = pair
+        xs = rng.standard_normal((4, 5))
+        _, ad_state = dnc(Tensor(xs))
+        state = ref.initial_state()
+        for t in range(4):
+            _, state = ref.step(xs[t], state)
+        assert np.allclose(state.memory, ad_state.memory.memory.data, atol=1e-9)
+        assert np.allclose(state.usage, ad_state.memory.usage.data, atol=1e-9)
+        assert np.allclose(
+            state.linkage, ad_state.memory.linkage.data, atol=1e-9
+        )
+
+    def test_load_rejects_mismatched_config(self, pair):
+        dnc, _ = pair
+        wrong = NumpyDNC(NumpyDNCConfig(memory_size=16, word_size=4,
+                                        num_reads=2, hidden_size=12))
+        with pytest.raises(ConfigError):
+            wrong.load_from_dnc(dnc)
+
+
+class TestInstrumentation:
+    def test_all_kernels_recorded(self, rng):
+        ref = NumpyDNC(
+            NumpyDNCConfig(input_size=4, output_size=4, memory_size=16,
+                           word_size=4, num_reads=2, hidden_size=8),
+            rng=0,
+        )
+        ref.run(rng.standard_normal((2, 4)))
+        for kernel in KERNEL_CATEGORIES:
+            assert kernel in ref.recorder.stats, kernel
+
+    def test_category_fractions_sum_to_one(self, rng):
+        ref = NumpyDNC(
+            NumpyDNCConfig(input_size=4, output_size=4, memory_size=16,
+                           word_size=4, num_reads=2, hidden_size=8),
+            rng=0,
+        )
+        ref.run(rng.standard_normal((2, 4)))
+        fractions = ref.recorder.category_fractions("seconds")
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_access_counts_scale_with_memory_size(self):
+        small = NumpyDNC(NumpyDNCConfig(input_size=4, output_size=4,
+                                        memory_size=8, word_size=4,
+                                        num_reads=1, hidden_size=8), rng=0)
+        large = NumpyDNC(NumpyDNCConfig(input_size=4, output_size=4,
+                                        memory_size=32, word_size=4,
+                                        num_reads=1, hidden_size=8), rng=0)
+        x = np.zeros(4)
+        small.step(x, small.initial_state())
+        large.step(x, large.initial_state())
+        s = small.recorder.stats["linkage"].state_mem_accesses
+        l = large.recorder.stats["linkage"].state_mem_accesses
+        assert l == 16 * s  # O(N^2)
+
+    def test_recorder_rejects_unknown_kernel(self):
+        recorder = KernelRecorder()
+        with pytest.raises(ConfigError):
+            recorder.add("not_a_kernel", ops=1)
+
+    def test_recorder_measure_times_block(self):
+        recorder = KernelRecorder()
+        with recorder.measure("usage", ops=10, state_mem=5):
+            sum(range(1000))
+        stats = recorder.stats["usage"]
+        assert stats.calls == 1
+        assert stats.ops == 10
+        assert stats.state_mem_accesses == 5
+        assert stats.seconds > 0
+
+    def test_recorder_reset(self):
+        recorder = KernelRecorder()
+        recorder.add("usage", ops=5)
+        recorder.reset()
+        assert recorder.stats == {}
+
+    def test_stats_merge(self):
+        recorder = KernelRecorder()
+        recorder.add("usage", ops=5, state_mem=2)
+        recorder.add("usage", ops=7, state_mem=3)
+        stats = recorder.stats["usage"]
+        assert stats.calls == 2
+        assert stats.ops == 12
+        assert stats.state_mem_accesses == 5
+
+
+class TestApproximateModes:
+    def test_skimming_changes_outputs(self, rng):
+        kwargs = dict(input_size=4, output_size=4, memory_size=16,
+                      word_size=4, num_reads=1, hidden_size=8)
+        exact = NumpyDNC(NumpyDNCConfig(**kwargs), rng=0)
+        skim = NumpyDNC(NumpyDNCConfig(skim_fraction=0.5, **kwargs), rng=0)
+        xs = rng.standard_normal((5, 4))
+        out_exact = exact.run(xs)
+        out_skim = skim.run(xs)
+        assert out_exact.shape == out_skim.shape
+        # Large skim rates perturb the allocation order, so the
+        # trajectories measurably diverge (though possibly slowly).
+        assert not np.array_equal(out_exact, out_skim)
+
+    def test_approx_softmax_close_to_exact(self, rng):
+        from repro.dnc.approx import SoftmaxApproximator
+
+        kwargs = dict(input_size=4, output_size=4, memory_size=16,
+                      word_size=4, num_reads=1, hidden_size=8)
+        exact = NumpyDNC(NumpyDNCConfig(**kwargs), rng=0)
+        approx = NumpyDNC(
+            NumpyDNCConfig(softmax_approx=SoftmaxApproximator(), **kwargs),
+            rng=0,
+        )
+        xs = rng.standard_normal((3, 4))
+        assert np.max(np.abs(exact.run(xs) - approx.run(xs))) < 0.1

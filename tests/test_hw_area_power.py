@@ -1,0 +1,163 @@
+"""Calibrated area and power models vs the paper's Figure 11(e)/(f)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.area_model import AreaModel, SRAM_MM2_PER_BYTE
+from repro.hw.power_model import (
+    EnergyConstants,
+    PowerBreakdown,
+    PowerModel,
+    WorkloadActivity,
+)
+
+
+class TestAreaModel:
+    @pytest.fixture
+    def dnc(self):
+        return AreaModel(1024, 64, 4, 16)
+
+    @pytest.fixture
+    def dncd(self):
+        return AreaModel(1024, 64, 4, 16, distributed=True)
+
+    def test_linkage_shard_matches_paper_262kb(self, dnc):
+        assert dnc.linkage_bytes() == 262144  # N^2/Nt words * 4B
+
+    def test_external_shard_matches_paper_16kb(self, dnc):
+        assert dnc.external_memory_bytes() == 16384
+
+    def test_dncd_linkage_is_local_square(self, dncd):
+        assert dncd.linkage_bytes() == 64 * 64 * 4
+
+    def test_pt_memory_area_calibrated(self, dnc):
+        assert dnc.breakdown().pt_memory == pytest.approx(2.07, abs=0.02)
+
+    def test_pt_total_matches_paper(self, dnc):
+        assert dnc.breakdown().pt_total == pytest.approx(5.01, abs=0.05)
+
+    def test_total_matches_paper(self, dnc):
+        assert dnc.breakdown().total == pytest.approx(80.69, rel=0.01)
+
+    def test_baseline_pt_smaller_by_feature_overhead(self):
+        baseline = AreaModel(1024, 64, 4, 16, two_stage_sort=False,
+                             multimode_noc=False)
+        dnc = AreaModel(1024, 64, 4, 16)
+        overhead = dnc.breakdown().pt_total / baseline.breakdown().pt_total
+        assert 1.0 < overhead < 1.03  # paper: 1.8% PT overhead
+
+    def test_dncd_smaller_than_dnc(self, dnc, dncd):
+        assert dncd.breakdown().total < dnc.breakdown().total
+        assert dncd.breakdown().ct_total == pytest.approx(0.18, abs=0.02)
+
+    def test_linkage_dominates_pt_memory(self, dnc):
+        breakdown = dnc.breakdown()
+        linkage_area = dnc.linkage_bytes() * SRAM_MM2_PER_BYTE
+        assert linkage_area / breakdown.pt_memory == pytest.approx(0.813, abs=0.02)
+
+    def test_area_grows_with_memory(self):
+        small = AreaModel(512, 64, 4, 16).breakdown().total
+        large = AreaModel(2048, 64, 4, 16).breakdown().total
+        assert large > small
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ConfigError):
+            AreaModel(100, 64, 4, 16)
+
+    def test_details_inventory(self, dnc):
+        details = dnc.breakdown().details
+        assert details["linkage_kb"] == 256.0
+        assert details["external_kb"] == 16.0
+        assert details["mm_engine"] > 0
+
+
+class TestPowerModel:
+    @pytest.fixture
+    def activity(self):
+        return WorkloadActivity(
+            pt_ops=23_000_000, mem_accesses=4_500_000,
+            noc_hop_words=50_000, lstm_ops=1_200_000,
+            num_tiles=16, timestep_cycles=3000,
+        )
+
+    def test_estimate_module_set(self, activity):
+        breakdown = PowerModel().estimate(activity)
+        assert set(breakdown.modules) == set(PowerModel.MODULES)
+        assert breakdown.total > 0
+
+    def test_power_scales_with_ops(self, activity):
+        low = PowerModel().estimate(activity)
+        activity2 = WorkloadActivity(
+            pt_ops=activity.pt_ops * 2, mem_accesses=activity.mem_accesses,
+            noc_hop_words=activity.noc_hop_words, lstm_ops=activity.lstm_ops,
+            num_tiles=16, timestep_cycles=activity.timestep_cycles,
+        )
+        high = PowerModel().estimate(activity2)
+        assert high.modules["pt_mm_engine"] == pytest.approx(
+            2 * low.modules["pt_mm_engine"]
+        )
+
+    def test_other_power_scales_with_tiles(self):
+        constants = EnergyConstants()
+        act4 = WorkloadActivity(1e6, 1e6, 1e3, 1e5, 4, 1000)
+        act16 = WorkloadActivity(1e6, 1e6, 1e3, 1e5, 16, 1000)
+        model = PowerModel(constants)
+        assert model.estimate(act16).modules["pt_other"] == pytest.approx(
+            4 * model.estimate(act4).modules["pt_other"]
+        )
+
+    def test_fraction_helper(self, activity):
+        breakdown = PowerModel().estimate(activity)
+        fractions = [breakdown.fraction(m) for m in breakdown.modules]
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_zero_cycles_rejected(self):
+        activity = WorkloadActivity(1, 1, 1, 1, 1, 0)
+        with pytest.raises(ConfigError):
+            PowerModel().estimate(activity)
+
+    def test_kernel_power_sums_to_dynamic_total(self):
+        model = PowerModel()
+        kernels = {
+            "a": WorkloadActivity(1e6, 1e5, 1e3, 0, 16, 100),
+            "b": WorkloadActivity(2e6, 2e5, 0, 0, 16, 200),
+        }
+        per_kernel = model.kernel_power(kernels, total_cycles=300)
+        c = model.constants
+        expected = sum(
+            (c.pj_per_op * k.pt_ops + c.pj_per_mem_access * k.mem_accesses
+             + c.pj_per_hop_word * k.noc_hop_words) * 1e-12
+            for k in kernels.values()
+        ) / (300 / 500e6)
+        assert sum(per_kernel.values()) == pytest.approx(expected)
+
+
+class TestCalibrationAgainstPaper:
+    """End-to-end: the HiMA-DNC prototype must land on Fig. 11(e)/(f)."""
+
+    def test_hima_dnc_power_matches_figure_11f(self):
+        from repro.core.config import HiMAConfig
+        from repro.core.perf_model import HiMAPerformanceModel
+
+        model = HiMAPerformanceModel(HiMAConfig.hima_dnc())
+        breakdown = PowerModel().estimate(model.activity())
+        assert breakdown.total == pytest.approx(16.96, rel=0.05)
+        assert breakdown.modules["pt_mm_engine"] == pytest.approx(8.10, rel=0.1)
+        assert breakdown.modules["pt_memory"] == pytest.approx(4.86, rel=0.1)
+        assert breakdown.modules["pt_other"] == pytest.approx(2.30, rel=0.1)
+
+    def test_dncd_uses_less_power_than_dnc(self):
+        from repro.core.config import HiMAConfig
+        from repro.core.perf_model import HiMAPerformanceModel
+
+        power = PowerModel()
+        dnc = power.estimate(
+            HiMAPerformanceModel(HiMAConfig.hima_dnc()).activity()
+        )
+        dncd = power.estimate(
+            HiMAPerformanceModel(HiMAConfig.hima_dncd()).activity()
+        )
+        assert dncd.total < dnc.total
+        # Router power collapses without inter-PT traffic (paper: -98.4%).
+        assert dncd.modules["pt_router"] < 0.6 * dnc.modules["pt_router"]

@@ -1,0 +1,170 @@
+"""PE, CPT, M-M engine, memory bank, and technology scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.hw import (
+    ConfigurableProcessingTree,
+    MemoryBank,
+    MMEngine,
+    PE,
+    PEMode,
+    TechnologyNode,
+    normalize_area,
+)
+from repro.hw.tech import NODE_15NM, NODE_40NM
+
+
+class TestPE:
+    def test_modes(self):
+        pe = PE()
+        assert pe.execute(PEMode.BYPASS, 5.0) == 5.0
+        assert pe.execute(PEMode.ADD, 2.0, 3.0) == 5.0
+        assert pe.execute(PEMode.MULTIPLY, 2.0, 3.0) == 6.0
+
+    def test_multiply_add_accumulates(self):
+        pe = PE()
+        pe.write_rf(0, 10.0)
+        assert pe.execute(PEMode.MULTIPLY_ADD, 2.0, 3.0, 0) == 16.0
+
+    def test_add_multiply_uses_rf(self):
+        pe = PE()
+        pe.write_rf(1, 4.0)
+        assert pe.execute(PEMode.ADD_MULTIPLY, 1.0, 2.0, 1) == 12.0
+
+    def test_result_lands_in_rf(self):
+        pe = PE()
+        pe.execute(PEMode.ADD, 2.0, 3.0, rf_index=2)
+        assert pe.read_rf(2) == 5.0
+
+    def test_mac_sequence_dot_product(self, rng):
+        pe = PE()
+        a, b = rng.random(8), rng.random(8)
+        assert pe.mac_sequence(a, b) == pytest.approx(float(a @ b))
+        assert pe.ops_executed == 8
+
+    def test_rf_bounds(self):
+        pe = PE(rf_depth=2)
+        with pytest.raises(CapacityError):
+            pe.write_rf(2, 1.0)
+        with pytest.raises(CapacityError):
+            pe.read_rf(-1)
+
+    def test_mismatched_mac_operands(self, rng):
+        with pytest.raises(ConfigError):
+            PE().mac_sequence(rng.random(3), rng.random(4))
+
+
+class TestCPT:
+    def test_reduce_add(self, rng):
+        cpt = ConfigurableProcessingTree(8)
+        values = rng.random(8)
+        assert cpt.reduce(values, "add") == pytest.approx(values.sum())
+
+    def test_reduce_other_ops(self):
+        cpt = ConfigurableProcessingTree(4)
+        assert cpt.reduce([3.0, 1.0, 2.0, 5.0], "max") == 5.0
+        assert cpt.reduce([3.0, 1.0, 2.0, 5.0], "min") == 1.0
+        assert cpt.reduce([2.0, 3.0, 4.0, 1.0], "multiply") == 24.0
+
+    def test_partial_inputs_padded_with_identity(self):
+        cpt = ConfigurableProcessingTree(8)
+        assert cpt.reduce([1.0, 2.0], "add") == 3.0
+        assert cpt.reduce([2.0, 5.0], "multiply") == 10.0
+
+    def test_depth_and_pipeline(self):
+        cpt = ConfigurableProcessingTree(64)
+        assert cpt.depth == 6
+        assert cpt.reduce_cycles(1) == 6
+        assert cpt.reduce_cycles(10) == 15
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ConfigurableProcessingTree(6)
+        cpt = ConfigurableProcessingTree(4)
+        with pytest.raises(ConfigError):
+            cpt.reduce([1.0] * 5)
+        with pytest.raises(ConfigError):
+            cpt.reduce([1.0], "xor")
+        with pytest.raises(ConfigError):
+            cpt.reduce([])
+
+
+class TestMMEngine:
+    def test_functional_ops(self, rng):
+        engine = MMEngine()
+        m, v = rng.random((5, 4)), rng.random(4)
+        assert np.allclose(engine.matvec(m, v), m @ v)
+        assert np.allclose(engine.outer(v, v), np.outer(v, v))
+        assert np.allclose(engine.elementwise(v, v, "add"), 2 * v)
+        assert np.allclose(engine.elementwise(v, v, "mul"), v * v)
+
+    def test_cycle_model_scales_with_ops(self):
+        engine = MMEngine(macs_per_cycle=64)
+        assert engine.cycles_for_ops(0) == 0
+        one = engine.cycles_for_ops(64)
+        two = engine.cycles_for_ops(128)
+        assert two == one + 1  # one extra issue cycle
+
+    def test_higher_throughput_is_faster(self):
+        slow = MMEngine(macs_per_cycle=64)
+        fast = MMEngine(macs_per_cycle=1024)
+        assert fast.cycles_matvec(256, 256) < slow.cycles_matvec(256, 256)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ConfigError):
+            MMEngine().matvec(rng.random((3, 4)), rng.random(5))
+        with pytest.raises(ConfigError):
+            MMEngine().elementwise(rng.random(3), rng.random(3), "div")
+        with pytest.raises(ConfigError):
+            MMEngine().cycles_for_ops(-1)
+
+
+class TestMemoryBank:
+    def test_capacity_math(self):
+        bank = MemoryBank("linkage", words=65536, bits_per_word=32)
+        assert bank.bytes == 262144
+        assert bank.kilobytes == 256.0
+
+    def test_read_write_roundtrip(self, rng):
+        bank = MemoryBank("ext", 64)
+        data = rng.random(16)
+        bank.write(8, data)
+        assert np.allclose(bank.read(8, 16), data)
+
+    def test_counters(self, rng):
+        bank = MemoryBank("ext", 64)
+        bank.write(0, rng.random(10))
+        bank.read(0, 5)
+        assert bank.writes == 10 and bank.reads == 5
+        bank.reset_counters()
+        assert bank.writes == 0 and bank.reads == 0
+
+    def test_bounds_enforced(self):
+        bank = MemoryBank("ext", 8)
+        with pytest.raises(CapacityError):
+            bank.read(6, 4)
+        with pytest.raises(CapacityError):
+            bank.write(-1, np.zeros(2))
+        with pytest.raises(ConfigError):
+            bank.read(0, 0)
+
+
+class TestTechnology:
+    def test_area_scaling_is_quadratic(self):
+        assert NODE_15NM.area_scale_to(NODE_40NM) == pytest.approx((40 / 15) ** 2)
+
+    def test_normalize_roundtrip(self):
+        up = normalize_area(10.0, NODE_15NM, NODE_40NM)
+        back = normalize_area(up, NODE_40NM, NODE_15NM)
+        assert back == pytest.approx(10.0)
+
+    def test_same_node_identity(self):
+        assert normalize_area(5.0, NODE_40NM, NODE_40NM) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TechnologyNode(0)
+        with pytest.raises(ConfigError):
+            normalize_area(-1.0, NODE_40NM, NODE_15NM)

@@ -1,0 +1,215 @@
+"""Hardware sorter models: functional correctness + paper cycle targets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.hw.sorters import (
+    CentralizedMergeSorter,
+    DPBS,
+    MDSASorter,
+    ParallelMergeSorter,
+    TwoStageSorter,
+    bitonic_sort,
+    bitonic_stage_count,
+)
+
+
+class TestBitonic:
+    def test_stage_count_formula(self):
+        assert bitonic_stage_count(2) == 1
+        assert bitonic_stage_count(4) == 3
+        assert bitonic_stage_count(8) == 6
+        assert bitonic_stage_count(16) == 10
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            bitonic_stage_count(10)
+        with pytest.raises(ConfigError):
+            bitonic_sort(np.arange(10))
+
+    def test_sorts_both_directions(self, rng):
+        values = rng.random(32)
+        assert np.array_equal(bitonic_sort(values), np.sort(values))
+        assert np.array_equal(
+            bitonic_sort(values, ascending=False), np.sort(values)[::-1]
+        )
+
+    def test_duplicates(self):
+        values = np.array([3.0, 1.0, 3.0, 1.0])
+        assert np.array_equal(bitonic_sort(values), [1.0, 1.0, 3.0, 3.0])
+
+
+class TestDPBS:
+    def test_paper_depth_16_input(self):
+        assert DPBS(16).depth == 5  # the paper's D_DPBS
+
+    def test_depth_8_input(self):
+        assert DPBS(8).depth == 3
+
+    def test_sort_and_modes(self, rng):
+        dpbs = DPBS(8)
+        values = rng.random(8)
+        assert np.array_equal(dpbs.sort(values), np.sort(values))
+        assert np.array_equal(
+            dpbs.sort(values, ascending=False), np.sort(values)[::-1]
+        )
+
+    def test_rejects_wrong_width(self, rng):
+        with pytest.raises(ConfigError):
+            DPBS(8).sort(rng.random(4))
+
+    def test_pipeline_cycles(self):
+        dpbs = DPBS(16)
+        assert dpbs.pipeline_cycles(1) == 6
+        assert dpbs.pipeline_cycles(16) == 21
+        with pytest.raises(ConfigError):
+            dpbs.pipeline_cycles(0)
+
+
+class TestMDSA:
+    def test_paper_cycle_target_n256(self):
+        # P = 16, D_DPBS = 5 -> 6 * 21 = 126 cycles (Section 4.3).
+        assert MDSASorter(256).cycle_count() == 126
+
+    def test_sorts_and_returns_permutation(self, rng):
+        sorter = MDSASorter(256)
+        values = rng.random(256)
+        sorted_vals, order = sorter.sort(values)
+        assert np.array_equal(sorted_vals, np.sort(values))
+        assert np.array_equal(values[order], sorted_vals)
+
+    def test_non_square_and_partial_lengths(self, rng):
+        sorter = MDSASorter(100)
+        values = rng.random(77)
+        sorted_vals, order = sorter.sort(values)
+        assert np.array_equal(sorted_vals, np.sort(values))
+        assert sorted(order.tolist()) == list(range(77))
+
+    def test_all_equal_preserves_index_order(self):
+        sorter = MDSASorter(64)
+        values = np.zeros(64)
+        _, order = sorter.sort(values)
+        assert np.array_equal(order, np.arange(64))
+
+    def test_capacity_enforced(self, rng):
+        with pytest.raises(ConfigError):
+            MDSASorter(16).sort(rng.random(32))
+        with pytest.raises(ConfigError):
+            MDSASorter(0)
+
+    def test_cycle_count_shrinks_with_length(self):
+        sorter = MDSASorter(256)
+        assert sorter.cycle_count(64) < sorter.cycle_count(256)
+        assert sorter.cycle_count(1) == 0
+
+
+class TestMergeSorters:
+    def test_centralized_cycle_model(self):
+        central = CentralizedMergeSorter()
+        assert central.cycle_count(1024) == 10240  # paper Section 4.3
+        assert central.cycle_count(1) == 0
+
+    def test_centralized_pipelined_model(self):
+        central = CentralizedMergeSorter()
+        pipelined = central.pipelined_cycle_count(1024, num_streams=4)
+        assert pipelined < central.cycle_count(1024)
+        assert pipelined > 1024
+
+    def test_centralized_sort_correct(self, rng):
+        values = rng.random(100)
+        sorted_vals, order = CentralizedMergeSorter().sort(values)
+        assert np.array_equal(sorted_vals, np.sort(values))
+        assert np.array_equal(values[order], sorted_vals)
+
+    def test_pms_paper_depth(self):
+        assert ParallelMergeSorter(4).depth == 7  # the paper's D_PMS
+
+    def test_pms_merge_correct(self, rng):
+        pms = ParallelMergeSorter(4)
+        streams = [np.sort(rng.random(16)) for _ in range(4)]
+        merged = pms.merge(streams)
+        assert np.array_equal(merged, np.sort(np.concatenate(streams)))
+
+    def test_pms_rejects_unsorted_stream(self, rng):
+        pms = ParallelMergeSorter(2)
+        with pytest.raises(ConfigError):
+            pms.merge([np.array([3.0, 1.0]), np.array([1.0, 2.0])])
+
+    def test_pms_rejects_wrong_stream_count(self, rng):
+        with pytest.raises(ConfigError):
+            ParallelMergeSorter(4).merge([np.sort(rng.random(4))] * 3)
+
+    def test_pms_merge_with_sources_tracks_origin(self):
+        pms = ParallelMergeSorter(2)
+        values, sources = pms.merge_with_sources(
+            [np.array([1.0, 4.0]), np.array([2.0, 3.0])]
+        )
+        assert np.array_equal(values, [1.0, 2.0, 3.0, 4.0])
+        assert sources == [(0, 0), (1, 0), (1, 1), (0, 1)]
+
+    def test_pms_cycle_model(self):
+        pms = ParallelMergeSorter(4)
+        assert pms.cycle_count(256) == 263  # paper: n + D_PMS
+        assert pms.cycle_count(0) == 0
+
+
+class TestTwoStageSorter:
+    def test_paper_reference_389_cycles(self):
+        sorter = TwoStageSorter(1024, 4)
+        assert sorter.stage_cycles() == (126, 263)
+        assert sorter.cycle_count() == 389  # the paper's worked example
+
+    def test_sixteen_tiles_faster(self):
+        assert TwoStageSorter(1024, 16).cycle_count() < 389
+
+    def test_functional_sort(self, rng):
+        sorter = TwoStageSorter(1024, 4)
+        values = rng.random(1024)
+        sorted_vals, order = sorter.sort(values)
+        assert np.array_equal(sorted_vals, np.sort(values))
+        assert np.array_equal(values[order], sorted_vals)
+
+    def test_global_indices_cover_all_slots(self, rng):
+        sorter = TwoStageSorter(64, 4)
+        _, order = sorter.sort(rng.random(64))
+        assert sorted(order.tolist()) == list(range(64))
+
+    def test_ties_resolve_to_global_index_order(self):
+        # Matches numpy's stable argsort so the engine agrees with the
+        # monolithic reference even on all-equal usage (the first step).
+        sorter = TwoStageSorter(32, 4)
+        _, order = sorter.sort(np.zeros(32))
+        assert np.array_equal(order, np.arange(32))
+
+    def test_skimming_shortens_sort(self):
+        sorter = TwoStageSorter(1024, 4)
+        assert sorter.cycle_count(effective_length=512) < sorter.cycle_count()
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ConfigError):
+            TwoStageSorter(100, 3)
+
+    def test_wrong_input_shape(self, rng):
+        with pytest.raises(ConfigError):
+            TwoStageSorter(64, 4).sort(rng.random(32))
+
+
+@given(st.integers(4, 256), st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_mdsa_sort_property(n, seed):
+    values = np.random.default_rng(seed).random(n)
+    sorted_vals, order = MDSASorter(n).sort(values)
+    assert np.array_equal(sorted_vals, np.sort(values))
+    assert sorted(order.tolist()) == list(range(n))
+
+
+@given(st.sampled_from([16, 32, 64, 128]), st.sampled_from([2, 4, 8]),
+       st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_two_stage_sort_property(n, nt, seed):
+    values = np.random.default_rng(seed).random(n)
+    sorted_vals, order = TwoStageSorter(n, nt).sort(values)
+    assert np.array_equal(sorted_vals, np.sort(values))
+    assert np.array_equal(values[order], sorted_vals)

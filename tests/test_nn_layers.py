@@ -1,0 +1,136 @@
+"""Module / Linear / LSTM layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients, ops
+from repro.nn import LSTM, Linear, LSTMCell, Module, Parameter
+from repro.nn import init
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+                self.child = Linear(2, 2, rng=0)
+
+        net = Net()
+        names = [name for name, _ in net.named_parameters()]
+        assert "w" in names
+        assert "child.weight" in names and "child.bias" in names
+        assert net.num_parameters() == 3 + 4 + 2
+
+    def test_state_dict_roundtrip(self):
+        layer = Linear(3, 2, rng=0)
+        state = layer.state_dict()
+        other = Linear(3, 2, rng=99)
+        other.load_state_dict(state)
+        assert np.allclose(other.weight.data, layer.weight.data)
+        assert np.allclose(other.bias.data, layer.bias.data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        layer = Linear(3, 2, rng=0)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((3, 2))})
+        with pytest.raises(ValueError):
+            layer.load_state_dict(
+                {"weight": np.zeros((2, 2)), "bias": np.zeros(2)}
+            )
+
+    def test_zero_grad(self):
+        layer = Linear(3, 2, rng=0)
+        out = ops.sum(layer(Tensor(np.ones(3))))
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestInit:
+    def test_xavier_bounds(self):
+        w = init.xavier_uniform((100, 50), rng=0)
+        bound = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_orthogonal_is_orthogonal(self):
+        w = init.orthogonal((16, 16), rng=0)
+        assert np.allclose(w @ w.T, np.eye(16), atol=1e-8)
+
+    def test_orthogonal_rectangular(self):
+        w = init.orthogonal((8, 16), rng=0)
+        assert np.allclose(w @ w.T, np.eye(8), atol=1e-8)
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self, rng):
+        layer = Linear(4, 3, rng=0)
+        x = rng.standard_normal((5, 4))
+        out = layer(Tensor(x))
+        assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias_option(self):
+        layer = Linear(4, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert layer(Tensor(np.zeros(4))).data == pytest.approx(np.zeros(3))
+
+    def test_gradients(self, rng):
+        layer = Linear(3, 2, rng=0)
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+
+        def fn(x):
+            return layer(x)
+
+        check_gradients(fn, [x])
+        loss = ops.sum(layer(x))
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestLSTM:
+    def test_cell_shapes_unbatched_and_batched(self, rng):
+        cell = LSTMCell(4, 6, rng=0)
+        h, state = cell(Tensor(rng.standard_normal(4)), cell.initial_state())
+        assert h.shape == (6,)
+        h, state = cell(
+            Tensor(rng.standard_normal((3, 4))), cell.initial_state(3)
+        )
+        assert h.shape == (3, 6)
+        assert state.cell.shape == (3, 6)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = LSTMCell(4, 6, rng=0)
+        assert np.all(cell.bias.data[6:12] == 1.0)
+
+    def test_state_propagates_information(self, rng):
+        cell = LSTMCell(2, 4, rng=0)
+        x = Tensor(rng.standard_normal(2))
+        _, s1 = cell(x, cell.initial_state())
+        h2a, _ = cell(x, s1)
+        h2b, _ = cell(x, cell.initial_state())
+        assert not np.allclose(h2a.data, h2b.data)
+
+    def test_sequence_wrapper(self, rng):
+        lstm = LSTM(3, 5, rng=0)
+        xs = Tensor(rng.standard_normal((7, 3)))
+        out, state = lstm(xs)
+        assert out.shape == (7, 5)
+        assert state.hidden.shape == (5,)
+
+    def test_gradients_flow_through_time(self, rng):
+        lstm = LSTM(2, 3, rng=0)
+        xs = Tensor(rng.standard_normal((4, 2)))
+        out, _ = lstm(xs)
+        ops.sum(out).backward()
+        for param in lstm.parameters():
+            assert param.grad is not None
+            assert np.any(param.grad != 0)
+
+    def test_state_detach(self, rng):
+        cell = LSTMCell(2, 3, rng=0)
+        _, state = cell(Tensor(rng.standard_normal(2)), cell.initial_state())
+        detached = state.detach()
+        assert detached.hidden.parents == []
+        assert detached.cell.parents == []

@@ -1,0 +1,112 @@
+"""Optimizers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, ops
+from repro.errors import ConfigError
+from repro.nn import Adam, RMSProp, SGD, clip_grad_norm
+from repro.nn.losses import (
+    mse_loss,
+    sigmoid_binary_cross_entropy,
+    softmax_cross_entropy,
+)
+from repro.nn.module import Parameter
+
+
+def quadratic_loss(param):
+    return ops.sum(ops.mul(param, param))
+
+
+@pytest.mark.parametrize("make_optimizer", [
+    lambda p: SGD(p, lr=0.1),
+    lambda p: SGD(p, lr=0.05, momentum=0.9),
+    lambda p: Adam(p, lr=0.1),
+    lambda p: RMSProp(p, lr=0.05),
+])
+def test_optimizers_minimize_quadratic(make_optimizer):
+    param = Parameter(np.array([3.0, -2.0, 1.0]))
+    optimizer = make_optimizer([param])
+    initial = float(quadratic_loss(param).data)
+    for _ in range(60):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param)
+        loss.backward()
+        optimizer.step()
+    assert float(quadratic_loss(param).data) < 0.05 * initial
+
+
+def test_optimizer_skips_params_without_grads():
+    used = Parameter(np.array([1.0]))
+    unused = Parameter(np.array([5.0]))
+    optimizer = Adam([used, unused], lr=0.1)
+    quadratic_loss(used).backward()
+    optimizer.step()
+    assert unused.data[0] == 5.0
+
+
+def test_invalid_lr_rejected():
+    with pytest.raises(ConfigError):
+        SGD([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestClipGradNorm:
+    def test_scales_down_large_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.01)
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.all(p.grad == 0.01)
+
+    def test_ignores_none_grads(self):
+        p = Parameter(np.zeros(4))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+class TestLosses:
+    def test_mse_basic(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+        loss.backward()
+        assert np.allclose(pred.grad, [1.0, 2.0])
+
+    def test_softmax_ce_matches_manual(self, rng):
+        logits = Tensor(rng.standard_normal(5), requires_grad=True)
+        target = np.zeros(5)
+        target[2] = 1.0
+        loss = softmax_cross_entropy(logits, target)
+        probs = np.exp(logits.data) / np.exp(logits.data).sum()
+        assert loss.item() == pytest.approx(-np.log(probs[2]))
+
+    def test_softmax_ce_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([100.0, 0.0, 0.0]))
+        target = np.array([1.0, 0.0, 0.0])
+        assert softmax_cross_entropy(logits, target).item() < 1e-6
+
+    def test_bce_matches_manual(self, rng):
+        logits = Tensor(rng.standard_normal(6), requires_grad=True)
+        targets = (rng.random(6) > 0.5).astype(float)
+        loss = sigmoid_binary_cross_entropy(logits, targets)
+        p = 1.0 / (1.0 + np.exp(-logits.data))
+        manual = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert loss.item() == pytest.approx(manual, rel=1e-6)
+
+    def test_bce_stable_at_extreme_logits(self):
+        logits = Tensor(np.array([1000.0, -1000.0]))
+        targets = np.array([1.0, 0.0])
+        loss = sigmoid_binary_cross_entropy(logits, targets)
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+    def test_loss_gradients_finite(self, rng):
+        logits = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        target = np.eye(5)[rng.integers(0, 5, size=4)]
+        softmax_cross_entropy(logits, target).backward()
+        assert np.all(np.isfinite(logits.grad))

@@ -1,0 +1,209 @@
+"""Cycle-level NoC simulator: delivery, serialization, contention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, SimulationError
+from repro.noc import Message, NoCSimulator, build_topology, traffic
+from repro.noc.traffic import MessageFactory
+
+
+@pytest.fixture
+def star():
+    return build_topology("star", 4)
+
+
+@pytest.fixture
+def hima16():
+    return build_topology("hima", 16)
+
+
+class TestMessage:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Message(0, src=1, dst=1)
+        with pytest.raises(ConfigError):
+            Message(0, src=0, dst=1, size=0)
+
+
+class TestBasicDelivery:
+    def test_single_message_latency(self, star):
+        sim = NoCSimulator(star)
+        result = sim.run([Message(0, src=0, dst=4, size=1)])
+        # One hop, idle link: feed-through latency 1, size 1.
+        assert result.delivery_times[0] == 1
+        assert result.makespan == 1
+
+    def test_two_hop_uncongested(self, star):
+        sim = NoCSimulator(star)
+        result = sim.run([Message(0, src=0, dst=1, size=1)])
+        assert result.delivery_times[0] == 2  # PT -> CT -> PT, feed-through
+
+    def test_serialization_with_size(self, star):
+        sim = NoCSimulator(star)
+        result = sim.run([Message(0, src=0, dst=4, size=10)])
+        assert result.delivery_times[0] == 10  # 1 + 10 - 1
+
+    def test_all_messages_delivered(self, hima16):
+        sim = NoCSimulator(hima16)
+        msgs = traffic.all_to_all(hima16, size=2)
+        result = sim.run(msgs)
+        assert result.num_delivered == len(msgs)
+        assert set(result.delivery_times) == {m.msg_id for m in msgs}
+
+    def test_empty_batch(self, star):
+        result = NoCSimulator(star).run([])
+        assert result.makespan == 0
+        assert result.num_delivered == 0
+
+
+class TestContention:
+    def test_shared_link_serializes(self, star):
+        sim = NoCSimulator(star)
+        # Two messages from the same source must share the PT->CT link.
+        msgs = [
+            Message(0, src=0, dst=4, size=5),
+            Message(1, src=0, dst=4, size=5),
+        ]
+        result = sim.run(msgs)
+        assert result.delivery_times[1] > result.delivery_times[0]
+        busy = result.link_busy_cycles[(0, 4)]
+        assert busy == 10
+
+    def test_contended_hop_pays_router_latency(self, star):
+        sim = NoCSimulator(star, router_latency=3, feed_through_latency=1)
+        msgs = [
+            Message(0, src=0, dst=4, size=4),
+            Message(1, src=0, dst=4, size=4),
+        ]
+        result = sim.run(msgs)
+        # Second message waits 4 cycles then pays the full pipeline.
+        assert result.delivery_times[1] == 4 + 3 + 4 - 1
+
+    def test_disjoint_links_run_in_parallel(self, star):
+        sim = NoCSimulator(star)
+        msgs = [
+            Message(0, src=0, dst=4, size=5),
+            Message(1, src=1, dst=4, size=5),
+        ]
+        result = sim.run(msgs)
+        assert result.delivery_times[0] == result.delivery_times[1]
+
+    def test_deterministic_arbitration(self, hima16):
+        sim = NoCSimulator(hima16)
+        msgs = traffic.random_uniform(hima16, 50, size=3, rng=0)
+        a = sim.run(msgs).delivery_times
+        b = sim.run(msgs).delivery_times
+        assert a == b
+
+    def test_max_link_utilization_bounded(self, hima16):
+        sim = NoCSimulator(hima16)
+        result = sim.run(traffic.all_to_all(hima16, size=2))
+        assert 0 < result.max_link_utilization() <= 1.0
+
+
+class TestDependencies:
+    def test_dependent_message_waits(self, star):
+        msgs = [
+            Message(0, src=0, dst=4, size=3),
+            Message(1, src=1, dst=4, size=3, depends_on=0),
+        ]
+        result = NoCSimulator(star).run(msgs)
+        assert result.delivery_times[1] > result.delivery_times[0]
+
+    def test_ring_accumulate_is_sequential(self, hima16):
+        sim = NoCSimulator(hima16)
+        chain = traffic.ring_accumulate(hima16, size=1)
+        result = sim.run(chain)
+        times = [result.delivery_times[m.msg_id] for m in chain]
+        assert times == sorted(times)
+        assert times[-1] >= len(chain)
+
+    def test_missing_dependency_rejected(self, star):
+        with pytest.raises(SimulationError):
+            NoCSimulator(star).run(
+                [Message(0, src=0, dst=4, depends_on=99)]
+            )
+
+    def test_duplicate_ids_rejected(self, star):
+        with pytest.raises(SimulationError):
+            NoCSimulator(star).run([
+                Message(0, src=0, dst=4), Message(0, src=1, dst=4),
+            ])
+
+    def test_bad_latency_config_rejected(self, star):
+        with pytest.raises(SimulationError):
+            NoCSimulator(star, router_latency=1, feed_through_latency=2)
+
+
+class TestTrafficPatterns:
+    def test_broadcast_endpoints(self, hima16):
+        msgs = traffic.broadcast(hima16, size=4)
+        assert len(msgs) == 16
+        assert all(m.src == hima16.ct_node for m in msgs)
+        assert {m.dst for m in msgs} == set(hima16.pt_nodes)
+
+    def test_gather_endpoints(self, hima16):
+        msgs = traffic.gather(hima16, size=4)
+        assert all(m.dst == hima16.ct_node for m in msgs)
+
+    def test_all_to_all_count(self, hima16):
+        assert len(traffic.all_to_all(hima16)) == 16 * 15
+
+    def test_transpose_uses_grid_geometry(self, hima16):
+        msgs = traffic.transpose_exchange(hima16)
+        assert msgs, "grid topology should produce transpose messages"
+        pos = hima16.positions
+        for m in msgs:
+            r, c = pos[m.src]
+            assert pos[m.dst] == (c, r)
+
+    def test_transpose_fallback_without_geometry(self):
+        star = build_topology("star", 8)
+        msgs = traffic.transpose_exchange(star)
+        assert len(msgs) == 8  # pairwise reversal, self-pairs excluded
+
+    def test_random_uniform_no_self_messages(self, hima16):
+        msgs = traffic.random_uniform(hima16, 30, rng=1)
+        assert all(m.src != m.dst for m in msgs)
+
+    def test_factory_ids_unique_across_patterns(self, hima16):
+        factory = MessageFactory()
+        a = traffic.broadcast(hima16, factory=factory)
+        b = traffic.gather(hima16, factory=factory)
+        ids = [m.msg_id for m in a + b]
+        assert len(ids) == len(set(ids))
+
+    def test_random_needs_two_pts(self):
+        topo = build_topology("star", 1)
+        with pytest.raises(ConfigError):
+            traffic.random_uniform(topo, 5)
+
+
+class TestTopologyPerformanceOrdering:
+    def test_hima_beats_htree_on_all_to_all(self):
+        hima = build_topology("hima", 16)
+        htree = build_topology("htree", 16)
+        load_hima = NoCSimulator(hima).run(traffic.all_to_all(hima, size=4))
+        load_htree = NoCSimulator(htree).run(traffic.all_to_all(htree, size=4))
+        assert load_hima.makespan < load_htree.makespan
+
+    def test_star_good_at_broadcast_bad_at_all_to_all(self):
+        star = build_topology("star", 16)
+        hima = build_topology("hima", 16)
+        sim_star, sim_hima = NoCSimulator(star), NoCSimulator(hima)
+        a2a_star = sim_star.run(traffic.all_to_all(star, size=4)).makespan
+        a2a_hima = sim_hima.run(traffic.all_to_all(hima, size=4)).makespan
+        assert a2a_hima < a2a_star  # every star path funnels through the CT
+
+
+@given(st.integers(2, 12), st.integers(1, 6), st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_random_traffic_always_fully_delivered(num_msgs, size, seed):
+    topo = build_topology("hima", 8)
+    msgs = traffic.random_uniform(topo, num_msgs, size=size, rng=seed)
+    result = NoCSimulator(topo).run(msgs)
+    assert result.num_delivered == num_msgs
+    assert result.makespan >= size  # at least one serialization
+    assert result.total_flit_hops >= num_msgs * size

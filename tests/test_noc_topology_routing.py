@@ -1,0 +1,145 @@
+"""NoC topologies and routing: structure, hop counts, determinism."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, RoutingError
+from repro.noc import RoutingTable, build_topology, hop_statistics, worst_case_hops
+from repro.noc.topology import TOPOLOGY_BUILDERS
+
+
+ALL_TOPOLOGIES = sorted(TOPOLOGY_BUILDERS)
+
+
+class TestTopologyStructure:
+    @pytest.mark.parametrize("name", ALL_TOPOLOGIES)
+    @pytest.mark.parametrize("num_pts", [1, 4, 16, 64])
+    def test_connected_with_expected_tiles(self, name, num_pts):
+        topo = build_topology(name, num_pts)
+        assert nx.is_connected(topo.graph)
+        assert topo.num_pts == num_pts
+        assert topo.ct_node not in topo.pt_nodes
+        assert set(topo.pt_nodes) == set(range(num_pts))
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigError):
+            build_topology("torus", 16)
+
+    def test_tree_requires_power_of_two(self):
+        with pytest.raises(ConfigError):
+            build_topology("htree", 12)
+
+    def test_star_degree(self):
+        topo = build_topology("star", 16)
+        assert topo.degree(topo.ct_node) == 16
+        assert all(topo.degree(pt) == 1 for pt in topo.pt_nodes)
+
+    def test_ring_degrees(self):
+        topo = build_topology("ring", 8)
+        assert all(topo.graph.degree[n] == 2 for n in topo.graph.nodes)
+
+    def test_hima_has_diagonals_mesh_does_not(self):
+        hima = build_topology("hima", 16)
+        mesh = build_topology("mesh", 16)
+        assert hima.graph.number_of_edges() > mesh.graph.number_of_edges()
+
+    def test_grid_positions_recorded(self):
+        topo = build_topology("hima", 24)
+        assert len(topo.positions) == 25
+        rows = {r for r, _ in topo.positions.values()}
+        cols = {c for _, c in topo.positions.values()}
+        assert len(rows) == 5 and len(cols) == 5
+
+    def test_ct_is_central_in_grid(self):
+        topo = build_topology("hima", 24)
+        assert topo.positions[topo.ct_node] == (2, 2)
+
+
+class TestPaperHopCounts:
+    def test_htree_16_worst_case_8_hops(self):
+        assert worst_case_hops(build_topology("htree", 16)) == 8
+
+    def test_hima_5x5_worst_case_4_hops(self):
+        assert worst_case_hops(build_topology("hima", 24)) == 4
+
+    def test_star_worst_case_2_hops(self):
+        assert worst_case_hops(build_topology("star", 64)) == 2
+
+    def test_hima_beats_mesh_and_htree(self):
+        for n in (16, 64):
+            hima = worst_case_hops(build_topology("hima", n))
+            mesh = worst_case_hops(build_topology("mesh", n))
+            htree = worst_case_hops(build_topology("htree", n))
+            assert hima < mesh
+            assert hima < htree
+
+    def test_hop_statistics_fields(self):
+        stats = hop_statistics(build_topology("htree", 16))
+        assert stats.worst_case == 8
+        assert stats.ct_worst_case == 4
+        assert 0 < stats.average <= stats.worst_case
+        assert "htree" in str(stats)
+
+
+class TestRouting:
+    def test_path_endpoints_and_edges(self):
+        topo = build_topology("hima", 16)
+        routing = RoutingTable(topo)
+        path = routing.path(0, 15)
+        assert path[0] == 0 and path[-1] == 15
+        for u, v in zip(path[:-1], path[1:]):
+            assert topo.graph.has_edge(u, v)
+
+    def test_path_is_shortest(self):
+        topo = build_topology("mesh", 16)
+        routing = RoutingTable(topo)
+        for src in topo.pt_nodes[:4]:
+            for dst in topo.pt_nodes[-4:]:
+                expected = nx.shortest_path_length(topo.graph, src, dst)
+                assert routing.hops(src, dst) == expected
+
+    def test_deterministic_across_instances(self):
+        topo = build_topology("hima", 16)
+        a = RoutingTable(topo)
+        b = RoutingTable(topo)
+        for dst in (3, 7, 11):
+            assert a.path(0, dst) == b.path(0, dst)
+
+    def test_zero_hops_to_self(self):
+        topo = build_topology("star", 4)
+        assert RoutingTable(topo).hops(2, 2) == 0
+
+    def test_links_are_directed_pairs(self):
+        topo = build_topology("ring", 6)
+        routing = RoutingTable(topo)
+        links = routing.links(0, 3)
+        assert all(len(link) == 2 for link in links)
+        assert len(links) == routing.hops(0, 3)
+
+    def test_unreachable_raises(self):
+        import networkx as nx
+        from repro.noc.topology import Topology
+
+        graph = nx.Graph()
+        graph.add_node(0)
+        graph.add_node(1)  # disconnected
+        topo = Topology("broken", graph, [0], 1)
+        with pytest.raises(RoutingError):
+            RoutingTable(topo).path(0, 1)
+
+
+@given(
+    st.sampled_from(ALL_TOPOLOGIES),
+    st.sampled_from([2, 4, 8, 16, 32]),
+)
+@settings(max_examples=30, deadline=None)
+def test_routing_hops_symmetric_property(name, num_pts):
+    """Shortest-path lengths are symmetric on undirected topologies."""
+    topo = build_topology(name, num_pts)
+    routing = RoutingTable(topo)
+    rng = np.random.default_rng(num_pts)
+    for _ in range(5):
+        a, b = rng.integers(0, num_pts, size=2)
+        assert routing.hops(int(a), int(b)) == routing.hops(int(b), int(a))

@@ -1,0 +1,208 @@
+"""Task generator tests: copy, repeat-copy, recall, synthetic bAbI."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.tasks import (
+    AssociativeRecallTask,
+    BabiTaskSuite,
+    CopyTask,
+    RepeatCopyTask,
+    TASK_NAMES,
+    encode_example,
+    encode_tokens,
+)
+from repro.tasks.encoding import Vocabulary
+
+
+class TestVocabulary:
+    def test_add_and_lookup(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.id_of("a") == 0
+        assert vocab.token_of(1) == "b"
+        assert "a" in vocab and "z" not in vocab
+        assert len(vocab) == 2
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        assert vocab.add("x") == vocab.add("x") == 0
+        assert len(vocab) == 1
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(ConfigError):
+            Vocabulary(["a"]).id_of("b")
+
+    def test_encode_tokens_one_hot(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        out = encode_tokens(["b", "a"], vocab)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, [[0, 1, 0], [1, 0, 0]])
+
+
+class TestCopyTask:
+    def test_episode_structure(self):
+        task = CopyTask(num_bits=4, min_length=3, max_length=3, rng=0)
+        sample = task.sample()
+        assert sample.inputs.shape == (8, 6)
+        assert sample.targets.shape == (8, 4)
+        assert sample.mask.sum() == 3
+        # Markers on their own channels.
+        assert sample.inputs[0, 4] == 1.0
+        assert sample.inputs[4, 5] == 1.0
+
+    def test_targets_reproduce_presented_bits(self):
+        task = CopyTask(num_bits=5, min_length=4, max_length=4, rng=1)
+        sample = task.sample()
+        presented = sample.inputs[1:5, :5]
+        recalled = sample.targets[sample.mask == 1]
+        assert np.array_equal(presented, recalled)
+
+    def test_length_range_respected(self):
+        task = CopyTask(num_bits=2, min_length=2, max_length=5, rng=2)
+        lengths = {int(task.sample().mask.sum()) for _ in range(50)}
+        assert lengths <= {2, 3, 4, 5}
+        assert len(lengths) > 1
+
+    def test_deterministic_with_seed(self):
+        a = CopyTask(rng=7).sample()
+        b = CopyTask(rng=7).sample()
+        assert np.array_equal(a.inputs, b.inputs)
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ConfigError):
+            CopyTask(min_length=5, max_length=2)
+
+
+class TestRepeatCopyTask:
+    def test_episode_structure(self):
+        task = RepeatCopyTask(
+            num_bits=3, min_length=2, max_length=2,
+            min_repeats=2, max_repeats=2, rng=0,
+        )
+        sample = task.sample()
+        assert sample.mask.sum() == 4  # length * repeats
+        recalled = sample.targets[sample.mask == 1]
+        assert np.array_equal(recalled[:2], recalled[2:])
+
+    def test_repeat_count_encoded(self):
+        task = RepeatCopyTask(min_repeats=3, max_repeats=3, rng=0)
+        sample = task.sample()
+        marker_rows = np.flatnonzero(sample.inputs[:, -1])
+        assert len(marker_rows) == 1
+        assert sample.inputs[marker_rows[0], -1] == pytest.approx(1.0)
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ConfigError):
+            RepeatCopyTask(min_repeats=3, max_repeats=1)
+
+
+class TestAssociativeRecall:
+    def test_episode_structure(self):
+        task = AssociativeRecallTask(
+            num_bits=4, item_length=2, min_items=3, max_items=3, rng=0
+        )
+        sample = task.sample()
+        assert sample.mask.sum() == 2  # item_length rows of answer
+        assert sample.inputs.shape[1] == 6
+
+    def test_answer_is_successor_of_query(self):
+        task = AssociativeRecallTask(
+            num_bits=3, item_length=1, min_items=4, max_items=4, rng=5
+        )
+        sample = task.sample()
+        # Reconstruct items from the presentation phase.
+        item_rows = np.flatnonzero(sample.inputs[:, 3])
+        items = [sample.inputs[r + 1, :3] for r in item_rows]
+        query_row = np.flatnonzero(sample.inputs[:, 4])[0]
+        query = sample.inputs[query_row + 1, :3]
+        answer = sample.targets[sample.mask == 1][0]
+        matches = [i for i, item in enumerate(items) if np.array_equal(item, query)]
+        assert any(np.array_equal(items[i + 1], answer) for i in matches)
+
+    def test_requires_two_items(self):
+        with pytest.raises(ConfigError):
+            AssociativeRecallTask(min_items=1, max_items=1)
+
+
+class TestBabiSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return BabiTaskSuite(rng=0)
+
+    @pytest.fixture(scope="class")
+    def vocab(self, suite):
+        return suite.vocabulary()
+
+    def test_twenty_task_names(self):
+        assert len(TASK_NAMES) == 20
+        assert len(set(TASK_NAMES)) == 20
+
+    @pytest.mark.parametrize("task_id", range(1, 21))
+    def test_every_task_generates_valid_episodes(self, suite, vocab, task_id):
+        for example in suite.generate(task_id, 8):
+            assert example.task_id == task_id
+            assert example.tokens[-1] == "?"
+            for token in example.tokens:
+                vocab.id_of(token)  # raises if unknown
+            vocab.id_of(example.answer)
+
+    def test_generate_all(self, suite):
+        per_task = suite.generate_all(per_task=2)
+        assert set(per_task) == set(range(1, 21))
+        assert all(len(v) == 2 for v in per_task.values())
+
+    def test_invalid_task_id(self, suite):
+        with pytest.raises(ConfigError):
+            suite.generate(0, 1)
+        with pytest.raises(ConfigError):
+            suite.generate(21, 1)
+
+    def test_deterministic_with_seed(self):
+        a = BabiTaskSuite(rng=3).generate(1, 3)
+        b = BabiTaskSuite(rng=3).generate(1, 3)
+        assert [x.tokens for x in a] == [y.tokens for y in b]
+        assert [x.answer for x in a] == [y.answer for y in b]
+
+    def test_answers_vary_across_episodes(self, suite):
+        answers = {ex.answer for ex in suite.generate(1, 30)}
+        assert len(answers) > 1
+
+    def test_task1_answer_is_final_location(self, suite):
+        for example in suite.generate(1, 10):
+            # The queried person's last "moved to" sentence names the answer.
+            person = example.tokens[-2]
+            locations = [
+                example.tokens[i + 4]
+                for i, tok in enumerate(example.tokens)
+                if tok == person and i + 4 < len(example.tokens)
+                and example.tokens[i + 1] == "moved"
+            ]
+            assert locations[-1] == example.answer
+
+    def test_task6_yes_no_consistency(self, suite):
+        for example in suite.generate(6, 20):
+            place_visited = example.tokens[4]
+            place_asked = example.tokens[-2]
+            expected = "yes" if place_visited == place_asked else "no"
+            assert example.answer == expected
+
+    def test_encode_example(self, suite, vocab):
+        example = suite.generate(2, 1)[0]
+        inputs, answer_id = encode_example(example, vocab)
+        assert inputs.shape == (len(example.tokens), len(vocab))
+        assert np.all(inputs.sum(axis=1) == 1.0)
+        assert vocab.token_of(answer_id) == example.answer
+
+
+@given(st.integers(1, 20), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_babi_episodes_always_well_formed(task_id, seed):
+    suite = BabiTaskSuite(rng=seed)
+    vocab = suite.vocabulary()
+    example = suite.generate(task_id, 1)[0]
+    assert example.tokens.count("?") == 1
+    for token in example.tokens:
+        assert token in vocab
+    assert example.answer in vocab

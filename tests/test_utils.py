@@ -1,0 +1,125 @@
+"""Utility helpers: RNG, formatting, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils import (
+    check_in,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+    format_breakdown,
+    format_ratio,
+    format_table,
+    new_rng,
+)
+from repro.utils.rng import RngMixin, spawn
+
+
+class TestRng:
+    def test_int_seed_is_deterministic(self):
+        a = new_rng(42).random(5)
+        b = new_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+    def test_spawn_children_independent(self):
+        children = spawn(new_rng(0), 3)
+        assert len(children) == 3
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 3
+
+    def test_mixin_seeding(self):
+        class Thing(RngMixin):
+            pass
+
+        a, b = Thing(), Thing()
+        a.seed(7)
+        b.seed(7)
+        assert a.rng.random() == b.rng.random()
+
+    def test_mixin_lazy_default(self):
+        class Thing(RngMixin):
+            pass
+
+        assert isinstance(Thing().rng, np.random.Generator)
+
+
+class TestFormatting:
+    def test_table_alignment_and_title(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_float_rendering(self):
+        text = format_table(["x"], [[0.000123], [12345.6], [1.5], [0.0]])
+        assert "1.230e-04" in text
+        assert "1.235e+04" in text
+        assert "1.5" in text
+
+    def test_ratio(self):
+        assert format_ratio(20.0, 10.0) == "2x"
+        assert format_ratio(1.0, 0.0) == "inf x"
+
+    def test_breakdown_percentages(self):
+        text = format_breakdown({"a": 3.0, "b": 1.0}, title="split")
+        assert "split" in text
+        assert "75.0%" in text and "25.0%" in text and "100.0%" in text
+
+    def test_breakdown_empty_total(self):
+        text = format_breakdown({"a": 0.0})
+        assert "0.0%" in text
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ConfigError):
+            check_positive("x", 0)
+        with pytest.raises(ConfigError):
+            check_positive("x", -3)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ConfigError):
+            check_probability("p", 1.01)
+
+    def test_check_power_of_two(self):
+        for good in (1, 2, 4, 64):
+            check_power_of_two("n", good)
+        for bad in (0, 3, 12, -4):
+            with pytest.raises(ConfigError):
+                check_power_of_two("n", bad)
+
+    def test_check_in(self):
+        check_in("mode", "a", ("a", "b"))
+        with pytest.raises(ConfigError) as excinfo:
+            check_in("mode", "c", ("a", "b"))
+        assert "mode" in str(excinfo.value)
+
+
+class TestErrorsHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in ("ConfigError", "ShapeError", "GradientError",
+                     "SimulationError", "RoutingError", "CapacityError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_routing_and_capacity_are_simulation_errors(self):
+        from repro import errors
+
+        assert issubclass(errors.RoutingError, errors.SimulationError)
+        assert issubclass(errors.CapacityError, errors.SimulationError)
