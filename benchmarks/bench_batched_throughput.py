@@ -1,0 +1,65 @@
+"""Batched engine throughput — the repo's perf trajectory benchmark.
+
+Measures ``TiledEngine.run_batch`` (B sequences advancing in lock-step
+through stacked kernels) against B sequential B=1 ``run`` calls on the
+identical workload, and writes a machine-readable record to
+``BENCH_batched_throughput.json`` at the repo root so future PRs can
+track throughput regressions.  Schema (top-level keys)::
+
+    {"batch_size": B, "steps_per_sec": x, "speedup_vs_seq": y, ...}
+
+The asserted floors are deliberately conservative (the measured ratio is
+typically well above them): batching must pay off by >= 4x at B=16, and
+a batch of one must reproduce the unbatched path to 1e-10.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.config import HiMAConfig
+from repro.eval.runners import batched_throughput_experiment, measure_batched_throughput
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_batched_throughput.json"
+
+#: The trajectory configuration: small enough that per-step engine
+#: overhead (what batching amortizes) dominates, keeping the measured
+#: ratio stable on loaded CI machines.
+TRAJECTORY_CONFIG = dict(
+    memory_size=32, word_size=16, num_tiles=4, hidden_size=32,
+    two_stage_sort=False,
+)
+
+
+def test_batched_throughput_trajectory():
+    result = measure_batched_throughput(
+        HiMAConfig(**TRAJECTORY_CONFIG), batch_size=16, seq_len=16, repeats=5
+    )
+    # Always leave the artifact on disk, even if the floors fail below:
+    # a regressing run should still record what it measured.
+    ARTIFACT.write_text(json.dumps(result.to_json(), indent=2) + "\n")
+    assert result.batch1_max_abs_diff <= 1e-10
+    assert result.speedup_vs_seq >= 4.0
+
+
+def test_batched_throughput_scaling_table(save_result):
+    result = batched_throughput_experiment(
+        HiMAConfig(**TRAJECTORY_CONFIG), batch_sizes=(4, 16), seq_len=8
+    )
+    save_result(result)
+    assert len(result.rows) == 2
+
+
+@pytest.mark.parametrize("distributed", [False, True])
+def test_batched_equivalence_both_modes(distributed):
+    config = HiMAConfig(
+        memory_size=64, word_size=16, num_reads=2, num_tiles=4,
+        hidden_size=32, distributed=distributed,
+    )
+    from repro.core.engine import TiledEngine
+
+    engine = TiledEngine(config, rng=0)
+    error = engine.verify_against_reference(steps=4, batch_size=4)
+    assert error < 1e-10

@@ -28,10 +28,12 @@ from repro.core.config import HiMAConfig
 from repro.core.perf_model import HiMAPerformanceModel
 from repro.core.engine import TiledEngine
 from repro.dnc import DNC, DNCConfig, DNCD, DNCDConfig
+from repro.dnc.numpy_ref import NumpyDNC, NumpyDNCConfig
+from repro.eval.runners import BatchedThroughput, measure_batched_throughput
 from repro.hw.area_model import AreaModel
 from repro.hw.power_model import PowerModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HiMAConfig",
@@ -41,6 +43,10 @@ __all__ = [
     "DNCConfig",
     "DNCD",
     "DNCDConfig",
+    "NumpyDNC",
+    "NumpyDNCConfig",
+    "BatchedThroughput",
+    "measure_batched_throughput",
     "AreaModel",
     "PowerModel",
     "__version__",

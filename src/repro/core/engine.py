@@ -10,6 +10,17 @@ construction and by test — identical to the monolithic reference DNC
 In distributed (DNC-D) mode every tile runs the complete soft write/read
 on its local shard only; the engine verifies the *no inter-PT traffic*
 property that gives DNC-D its near-ideal scaling (paper Section 5.1).
+The DNC-D hot path is fully vectorized: the tile loop is folded into a
+leading axis and executed as stacked einsum/matmul kernels
+(:mod:`repro.core.kernels`).
+
+Batching: every step path accepts a leading batch dimension.
+:meth:`TiledEngine.run_batch` advances ``B`` sequences in lock-step
+through the same sharded kernels, which is the engine's throughput path —
+one stacked matmul per kernel instead of ``B`` small ones.  Traffic
+accounting stays structurally identical under batching: the *message*
+pattern (event count, endpoints) does not change, while each event's word
+count scales by ``B``.
 """
 
 from __future__ import annotations
@@ -19,12 +30,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core import kernels as SK  # stacked shard kernels
 from repro.core.config import HiMAConfig
 from repro.core.mapping import MemoryMap
 from repro.dnc import numpy_ref as K  # the shared numpy kernels
 from repro.dnc.approx import SoftmaxApproximator, skimmed_sort_order
 from repro.dnc.numpy_ref import NumpyDNC, NumpyDNCConfig, NumpyDNCState
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.hw.sorters import TwoStageSorter
 from repro.noc.packet import Message
 from repro.utils.rng import SeedLike
@@ -88,6 +100,11 @@ class TrafficLog:
         self.events.clear()
 
 
+def _lead_batch(lead: Tuple[int, ...]) -> int:
+    """Word-count multiplier for a leading batch shape (1 if unbatched)."""
+    return int(lead[0]) if lead else 1
+
+
 class TiledEngine:
     """Sharded, traffic-accounted DNC execution over HiMA's tiles."""
 
@@ -115,13 +132,17 @@ class TiledEngine:
             self.sorter = None
 
     # ------------------------------------------------------------------
-    def initial_state(self) -> NumpyDNCState:
-        return self.reference.initial_state()
+    def initial_state(self, batch_size: Optional[int] = None) -> NumpyDNCState:
+        return self.reference.initial_state(batch_size=batch_size)
 
     def step(
         self, x: np.ndarray, state: NumpyDNCState
     ) -> Tuple[np.ndarray, NumpyDNCState]:
-        """One sharded timestep; logs traffic into :attr:`self.traffic`."""
+        """One sharded timestep; logs traffic into :attr:`self.traffic`.
+
+        ``x`` is ``(input_size,)`` or batched ``(B, input_size)`` with a
+        matching batched ``state``.
+        """
         if self.config.distributed:
             return self._step_distributed(x, state)
         return self._step_dnc(x, state)
@@ -130,6 +151,24 @@ class TiledEngine:
         state = self.initial_state()
         outputs = np.empty((inputs.shape[0], self.reference.config.output_size))
         for t in range(inputs.shape[0]):
+            outputs[t], state = self.step(inputs[t], state)
+        return outputs
+
+    def run_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Run ``(T, B, input_size)`` sequences; returns ``(T, B, output_size)``.
+
+        All ``B`` sequences advance in lock-step through the sharded
+        kernels.  Per-event traffic words scale by ``B`` while the message
+        pattern stays that of a single step.
+        """
+        if inputs.ndim != 3 or inputs.shape[1] < 1:
+            raise ConfigError(
+                f"run_batch expects (T, B>=1, input_size) inputs, got {inputs.shape}"
+            )
+        steps, batch = inputs.shape[0], inputs.shape[1]
+        state = self.initial_state(batch_size=batch)
+        outputs = np.empty((steps, batch, self.reference.config.output_size))
+        for t in range(steps):
             outputs[t], state = self.step(inputs[t], state)
         return outputs
 
@@ -146,91 +185,78 @@ class TiledEngine:
         ct = mmap.ct_node
         n, w, r = cfg.memory_size, cfg.word_size, cfg.num_reads
         log = self.traffic
+        lead = x.shape[:-1]
+        b = _lead_batch(lead)
 
         # --- Controller at CT; interface vectors broadcast to PTs. -------
         lstm_h, lstm_c, interface = self._controller(x, state)
         for t in range(nt):
-            log.add("interface_broadcast", ct, t, ref.config.interface_size)
+            log.add("interface_broadcast", ct, t, b * ref.config.interface_size)
 
-        shards = [mmap.external_rows(t) for t in range(nt)]
+        # The row-wise partition makes every per-slot kernel's shard
+        # computation bit-equal to the whole-array form (normalization,
+        # retention, usage, erase/write are all row-local), so the hot
+        # path runs each kernel once over all rows — batched, that is one
+        # stacked matmul instead of Nt small ones — while the traffic
+        # loops below record the per-tile dataflow exactly as before.
 
         # --- Content-based write weighting (normalize + similarity). -----
         # Row-wise shards: normalization fully local; scores need one
         # global softmax -> tiles exchange (max, sum) psums with the CT.
-        scores = np.empty(n)
         key_unit = K.l2_normalize(interface.write_key)
-        for t, rows in enumerate(shards):
-            scores[rows] = K.l2_normalize(state.memory[rows]) @ key_unit
-            log.add("similarity", t, ct, 2)  # local max + local exp-sum
+        mem_unit = K.l2_normalize(state.memory)
+        scores = (mem_unit @ key_unit[..., :, None])[..., 0]
+        for t in range(nt):
+            log.add("similarity", t, ct, 2 * b)  # local max + local exp-sum
         content_w = self._softmax(interface.write_strength * scores)
         for t in range(nt):
-            log.add("similarity", ct, t, 2)  # global max + normalizer back
+            log.add("similarity", ct, t, 2 * b)  # global max + normalizer back
 
-        # --- History-based write weighting. -------------------------------
-        psi = np.empty(n)
-        usage = np.empty(n)
-        for t, rows in enumerate(shards):
-            psi[rows] = K.retention(interface.free_gates, state.read_w[:, rows])
-            usage[rows] = K.usage_update(
-                state.usage[rows], state.write_w[rows], psi[rows]
-            )
+        # --- History-based write weighting (fully row-local). -------------
+        psi = K.retention(interface.free_gates, state.read_w)
+        usage = K.usage_update(state.usage, state.write_w, psi)
 
         order = self._usage_sort(usage, log)
         alloc = K.allocation_from_order(usage, order)
         # Running product hand-off between tiles in sorted order.
         for hop in range(nt - 1):
-            log.add("allocation", hop, hop + 1, 1)
+            log.add("allocation", hop, hop + 1, b)
 
-        write_w = np.empty(n)
-        memory = np.empty_like(state.memory)
-        for t, rows in enumerate(shards):
-            write_w[rows] = K.write_weight_merge(
-                content_w[rows], alloc[rows],
-                interface.write_gate, interface.allocation_gate,
-            )
-            memory[rows] = K.erase_write(
-                state.memory[rows], write_w[rows],
-                interface.erase, interface.write_vector,
-            )
+        write_w = K.write_weight_merge(
+            content_w, alloc, interface.write_gate, interface.allocation_gate
+        )
+        memory = K.erase_write(
+            state.memory, write_w, interface.erase, interface.write_vector
+        )
 
         # --- Linkage + precedence (submatrix-wise blocks). ----------------
         linkage = self._linkage_update(state, write_w, log)
         # Global sum of w_w: psum ring ending at the CT.
         for hop in range(nt - 1):
-            log.add("precedence", hop, hop + 1, 1)
-        log.add("precedence", nt - 1, ct, 1)
-        precedence = np.empty(n)
-        total_w = write_w.sum()
-        for t, rows in enumerate(shards):
-            precedence[rows] = (1.0 - total_w) * state.precedence[rows] + write_w[rows]
+            log.add("precedence", hop, hop + 1, b)
+        log.add("precedence", nt - 1, ct, b)
+        precedence = K.precedence_update(state.precedence, write_w)
 
         # --- Content-based read weighting on the updated memory. ----------
         rkey_unit = K.l2_normalize(interface.read_keys)
-        rscores = np.empty((r, n))
-        for t, rows in enumerate(shards):
-            rscores[:, rows] = rkey_unit @ K.l2_normalize(memory[rows]).T
-            log.add("similarity", t, ct, 2 * r)
+        rscores = rkey_unit @ np.swapaxes(K.l2_normalize(memory), -1, -2)
+        for t in range(nt):
+            log.add("similarity", t, ct, 2 * b * r)
         content_r = self._softmax(
-            interface.read_strengths[:, None] * rscores, axis=-1
+            interface.read_strengths[..., None] * rscores, axis=-1
         )
         for t in range(nt):
-            log.add("similarity", ct, t, 2 * r)
+            log.add("similarity", ct, t, 2 * b * r)
 
         # --- Forward-backward over the linkage blocks. ---------------------
         fwd, bwd = self._forward_backward(linkage, state.read_w, log)
 
-        read_w = np.empty((r, n))
-        for t, rows in enumerate(shards):
-            read_w[:, rows] = K.read_weight_merge(
-                content_r[:, rows], fwd[:, rows], bwd[:, rows],
-                interface.read_modes,
-            )
+        read_w = K.read_weight_merge(content_r, fwd, bwd, interface.read_modes)
 
         # --- Memory read: local partials + psum reduction at the CT. ------
-        read_vecs = np.zeros((r, w))
-        for t, rows in enumerate(shards):
-            read_vecs += read_w[:, rows] @ memory[rows]
-            log.add("memory_read", t, ct, r * w)
+        read_vecs = K.read_vectors(memory, read_w)
+        for t in range(nt):
+            log.add("memory_read", t, ct, b * r * w)
 
         y = self._output(lstm_h, read_vecs)
         new_state = NumpyDNCState(
@@ -244,80 +270,95 @@ class TiledEngine:
     def _linkage_update(
         self, state: NumpyDNCState, write_w: np.ndarray, log: TrafficLog
     ) -> np.ndarray:
-        """Blockwise linkage update with segment-distribution traffic."""
+        """Linkage update with blockwise segment-distribution traffic.
+
+        Traffic follows the submatrix grid exactly; the arithmetic — which
+        is cellwise and therefore identical however the matrix is cut —
+        runs as one contiguous in-place pass (under batching the blockwise
+        form costs Nt strided ``(B, nr, nc)`` updates and dominates the
+        step).
+        """
         cfg = self.config
         mmap = self.memory_map
         n = cfg.memory_size
-        linkage = np.empty_like(state.linkage)
+        b = _lead_batch(write_w.shape[:-1])
         for t in range(cfg.num_tiles):
             rows, cols = mmap.linkage_block(t)
             # Fetch w_w row segment and (w_w, p) column segments from the
             # row-wise owners of those index ranges.
             for owner in mmap.row_segment_owners(rows):
-                log.add("linkage", owner, t, mmap.rows_per_tile)
+                log.add("linkage", owner, t, b * mmap.rows_per_tile)
             for owner in mmap.row_segment_owners(cols):
-                log.add("linkage", owner, t, 2 * mmap.rows_per_tile)
-            w_rows = write_w[rows][:, None]
-            w_cols = write_w[cols][None, :]
-            p_cols = state.precedence[cols][None, :]
-            block = (1.0 - w_rows - w_cols) * state.linkage[rows, cols] + (
-                w_rows * p_cols
-            )
-            linkage[rows, cols] = block
-        linkage[np.arange(n), np.arange(n)] = 0.0
+                log.add("linkage", owner, t, 2 * b * mmap.rows_per_tile)
+        w_rows = write_w[..., :, None]
+        # Same association as the reference kernel ((1 - w_i) - w_j) so the
+        # decay stays bitwise identical; one full-size allocation total.
+        linkage = np.subtract(1.0 - w_rows, write_w[..., None, :])
+        linkage *= state.linkage
+        linkage += w_rows * state.precedence[..., None, :]
+        linkage[..., np.arange(n), np.arange(n)] = 0.0
         return linkage
 
     def _forward_backward(
         self, linkage: np.ndarray, prev_read_w: np.ndarray, log: TrafficLog
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Blockwise ``f = L w_r`` / ``b = L^T w_r`` with psum traffic."""
+        """``f = L w_r`` / ``b = L^T w_r`` with blockwise psum traffic.
+
+        Like :meth:`_linkage_update`, traffic is logged per linkage block
+        while the compute runs as one stacked matmul pair.
+        """
         cfg = self.config
         mmap = self.memory_map
-        r, n = prev_read_w.shape
-        fwd = np.zeros((r, n))
-        bwd = np.zeros((r, n))
+        r = prev_read_w.shape[-2]
+        b = _lead_batch(prev_read_w.shape[:-2])
         nt_h, nt_w = mmap.nt_h, mmap.nt_w
         for t in range(cfg.num_tiles):
             rows, cols = mmap.linkage_block(t)
-            block = linkage[rows, cols]
             # Operand segments arrive from their row-wise owners.
             for owner in mmap.row_segment_owners(cols):
-                log.add("forward_backward", owner, t, r * mmap.rows_per_tile)
+                log.add("forward_backward", owner, t, b * r * mmap.rows_per_tile)
             for owner in mmap.row_segment_owners(rows):
-                log.add("forward_backward", owner, t, r * mmap.rows_per_tile)
-            fwd[:, rows.start : rows.stop] += prev_read_w[:, cols] @ block.T
-            bwd[:, cols.start : cols.stop] += prev_read_w[:, rows] @ block
+                log.add("forward_backward", owner, t, b * r * mmap.rows_per_tile)
             # Partial results reduce across the block row/column; the last
             # tile in each chain forwards to the segment owner.
             bi, bj = mmap.linkage_grid_index(t)
             if bj + 1 < nt_w:
-                log.add("forward_backward", t, t + 1, r * mmap.block_rows)
+                log.add("forward_backward", t, t + 1, b * r * mmap.block_rows)
             if bi + 1 < nt_h:
-                log.add("forward_backward", t, t + nt_w, r * mmap.block_cols)
-        return fwd, bwd
+                log.add("forward_backward", t, t + nt_w, b * r * mmap.block_cols)
+        return K.forward_backward(linkage, prev_read_w)
 
     def _usage_sort(self, usage: np.ndarray, log: TrafficLog) -> np.ndarray:
-        """Sorted order via the configured sorter, with traffic."""
+        """Sorted order via the configured sorter, with traffic.
+
+        ``usage`` is ``(N,)`` or batched ``(B, N)``; the returned order has
+        the same shape.  The functional two-stage sorter processes batch
+        elements independently (its merge semantics are per-sequence).
+        """
         cfg = self.config
         ct = self.memory_map.ct_node
         n_local = cfg.local_rows
+        b = _lead_batch(usage.shape[:-1])
         if cfg.skim_fraction > 0.0:
             order = skimmed_sort_order(usage, cfg.skim_fraction)
             effective = cfg.effective_sort_length
             per_tile = max(1, effective // cfg.num_tiles)
         elif self.sorter is not None:
-            _, order = self.sorter.sort(usage)
+            if usage.ndim == 1:
+                _, order = self.sorter.sort(usage)
+            else:
+                order = np.stack([self.sorter.sort(row)[1] for row in usage])
             per_tile = n_local
         else:
-            order = np.argsort(usage, kind="stable")
+            order = np.argsort(usage, axis=-1, kind="stable")
             per_tile = n_local
         for t in range(cfg.num_tiles):
-            log.add("usage_sort", t, ct, per_tile)  # (sorted) shard to CT
-            log.add("usage_sort", ct, t, per_tile)  # merged order back
+            log.add("usage_sort", t, ct, b * per_tile)  # (sorted) shard to CT
+            log.add("usage_sort", ct, t, b * per_tile)  # merged order back
         return order
 
     # ------------------------------------------------------------------
-    # DNC-D mode: purely local tiles
+    # DNC-D mode: purely local tiles, fully stacked
     # ------------------------------------------------------------------
     def _step_distributed(
         self, x: np.ndarray, state: NumpyDNCState
@@ -328,82 +369,91 @@ class TiledEngine:
         tile's local ``n x n`` linkage); read vectors merge with uniform
         weights (the trainable ``alpha`` lives in the learned model,
         :class:`repro.dnc.distributed.DNCD`).
+
+        The per-tile loop is folded into a leading stack axis: every
+        kernel runs once over ``(..., Nt, n)`` shards as a stacked
+        einsum/matmul (see :mod:`repro.core.kernels`), under an optional
+        leading batch axis.
         """
         cfg = self.config
-        mmap = self.memory_map
         ref = self.reference
-        ct = mmap.ct_node
+        ct = self.memory_map.ct_node
         nt = cfg.num_tiles
-        n, w, r = cfg.memory_size, cfg.word_size, cfg.num_reads
+        w, r = cfg.word_size, cfg.num_reads
         log = self.traffic
+        lead = x.shape[:-1]
+        b = _lead_batch(lead)
 
         lstm_h, lstm_c, interface = self._controller(x, state)
         for t in range(nt):
-            log.add("interface_broadcast", ct, t, ref.config.interface_size)
+            log.add("interface_broadcast", ct, t, b * ref.config.interface_size)
 
-        memory = np.empty_like(state.memory)
-        usage = np.empty(n)
-        precedence = np.empty(n)
-        linkage = np.zeros_like(state.linkage)
-        write_w = np.empty(n)
-        read_w = np.empty((r, n))
-        read_vecs = np.zeros((r, w))
+        # Stack row-wise shards along a tile axis: (..., Nt, n[, W]).
+        local_mem = SK.shard_matrix(state.memory, nt)
+        local_usage_prev = SK.shard_vector(state.usage, nt)
+        local_write_prev = SK.shard_vector(state.write_w, nt)
+        local_prec_prev = SK.shard_vector(state.precedence, nt)
+        local_read_prev = SK.shard_heads(state.read_w, nt)
+        local_link_prev = SK.block_diagonal(state.linkage, nt)
+
+        # Batched gates need a broadcast tile axis; unbatched ones are
+        # plain floats and broadcast as-is.
+        def gate(g):
+            return g[..., None] if isinstance(g, np.ndarray) else g
+
         key_unit = K.l2_normalize(interface.write_key)
+        scores = SK.stacked_key_scores(K.l2_normalize(local_mem), key_unit)
+        content_w = self._softmax(gate(interface.write_strength) * scores)
+
+        psi = K.retention(interface.free_gates[..., None, :], local_read_prev)
+        local_usage = K.usage_update(local_usage_prev, local_write_prev, psi)
+        if cfg.skim_fraction > 0.0:
+            order = skimmed_sort_order(local_usage, cfg.skim_fraction)
+        else:
+            order = np.argsort(local_usage, axis=-1, kind="stable")
+        alloc = K.allocation_from_order(local_usage, order)
+        local_write_w = K.write_weight_merge(
+            content_w, alloc,
+            gate(interface.write_gate), gate(interface.allocation_gate),
+        )
+        local_new_mem = K.erase_write(
+            local_mem, local_write_w,
+            interface.erase[..., None, :], interface.write_vector[..., None, :],
+        )
+        local_link = K.linkage_update(
+            local_link_prev, local_write_w, local_prec_prev
+        )
+        local_prec = K.precedence_update(local_prec_prev, local_write_w)
+
         rkey_unit = K.l2_normalize(interface.read_keys)
+        local_rscores = SK.stacked_read_scores(
+            rkey_unit, K.l2_normalize(local_new_mem)
+        )
+        local_content_r = self._softmax(
+            interface.read_strengths[..., None, :, None] * local_rscores, axis=-1
+        )
+        local_fwd, local_bwd = K.forward_backward(local_link, local_read_prev)
+        local_read_w = K.read_weight_merge(
+            local_content_r, local_fwd, local_bwd,
+            interface.read_modes[..., None, :, :],
+        )
+        local_reads = K.read_vectors(local_new_mem, local_read_w)
 
+        # Eq. (4) with uniform alpha: the engine models dataflow, the
+        # trained alpha lives in repro.dnc.distributed.DNCD.
+        read_vecs = (local_reads / nt).sum(axis=-3)
         for t in range(nt):
-            rows = mmap.external_rows(t)
-            local_mem = state.memory[rows]
-            scores = K.l2_normalize(local_mem) @ key_unit
-            content_w = self._softmax(interface.write_strength * scores)
-
-            psi = K.retention(interface.free_gates, state.read_w[:, rows])
-            local_usage = K.usage_update(
-                state.usage[rows], state.write_w[rows], psi
-            )
-            if cfg.skim_fraction > 0.0:
-                order = skimmed_sort_order(local_usage, cfg.skim_fraction)
-            else:
-                order = np.argsort(local_usage, kind="stable")
-            alloc = K.allocation_from_order(local_usage, order)
-            local_write_w = K.write_weight_merge(
-                content_w, alloc, interface.write_gate, interface.allocation_gate
-            )
-            local_new_mem = K.erase_write(
-                local_mem, local_write_w, interface.erase, interface.write_vector
-            )
-            local_link = K.linkage_update(
-                state.linkage[rows, rows], local_write_w, state.precedence[rows]
-            )
-            local_prec = K.precedence_update(state.precedence[rows], local_write_w)
-
-            local_rscores = rkey_unit @ K.l2_normalize(local_new_mem).T
-            local_content_r = self._softmax(
-                interface.read_strengths[:, None] * local_rscores, axis=-1
-            )
-            local_fwd, local_bwd = K.forward_backward(
-                local_link, state.read_w[:, rows]
-            )
-            local_read_w = K.read_weight_merge(
-                local_content_r, local_fwd, local_bwd, interface.read_modes
-            )
-            local_reads = K.read_vectors(local_new_mem, local_read_w)
-
-            memory[rows] = local_new_mem
-            usage[rows] = local_usage
-            precedence[rows] = local_prec
-            linkage[rows, rows] = local_link
-            write_w[rows] = local_write_w
-            read_w[:, rows] = local_read_w
-            # Eq. (4) with uniform alpha: the engine models dataflow, the
-            # trained alpha lives in repro.dnc.distributed.DNCD.
-            read_vecs += local_reads / nt
-            log.add("read_vector_collect", t, ct, r * w)
+            log.add("read_vector_collect", t, ct, b * r * w)
 
         y = self._output(lstm_h, read_vecs)
         new_state = NumpyDNCState(
-            memory=memory, usage=usage, precedence=precedence, linkage=linkage,
-            write_w=write_w, read_w=read_w, read_vecs=read_vecs,
+            memory=SK.unshard_matrix(local_new_mem),
+            usage=SK.unshard_vector(local_usage),
+            precedence=SK.unshard_vector(local_prec),
+            linkage=SK.scatter_block_diagonal(local_link),
+            write_w=SK.unshard_vector(local_write_w),
+            read_w=SK.unshard_heads(local_read_w),
+            read_vecs=read_vecs,
             lstm_h=lstm_h, lstm_c=lstm_c,
         )
         return y, new_state
@@ -414,12 +464,14 @@ class TiledEngine:
     def _controller(self, x: np.ndarray, state: NumpyDNCState):
         ref = self.reference
         h = ref.config.hidden_size
-        controller_in = np.concatenate([x, state.read_vecs.reshape(-1)])
+        controller_in = np.concatenate(
+            [x, state.read_vecs.reshape(x.shape[:-1] + (-1,))], axis=-1
+        )
         gates = controller_in @ ref.w_x + state.lstm_h @ ref.w_h + ref.b
-        i_g = K._sigmoid(gates[0 * h : 1 * h])
-        f_g = K._sigmoid(gates[1 * h : 2 * h])
-        g_g = np.tanh(gates[2 * h : 3 * h])
-        o_g = K._sigmoid(gates[3 * h : 4 * h])
+        i_g = K._sigmoid(gates[..., 0 * h : 1 * h])
+        f_g = K._sigmoid(gates[..., 1 * h : 2 * h])
+        g_g = np.tanh(gates[..., 2 * h : 3 * h])
+        o_g = K._sigmoid(gates[..., 3 * h : 4 * h])
         lstm_c = f_g * state.lstm_c + i_g * g_g
         lstm_h = o_g * np.tanh(lstm_c)
         flat = lstm_h @ ref.w_if + ref.b_if
@@ -430,7 +482,9 @@ class TiledEngine:
 
     def _output(self, lstm_h: np.ndarray, read_vecs: np.ndarray) -> np.ndarray:
         ref = self.reference
-        output_in = np.concatenate([lstm_h, read_vecs.reshape(-1)])
+        output_in = np.concatenate(
+            [lstm_h, read_vecs.reshape(lstm_h.shape[:-1] + (-1,))], axis=-1
+        )
         return output_in @ ref.w_y + ref.b_y
 
     def _softmax(self, scores: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -439,22 +493,48 @@ class TiledEngine:
             return approx.softmax(scores, axis=axis)
         return K.exact_softmax(scores, axis=axis)
 
-    def verify_against_reference(self, steps: int = 3, rng: SeedLike = 7) -> float:
+    def verify_against_reference(
+        self,
+        steps: int = 3,
+        rng: SeedLike = 7,
+        batch_size: Optional[int] = None,
+    ) -> float:
         """Run both paths on random input; return max abs output error.
 
-        Raises :class:`~repro.errors.SimulationError` in DNC mode if the
-        sharded execution diverges from the monolithic reference.
+        With ``batch_size=None`` this compares the sharded execution
+        against the monolithic reference DNC.  With a ``batch_size`` it
+        instead compares :meth:`run_batch` element-wise against ``B``
+        independent unbatched :meth:`run` calls — the batched hot path
+        must reproduce the sequential path exactly.
+
+        Raises :class:`~repro.errors.SimulationError` in DNC mode (or for
+        any batched comparison) if the paths diverge beyond 1e-9.
         """
         from repro.utils.rng import new_rng
 
         gen = new_rng(rng)
-        inputs = gen.standard_normal((steps, self.reference.config.input_size))
-        ours = self.run(inputs)
-        reference_out = self.reference.run(inputs)
-        error = float(np.max(np.abs(ours - reference_out)))
-        if not self.config.distributed and error > 1e-9:
+        if batch_size is None:
+            inputs = gen.standard_normal((steps, self.reference.config.input_size))
+            ours = self.run(inputs)
+            reference_out = self.reference.run(inputs)
+            error = float(np.max(np.abs(ours - reference_out)))
+            if not self.config.distributed and error > 1e-9:
+                raise SimulationError(
+                    f"tiled execution diverged from reference (max err {error:.3e})"
+                )
+            return error
+
+        inputs = gen.standard_normal(
+            (steps, batch_size, self.reference.config.input_size)
+        )
+        batched = self.run_batch(inputs)
+        error = 0.0
+        for i in range(batch_size):
+            sequential = self.run(inputs[:, i])
+            error = max(error, float(np.max(np.abs(batched[:, i] - sequential))))
+        if error > 1e-9:
             raise SimulationError(
-                f"tiled execution diverged from reference (max err {error:.3e})"
+                f"batched execution diverged from sequential (max err {error:.3e})"
             )
         return error
 

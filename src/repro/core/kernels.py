@@ -1,10 +1,18 @@
-"""Kernel registry: the paper's Table 1 as executable metadata.
+"""Kernel registry and stacked shard kernels.
 
-Each :class:`KernelSpec` carries the kernel's type (access vs state),
-category, primitives, and callables computing external/state-memory access
-counts and NoC traffic for a given :class:`~repro.core.config.HiMAConfig`.
-``table1_rows`` renders the table; the test suite checks the formulas
-against the instrumented reference DNC's measured counts.
+Two things live here:
+
+1. The paper's Table 1 as executable metadata: each :class:`KernelSpec`
+   carries the kernel's type (access vs state), category, primitives, and
+   callables computing external/state-memory access counts and NoC traffic
+   for a given :class:`~repro.core.config.HiMAConfig`.  ``table1_rows``
+   renders the table; the test suite checks the formulas against the
+   instrumented reference DNC's measured counts.
+2. *Stacked* shard kernels used by the tiled engine's vectorized hot
+   path: helpers that reshape row-wise shards and linkage diagonal blocks
+   into a leading tile axis so all per-tile work runs as one stacked
+   einsum/matmul instead of a Python loop over tiles, optionally under an
+   additional leading batch axis.
 """
 
 from __future__ import annotations
@@ -13,12 +21,89 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.config import HiMAConfig
 from repro.core.partition import (
     forward_backward_traffic_words,
     linkage_distribution_traffic,
 )
 from repro.dnc.instrumentation import KernelCategory
+
+
+# ---------------------------------------------------------------------------
+# Stacked shard kernels (batched, vectorized hot path)
+#
+# Shapes are written with ``...`` for arbitrary leading dimensions (none
+# for a single sequence, ``B`` for a batch); ``Nt`` is the tile count and
+# ``n = N / Nt`` the per-tile shard length.
+# ---------------------------------------------------------------------------
+
+
+def shard_vector(x: np.ndarray, num_tiles: int) -> np.ndarray:
+    """``(..., N)`` -> ``(..., Nt, n)`` row-wise shard stack (a view)."""
+    return x.reshape(x.shape[:-1] + (num_tiles, -1))
+
+
+def unshard_vector(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`shard_vector`: ``(..., Nt, n)`` -> ``(..., N)``."""
+    return x.reshape(x.shape[:-2] + (-1,))
+
+
+def shard_matrix(x: np.ndarray, num_tiles: int) -> np.ndarray:
+    """``(..., N, W)`` -> ``(..., Nt, n, W)`` shard stack (a view)."""
+    return x.reshape(x.shape[:-2] + (num_tiles, -1, x.shape[-1]))
+
+
+def unshard_matrix(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`shard_matrix`: ``(..., Nt, n, W)`` -> ``(..., N, W)``."""
+    return x.reshape(x.shape[:-3] + (-1, x.shape[-1]))
+
+
+def shard_heads(read_w: np.ndarray, num_tiles: int) -> np.ndarray:
+    """``(..., R, N)`` read weights -> ``(..., Nt, R, n)`` shard stack."""
+    split = read_w.reshape(read_w.shape[:-1] + (num_tiles, -1))
+    return np.moveaxis(split, -2, -3)
+
+
+def unshard_heads(local_read_w: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`shard_heads`: ``(..., Nt, R, n)`` -> ``(..., R, N)``."""
+    moved = np.moveaxis(local_read_w, -3, -2)
+    return moved.reshape(moved.shape[:-2] + (-1,))
+
+
+def block_diagonal(linkage: np.ndarray, num_tiles: int) -> np.ndarray:
+    """Extract the ``Nt`` diagonal ``n x n`` blocks: ``(..., Nt, n, n)``."""
+    n_local = linkage.shape[-1] // num_tiles
+    grid = linkage.reshape(
+        linkage.shape[:-2] + (num_tiles, n_local, num_tiles, n_local)
+    )
+    return np.einsum("...titj->...tij", grid)
+
+
+def scatter_block_diagonal(blocks: np.ndarray) -> np.ndarray:
+    """Place ``(..., Nt, n, n)`` blocks on the diagonal of a zero ``(..., N, N)``."""
+    num_tiles, n_local = blocks.shape[-3], blocks.shape[-1]
+    n = num_tiles * n_local
+    out = np.zeros(blocks.shape[:-3] + (n, n))
+    for t in range(num_tiles):
+        rows = slice(t * n_local, (t + 1) * n_local)
+        out[..., rows, rows] = blocks[..., t, :, :]
+    return out
+
+
+def stacked_key_scores(
+    local_mem_unit: np.ndarray, key_unit: np.ndarray
+) -> np.ndarray:
+    """Per-tile content scores ``(..., Nt, n)`` for one write key ``(..., W)``."""
+    return np.einsum("...tnw,...w->...tn", local_mem_unit, key_unit)
+
+
+def stacked_read_scores(
+    rkey_unit: np.ndarray, local_mem_unit: np.ndarray
+) -> np.ndarray:
+    """Per-tile read-head scores ``(..., Nt, R, n)`` for keys ``(..., R, W)``."""
+    return np.einsum("...rw,...tnw->...trn", rkey_unit, local_mem_unit)
 
 
 @dataclass(frozen=True)
@@ -281,4 +366,18 @@ def table1_rows(config: HiMAConfig) -> List[List[str]]:
     return rows
 
 
-__all__ = ["KernelSpec", "KERNEL_REGISTRY", "table1_rows"]
+__all__ = [
+    "KernelSpec",
+    "KERNEL_REGISTRY",
+    "table1_rows",
+    "shard_vector",
+    "unshard_vector",
+    "shard_matrix",
+    "unshard_matrix",
+    "shard_heads",
+    "unshard_heads",
+    "block_diagonal",
+    "scatter_block_diagonal",
+    "stacked_key_scores",
+    "stacked_read_scores",
+]

@@ -34,6 +34,11 @@ _NORM_EPSILON = 1e-8
 
 # ---------------------------------------------------------------------------
 # Module-level numpy kernels (shared with the tiled engine)
+#
+# Every kernel is *shape-polymorphic*: the documented unbatched shapes may
+# carry arbitrary leading dimensions (a batch ``B``, or the tiled engine's
+# ``(B, Nt)`` shard stack) and the kernel vectorizes over them.  The 1-D
+# forms compute exactly what they always did.
 # ---------------------------------------------------------------------------
 
 
@@ -50,15 +55,15 @@ def exact_softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
 
 
 def content_scores(memory: np.ndarray, keys: np.ndarray) -> np.ndarray:
-    """Cosine similarity between memory rows and keys: ``(H, N)``."""
+    """Cosine similarity between memory rows and keys: ``(..., H, N)``."""
     mem_unit = l2_normalize(memory, axis=-1)
     key_unit = l2_normalize(keys, axis=-1)
-    return key_unit @ mem_unit.T
+    return key_unit @ np.swapaxes(mem_unit, -1, -2)
 
 
 def retention(free_gates: np.ndarray, prev_read_w: np.ndarray) -> np.ndarray:
-    """``psi[i] = prod_r (1 - f_r w_r[r, i])``."""
-    return np.prod(1.0 - free_gates[:, None] * prev_read_w, axis=0)
+    """``psi[i] = prod_r (1 - f_r w_r[r, i])`` for ``(..., R)``/``(..., R, N)``."""
+    return np.prod(1.0 - free_gates[..., :, None] * prev_read_w, axis=-2)
 
 
 def usage_update(
@@ -68,48 +73,67 @@ def usage_update(
 
 
 def allocation_from_order(usage: np.ndarray, order: np.ndarray) -> np.ndarray:
-    """Allocation weighting given a (possibly partially sorted) order."""
+    """Allocation weighting given a (possibly partially sorted) order.
+
+    ``usage`` and ``order`` are ``(..., N)``; the cumulative free-space
+    product runs along the last axis of every leading slice independently.
+    """
     safe = usage * (1.0 - _EPSILON) + _EPSILON
-    sorted_usage = safe[order]
-    prod_before = np.concatenate([[1.0], np.cumprod(sorted_usage[:-1])])
+    sorted_usage = np.take_along_axis(safe, order, axis=-1)
+    ones = np.ones(sorted_usage.shape[:-1] + (1,))
+    prod_before = np.concatenate(
+        [ones, np.cumprod(sorted_usage[..., :-1], axis=-1)], axis=-1
+    )
     sorted_alloc = (1.0 - sorted_usage) * prod_before
     alloc = np.empty_like(sorted_alloc)
-    alloc[order] = sorted_alloc
+    np.put_along_axis(alloc, order, sorted_alloc, axis=-1)
     return alloc
 
 
 def write_weight_merge(
-    content_w: np.ndarray, alloc_w: np.ndarray, g_w: float, g_a: float
+    content_w: np.ndarray, alloc_w: np.ndarray, g_w, g_a
 ) -> np.ndarray:
+    """Gates are scalars, or broadcastable arrays under batching."""
     return g_w * (g_a * alloc_w + (1.0 - g_a) * content_w)
 
 
 def erase_write(
     memory: np.ndarray, write_w: np.ndarray, erase: np.ndarray, value: np.ndarray
 ) -> np.ndarray:
-    keep = 1.0 - np.outer(write_w, erase)
-    return memory * keep + np.outer(write_w, value)
+    """``(..., N, W)`` memory update; ``erase``/``value`` broadcast to it.
+
+    Computed as ``memory * (1 - w x e) + w x v`` with in-place passes —
+    batched, the full-size temporaries otherwise dominate the kernel.
+    """
+    w_col = write_w[..., :, None]
+    keep = np.multiply(w_col, erase[..., None, :])
+    np.subtract(1.0, keep, out=keep)
+    keep *= memory
+    keep += w_col * value[..., None, :]
+    return keep
 
 
 def linkage_update(
     prev_linkage: np.ndarray, write_w: np.ndarray, prev_precedence: np.ndarray
 ) -> np.ndarray:
-    n = write_w.shape[0]
-    decay = 1.0 - write_w[:, None] - write_w[None, :]
-    updated = decay * prev_linkage + np.outer(write_w, prev_precedence)
-    updated[np.arange(n), np.arange(n)] = 0.0
+    n = write_w.shape[-1]
+    decay = 1.0 - write_w[..., :, None] - write_w[..., None, :]
+    updated = decay * prev_linkage + (
+        write_w[..., :, None] * prev_precedence[..., None, :]
+    )
+    updated[..., np.arange(n), np.arange(n)] = 0.0
     return updated
 
 
 def precedence_update(prev_p: np.ndarray, write_w: np.ndarray) -> np.ndarray:
-    return (1.0 - write_w.sum()) * prev_p + write_w
+    return (1.0 - write_w.sum(axis=-1, keepdims=True)) * prev_p + write_w
 
 
 def forward_backward(
     linkage: np.ndarray, prev_read_w: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
     """``f_r = L w_r``, ``b_r = L^T w_r`` for all R heads at once."""
-    forward = prev_read_w @ linkage.T
+    forward = prev_read_w @ np.swapaxes(linkage, -1, -2)
     backward = prev_read_w @ linkage
     return forward, backward
 
@@ -121,9 +145,9 @@ def read_weight_merge(
     read_modes: np.ndarray,
 ) -> np.ndarray:
     return (
-        read_modes[:, 0:1] * backward
-        + read_modes[:, 1:2] * content_r
-        + read_modes[:, 2:3] * forward
+        read_modes[..., 0:1] * backward
+        + read_modes[..., 1:2] * content_r
+        + read_modes[..., 2:3] * forward
     )
 
 
@@ -146,45 +170,60 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
 
 @dataclass
 class NumpyInterface:
-    """Parsed numpy interface components (mirrors ``dnc.interface``)."""
+    """Parsed numpy interface components (mirrors ``dnc.interface``).
+
+    Unbatched, the shapes are as annotated and the three gates are Python
+    floats.  With a leading batch dimension (``flat`` of shape ``(B, L)``)
+    every field gains the leading ``B`` and the gates become ``(B, 1)``
+    arrays so they broadcast against per-slot weightings.
+    """
 
     read_keys: np.ndarray  # (R, W)
     read_strengths: np.ndarray  # (R,)
     write_key: np.ndarray  # (W,)
-    write_strength: float
+    write_strength: float  # or (B, 1)
     erase: np.ndarray  # (W,)
     write_vector: np.ndarray  # (W,)
     free_gates: np.ndarray  # (R,)
-    allocation_gate: float
-    write_gate: float
+    allocation_gate: float  # or (B, 1)
+    write_gate: float  # or (B, 1)
     read_modes: np.ndarray  # (R, 3)
 
 
 def parse_interface(flat: np.ndarray, word_size: int, num_reads: int) -> NumpyInterface:
-    """Split and squash a flat interface vector (numpy mirror)."""
+    """Split and squash a flat interface vector (numpy mirror).
+
+    ``flat`` is ``(L,)`` or batched ``(..., L)``; fields are split along
+    the last axis and keep the leading dimensions.
+    """
     w, r = word_size, num_reads
     expected = w * r + 3 * w + 5 * r + 3
     if flat.shape[-1] != expected:
         raise ConfigError(
             f"interface length {flat.shape[-1]} does not match expected {expected}"
         )
+    lead = flat.shape[:-1]
     cursor = [0]
 
     def take(count: int) -> np.ndarray:
-        piece = flat[cursor[0] : cursor[0] + count]
+        piece = flat[..., cursor[0] : cursor[0] + count]
         cursor[0] += count
         return piece
 
-    read_keys = take(r * w).reshape(r, w)
+    read_keys = take(r * w).reshape(lead + (r, w))
     read_strengths = _oneplus(take(r))
     write_key = take(w)
-    write_strength = float(_oneplus(take(1))[0])
+    write_strength = _oneplus(take(1))
     erase = _sigmoid(take(w))
     write_vector = take(w)
     free_gates = _sigmoid(take(r))
-    allocation_gate = float(_sigmoid(take(1))[0])
-    write_gate = float(_sigmoid(take(1))[0])
-    read_modes = exact_softmax(take(3 * r).reshape(r, 3), axis=-1)
+    allocation_gate = _sigmoid(take(1))
+    write_gate = _sigmoid(take(1))
+    read_modes = exact_softmax(take(3 * r).reshape(lead + (r, 3)), axis=-1)
+    if not lead:  # unbatched: gates are plain floats, as ever
+        write_strength = float(write_strength[0])
+        allocation_gate = float(allocation_gate[0])
+        write_gate = float(write_gate[0])
     return NumpyInterface(
         read_keys,
         read_strengths,
@@ -229,7 +268,12 @@ class NumpyDNCConfig:
 
 @dataclass
 class NumpyDNCState:
-    """Full inference state of the reference DNC."""
+    """Full inference state of the reference DNC.
+
+    Unbatched states hold the canonical shapes (``memory (N, W)``,
+    ``usage (N,)``, ...); batched states carry a leading batch dimension
+    on every field (``memory (B, N, W)``, ``usage (B, N)``, ...).
+    """
 
     memory: np.ndarray
     usage: np.ndarray
@@ -240,6 +284,11 @@ class NumpyDNCState:
     read_vecs: np.ndarray
     lstm_h: np.ndarray
     lstm_c: np.ndarray
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Leading batch dimension, or ``None`` for an unbatched state."""
+        return None if self.usage.ndim == 1 else self.usage.shape[0]
 
 
 class NumpyDNC:
@@ -289,18 +338,20 @@ class NumpyDNC:
         self.b_y = dnc.output_layer.bias.data.copy()
 
     # ------------------------------------------------------------------
-    def initial_state(self) -> NumpyDNCState:
+    def initial_state(self, batch_size: Optional[int] = None) -> NumpyDNCState:
+        """Zero state; with ``batch_size`` every field gains a leading ``B``."""
         c = self.config
+        lead = () if batch_size is None else (int(batch_size),)
         return NumpyDNCState(
-            memory=np.zeros((c.memory_size, c.word_size)),
-            usage=np.zeros(c.memory_size),
-            precedence=np.zeros(c.memory_size),
-            linkage=np.zeros((c.memory_size, c.memory_size)),
-            write_w=np.zeros(c.memory_size),
-            read_w=np.zeros((c.num_reads, c.memory_size)),
-            read_vecs=np.zeros((c.num_reads, c.word_size)),
-            lstm_h=np.zeros(c.hidden_size),
-            lstm_c=np.zeros(c.hidden_size),
+            memory=np.zeros(lead + (c.memory_size, c.word_size)),
+            usage=np.zeros(lead + (c.memory_size,)),
+            precedence=np.zeros(lead + (c.memory_size,)),
+            linkage=np.zeros(lead + (c.memory_size, c.memory_size)),
+            write_w=np.zeros(lead + (c.memory_size,)),
+            read_w=np.zeros(lead + (c.num_reads, c.memory_size)),
+            read_vecs=np.zeros(lead + (c.num_reads, c.word_size)),
+            lstm_h=np.zeros(lead + (c.hidden_size,)),
+            lstm_c=np.zeros(lead + (c.hidden_size,)),
         )
 
     def _softmax(self, scores: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -310,7 +361,14 @@ class NumpyDNC:
 
     # ------------------------------------------------------------------
     def step(self, x: np.ndarray, state: NumpyDNCState) -> Tuple[np.ndarray, NumpyDNCState]:
-        """One instrumented timestep; returns ``(y, new_state)``."""
+        """One instrumented timestep; returns ``(y, new_state)``.
+
+        ``x`` is ``(input_size,)``, or ``(B, input_size)`` with a matching
+        batched ``state`` (see :meth:`initial_state`); the batched form
+        vectorizes all kernels over the batch.
+        """
+        if x.ndim == 2:
+            return self._step_batched(x, state)
         c = self.config
         n, w, r, h = c.memory_size, c.word_size, c.num_reads, c.hidden_size
         rec = self.recorder
@@ -411,11 +469,147 @@ class NumpyDNC:
         return y, new_state
 
     # ------------------------------------------------------------------
+    def _step_batched(
+        self, x: np.ndarray, state: NumpyDNCState
+    ) -> Tuple[np.ndarray, NumpyDNCState]:
+        """Batched timestep: ``x (B, I)`` with a batched ``state``.
+
+        Mirrors :meth:`step` kernel by kernel with every operation stacked
+        over the batch; instrumentation counters scale by ``B`` (one
+        logical kernel invocation processing ``B`` sequences).
+        """
+        c = self.config
+        n, w, r, h = c.memory_size, c.word_size, c.num_reads, c.hidden_size
+        b = x.shape[0]
+        rec = self.recorder
+
+        # --- Controller -------------------------------------------------
+        controller_in = np.concatenate([x, state.read_vecs.reshape(b, -1)], axis=-1)
+        lstm_ops = 2 * b * (controller_in.shape[-1] + h) * 4 * h
+        with rec.measure("lstm", ops=lstm_ops):
+            gates = controller_in @ self.w_x + state.lstm_h @ self.w_h + self.b
+            i_g = _sigmoid(gates[..., 0 * h : 1 * h])
+            f_g = _sigmoid(gates[..., 1 * h : 2 * h])
+            g_g = np.tanh(gates[..., 2 * h : 3 * h])
+            o_g = _sigmoid(gates[..., 3 * h : 4 * h])
+            lstm_c = f_g * state.lstm_c + i_g * g_g
+            lstm_h = o_g * np.tanh(lstm_c)
+            interface_flat = lstm_h @ self.w_if + self.b_if
+        interface = parse_interface(interface_flat, w, r)
+
+        # --- Soft write ---------------------------------------------------
+        with rec.measure(
+            "normalize", ops=b * (2 * n * w + 2 * w), ext_mem=b * n * w,
+            state_mem=b * w,
+        ):
+            mem_unit = l2_normalize(state.memory)
+            wkey_unit = l2_normalize(interface.write_key)
+        with rec.measure(
+            "similarity", ops=b * (2 * n * w + 5 * n), ext_mem=b * n * w,
+            state_mem=b * w,
+        ):
+            scores = (mem_unit @ wkey_unit[..., :, None])[..., 0]
+            content_w = self._softmax(interface.write_strength * scores)
+
+        with rec.measure("retention", ops=2 * b * r * n, state_mem=b * r * n):
+            psi = retention(interface.free_gates, state.read_w)
+        with rec.measure("usage", ops=4 * b * n, state_mem=2 * b * n):
+            usage = usage_update(state.usage, state.write_w, psi)
+        with rec.measure(
+            "usage_sort", ops=int(b * n * max(np.log2(n), 1.0)), state_mem=b * n
+        ):
+            if c.skim_fraction > 0:
+                order = skimmed_sort_order(usage, c.skim_fraction)
+            else:
+                order = np.argsort(usage, axis=-1, kind="stable")
+        with rec.measure("allocation", ops=3 * b * n, state_mem=b * n):
+            alloc = allocation_from_order(usage, order)
+        with rec.measure("write_weight_merge", ops=4 * b * n, state_mem=b * n):
+            write_w = write_weight_merge(
+                content_w, alloc, interface.write_gate, interface.allocation_gate
+            )
+        with rec.measure(
+            "memory_write", ops=4 * b * n * w, ext_mem=2 * b * n * w,
+            state_mem=b * n,
+        ):
+            memory = erase_write(
+                state.memory, write_w, interface.erase, interface.write_vector
+            )
+
+        with rec.measure("linkage", ops=4 * b * n * n, state_mem=2 * b * n * n):
+            linkage = linkage_update(state.linkage, write_w, state.precedence)
+        with rec.measure("precedence", ops=3 * b * n, state_mem=2 * b * n):
+            precedence = precedence_update(state.precedence, write_w)
+
+        # --- Soft read ----------------------------------------------------
+        with rec.measure(
+            "normalize", ops=b * (2 * n * w + 2 * r * w), ext_mem=b * n * w,
+            state_mem=b * r * w,
+        ):
+            mem_unit = l2_normalize(memory)
+            rkey_unit = l2_normalize(interface.read_keys)
+        with rec.measure(
+            "similarity", ops=b * (2 * r * n * w + 5 * r * n),
+            ext_mem=b * n * w, state_mem=b * r * w,
+        ):
+            rscores = rkey_unit @ np.swapaxes(mem_unit, -1, -2)
+            content_r = self._softmax(
+                interface.read_strengths[..., None] * rscores, axis=-1
+            )
+        with rec.measure(
+            "forward_backward", ops=4 * b * r * n * n, state_mem=2 * b * n * n
+        ):
+            fwd, bwd = forward_backward(linkage, state.read_w)
+        with rec.measure("read_weight_merge", ops=5 * b * r * n, state_mem=b * r * n):
+            read_w = read_weight_merge(content_r, fwd, bwd, interface.read_modes)
+        with rec.measure(
+            "memory_read", ops=2 * b * r * n * w, ext_mem=b * n * w,
+            state_mem=b * r * n,
+        ):
+            read_vecs = read_vectors(memory, read_w)
+
+        # --- Output -------------------------------------------------------
+        with rec.measure("lstm", ops=2 * b * (h + r * w) * c.output_size):
+            output_in = np.concatenate([lstm_h, read_vecs.reshape(b, -1)], axis=-1)
+            y = output_in @ self.w_y + self.b_y
+
+        new_state = NumpyDNCState(
+            memory=memory,
+            usage=usage,
+            precedence=precedence,
+            linkage=linkage,
+            write_w=write_w,
+            read_w=read_w,
+            read_vecs=read_vecs,
+            lstm_h=lstm_h,
+            lstm_c=lstm_c,
+        )
+        return y, new_state
+
+    # ------------------------------------------------------------------
     def run(self, inputs: np.ndarray) -> np.ndarray:
         """Run a ``(T, input_size)`` sequence; returns ``(T, output_size)``."""
         state = self.initial_state()
         outputs = np.empty((inputs.shape[0], self.config.output_size))
         for t in range(inputs.shape[0]):
+            outputs[t], state = self.step(inputs[t], state)
+        return outputs
+
+    def run_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Run ``(T, B, input_size)`` sequences; returns ``(T, B, output_size)``.
+
+        All ``B`` sequences advance in lock-step through stacked kernels —
+        the throughput path batch-of-1-equivalent to ``B`` separate
+        :meth:`run` calls.
+        """
+        if inputs.ndim != 3 or inputs.shape[1] < 1:
+            raise ConfigError(
+                f"run_batch expects (T, B>=1, input_size) inputs, got {inputs.shape}"
+            )
+        steps, batch = inputs.shape[0], inputs.shape[1]
+        state = self.initial_state(batch_size=batch)
+        outputs = np.empty((steps, batch, self.config.output_size))
+        for t in range(steps):
             outputs[t], state = self.step(inputs[t], state)
         return outputs
 

@@ -7,13 +7,21 @@ values where available.  The ``benchmarks/`` directory wraps these in
 pytest-benchmark targets.
 """
 
-from repro.eval.runners import ExperimentResult, EXPERIMENTS, register
+from repro.eval.runners import (
+    ExperimentResult,
+    EXPERIMENTS,
+    register,
+    BatchedThroughput,
+    measure_batched_throughput,
+)
 from repro.eval import table1, fig4, fig5, fig6, fig7, fig10, fig11, fig12
 
 __all__ = [
     "ExperimentResult",
     "EXPERIMENTS",
     "register",
+    "BatchedThroughput",
+    "measure_batched_throughput",
     "table1",
     "fig4",
     "fig5",

@@ -24,12 +24,17 @@ def test_bench_files_are_collected():
     )
     assert "bench_fig11_speed_area_power.py" in result.stdout
     assert "bench_table1_kernel_analysis.py" in result.stdout
-    # All eight bench files collect at least one test each.
-    collected = sum(
-        int(line.rsplit(":", 1)[1])
-        for line in result.stdout.splitlines()
-        if line.startswith("benchmarks/bench_") and ":" in line
-    )
+    # All bench files collect tests. `-q --collect-only` emits one node id
+    # per test on pytest >= 8 and `path: count` summary lines before that;
+    # accept either format.
+    collected = 0
+    for line in result.stdout.splitlines():
+        if not line.startswith("benchmarks/bench_"):
+            continue
+        if "::" in line:
+            collected += 1
+        elif ":" in line:
+            collected += int(line.rsplit(":", 1)[1])
     assert collected >= 20
 
 
