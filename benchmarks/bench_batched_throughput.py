@@ -4,13 +4,27 @@ Measures ``TiledEngine.run_batch`` (B sequences advancing in lock-step
 through stacked kernels) against B sequential B=1 ``run`` calls on the
 identical workload, and writes a machine-readable record to
 ``BENCH_batched_throughput.json`` at the repo root so future PRs can
-track throughput regressions.  Schema (top-level keys)::
+track throughput regressions.  Schema (see
+``benchmarks/validate_bench_schema.py`` for the authoritative contract)::
 
-    {"batch_size": B, "steps_per_sec": x, "speedup_vs_seq": y, ...}
+    {
+      "batch_size": B, "steps_per_sec": x, "speedup_vs_seq": y, ...,
+      "dtype": "float64",
+      "variants": {
+        "two_stage_sort": {...},   # sort-enabled hot path
+        "skim":           {...},   # skimmed-allocation hot path
+        "float64_n256":   {...},   # dtype A/B at memory_size=256
+        "float32_n256":   {...}
+      }
+    }
 
-The asserted floors are deliberately conservative (the measured ratio is
-typically well above them): batching must pay off by >= 4x at B=16, and
-a batch of one must reproduce the unbatched path to 1e-10.
+Every entry carries the full :class:`BatchedThroughput` record including
+the config it ran under (``dtype``, ``memory_size``, ``two_stage_sort``,
+``skim_fraction``).  The asserted floors are deliberately conservative
+(the measured ratios are typically well above them): batching must pay
+off by >= 4x at B=16 on the base config, >= 3x with the two-stage sorter
+or skimming enabled, and float32 must beat float64 at ``N=256`` where
+the N^2 linkage kernels are memory-bandwidth-bound.
 """
 
 import json
@@ -19,6 +33,7 @@ import pathlib
 import pytest
 
 from repro.core.config import HiMAConfig
+from repro.eval.bench_schema import validate_trajectory
 from repro.eval.runners import batched_throughput_experiment, measure_batched_throughput
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -32,6 +47,30 @@ TRAJECTORY_CONFIG = dict(
     two_stage_sort=False,
 )
 
+#: Dtype A/B configuration: large enough (memory_size >= 256) that the
+#: N^2 linkage/forward-backward kernels are memory-bandwidth-bound, so
+#: halving the word width is measurable above timer noise.
+DTYPE_AB_CONFIG = dict(
+    memory_size=256, word_size=32, num_reads=2, num_tiles=8, hidden_size=64,
+    two_stage_sort=False,
+)
+
+
+def _merge_artifact(update: dict) -> None:
+    """Read-modify-write the trajectory JSON, preserving other entries."""
+    data = {}
+    if ARTIFACT.exists():
+        try:
+            data = json.loads(ARTIFACT.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    variants = data.get("variants", {})
+    variants.update(update.pop("variants", {}))
+    data.update(update)
+    if variants:
+        data["variants"] = variants
+    ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")
+
 
 def test_batched_throughput_trajectory():
     result = measure_batched_throughput(
@@ -39,9 +78,61 @@ def test_batched_throughput_trajectory():
     )
     # Always leave the artifact on disk, even if the floors fail below:
     # a regressing run should still record what it measured.
-    ARTIFACT.write_text(json.dumps(result.to_json(), indent=2) + "\n")
+    _merge_artifact(result.to_json())
     assert result.batch1_max_abs_diff <= 1e-10
     assert result.speedup_vs_seq >= 4.0
+
+
+def test_sort_enabled_throughput_trajectory():
+    """The sort/allocation path must stay batch-vectorized.
+
+    Before the batched two-stage sorter, enabling ``two_stage_sort`` or
+    ``skim_fraction`` dropped run_batch to a per-element Python loop in
+    the sorter; these floors pin the vectorized behaviour.
+    """
+    sorted_result = measure_batched_throughput(
+        HiMAConfig(**{**TRAJECTORY_CONFIG, "two_stage_sort": True}),
+        batch_size=16, seq_len=16, repeats=5,
+    )
+    skim_result = measure_batched_throughput(
+        HiMAConfig(**{**TRAJECTORY_CONFIG, "skim_fraction": 0.25}),
+        batch_size=16, seq_len=16, repeats=5,
+    )
+    _merge_artifact({
+        "variants": {
+            "two_stage_sort": sorted_result.to_json(),
+            "skim": skim_result.to_json(),
+        }
+    })
+    assert sorted_result.batch1_max_abs_diff <= 1e-10
+    assert skim_result.batch1_max_abs_diff <= 1e-10
+    assert sorted_result.speedup_vs_seq >= 3.0
+    assert skim_result.speedup_vs_seq >= 3.0
+
+
+def test_dtype_throughput_trajectory():
+    """float32 must beat float64 on the bandwidth-bound N=256 config."""
+    f64 = measure_batched_throughput(
+        HiMAConfig(**DTYPE_AB_CONFIG), batch_size=16, seq_len=6, repeats=3
+    )
+    f32 = measure_batched_throughput(
+        HiMAConfig(**{**DTYPE_AB_CONFIG, "dtype": "float32"}),
+        batch_size=16, seq_len=6, repeats=3,
+    )
+    _merge_artifact({
+        "variants": {"float64_n256": f64.to_json(), "float32_n256": f32.to_json()}
+    })
+    assert f64.batch1_max_abs_diff <= 1e-10
+    # float32 batch-of-1 rounds differently through BLAS but stays within
+    # the engine's documented float32 tolerance.
+    assert f32.batch1_max_abs_diff <= 1e-3
+    assert f32.steps_per_sec > f64.steps_per_sec
+
+
+def test_trajectory_schema_valid():
+    """The artifact written above satisfies the published contract."""
+    problems = validate_trajectory(json.loads(ARTIFACT.read_text()))
+    assert problems == [], "\n".join(problems)
 
 
 def test_batched_throughput_scaling_table(save_result):

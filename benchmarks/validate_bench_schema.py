@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""CLI wrapper: validate BENCH_batched_throughput.json against its schema.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/validate_bench_schema.py [path]
+
+Exits non-zero (listing every problem) when the trajectory artifact has
+drifted from the contract in :mod:`repro.eval.bench_schema` — the CI
+benchmark-contract job runs this right after regenerating the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.bench_schema import validate_trajectory
+
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_batched_throughput.json"
+
+
+def main(argv: list) -> int:
+    path = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    if not path.exists():
+        print(f"trajectory artifact not found: {path}")
+        return 1
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"{path}: not valid JSON ({exc})")
+        return 1
+    problems = validate_trajectory(data)
+    if problems:
+        print(f"{path}: {len(problems)} schema problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"{path}: schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -16,8 +16,15 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
+import numpy as np
+
 from repro.errors import ConfigError
-from repro.utils.validation import check_in, check_probability, check_positive
+from repro.utils.validation import (
+    DTYPE_CHOICES,
+    check_in,
+    check_probability,
+    check_positive,
+)
 
 _NOC_CHOICES = ("hima", "htree", "bintree", "mesh", "star", "ring")
 
@@ -51,6 +58,7 @@ class HiMAConfig:
     link_words_per_cycle: int = 32  # NoC link width (words/flit)
     clock_hz: float = 500e6
     sequence_length: int = 8  # timesteps per inference "test"
+    dtype: str = "float64"  # engine-wide numeric policy (see DTYPE_CHOICES)
 
     def __post_init__(self):
         check_positive("memory_size", self.memory_size)
@@ -62,6 +70,7 @@ class HiMAConfig:
         check_positive("macs_per_cycle", self.macs_per_cycle)
         check_positive("link_words_per_cycle", self.link_words_per_cycle)
         check_positive("sequence_length", self.sequence_length)
+        check_in("dtype", self.dtype, DTYPE_CHOICES)
         if self.memory_size % self.num_tiles != 0:
             raise ConfigError(
                 f"memory_size ({self.memory_size}) must be divisible by "
@@ -73,6 +82,11 @@ class HiMAConfig:
             )
 
     # ------------------------------------------------------------------
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The numpy dtype every engine state/weight buffer uses."""
+        return np.dtype(self.dtype)
+
     @property
     def local_rows(self) -> int:
         """External-memory rows per PT (row-wise partition)."""
@@ -127,4 +141,4 @@ class HiMAConfig:
         return replace(self, **changes)
 
 
-__all__ = ["HiMAConfig"]
+__all__ = ["HiMAConfig", "DTYPE_CHOICES"]

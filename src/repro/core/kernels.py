@@ -82,10 +82,14 @@ def block_diagonal(linkage: np.ndarray, num_tiles: int) -> np.ndarray:
 
 
 def scatter_block_diagonal(blocks: np.ndarray) -> np.ndarray:
-    """Place ``(..., Nt, n, n)`` blocks on the diagonal of a zero ``(..., N, N)``."""
+    """Place ``(..., Nt, n, n)`` blocks on the diagonal of a zero ``(..., N, N)``.
+
+    The output keeps the blocks' dtype, so the engine-wide dtype policy
+    flows through the stacked DNC-D path without silent upcasts.
+    """
     num_tiles, n_local = blocks.shape[-3], blocks.shape[-1]
     n = num_tiles * n_local
-    out = np.zeros(blocks.shape[:-3] + (n, n))
+    out = np.zeros(blocks.shape[:-3] + (n, n), dtype=blocks.dtype)
     for t in range(num_tiles):
         rows = slice(t * n_local, (t + 1) * n_local)
         out[..., rows, rows] = blocks[..., t, :, :]

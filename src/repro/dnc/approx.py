@@ -39,6 +39,10 @@ def skimmed_sort_order(usage: np.ndarray, skim_fraction: float) -> np.ndarray:
     smallest-usage indices in *index order* (unsorted — the hardware skips
     them) followed by the remaining indices sorted ascending by usage.
     ``skim_fraction=0`` degenerates to a full argsort.
+
+    Fully vectorized over any leading dimensions: a batched ``(B, N)``
+    usage is one ``argpartition`` plus one ``argsort`` call, never a
+    Python loop over rows.
     """
     check_probability("skim_fraction", skim_fraction)
     usage = np.asarray(usage)
@@ -48,30 +52,36 @@ def skimmed_sort_order(usage: np.ndarray, skim_fraction: float) -> np.ndarray:
         return np.argsort(usage, axis=-1, kind="stable")
 
     flat = usage.reshape(-1, n)
-    orders = np.empty_like(flat, dtype=np.int64)
-    for row in range(flat.shape[0]):
-        values = flat[row]
-        pool = np.argpartition(values, k - 1)[:k]
-        pool.sort()  # index order, NOT usage order: the pool is unsorted
-        rest_mask = np.ones(n, dtype=bool)
-        rest_mask[pool] = False
-        rest = np.flatnonzero(rest_mask)
-        rest = rest[np.argsort(values[rest], kind="stable")]
-        orders[row, :k] = pool
-        orders[row, k:] = rest
+    # The skimmed pool: the K smallest-usage slots of every row, emitted
+    # in index order, NOT usage order — the hardware does not sort them.
+    pool = np.sort(np.argpartition(flat, k - 1, axis=-1)[:, :k], axis=-1)
+    rest_mask = np.ones(flat.shape, dtype=bool)
+    np.put_along_axis(rest_mask, pool, False, axis=-1)
+    # Row-major nonzero enumerates each row's survivors in ascending
+    # index order, so the stable argsort below keeps ties index-ordered
+    # exactly as the per-row formulation did.
+    rest = np.nonzero(rest_mask)[1].reshape(flat.shape[0], n - k)
+    rest_values = np.take_along_axis(flat, rest, axis=-1)
+    rest = np.take_along_axis(
+        rest, np.argsort(rest_values, axis=-1, kind="stable"), axis=-1
+    )
+    orders = np.concatenate([pool, rest], axis=-1).astype(np.int64, copy=False)
     return orders.reshape(usage.shape)
 
 
 def skim_usage(usage: np.ndarray, skim_fraction: float) -> Tuple[np.ndarray, int]:
     """Return the skimmed sort order and the number of entries actually sorted.
 
-    The second value feeds the hardware cycle model: the sorter only
-    processes ``N - K`` entries.
+    The second value feeds the hardware cycle model: the sorter processes
+    the ``N - K`` unskimmed entries (``K = floor(skim_fraction * N)``).
+    ``K <= 1`` disables skimming entirely (the degenerate pool is not
+    worth a partition pass), so the full ``N`` entries are sorted.
     """
     usage = np.asarray(usage)
     n = usage.shape[-1]
     k = int(np.floor(skim_fraction * n))
-    return skimmed_sort_order(usage, skim_fraction), n - max(k - 1, 0) if k > 1 else n
+    sorted_count = n - k if k > 1 else n
+    return skimmed_sort_order(usage, skim_fraction), sorted_count
 
 
 class SoftmaxApproximator:
@@ -104,8 +114,14 @@ class SoftmaxApproximator:
 
     # ------------------------------------------------------------------
     def exp(self, x: np.ndarray) -> np.ndarray:
-        """Approximate ``exp(x)`` for ``x <= 0`` (clipped, LUT + affine)."""
-        x = np.asarray(x, dtype=np.float64)
+        """Approximate ``exp(x)`` for ``x <= 0`` (clipped, LUT + affine).
+
+        Floating inputs keep their dtype (the LUT itself stores float64
+        coefficients; the affine evaluation rounds once on the way out).
+        """
+        x = np.asarray(x)
+        if x.dtype not in (np.float32, np.float64):
+            x = x.astype(np.float64)
         clipped = np.maximum(x, -self.input_range)
         segment = np.minimum(
             ((clipped + self.input_range) / self.input_range * self.num_segments).astype(int),
@@ -113,18 +129,20 @@ class SoftmaxApproximator:
         )
         approx = self._slopes[segment] * clipped + self._intercepts[segment]
         # Below the domain floor the true exp is ~1e-7; flush to zero.
-        return np.where(x < -self.input_range, 0.0, approx)
+        return np.where(x < -self.input_range, 0.0, approx).astype(x.dtype, copy=False)
 
     def softmax(self, scores: np.ndarray, axis: int = -1) -> np.ndarray:
         """Approximate softmax (max-shifted, approx exp, normalized)."""
-        scores = np.asarray(scores, dtype=np.float64)
+        scores = np.asarray(scores)
+        if scores.dtype not in (np.float32, np.float64):
+            scores = scores.astype(np.float64)
         shifted = scores - scores.max(axis=axis, keepdims=True)
         exped = self.exp(shifted)
         total = exped.sum(axis=axis, keepdims=True)
         # All-zero rows can only occur if every input underflowed; fall back
         # to uniform (matches the exact softmax limit under extreme shift).
         safe_total = np.where(total == 0.0, 1.0, total)
-        uniform = 1.0 / scores.shape[axis]
+        uniform = np.asarray(1.0 / scores.shape[axis], dtype=scores.dtype)
         out = exped / safe_total
         return np.where(total == 0.0, uniform, out)
 

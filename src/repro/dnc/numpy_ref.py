@@ -28,6 +28,7 @@ from repro.dnc.approx import SoftmaxApproximator, skimmed_sort_order
 from repro.dnc.instrumentation import KernelRecorder
 from repro.errors import ConfigError
 from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import DTYPE_CHOICES, check_in
 
 _EPSILON = 1e-6
 _NORM_EPSILON = 1e-8
@@ -80,7 +81,7 @@ def allocation_from_order(usage: np.ndarray, order: np.ndarray) -> np.ndarray:
     """
     safe = usage * (1.0 - _EPSILON) + _EPSILON
     sorted_usage = np.take_along_axis(safe, order, axis=-1)
-    ones = np.ones(sorted_usage.shape[:-1] + (1,))
+    ones = np.ones(sorted_usage.shape[:-1] + (1,), dtype=sorted_usage.dtype)
     prod_before = np.concatenate(
         [ones, np.cumprod(sorted_usage[..., :-1], axis=-1)], axis=-1
     )
@@ -259,11 +260,24 @@ class NumpyDNCConfig:
     hidden_size: int = 256
     skim_fraction: float = 0.0
     softmax_approx: Optional[SoftmaxApproximator] = None
+    #: Numeric policy for weights, state, and kernel buffers.  ``float64``
+    #: is the exact reference mode; ``float32`` trades precision for
+    #: memory bandwidth on the N^2 linkage kernels.
+    dtype: str = "float64"
+
+    def __post_init__(self):
+        # Fail at construction, not at the first np_dtype access deep in
+        # a step; np_dtype itself stays check-free on the hot path.
+        check_in("dtype", self.dtype, DTYPE_CHOICES)
 
     @property
     def interface_size(self) -> int:
         w, r = self.word_size, self.num_reads
         return w * r + 3 * w + 5 * r + 3
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
 
 
 @dataclass
@@ -304,17 +318,24 @@ class NumpyDNC:
         self.config = config
         self.recorder = KernelRecorder()
         c = config
+        dt = c.np_dtype
         controller_in = c.input_size + c.num_reads * c.word_size
         scale = 0.1
-        self.w_x = scale * rng.standard_normal((controller_in, 4 * c.hidden_size))
-        self.w_h = scale * rng.standard_normal((c.hidden_size, 4 * c.hidden_size))
-        self.b = np.zeros(4 * c.hidden_size)
-        self.w_if = scale * rng.standard_normal((c.hidden_size, c.interface_size))
-        self.b_if = np.zeros(c.interface_size)
-        self.w_y = scale * rng.standard_normal(
+        # Weights are drawn in float64 for seed-stable values, then cast
+        # to the policy dtype: a float32 model holds the rounded float64
+        # weights, so cross-dtype comparisons see the same parameters.
+        self.w_x = (scale * rng.standard_normal(
+            (controller_in, 4 * c.hidden_size))).astype(dt, copy=False)
+        self.w_h = (scale * rng.standard_normal(
+            (c.hidden_size, 4 * c.hidden_size))).astype(dt, copy=False)
+        self.b = np.zeros(4 * c.hidden_size, dtype=dt)
+        self.w_if = (scale * rng.standard_normal(
+            (c.hidden_size, c.interface_size))).astype(dt, copy=False)
+        self.b_if = np.zeros(c.interface_size, dtype=dt)
+        self.w_y = (scale * rng.standard_normal(
             (c.hidden_size + c.num_reads * c.word_size, c.output_size)
-        )
-        self.b_y = np.zeros(c.output_size)
+        )).astype(dt, copy=False)
+        self.b_y = np.zeros(c.output_size, dtype=dt)
 
     # ------------------------------------------------------------------
     def load_from_dnc(self, dnc) -> None:
@@ -329,29 +350,31 @@ class NumpyDNC:
                 model_cfg.hidden_size) != (c.memory_size, c.word_size,
                                            c.num_reads, c.hidden_size):
             raise ConfigError("DNC configuration does not match NumpyDNCConfig")
-        self.w_x = dnc.controller.w_x.data.copy()
-        self.w_h = dnc.controller.w_h.data.copy()
-        self.b = dnc.controller.bias.data.copy()
-        self.w_if = dnc.interface_layer.weight.data.copy()
-        self.b_if = dnc.interface_layer.bias.data.copy()
-        self.w_y = dnc.output_layer.weight.data.copy()
-        self.b_y = dnc.output_layer.bias.data.copy()
+        dt = c.np_dtype
+        self.w_x = dnc.controller.w_x.data.astype(dt)
+        self.w_h = dnc.controller.w_h.data.astype(dt)
+        self.b = dnc.controller.bias.data.astype(dt)
+        self.w_if = dnc.interface_layer.weight.data.astype(dt)
+        self.b_if = dnc.interface_layer.bias.data.astype(dt)
+        self.w_y = dnc.output_layer.weight.data.astype(dt)
+        self.b_y = dnc.output_layer.bias.data.astype(dt)
 
     # ------------------------------------------------------------------
     def initial_state(self, batch_size: Optional[int] = None) -> NumpyDNCState:
         """Zero state; with ``batch_size`` every field gains a leading ``B``."""
         c = self.config
+        dt = c.np_dtype
         lead = () if batch_size is None else (int(batch_size),)
         return NumpyDNCState(
-            memory=np.zeros(lead + (c.memory_size, c.word_size)),
-            usage=np.zeros(lead + (c.memory_size,)),
-            precedence=np.zeros(lead + (c.memory_size,)),
-            linkage=np.zeros(lead + (c.memory_size, c.memory_size)),
-            write_w=np.zeros(lead + (c.memory_size,)),
-            read_w=np.zeros(lead + (c.num_reads, c.memory_size)),
-            read_vecs=np.zeros(lead + (c.num_reads, c.word_size)),
-            lstm_h=np.zeros(lead + (c.hidden_size,)),
-            lstm_c=np.zeros(lead + (c.hidden_size,)),
+            memory=np.zeros(lead + (c.memory_size, c.word_size), dtype=dt),
+            usage=np.zeros(lead + (c.memory_size,), dtype=dt),
+            precedence=np.zeros(lead + (c.memory_size,), dtype=dt),
+            linkage=np.zeros(lead + (c.memory_size, c.memory_size), dtype=dt),
+            write_w=np.zeros(lead + (c.memory_size,), dtype=dt),
+            read_w=np.zeros(lead + (c.num_reads, c.memory_size), dtype=dt),
+            read_vecs=np.zeros(lead + (c.num_reads, c.word_size), dtype=dt),
+            lstm_h=np.zeros(lead + (c.hidden_size,), dtype=dt),
+            lstm_c=np.zeros(lead + (c.hidden_size,), dtype=dt),
         )
 
     def _softmax(self, scores: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -365,8 +388,10 @@ class NumpyDNC:
 
         ``x`` is ``(input_size,)``, or ``(B, input_size)`` with a matching
         batched ``state`` (see :meth:`initial_state`); the batched form
-        vectorizes all kernels over the batch.
+        vectorizes all kernels over the batch.  Inputs are cast to the
+        configured dtype so a float32 model never silently upcasts.
         """
+        x = np.asarray(x, dtype=self.config.np_dtype)
         if x.ndim == 2:
             return self._step_batched(x, state)
         c = self.config
@@ -590,7 +615,9 @@ class NumpyDNC:
     def run(self, inputs: np.ndarray) -> np.ndarray:
         """Run a ``(T, input_size)`` sequence; returns ``(T, output_size)``."""
         state = self.initial_state()
-        outputs = np.empty((inputs.shape[0], self.config.output_size))
+        outputs = np.empty(
+            (inputs.shape[0], self.config.output_size), dtype=self.config.np_dtype
+        )
         for t in range(inputs.shape[0]):
             outputs[t], state = self.step(inputs[t], state)
         return outputs
@@ -608,13 +635,16 @@ class NumpyDNC:
             )
         steps, batch = inputs.shape[0], inputs.shape[1]
         state = self.initial_state(batch_size=batch)
-        outputs = np.empty((steps, batch, self.config.output_size))
+        outputs = np.empty(
+            (steps, batch, self.config.output_size), dtype=self.config.np_dtype
+        )
         for t in range(steps):
             outputs[t], state = self.step(inputs[t], state)
         return outputs
 
 
 __all__ = [
+    "DTYPE_CHOICES",
     "NumpyDNC",
     "NumpyDNCConfig",
     "NumpyDNCState",

@@ -1,0 +1,82 @@
+"""Schema contract for the ``BENCH_batched_throughput.json`` trajectory.
+
+Perf PRs extend/update the repo-root artifact rather than inventing new
+formats (ROADMAP convention); this module is the authoritative list of
+what the file must contain so CI can fail fast when an entry drifts.
+
+Top level: one base :class:`~repro.eval.runners.BatchedThroughput`
+entry (flat keys, B=16 trajectory config) plus a ``variants`` mapping
+that must carry the sort-enabled and dtype A/B entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.utils.validation import DTYPE_CHOICES
+
+#: Keys every trajectory entry (top level and each variant) must carry.
+ENTRY_KEYS = (
+    "batch_size",
+    "steps_per_sec",
+    "speedup_vs_seq",
+    "seq_len",
+    "sequential_steps_per_sec",
+    "batch1_max_abs_diff",
+    "dtype",
+    "memory_size",
+    "two_stage_sort",
+    "skim_fraction",
+)
+
+#: Variant entries the artifact must include: the sort-enabled hot paths
+#: and the float64/float32 A/B pair at memory_size >= 256.
+REQUIRED_VARIANTS = ("two_stage_sort", "skim", "float64_n256", "float32_n256")
+
+
+def _check_entry(entry: object, where: str) -> List[str]:
+    problems: List[str] = []
+    if not isinstance(entry, dict):
+        return [f"{where}: expected an object, got {type(entry).__name__}"]
+    for key in ENTRY_KEYS:
+        if key not in entry:
+            problems.append(f"{where}: missing key {key!r}")
+    dtype = entry.get("dtype")
+    if "dtype" in entry and dtype not in DTYPE_CHOICES:
+        problems.append(
+            f"{where}: dtype must be one of {DTYPE_CHOICES}, got {dtype!r}"
+        )
+    for key in ("steps_per_sec", "speedup_vs_seq", "sequential_steps_per_sec"):
+        value = entry.get(key)
+        if key in entry and (not isinstance(value, (int, float)) or value <= 0):
+            problems.append(f"{where}: {key} must be a positive number, got {value!r}")
+    return problems
+
+
+def validate_trajectory(data: object) -> List[str]:
+    """Return a list of schema problems (empty when the artifact is valid)."""
+    problems = _check_entry(data, "top-level")
+    if not isinstance(data, dict):
+        return problems
+    variants = data.get("variants")
+    if not isinstance(variants, dict):
+        problems.append("missing or non-object 'variants' mapping")
+        return problems
+    for name in REQUIRED_VARIANTS:
+        if name not in variants:
+            problems.append(f"variants: missing required entry {name!r}")
+        else:
+            problems.extend(_check_entry(variants[name], f"variants[{name!r}]"))
+    sort_variant = variants.get("two_stage_sort")
+    if isinstance(sort_variant, dict) and sort_variant.get("two_stage_sort") is not True:
+        problems.append("variants['two_stage_sort']: entry must have two_stage_sort=true")
+    f32 = variants.get("float32_n256")
+    if isinstance(f32, dict):
+        if f32.get("dtype") != "float32":
+            problems.append("variants['float32_n256']: entry must have dtype='float32'")
+        if isinstance(f32.get("memory_size"), int) and f32["memory_size"] < 256:
+            problems.append("variants['float32_n256']: memory_size must be >= 256")
+    return problems
+
+
+__all__ = ["ENTRY_KEYS", "REQUIRED_VARIANTS", "validate_trajectory"]

@@ -60,7 +60,9 @@ class BatchedThroughput:
     ``steps_per_sec`` counts *sequence timesteps* processed per wall
     second: a batched run advancing ``B`` sequences for ``T`` steps
     performs ``B * T`` steps, the same work as ``B`` sequential
-    :meth:`~repro.core.engine.TiledEngine.run` calls.
+    :meth:`~repro.core.engine.TiledEngine.run` calls.  The trailing
+    fields record the engine configuration the measurement ran under so
+    trajectory entries are self-describing.
     """
 
     batch_size: int
@@ -69,9 +71,13 @@ class BatchedThroughput:
     sequential_steps_per_sec: float
     speedup_vs_seq: float
     batch1_max_abs_diff: float  # run_batch(B=1) vs run, same inputs
+    dtype: str = "float64"
+    memory_size: int = 0
+    two_stage_sort: bool = False
+    skim_fraction: float = 0.0
 
     def to_json(self) -> Dict[str, object]:
-        """The ``BENCH_batched_throughput.json`` trajectory schema."""
+        """One ``BENCH_batched_throughput.json`` trajectory entry."""
         return {
             "batch_size": self.batch_size,
             "steps_per_sec": self.steps_per_sec,
@@ -79,6 +85,10 @@ class BatchedThroughput:
             "seq_len": self.seq_len,
             "sequential_steps_per_sec": self.sequential_steps_per_sec,
             "batch1_max_abs_diff": self.batch1_max_abs_diff,
+            "dtype": self.dtype,
+            "memory_size": self.memory_size,
+            "two_stage_sort": self.two_stage_sort,
+            "skim_fraction": self.skim_fraction,
         }
 
 
@@ -95,6 +105,12 @@ def measure_batched_throughput(
     (minimum) wall time over ``repeats`` rounds is used for each.  Also
     measures the batch-of-1 equivalence gap as evidence the batched hot
     path computes the same function.
+
+    The engine's :class:`~repro.core.engine.TrafficLog` is cleared at
+    every phase boundary (after warm-up, between timing repeats, and
+    after the equivalence check), so timing repeats never pay for an
+    ever-growing event list and the engine is handed back with an empty
+    log.
     """
     from repro.core.config import HiMAConfig
     from repro.core.engine import TiledEngine
@@ -111,11 +127,12 @@ def measure_batched_throughput(
     gen = np.random.default_rng(rng)
     inputs = gen.standard_normal(
         (seq_len, batch_size, engine.reference.config.input_size)
-    )
+    ).astype(config.np_dtype)
 
     # Warm up both paths (BLAS thread pools, allocator).
     engine.run_batch(inputs[:2])
     engine.run(inputs[:2, 0])
+    engine.traffic.clear()
 
     batched_time = float("inf")
     sequential_time = float("inf")
@@ -123,16 +140,19 @@ def measure_batched_throughput(
         start = time.perf_counter()
         engine.run_batch(inputs)
         batched_time = min(batched_time, time.perf_counter() - start)
+        engine.traffic.clear()
 
         start = time.perf_counter()
         for i in range(batch_size):
             engine.run(inputs[:, i])
         sequential_time = min(sequential_time, time.perf_counter() - start)
+        engine.traffic.clear()
 
     total_steps = seq_len * batch_size
     batch1 = engine.run_batch(inputs[:, :1])
     single = engine.run(inputs[:, 0])
     diff = float(np.max(np.abs(batch1[:, 0] - single)))
+    engine.traffic.clear()
 
     return BatchedThroughput(
         batch_size=batch_size,
@@ -141,6 +161,10 @@ def measure_batched_throughput(
         sequential_steps_per_sec=total_steps / sequential_time,
         speedup_vs_seq=sequential_time / batched_time,
         batch1_max_abs_diff=diff,
+        dtype=config.dtype,
+        memory_size=config.memory_size,
+        two_stage_sort=config.two_stage_sort,
+        skim_fraction=config.skim_fraction,
     )
 
 

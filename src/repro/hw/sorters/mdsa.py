@@ -18,7 +18,7 @@ output is exactly sorted.
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -56,7 +56,10 @@ class MDSASorter:
         """Sort ascending; returns ``(sorted_values, argsort_indices)``.
 
         Indices are returned because the usage sort needs the permutation
-        (the allocation weighting addresses slots through it).
+        (the allocation weighting addresses slots through it).  Ties
+        resolve to ascending original index — bitwise the stable argsort
+        — so the phase-level simulation and :meth:`sort_batch` agree on
+        every input, tied or not.
         """
         values = np.asarray(values, dtype=np.float64)
         if values.ndim != 1 or len(values) > self.capacity:
@@ -89,7 +92,35 @@ class MDSASorter:
         flat_keys = self._snake_read(keys)
         flat_idx = self._snake_read(idx)
         valid = flat_idx >= 0
-        return flat_keys[valid], flat_idx[valid]
+        flat_keys, flat_idx = flat_keys[valid], flat_idx[valid]
+        # Canonicalize ties to index order: the comparator network emits
+        # equal keys in whatever order the boustrophedon rows left them,
+        # but the functional model must resolve ties exactly like the
+        # reference's stable argsort (and sort_batch) so tied usage sorts
+        # identically on every path.  lexsort is stable and flat_keys is
+        # already sorted, so this only reorders within equal-key runs.
+        canonical = np.lexsort((flat_idx, flat_keys))
+        return flat_keys[canonical], flat_idx[canonical]
+
+    # ------------------------------------------------------------------
+    def sort_batch(self, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized batched sort: ``(..., n)`` -> sorted values + orders.
+
+        Bitwise equivalent to running :meth:`sort` on every leading
+        slice — the shear-sort schedule converges to the fully sorted
+        sequence with ties canonicalized to index order, which one
+        stable argsort produces directly — but executed as a single
+        numpy call over the whole batch.  The cycle model is unchanged:
+        one batch element still costs :meth:`cycle_count` cycles of
+        hardware time.
+        """
+        values = np.asarray(values)
+        if values.ndim < 1 or values.shape[-1] > self.capacity:
+            raise ConfigError(
+                f"MDSASorter(capacity={self.capacity}) got shape {values.shape}"
+            )
+        order = np.argsort(values, axis=-1, kind="stable")
+        return np.take_along_axis(values, order, axis=-1), order
 
     # ------------------------------------------------------------------
     def _row_phase(
@@ -131,7 +162,7 @@ class MDSASorter:
         return bool(np.all(np.diff(flat) >= 0))
 
     # ------------------------------------------------------------------
-    def cycle_count(self, length: int = None) -> int:
+    def cycle_count(self, length: Optional[int] = None) -> int:
         """Hardware latency: ``phases * (P + D_DPBS)`` cycles.
 
         ``length`` (defaults to capacity) lets usage skimming shrink the

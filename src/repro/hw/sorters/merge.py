@@ -88,6 +88,38 @@ class ParallelMergeSorter:
         merged = list(heapq.merge(*[list(map(float, s)) for s in streams]))
         return np.asarray(merged, dtype=np.float64)
 
+    def merge_batch(
+        self, streams: np.ndarray, validate: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge a batch of sorted stream stacks in one vectorized pass.
+
+        ``streams`` is ``(..., Nt, n)`` — ``Nt = num_inputs`` pre-sorted
+        streams of length ``n`` per leading element.  Returns
+        ``(merged, positions)`` where ``merged`` is ``(..., Nt * n)``
+        sorted ascending and ``positions`` holds, per output, the flat
+        input position ``stream_index * n + element_index``.
+
+        Ties resolve by ``(stream_index, element_index)`` — bitwise the
+        same policy as :meth:`merge_with_sources` — because the stable
+        argsort runs over the streams concatenated in stream order.
+
+        ``validate=False`` skips the sorted-input check for callers that
+        produce the streams from a sort (the engine's per-step hot path,
+        where re-proving the invariant would cost a full extra pass).
+        """
+        arr = np.asarray(streams)
+        if arr.ndim < 2 or arr.shape[-2] != self.num_inputs:
+            raise ConfigError(
+                f"PMS({self.num_inputs}) merge_batch expects (..., "
+                f"{self.num_inputs}, n) streams, got {arr.shape}"
+            )
+        if validate and arr.shape[-1] > 1 and np.any(np.diff(arr, axis=-1) < 0):
+            raise ConfigError("merge_batch got an unsorted input stream")
+        flat = arr.reshape(arr.shape[:-2] + (-1,))
+        positions = np.argsort(flat, axis=-1, kind="stable")
+        merged = np.take_along_axis(flat, positions, axis=-1)
+        return merged, positions
+
     def merge_with_sources(
         self, streams: Sequence[np.ndarray]
     ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:

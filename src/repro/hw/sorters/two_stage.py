@@ -16,7 +16,7 @@ enter the sorters, shrinking both stages.
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -53,16 +53,33 @@ class TwoStageSorter:
 
     # ------------------------------------------------------------------
     def sort(self, usage: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Sort a global usage vector; returns ``(values, global_indices)``.
+        """Sort usage vectors; returns ``(values, global_indices)``.
 
-        The vector is sharded row-block-wise across tiles exactly as
-        HiMA's memory partition does, so tile ``t`` owns entries
-        ``[t*n, (t+1)*n)``.
+        ``usage`` is ``(N,)`` or a batch ``(B, N)``; both return arrays of
+        the input shape.  Each vector is sharded row-block-wise across
+        tiles exactly as HiMA's memory partition does, so tile ``t`` owns
+        entries ``[t*n, (t+1)*n)``.
+
+        The unbatched path runs the phase-level MDSA/PMS hardware
+        simulation per shard.  The batched path executes the same two
+        stages — per-tile local sorts, then the ``Nt``-way merge with
+        ties resolved by ``(tile, element)`` — as two vectorized numpy
+        calls covering all ``B`` rows and ``Nt`` shards at once, with no
+        Python loop over batch elements.
         """
-        usage = np.asarray(usage, dtype=np.float64)
+        usage = np.asarray(usage)
+        if usage.dtype not in (np.float32, np.float64):
+            usage = usage.astype(np.float64)
+        if usage.ndim == 2 and usage.shape[-1] == self.total_length:
+            # Batched: sort in the input dtype (float32 orders identically
+            # to float64, and upcasting would copy the whole batch on the
+            # engine's per-step hot path).
+            return self._sort_batch(usage)
+        usage = usage.astype(np.float64, copy=False)
         if usage.shape != (self.total_length,):
             raise ConfigError(
-                f"expected usage of shape ({self.total_length},), got {usage.shape}"
+                f"expected usage of shape ({self.total_length},) or "
+                f"(B, {self.total_length}), got {usage.shape}"
             )
         n = self.local_length
         local_sorted: List[np.ndarray] = []
@@ -78,14 +95,47 @@ class TwoStageSorter:
         )
         return merged, global_indices
 
+    def _sort_batch(self, usage: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized two-stage sort of a ``(B, N)`` usage batch."""
+        n = self.local_length
+        shards = usage.reshape(usage.shape[0], self.num_tiles, n)
+        # Stage 1: every tile of every batch row sorts its shard — one
+        # stacked stable argsort standing in for the MDSA arrays.
+        local_sorted, local_order = self.local_sorter.sort_batch(shards)
+        # Stage 2: the PMS merges the Nt sorted shards per row; ties keep
+        # the (tile, element) policy of merge_with_sources, which maps to
+        # ascending global index because shards are index-contiguous.
+        # Inputs come straight from sort_batch, so skip re-validation.
+        merged, positions = self.merger.merge_batch(local_sorted, validate=False)
+        offsets = np.arange(self.num_tiles, dtype=np.int64)[None, :, None] * n
+        global_idx = (local_order + offsets).reshape(usage.shape[0], -1)
+        global_indices = np.take_along_axis(global_idx, positions, axis=-1)
+        return merged, global_indices
+
     # ------------------------------------------------------------------
-    def cycle_count(self, effective_length: int = None) -> int:
+    def cycle_count(self, effective_length: Optional[int] = None) -> int:
         """Total latency: stage-1 (parallel) + stage-2 (merge).
 
-        ``effective_length`` models usage skimming (only ``N - K``
-        entries are sorted); defaults to the full ``N``.
+        ``effective_length`` models usage skimming (only the ``N - K``
+        unskimmed entries are sorted); defaults to the full ``N``.  It
+        must satisfy ``0 <= effective_length <= total_length`` — zero
+        (a fully skimmed sort, ``skim_fraction=1.0``) costs zero cycles,
+        matching the MDSA/PMS contract.
         """
-        total = self.total_length if effective_length is None else effective_length
+        if effective_length is None:
+            total = self.total_length
+        else:
+            if not isinstance(effective_length, (int, np.integer)):
+                raise ConfigError(
+                    f"effective_length must be an int, got "
+                    f"{type(effective_length).__name__}"
+                )
+            if not 0 <= effective_length <= self.total_length:
+                raise ConfigError(
+                    f"effective_length must be in [0, {self.total_length}], "
+                    f"got {effective_length}"
+                )
+            total = int(effective_length)
         per_tile = math.ceil(total / self.num_tiles)
         stage1 = self.local_sorter.cycle_count(per_tile)
         stage2 = self.merger.cycle_count(per_tile)

@@ -6,6 +6,13 @@ from typing import Iterable
 
 from repro.errors import ConfigError
 
+#: Engine-wide numeric dtype policy choices (single source of truth for
+#: HiMAConfig, NumpyDNCConfig, and the bench schema).  ``float64`` is the
+#: exact reference mode; ``float32`` halves state-memory bandwidth at
+#: reduced precision.  Lives here so config (core) and the reference
+#: model (dnc) can share it without a cross-layer import.
+DTYPE_CHOICES = ("float64", "float32")
+
 
 def check_positive(name: str, value: float) -> None:
     """Require ``value > 0``."""

@@ -134,6 +134,52 @@ class TestEngineBatching:
         assert state.memory.shape == (3, 64, 16)
         assert state.linkage.shape == (3, 64, 64)
 
+    def test_batched_two_stage_sort_is_one_call_per_step(self, rng):
+        """run_batch must hand the sorter whole (B, N) batches — never a
+        Python loop over batch elements."""
+        engine = TiledEngine(engine_config(two_stage_sort=True), rng=0)
+        calls = []
+        original = engine.sorter.sort
+
+        def spy(usage):
+            calls.append(np.asarray(usage).shape)
+            return original(usage)
+
+        engine.sorter.sort = spy
+        engine.run_batch(rng.standard_normal((5, 8, 16)))
+        assert calls == [(8, 64)] * 5
+
+
+class TestRunnerTrafficHygiene:
+    def test_measure_batched_throughput_clears_traffic(self, monkeypatch):
+        """Warm-up, timing repeats, and the equivalence check must not
+        leak events into the engine's TrafficLog."""
+        import repro.core.engine as engine_mod
+        from repro.eval.runners import measure_batched_throughput
+
+        captured = {}
+        real_engine = engine_mod.TiledEngine
+
+        class CapturingEngine(real_engine):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                captured["engine"] = self
+
+        monkeypatch.setattr(engine_mod, "TiledEngine", CapturingEngine)
+        result = measure_batched_throughput(batch_size=2, seq_len=2, repeats=2)
+        assert result.speedup_vs_seq > 0
+        assert captured["engine"].traffic.events == []
+
+    def test_traffic_docs_contract_run_accumulates(self, rng):
+        """run/run_batch append cumulatively; clear() is the caller's job."""
+        engine = TiledEngine(engine_config(), rng=0)
+        engine.run(rng.standard_normal((2, 16)))
+        first = len(engine.traffic.events)
+        engine.run_batch(rng.standard_normal((2, 3, 16)))
+        assert len(engine.traffic.events) == 2 * first
+        engine.traffic.clear()
+        assert engine.traffic.events == []
+
 
 class TestBatchedTraffic:
     @pytest.mark.parametrize("features", [

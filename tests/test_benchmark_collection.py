@@ -6,6 +6,7 @@ if that configuration regresses (the symptom would be a silent
 "no tests ran" from the benchmark harness).
 """
 
+import json
 import pathlib
 import subprocess
 import sys
@@ -36,6 +37,18 @@ def test_bench_files_are_collected():
         elif ":" in line:
             collected += int(line.rsplit(":", 1)[1])
     assert collected >= 20
+
+
+def test_committed_trajectory_artifact_matches_schema():
+    """The checked-in BENCH_batched_throughput.json must satisfy the
+    contract in repro.eval.bench_schema (incl. dtype + sort-enabled
+    variant entries) so the perf trajectory cannot silently drift."""
+    from repro.eval.bench_schema import validate_trajectory
+
+    artifact = REPO_ROOT / "BENCH_batched_throughput.json"
+    assert artifact.exists(), "trajectory artifact missing from repo root"
+    problems = validate_trajectory(json.loads(artifact.read_text()))
+    assert problems == [], "\n".join(problems)
 
 
 def test_every_figure_has_a_bench_file():

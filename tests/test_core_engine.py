@@ -100,6 +100,25 @@ class TestTrafficAccounting:
         assert len(messages) == 2
         assert all(m.size == 2 for m in messages)
 
+    def test_traffic_log_message_ids_stable_under_filter(self):
+        # An event keeps the same message id whether the caller converts
+        # the whole log or one kernel's slice — per-kernel message sets
+        # from one log never alias ids.
+        log = TrafficLog(ct_node=4)
+        log.add("linkage", 0, 1, 64)
+        log.add("memory_read", 0, 4, 32)
+        log.add("linkage", 1, 2, 64)
+        all_ids = {
+            (m.src, m.dst): m.msg_id for m in log.messages(link_words_per_cycle=32)
+        }
+        linkage = log.messages(link_words_per_cycle=32, kernel="linkage")
+        reads = log.messages(link_words_per_cycle=32, kernel="memory_read")
+        assert [m.msg_id for m in linkage] == [0, 2]
+        assert [m.msg_id for m in reads] == [1]
+        for m in linkage + reads:
+            assert m.msg_id == all_ids[(m.src, m.dst)]
+        assert not {m.msg_id for m in linkage} & {m.msg_id for m in reads}
+
     def test_traffic_log_ignores_self_and_empty(self):
         log = TrafficLog(ct_node=4)
         log.add("linkage", 1, 1, 64)

@@ -45,17 +45,61 @@ class TestSkimmedSortOrder:
         for row in range(3):
             assert sorted(order[row].tolist()) == list(range(16))
 
+    def test_batched_rows_match_independent_calls(self, rng):
+        # The vectorized path must be bitwise the per-row formulation.
+        usage = rng.random((6, 40))
+        for fraction in (0.0, 0.1, 0.3, 0.5, 0.9):
+            batched = skimmed_sort_order(usage, fraction)
+            for row in range(usage.shape[0]):
+                assert np.array_equal(
+                    batched[row], skimmed_sort_order(usage[row], fraction)
+                ), f"fraction={fraction}, row={row}"
+
+    def test_higher_leading_dims(self, rng):
+        usage = rng.random((2, 3, 20))
+        order = skimmed_sort_order(usage, 0.4)
+        assert order.shape == usage.shape
+        flat_o, flat_u = order.reshape(-1, 20), usage.reshape(-1, 20)
+        for row in range(flat_o.shape[0]):
+            assert np.array_equal(
+                flat_o[row], skimmed_sort_order(flat_u[row], 0.4)
+            )
+
     def test_invalid_fraction(self):
         with pytest.raises(ConfigError):
             skimmed_sort_order(np.ones(4), 1.5)
 
     def test_skim_usage_reports_sorted_length(self, rng):
+        # Regression for the off-by-one: the sorted remainder after
+        # skimming K entries is N - K, not N - (K - 1).
         usage = rng.random(100)
         order, effective = skim_usage(usage, 0.2)
-        assert effective == 81  # 100 - (20 - 1)
+        assert effective == 80  # N - K = 100 - 20
         assert sorted(order.tolist()) == list(range(100))
         _, full = skim_usage(usage, 0.0)
         assert full == 100
+
+    def test_skim_usage_degenerate_pool_not_skimmed(self, rng):
+        # K <= 1 disables skimming (the order is a full argsort), so the
+        # reported sorted count must be the full N in that regime too.
+        usage = rng.random(10)
+        for fraction in (0.0, 0.05, 0.1):  # K = 0, 0, 1
+            order, effective = skim_usage(usage, fraction)
+            assert effective == 10
+            assert np.array_equal(order, np.argsort(usage, kind="stable"))
+        _, effective = skim_usage(usage, 0.2)  # K = 2: first real skim
+        assert effective == 8
+
+    def test_skim_usage_count_matches_config_effective_sort_length(self, rng):
+        from repro.core.config import HiMAConfig
+
+        for fraction in (0.0, 0.1, 0.25, 0.5):
+            config = HiMAConfig(
+                memory_size=64, word_size=16, num_tiles=4, hidden_size=32,
+                skim_fraction=fraction,
+            )
+            _, effective = skim_usage(rng.random(64), fraction)
+            assert effective == config.effective_sort_length
 
 
 class TestSoftmaxApproximator:
@@ -125,6 +169,31 @@ def test_skim_order_permutation_property(n, fraction):
     usage = rng.random(n)
     order = skimmed_sort_order(usage, fraction)
     assert sorted(order.tolist()) == list(range(n))
+
+
+@given(
+    st.integers(1, 6),
+    st.integers(4, 48),
+    st.floats(0.0, 1.0),
+    st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_skim_order_batched_permutation_property(batch, n, fraction, seed):
+    """Every row of a batched skimmed order is a valid permutation whose
+    skimmed pool holds K smallest entries in index order and whose
+    remainder ascends in usage."""
+    rng = np.random.default_rng(seed)
+    usage = rng.random((batch, n))
+    order = skimmed_sort_order(usage, fraction)
+    assert order.shape == usage.shape
+    k = int(np.floor(fraction * n))
+    k = k if k > 1 else 0
+    for row in range(batch):
+        assert sorted(order[row].tolist()) == list(range(n))
+        pool = order[row, :k]
+        assert np.all(np.diff(pool) > 0)  # index order
+        rest_usage = usage[row, order[row, k:]]
+        assert np.all(np.diff(rest_usage) >= 0)  # sorted ascending
 
 
 @given(st.integers(2, 32))

@@ -1,0 +1,132 @@
+"""Engine-wide dtype policy: float64 exactness, float32 plumbing + accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as SK
+from repro.core.config import DTYPE_CHOICES, HiMAConfig
+from repro.dnc.approx import SoftmaxApproximator
+from repro.dnc.numpy_ref import NumpyDNC, NumpyDNCConfig, allocation_from_order
+from repro.core.engine import TiledEngine
+from repro.errors import ConfigError
+
+
+def engine_config(**features):
+    return HiMAConfig(
+        memory_size=64, word_size=16, num_reads=2, num_tiles=4,
+        hidden_size=32, **features,
+    )
+
+
+class TestConfigPlumbing:
+    def test_default_is_float64(self):
+        assert HiMAConfig().dtype == "float64"
+        assert HiMAConfig().np_dtype == np.float64
+        assert NumpyDNCConfig().np_dtype == np.float64
+
+    def test_choices_validated(self):
+        assert set(DTYPE_CHOICES) == {"float64", "float32"}
+        with pytest.raises(ConfigError):
+            HiMAConfig(dtype="float16")
+        with pytest.raises(ConfigError):
+            NumpyDNCConfig(dtype="int8").np_dtype
+
+    def test_engine_threads_dtype_to_reference(self):
+        engine = TiledEngine(engine_config(dtype="float32"), rng=0)
+        assert engine.reference.config.dtype == "float32"
+        assert engine.reference.w_x.dtype == np.float32
+
+
+@pytest.mark.parametrize("dtype", DTYPE_CHOICES)
+class TestStateAndOutputDtype:
+    def test_state_and_outputs_use_policy_dtype(self, dtype, rng):
+        engine = TiledEngine(engine_config(dtype=dtype), rng=0)
+        expected = np.dtype(dtype)
+        state = engine.initial_state(batch_size=3)
+        for name in ("memory", "usage", "linkage", "read_w", "lstm_h"):
+            assert getattr(state, name).dtype == expected, name
+        y, state = engine.step(rng.standard_normal((3, 16)), state)
+        assert y.dtype == expected
+        # No silent upcast anywhere in the recurrent state after a step.
+        for name in ("memory", "usage", "precedence", "linkage", "write_w",
+                     "read_w", "read_vecs", "lstm_h", "lstm_c"):
+            assert getattr(state, name).dtype == expected, name
+        out = engine.run_batch(rng.standard_normal((2, 3, 16)))
+        assert out.dtype == expected
+
+    def test_distributed_stacked_path_keeps_dtype(self, dtype, rng):
+        engine = TiledEngine(
+            engine_config(dtype=dtype, distributed=True), rng=0
+        )
+        expected = np.dtype(dtype)
+        state = engine.initial_state(batch_size=2)
+        y, state = engine.step(rng.standard_normal((2, 16)), state)
+        assert y.dtype == expected
+        assert state.linkage.dtype == expected  # scatter_block_diagonal
+        assert state.memory.dtype == expected
+
+    def test_reference_model_run(self, dtype, rng):
+        config = NumpyDNCConfig(
+            input_size=5, output_size=3, memory_size=16, word_size=4,
+            num_reads=2, hidden_size=12, dtype=dtype,
+        )
+        model = NumpyDNC(config, rng=0)
+        out = model.run(rng.standard_normal((4, 5)))
+        assert out.dtype == np.dtype(dtype)
+
+
+class TestNumericalAccuracy:
+    def test_float64_batch_of_one_stays_exact(self, rng):
+        engine = TiledEngine(engine_config(), rng=0)
+        xs = rng.standard_normal((5, 1, 16))
+        batched = engine.run_batch(xs)
+        single = engine.run(xs[:, 0])
+        assert np.max(np.abs(batched[:, 0] - single)) <= 1e-10
+
+    def test_float32_batch_of_one_vs_float64_reference(self, rng):
+        """float32 batch-of-1 must track the float64 reference within the
+        documented tolerance (VERIFY_TOLERANCES['float32'])."""
+        f64 = TiledEngine(engine_config(), rng=0)
+        f32 = TiledEngine(engine_config(dtype="float32"), rng=0)
+        tol = TiledEngine.VERIFY_TOLERANCES["float32"]
+        xs = rng.standard_normal((5, 1, 16))
+        out64 = f64.run_batch(xs)
+        out32 = f32.run_batch(xs.astype(np.float32))
+        error = float(np.max(np.abs(out64 - out32.astype(np.float64))))
+        assert 0 < error <= tol  # differs (really float32) but tracks
+
+    @pytest.mark.parametrize("dtype", DTYPE_CHOICES)
+    def test_verify_against_reference_uses_dtype_tolerance(self, dtype):
+        engine = TiledEngine(engine_config(dtype=dtype), rng=0)
+        error = engine.verify_against_reference(steps=3, batch_size=2)
+        assert error <= TiledEngine.VERIFY_TOLERANCES[dtype]
+
+    def test_float32_sorted_and_skimmed_paths(self, rng):
+        for features in (dict(two_stage_sort=True), dict(skim_fraction=0.25)):
+            engine = TiledEngine(
+                engine_config(dtype="float32", **features), rng=0
+            )
+            error = engine.verify_against_reference(steps=3, batch_size=2)
+            assert error <= TiledEngine.VERIFY_TOLERANCES["float32"]
+
+
+class TestKernelDtypePreservation:
+    def test_allocation_from_order_keeps_float32(self, rng):
+        usage = rng.random((3, 16)).astype(np.float32)
+        order = np.argsort(usage, axis=-1, kind="stable")
+        alloc = allocation_from_order(usage, order)
+        assert alloc.dtype == np.float32
+
+    def test_scatter_block_diagonal_keeps_float32(self, rng):
+        blocks = rng.standard_normal((2, 4, 4, 4)).astype(np.float32)
+        assert SK.scatter_block_diagonal(blocks).dtype == np.float32
+
+    def test_softmax_approximator_preserves_dtype(self, rng):
+        approx = SoftmaxApproximator()
+        scores32 = (rng.standard_normal((4, 9)) * 3).astype(np.float32)
+        out32 = approx.softmax(scores32, axis=-1)
+        assert out32.dtype == np.float32
+        assert np.allclose(out32.sum(axis=-1), 1.0, atol=1e-5)
+        out64 = approx.softmax(scores32.astype(np.float64), axis=-1)
+        assert out64.dtype == np.float64
+        assert np.max(np.abs(out64 - out32)) < 1e-5

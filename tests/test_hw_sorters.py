@@ -104,6 +104,24 @@ class TestMDSA:
         assert sorter.cycle_count(64) < sorter.cycle_count(256)
         assert sorter.cycle_count(1) == 0
 
+    def test_sort_batch_matches_per_element(self, rng):
+        sorter = MDSASorter(64)
+        values = rng.random((5, 64))
+        batch_vals, batch_orders = sorter.sort_batch(values)
+        for row in range(5):
+            seq_vals, seq_order = sorter.sort(values[row])
+            assert np.array_equal(batch_vals[row], seq_vals)
+            assert np.array_equal(batch_orders[row], seq_order)
+
+    def test_sort_batch_all_equal_keeps_index_order(self):
+        sorter = MDSASorter(16)
+        _, orders = sorter.sort_batch(np.zeros((3, 16)))
+        assert np.array_equal(orders, np.tile(np.arange(16), (3, 1)))
+
+    def test_sort_batch_capacity_enforced(self, rng):
+        with pytest.raises(ConfigError):
+            MDSASorter(16).sort_batch(rng.random((2, 32)))
+
 
 class TestMergeSorters:
     def test_centralized_cycle_model(self):
@@ -154,6 +172,35 @@ class TestMergeSorters:
         assert pms.cycle_count(256) == 263  # paper: n + D_PMS
         assert pms.cycle_count(0) == 0
 
+    def test_pms_merge_batch_matches_sequential_merge(self, rng):
+        pms = ParallelMergeSorter(4)
+        streams = np.sort(rng.random((3, 4, 16)), axis=-1)
+        merged, positions = pms.merge_batch(streams)
+        assert merged.shape == positions.shape == (3, 64)
+        for row in range(3):
+            expected = pms.merge(list(streams[row]))
+            assert np.array_equal(merged[row], expected)
+            # positions index the flattened (stream, element) input
+            assert np.array_equal(
+                streams[row].reshape(-1)[positions[row]], merged[row]
+            )
+
+    def test_pms_merge_batch_tie_policy_matches_sources(self):
+        pms = ParallelMergeSorter(2)
+        streams = np.array([[[1.0, 2.0], [1.0, 3.0]]])
+        merged, positions = pms.merge_batch(streams)
+        _, sources = pms.merge_with_sources([streams[0, 0], streams[0, 1]])
+        flat_sources = [s * 2 + e for s, e in sources]
+        assert positions[0].tolist() == flat_sources
+        assert merged[0].tolist() == [1.0, 1.0, 2.0, 3.0]
+
+    def test_pms_merge_batch_rejects_bad_input(self, rng):
+        pms = ParallelMergeSorter(4)
+        with pytest.raises(ConfigError):
+            pms.merge_batch(np.sort(rng.random((3, 3, 8)), axis=-1))
+        with pytest.raises(ConfigError):
+            pms.merge_batch(rng.random((2, 4, 8)) * -np.arange(8))  # unsorted
+
 
 class TestTwoStageSorter:
     def test_paper_reference_389_cycles(self):
@@ -187,6 +234,31 @@ class TestTwoStageSorter:
         sorter = TwoStageSorter(1024, 4)
         assert sorter.cycle_count(effective_length=512) < sorter.cycle_count()
 
+    def test_cycle_count_validates_effective_length(self):
+        sorter = TwoStageSorter(64, 4)
+        assert sorter.cycle_count(effective_length=64) == sorter.cycle_count()
+        # Fully skimmed (skim_fraction=1.0) is a valid, free sort.
+        assert sorter.cycle_count(effective_length=0) == 0
+        for bad in (-1, 65, 10_000):
+            with pytest.raises(ConfigError):
+                sorter.cycle_count(effective_length=bad)
+        with pytest.raises(ConfigError):
+            sorter.cycle_count(effective_length=32.5)
+
+    def test_fully_skimmed_perf_model_is_free(self):
+        # Regression: skim_fraction=1.0 gives effective_sort_length=0;
+        # the perf model must price that as a free sort, not raise.
+        from repro.core.config import HiMAConfig
+        from repro.core.perf_model import HiMAPerformanceModel
+
+        config = HiMAConfig(
+            memory_size=64, word_size=16, num_reads=2, num_tiles=4,
+            hidden_size=32, skim_fraction=1.0,
+        )
+        model = HiMAPerformanceModel(config)
+        assert model._sort_cycles() == 0
+        assert model.timestep_cycles() > 0  # the rest still costs cycles
+
     def test_divisibility_enforced(self):
         with pytest.raises(ConfigError):
             TwoStageSorter(100, 3)
@@ -194,6 +266,60 @@ class TestTwoStageSorter:
     def test_wrong_input_shape(self, rng):
         with pytest.raises(ConfigError):
             TwoStageSorter(64, 4).sort(rng.random(32))
+        with pytest.raises(ConfigError):
+            TwoStageSorter(64, 4).sort(rng.random((3, 32)))
+        with pytest.raises(ConfigError):
+            TwoStageSorter(64, 4).sort(rng.random((2, 3, 64)))
+
+    def test_batched_sort_matches_per_element_bitwise(self, rng):
+        sorter = TwoStageSorter(128, 4)
+        usage = rng.random((8, 128))
+        values, orders = sorter.sort(usage)
+        assert values.shape == orders.shape == (8, 128)
+        for row in range(8):
+            seq_values, seq_order = sorter.sort(usage[row])
+            assert np.array_equal(values[row], seq_values)
+            assert np.array_equal(orders[row], seq_order)
+
+    def test_tied_values_sort_identically_on_every_path(self):
+        # Regression: the shear-sort phases are not tie-stable on their
+        # own, so MDSA canonicalizes ties to index order — the sequential
+        # path, the batched path, and numpy's stable argsort must agree
+        # bitwise on partially tied usage, not just distinct/all-equal.
+        usage = np.array(
+            [3.0, 2.0, 2.0, 1.0, 1.0, 0.0, 0.0, 0.0,
+             0.0, 3.0, 2.0, 3.0, 2.0, 2.0, 3.0, 2.0]
+        )
+        sorter = TwoStageSorter(16, 4)
+        _, seq_order = sorter.sort(usage)
+        _, batch_order = sorter.sort(usage[None, :])
+        reference = np.argsort(usage, kind="stable")
+        assert np.array_equal(seq_order, reference)
+        assert np.array_equal(batch_order[0], reference)
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            tied = rng.integers(0, 4, size=16).astype(float)
+            _, seq = sorter.sort(tied)
+            _, batched = sorter.sort(tied[None, :])
+            assert np.array_equal(seq, np.argsort(tied, kind="stable"))
+            assert np.array_equal(batched[0], seq)
+
+    def test_batched_sort_all_equal_matches_per_element(self):
+        # Tie policy: both paths resolve all-equal usage to global index
+        # order (the engine's first step hits exactly this state).
+        sorter = TwoStageSorter(32, 4)
+        values, orders = sorter.sort(np.zeros((3, 32)))
+        for row in range(3):
+            assert np.array_equal(orders[row], np.arange(32))
+            assert np.array_equal(values[row], np.zeros(32))
+
+    def test_batched_sort_batch_of_one(self, rng):
+        sorter = TwoStageSorter(64, 4)
+        usage = rng.random(64)
+        seq_values, seq_order = sorter.sort(usage)
+        values, orders = sorter.sort(usage[None, :])
+        assert np.array_equal(values[0], seq_values)
+        assert np.array_equal(orders[0], seq_order)
 
 
 @given(st.integers(4, 256), st.integers(0, 50))
