@@ -1,0 +1,83 @@
+"""Serving throughput — micro-batched sessions vs one-at-a-time.
+
+Drives the same 16-concurrent-session workload through the
+:class:`repro.serve.SessionServer` (dynamic micro-batching over one
+shared :class:`~repro.core.engine.TiledEngine`) and through a
+serve-one-session-at-a-time baseline, and writes the result to
+``BENCH_serve_load.json`` at the repo root under the schema registered
+in :mod:`repro.eval.bench_schema` (``SERVE_ENTRY_KEYS``)::
+
+    {
+      "concurrent_sessions": 16, "requests_per_sec": x,
+      "speedup_vs_sequential": y, "p50_wait_ticks": ..., ...
+    }
+
+Asserted floors: micro-batching must deliver >= 3x request throughput at
+16 concurrent sessions (the measured ratio tracks the B=16 batched
+engine speedup, typically well above the floor), and the served outputs
+must be numerically identical (<= 1e-10, float64) to each session
+running alone through the unbatched engine.
+"""
+
+import json
+import pathlib
+
+from repro.core.config import HiMAConfig
+from repro.eval.bench_schema import validate_serve_load
+from repro.serve import SessionServer, generate_scripts, measure_serve_load, run_open_loop
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_serve_load.json"
+
+#: Same trajectory config as bench_batched_throughput: small enough that
+#: per-step engine overhead (what micro-batching amortizes) dominates,
+#: keeping the measured ratio stable on loaded CI machines.
+SERVE_CONFIG = dict(
+    memory_size=32, word_size=16, num_tiles=4, hidden_size=32,
+    two_stage_sort=False,
+)
+
+
+def test_serve_load_trajectory():
+    result = measure_serve_load(
+        HiMAConfig(**SERVE_CONFIG),
+        num_sessions=16, steps_per_session=8,
+        max_batch=16, max_wait_ticks=1, repeats=5,
+    )
+    # Always leave the artifact on disk, even if the floors fail below:
+    # a regressing run should still record what it measured.
+    ARTIFACT.write_text(json.dumps(result.to_json(), indent=2) + "\n")
+    assert result.microbatch_max_abs_diff <= 1e-10
+    assert result.speedup_vs_sequential >= 3.0
+    # Full concurrency + whole streams queued up front: every dispatched
+    # batch should be full.
+    assert result.mean_batch_occupancy >= 8.0
+    assert result.admission_rejects == 0
+
+
+def test_serve_load_artifact_schema_valid():
+    """The artifact written above satisfies the published contract."""
+    problems = validate_serve_load(json.loads(ARTIFACT.read_text()))
+    assert problems == [], "\n".join(problems)
+
+
+def test_serve_poisson_load_completes():
+    """Poisson-ish staggered arrivals drain cleanly with bounded waits."""
+    from repro.core.engine import TiledEngine
+
+    engine = TiledEngine(HiMAConfig(**SERVE_CONFIG), rng=0)
+    scripts = generate_scripts(
+        input_size=engine.reference.config.input_size,
+        num_sessions=12, mean_session_len=6.0,
+        mean_interarrival_ticks=1.5, rng=7,
+    )
+    server = SessionServer(
+        engine, max_batch=8, max_wait_ticks=2,
+        queue_capacity=4096, session_capacity=32,
+    )
+    results = run_open_loop(server, scripts)
+    completed = sum(len(v) for v in results.values())
+    assert completed == sum(s.length for s in scripts)
+    assert all(r.done and r.error is None for v in results.values() for r in v)
+    p50, p95 = server.metrics.wait_percentiles()
+    assert p95 is not None

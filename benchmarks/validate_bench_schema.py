@@ -1,13 +1,16 @@
 #!/usr/bin/env python
-"""CLI wrapper: validate BENCH_batched_throughput.json against its schema.
+"""CLI wrapper: validate repo-root ``BENCH_*.json`` artifacts.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/validate_bench_schema.py [path]
+    PYTHONPATH=src python benchmarks/validate_bench_schema.py [path ...]
 
-Exits non-zero (listing every problem) when the trajectory artifact has
-drifted from the contract in :mod:`repro.eval.bench_schema` — the CI
-benchmark-contract job runs this right after regenerating the artifact.
+Each path is validated against the schema registered for its filename in
+:data:`repro.eval.bench_schema.ARTIFACT_VALIDATORS`; with no arguments,
+every registered artifact present at the repo root is validated (at
+least one must exist).  Exits non-zero (listing every problem) when any
+artifact has drifted from its contract — the CI benchmark jobs run this
+right after regenerating the artifacts.
 """
 
 from __future__ import annotations
@@ -18,13 +21,12 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.eval.bench_schema import validate_trajectory
+from repro.eval.bench_schema import ARTIFACT_VALIDATORS, validate_artifact
 
-DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_batched_throughput.json"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def main(argv: list) -> int:
-    path = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+def _validate_file(path: pathlib.Path) -> int:
     if not path.exists():
         print(f"trajectory artifact not found: {path}")
         return 1
@@ -33,7 +35,7 @@ def main(argv: list) -> int:
     except json.JSONDecodeError as exc:
         print(f"{path}: not valid JSON ({exc})")
         return 1
-    problems = validate_trajectory(data)
+    problems = validate_artifact(path.name, data)
     if problems:
         print(f"{path}: {len(problems)} schema problem(s)")
         for problem in problems:
@@ -41,6 +43,21 @@ def main(argv: list) -> int:
         return 1
     print(f"{path}: schema OK")
     return 0
+
+
+def main(argv: list) -> int:
+    if len(argv) > 1:
+        paths = [pathlib.Path(arg) for arg in argv[1:]]
+    else:
+        paths = [
+            REPO_ROOT / name
+            for name in sorted(ARTIFACT_VALIDATORS)
+            if (REPO_ROOT / name).exists()
+        ]
+        if not paths:
+            print(f"no registered artifacts found at {REPO_ROOT}")
+            return 1
+    return max(_validate_file(path) for path in paths)
 
 
 if __name__ == "__main__":

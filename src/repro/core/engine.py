@@ -26,7 +26,7 @@ count scales by ``B``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,30 +61,70 @@ class TrafficLog:
     that want per-run or per-phase traffic (benchmark harnesses, the perf
     model) must call :meth:`clear` at their phase boundaries, otherwise
     warm-up and repeat traffic piles into one ever-growing list.
+
+    **Ring-buffer compaction** (``max_events``): long-running services
+    that never hit a phase boundary (the :mod:`repro.serve` session
+    server) can bound the log's memory.  With ``max_events=M`` the log
+    retains at most ``M`` recent events; when a new event would exceed
+    that, the oldest half folds into running aggregates in one pass, so
+    appends stay amortized O(1) and memory stays O(M).  The contract:
+
+    * :meth:`total_words`, :meth:`words_by_kernel`, and
+      :meth:`inter_pt_words` remain **exact** over everything ever
+      logged — compaction moves words into aggregates, never drops them.
+    * :attr:`events` and :meth:`messages` cover only the retained window
+      (at least the most recent ``M // 2`` events).  Message ids stay
+      globally stable across compactions: an event keeps the id it was
+      assigned at append time (``dropped_events`` + window position).
+    * :meth:`clear` resets the retained window *and* the aggregates.
     """
 
-    def __init__(self, ct_node: int):
+    def __init__(self, ct_node: int, max_events: Optional[int] = None):
+        if max_events is not None and max_events < 2:
+            raise ConfigError(
+                f"max_events must be >= 2 (or None for unbounded), got {max_events}"
+            )
         self.ct_node = ct_node
+        self.max_events = max_events
         self.events: List[TrafficEvent] = []
+        #: Events folded into aggregates and no longer retained.
+        self.dropped_events = 0
+        self._compacted_words = 0
+        self._compacted_by_kernel: Dict[str, int] = {}
+        self._compacted_inter_pt = 0
 
     def add(self, kernel: str, src: int, dst: int, words: int) -> None:
         if words <= 0 or src == dst:
             return
         self.events.append(TrafficEvent(kernel, src, dst, int(words)))
+        if self.max_events is not None and len(self.events) > self.max_events:
+            self._compact(len(self.events) - self.max_events // 2)
+
+    def _compact(self, count: int) -> None:
+        """Fold the oldest ``count`` events into the exact aggregates."""
+        for e in self.events[:count]:
+            self._compacted_words += e.words
+            self._compacted_by_kernel[e.kernel] = (
+                self._compacted_by_kernel.get(e.kernel, 0) + e.words
+            )
+            if e.src != self.ct_node and e.dst != self.ct_node:
+                self._compacted_inter_pt += e.words
+        del self.events[:count]
+        self.dropped_events += count
 
     # ------------------------------------------------------------------
     def total_words(self) -> int:
-        return sum(e.words for e in self.events)
+        return self._compacted_words + sum(e.words for e in self.events)
 
     def words_by_kernel(self) -> Dict[str, int]:
-        totals: Dict[str, int] = {}
+        totals = dict(self._compacted_by_kernel)
         for e in self.events:
             totals[e.kernel] = totals.get(e.kernel, 0) + e.words
         return totals
 
     def inter_pt_words(self) -> int:
         """Words exchanged directly between PTs (excludes CT traffic)."""
-        return sum(
+        return self._compacted_inter_pt + sum(
             e.words
             for e in self.events
             if e.src != self.ct_node and e.dst != self.ct_node
@@ -93,23 +133,30 @@ class TrafficLog:
     def messages(
         self, link_words_per_cycle: int, kernel: Optional[str] = None
     ) -> List[Message]:
-        """Convert events to NoC messages (flit size = link width).
+        """Convert retained events to NoC messages (flit size = link width).
 
-        Message ids are the event's position in :attr:`events`, so an
-        event keeps the same id whether or not a ``kernel`` filter is
-        applied — per-kernel message sets from one log never alias ids.
+        Message ids are the event's append-time index (compacted events
+        never reappear, so ids stay globally stable), and an event keeps
+        the same id whether or not a ``kernel`` filter is applied —
+        per-kernel message sets from one log never alias ids.
         """
         messages = []
         for event_idx, e in enumerate(self.events):
             if kernel is not None and e.kernel != kernel:
                 continue
             size = max(1, -(-e.words // link_words_per_cycle))
-            messages.append(Message(event_idx, e.src, e.dst, size=size))
+            messages.append(
+                Message(self.dropped_events + event_idx, e.src, e.dst, size=size)
+            )
         return messages
 
     def clear(self) -> None:
-        """Drop all accumulated events (callers own phase boundaries)."""
+        """Drop all events and aggregates (callers own phase boundaries)."""
         self.events.clear()
+        self.dropped_events = 0
+        self._compacted_words = 0
+        self._compacted_by_kernel = {}
+        self._compacted_inter_pt = 0
 
 
 def _lead_batch(lead: Tuple[int, ...]) -> int:
@@ -117,13 +164,48 @@ def _lead_batch(lead: Tuple[int, ...]) -> int:
     return int(lead[0]) if lead else 1
 
 
+def gather_states(states: Sequence[NumpyDNCState]) -> NumpyDNCState:
+    """Pack ``K`` independent unbatched session states into one batched state.
+
+    The serving layer's hot-path primitive: heterogeneous sessions (each
+    mid-way through its own sequence) stack along a leading batch axis so
+    one :meth:`TiledEngine.step` advances all of them.  Element ``i`` of
+    the result is bitwise ``states[i]``; :func:`scatter_states` is the
+    exact inverse.  Raises :class:`~repro.errors.ConfigError` on an empty
+    sequence, already-batched inputs, or mismatched shapes/dtypes
+    (sessions from engines with different configs cannot share a batch).
+    """
+    return NumpyDNCState.stack(states)
+
+
+def scatter_states(batched: NumpyDNCState) -> List[NumpyDNCState]:
+    """Split a batched state back into independent unbatched states.
+
+    The exact inverse of :func:`gather_states`:
+    ``scatter_states(gather_states(states))`` reproduces ``states``
+    bitwise, for any dtype.  Each returned state owns contiguous copies
+    of its rows, so per-session states can outlive the batched buffers.
+    """
+    return batched.unstack()
+
+
 class TiledEngine:
     """Sharded, traffic-accounted DNC execution over HiMA's tiles."""
 
-    def __init__(self, config: HiMAConfig, rng: SeedLike = 0):
+    def __init__(
+        self,
+        config: HiMAConfig,
+        rng: SeedLike = 0,
+        traffic_max_events: Optional[int] = None,
+    ):
         self.config = config
         self.memory_map = MemoryMap(config)
-        self.traffic = TrafficLog(ct_node=config.num_tiles)
+        # ``traffic_max_events`` bounds the log for long-running services
+        # (see TrafficLog's compaction contract); None keeps the full
+        # event list, which every per-run analysis relies on.
+        self.traffic = TrafficLog(
+            ct_node=config.num_tiles, max_events=traffic_max_events
+        )
         ref_config = NumpyDNCConfig(
             input_size=config.word_size,
             output_size=config.word_size,
@@ -577,4 +659,10 @@ class TiledEngine:
         return error
 
 
-__all__ = ["TiledEngine", "TrafficLog", "TrafficEvent"]
+__all__ = [
+    "TiledEngine",
+    "TrafficLog",
+    "TrafficEvent",
+    "gather_states",
+    "scatter_states",
+]

@@ -20,7 +20,7 @@ float64 precision.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -299,10 +299,72 @@ class NumpyDNCState:
     lstm_h: np.ndarray
     lstm_c: np.ndarray
 
+    #: Field names in declaration order; the stack/unstack helpers and the
+    #: serving layer's gather/scatter iterate this rather than hard-coding
+    #: the state layout twice.
+    FIELDS = (
+        "memory", "usage", "precedence", "linkage", "write_w",
+        "read_w", "read_vecs", "lstm_h", "lstm_c",
+    )
+
     @property
     def batch_size(self) -> Optional[int]:
         """Leading batch dimension, or ``None`` for an unbatched state."""
         return None if self.usage.ndim == 1 else self.usage.shape[0]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def stack(cls, states: Sequence["NumpyDNCState"]) -> "NumpyDNCState":
+        """Pack unbatched states into one batched state (leading axis ``K``).
+
+        Every input must be unbatched and hold the same field shapes and
+        dtypes; element ``i`` of the result is bitwise the ``i``-th input
+        (``np.stack`` copies, so the batched state shares no memory with
+        the inputs).  Raises :class:`~repro.errors.ConfigError` on an
+        empty sequence, a batched input, or mismatched shapes/dtypes.
+        """
+        if not states:
+            raise ConfigError("cannot stack an empty sequence of states")
+        first = states[0]
+        for i, state in enumerate(states):
+            if state.batch_size is not None:
+                raise ConfigError(
+                    f"stack expects unbatched states; states[{i}] has "
+                    f"batch_size={state.batch_size}"
+                )
+            for name in cls.FIELDS:
+                a, b = getattr(first, name), getattr(state, name)
+                if a.shape != b.shape or a.dtype != b.dtype:
+                    raise ConfigError(
+                        f"states[{i}].{name} has shape {b.shape} dtype "
+                        f"{b.dtype}, expected {a.shape} {a.dtype}"
+                    )
+        return cls(**{
+            name: np.stack([getattr(s, name) for s in states])
+            for name in cls.FIELDS
+        })
+
+    def unstack(self) -> List["NumpyDNCState"]:
+        """Split a batched state into ``B`` independent unbatched states.
+
+        The inverse of :meth:`stack`: each returned state is a contiguous
+        copy (it does not alias the batched buffers, so the batched state
+        can be dropped without pinning ``B x N^2`` linkage arrays), and
+        ``stack(batched.unstack())`` round-trips bitwise.  Raises
+        :class:`~repro.errors.ConfigError` on an unbatched state.
+        """
+        if self.batch_size is None:
+            raise ConfigError("unstack expects a batched state")
+        # .copy() (not ascontiguousarray, which returns a *view* of an
+        # already-contiguous slice) so per-session states never alias the
+        # batched buffers.
+        return [
+            type(self)(**{
+                name: getattr(self, name)[i].copy()
+                for name in self.FIELDS
+            })
+            for i in range(self.batch_size)
+        ]
 
 
 class NumpyDNC:

@@ -1,21 +1,39 @@
-"""Schema contract for the ``BENCH_batched_throughput.json`` trajectory.
+"""Schema contracts for the repo-root ``BENCH_*.json`` trajectory artifacts.
 
-Perf PRs extend/update the repo-root artifact rather than inventing new
-formats (ROADMAP convention); this module is the authoritative list of
-what the file must contain so CI can fail fast when an entry drifts.
+Perf PRs extend/update these artifacts rather than inventing new formats
+(ROADMAP convention); this module is the single source of truth for what
+each file must contain, consumed by:
 
-Top level: one base :class:`~repro.eval.runners.BatchedThroughput`
-entry (flat keys, B=16 trajectory config) plus a ``variants`` mapping
-that must carry the sort-enabled and dtype A/B entries.
+* the result dataclasses (:class:`repro.eval.runners.BatchedThroughput`,
+  :class:`repro.serve.loadgen.ServeLoadResult`) — their ``to_json``
+  methods are generated from the key tuples here, so the writers cannot
+  drift from the validators;
+* the bench harnesses (``benchmarks/bench_batched_throughput.py``,
+  ``benchmarks/bench_serve_load.py``) and the tier-1 artifact tests;
+* the CI CLI ``benchmarks/validate_bench_schema.py``, which validates any
+  number of artifacts by dispatching on filename through
+  :data:`ARTIFACT_VALIDATORS`.
+
+``BENCH_batched_throughput.json``: one base
+:class:`~repro.eval.runners.BatchedThroughput` entry (flat keys, B=16
+trajectory config) plus a ``variants`` mapping carrying the sort-enabled
+and dtype A/B entries.  ``BENCH_serve_load.json``: one flat
+:class:`~repro.serve.loadgen.ServeLoadResult` entry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List
 
 from repro.utils.validation import DTYPE_CHOICES
 
+# ---------------------------------------------------------------------------
+# BENCH_batched_throughput.json
+# ---------------------------------------------------------------------------
+
 #: Keys every trajectory entry (top level and each variant) must carry.
+#: Also the exact field list of ``BatchedThroughput`` — its ``to_json``
+#: iterates this tuple.
 ENTRY_KEYS = (
     "batch_size",
     "steps_per_sec",
@@ -34,11 +52,16 @@ ENTRY_KEYS = (
 REQUIRED_VARIANTS = ("two_stage_sort", "skim", "float64_n256", "float32_n256")
 
 
-def _check_entry(entry: object, where: str) -> List[str]:
+def _check_entry(
+    entry: object,
+    where: str,
+    required_keys,
+    positive_keys,
+) -> List[str]:
     problems: List[str] = []
     if not isinstance(entry, dict):
         return [f"{where}: expected an object, got {type(entry).__name__}"]
-    for key in ENTRY_KEYS:
+    for key in required_keys:
         if key not in entry:
             problems.append(f"{where}: missing key {key!r}")
     dtype = entry.get("dtype")
@@ -46,16 +69,19 @@ def _check_entry(entry: object, where: str) -> List[str]:
         problems.append(
             f"{where}: dtype must be one of {DTYPE_CHOICES}, got {dtype!r}"
         )
-    for key in ("steps_per_sec", "speedup_vs_seq", "sequential_steps_per_sec"):
+    for key in positive_keys:
         value = entry.get(key)
         if key in entry and (not isinstance(value, (int, float)) or value <= 0):
             problems.append(f"{where}: {key} must be a positive number, got {value!r}")
     return problems
 
 
+_THROUGHPUT_POSITIVE = ("steps_per_sec", "speedup_vs_seq", "sequential_steps_per_sec")
+
+
 def validate_trajectory(data: object) -> List[str]:
-    """Return a list of schema problems (empty when the artifact is valid)."""
-    problems = _check_entry(data, "top-level")
+    """Problems with a ``BENCH_batched_throughput.json`` payload."""
+    problems = _check_entry(data, "top-level", ENTRY_KEYS, _THROUGHPUT_POSITIVE)
     if not isinstance(data, dict):
         return problems
     variants = data.get("variants")
@@ -66,7 +92,10 @@ def validate_trajectory(data: object) -> List[str]:
         if name not in variants:
             problems.append(f"variants: missing required entry {name!r}")
         else:
-            problems.extend(_check_entry(variants[name], f"variants[{name!r}]"))
+            problems.extend(_check_entry(
+                variants[name], f"variants[{name!r}]",
+                ENTRY_KEYS, _THROUGHPUT_POSITIVE,
+            ))
     sort_variant = variants.get("two_stage_sort")
     if isinstance(sort_variant, dict) and sort_variant.get("two_stage_sort") is not True:
         problems.append("variants['two_stage_sort']: entry must have two_stage_sort=true")
@@ -79,4 +108,93 @@ def validate_trajectory(data: object) -> List[str]:
     return problems
 
 
-__all__ = ["ENTRY_KEYS", "REQUIRED_VARIANTS", "validate_trajectory"]
+# ---------------------------------------------------------------------------
+# BENCH_serve_load.json
+# ---------------------------------------------------------------------------
+
+#: Keys of the serve-load artifact; also the exact field list of
+#: ``ServeLoadResult`` — its ``to_json`` iterates this tuple.
+SERVE_ENTRY_KEYS = (
+    "concurrent_sessions",
+    "steps_per_session",
+    "max_batch",
+    "max_wait_ticks",
+    "requests_per_sec",
+    "sequential_requests_per_sec",
+    "speedup_vs_sequential",
+    "microbatch_max_abs_diff",
+    "p50_wait_ticks",
+    "p95_wait_ticks",
+    "mean_batch_occupancy",
+    "admission_rejects",
+    "evictions",
+    "dtype",
+    "memory_size",
+)
+
+_SERVE_POSITIVE = (
+    "concurrent_sessions",
+    "steps_per_session",
+    "max_batch",
+    "requests_per_sec",
+    "sequential_requests_per_sec",
+    "speedup_vs_sequential",
+    "mean_batch_occupancy",
+)
+
+
+def validate_serve_load(data: object) -> List[str]:
+    """Problems with a ``BENCH_serve_load.json`` payload."""
+    problems = _check_entry(data, "top-level", SERVE_ENTRY_KEYS, _SERVE_POSITIVE)
+    if not isinstance(data, dict):
+        return problems
+    diff = data.get("microbatch_max_abs_diff")
+    if "microbatch_max_abs_diff" in data and (
+        not isinstance(diff, (int, float)) or diff < 0
+    ):
+        problems.append(
+            f"top-level: microbatch_max_abs_diff must be a non-negative "
+            f"number, got {diff!r}"
+        )
+    for key in ("admission_rejects", "evictions"):
+        value = data.get(key)
+        if key in data and (not isinstance(value, int) or value < 0):
+            problems.append(
+                f"top-level: {key} must be a non-negative integer, got {value!r}"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Artifact registry
+# ---------------------------------------------------------------------------
+
+#: Repo-root artifact filename -> validator.  The CLI and CI dispatch
+#: through this mapping, so registering a new ``BENCH_*.json`` here is
+#: the one step that makes it validatable everywhere.
+ARTIFACT_VALIDATORS: Dict[str, Callable[[object], List[str]]] = {
+    "BENCH_batched_throughput.json": validate_trajectory,
+    "BENCH_serve_load.json": validate_serve_load,
+}
+
+
+def validate_artifact(filename: str, data: object) -> List[str]:
+    """Validate a payload against the schema registered for ``filename``."""
+    validator = ARTIFACT_VALIDATORS.get(filename)
+    if validator is None:
+        return [
+            f"{filename}: no schema registered "
+            f"(known: {sorted(ARTIFACT_VALIDATORS)})"
+        ]
+    return validator(data)
+
+
+__all__ = [
+    "ENTRY_KEYS",
+    "REQUIRED_VARIANTS",
+    "SERVE_ENTRY_KEYS",
+    "ARTIFACT_VALIDATORS",
+    "validate_trajectory",
+    "validate_serve_load",
+    "validate_artifact",
+]

@@ -8,6 +8,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.eval.bench_schema import ENTRY_KEYS
 from repro.utils.formatting import format_table
 
 
@@ -77,19 +78,12 @@ class BatchedThroughput:
     skim_fraction: float = 0.0
 
     def to_json(self) -> Dict[str, object]:
-        """One ``BENCH_batched_throughput.json`` trajectory entry."""
-        return {
-            "batch_size": self.batch_size,
-            "steps_per_sec": self.steps_per_sec,
-            "speedup_vs_seq": self.speedup_vs_seq,
-            "seq_len": self.seq_len,
-            "sequential_steps_per_sec": self.sequential_steps_per_sec,
-            "batch1_max_abs_diff": self.batch1_max_abs_diff,
-            "dtype": self.dtype,
-            "memory_size": self.memory_size,
-            "two_stage_sort": self.two_stage_sort,
-            "skim_fraction": self.skim_fraction,
-        }
+        """One ``BENCH_batched_throughput.json`` trajectory entry.
+
+        Generated from :data:`repro.eval.bench_schema.ENTRY_KEYS` so the
+        writer and the validator share one key list by construction.
+        """
+        return {key: getattr(self, key) for key in ENTRY_KEYS}
 
 
 def measure_batched_throughput(

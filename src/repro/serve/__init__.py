@@ -1,0 +1,51 @@
+"""``repro.serve`` — micro-batching multi-session inference serving.
+
+The serving layer turns the batched engine (PRs 1–2) into a multi-user
+service: many independent, asynchronously arriving DNC sessions share
+one :class:`~repro.core.engine.TiledEngine`, with per-session state in a
+capacity-bounded :class:`SessionStore`, scheduling by a
+:class:`MicroBatcher`, and the whole loop driven by
+:class:`SessionServer`.  :mod:`repro.serve.loadgen` generates
+deterministic open-loop traffic and measures served throughput for
+``BENCH_serve_load.json``.
+
+Quickstart::
+
+    from repro import HiMAConfig, TiledEngine
+    from repro.serve import SessionServer
+
+    server = SessionServer(TiledEngine(HiMAConfig(
+        memory_size=32, word_size=16, num_tiles=4, hidden_size=32,
+        two_stage_sort=False,
+    )))
+    sid = server.open_session()
+    request = server.submit(sid, x)      # x: (input_size,)
+    server.run_tick()                    # one batched engine step
+    print(request.y, request.wait_ticks)
+"""
+
+from repro.serve.batcher import MicroBatcher, StepRequest
+from repro.serve.loadgen import (
+    ServeLoadResult,
+    SessionScript,
+    generate_scripts,
+    measure_serve_load,
+    run_open_loop,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.server import SessionServer
+from repro.serve.session import SessionRecord, SessionStore
+
+__all__ = [
+    "MicroBatcher",
+    "StepRequest",
+    "ServeLoadResult",
+    "SessionScript",
+    "generate_scripts",
+    "measure_serve_load",
+    "run_open_loop",
+    "ServerMetrics",
+    "SessionServer",
+    "SessionRecord",
+    "SessionStore",
+]

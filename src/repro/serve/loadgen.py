@@ -1,0 +1,290 @@
+"""Synthetic open-loop load for the session server, plus its measurement.
+
+The generator produces deterministic "Poisson-ish" traffic: session
+arrival gaps and lengths are drawn from exponential/geometric
+distributions through a seeded :mod:`numpy.random` generator, so a given
+seed always replays the identical workload — load tests stay
+reproducible while still exercising ragged, asynchronous arrival
+patterns.  Two workload styles mix the per-step inputs:
+
+* ``"copy"`` — a copy-task-shaped session: random sign patterns to
+  store, then a zeroed recall phase;
+* ``"recall"`` — an associative-recall-shaped session: alternating
+  sparse key vectors and dense value vectors.
+
+:func:`measure_serve_load` is the benchmark core: it drives the same
+workload through the micro-batching :class:`~repro.serve.server.SessionServer`
+and through a serve-one-session-at-a-time baseline, checks the two are
+numerically identical, and returns a
+:class:`ServeLoadResult` whose JSON form is the
+``BENCH_serve_load.json`` contract registered in
+:mod:`repro.eval.bench_schema`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.eval.bench_schema import SERVE_ENTRY_KEYS
+from repro.serve.batcher import StepRequest
+from repro.serve.server import SessionServer
+from repro.utils.rng import SeedLike, new_rng
+
+WORKLOAD_KINDS = ("copy", "recall")
+
+
+@dataclass(frozen=True)
+class SessionScript:
+    """One scripted session: when it arrives and every input it will send."""
+
+    session_id: str
+    arrival_tick: int
+    kind: str
+    inputs: np.ndarray  # (T, input_size)
+
+    @property
+    def length(self) -> int:
+        return int(self.inputs.shape[0])
+
+
+def _copy_inputs(gen: np.random.Generator, length: int, input_size: int) -> np.ndarray:
+    """Store random sign patterns, then recall over zero inputs."""
+    store = max(1, length // 2)
+    xs = np.zeros((length, input_size))
+    xs[:store] = gen.integers(0, 2, size=(store, input_size)) * 2.0 - 1.0
+    return xs
+
+def _recall_inputs(gen: np.random.Generator, length: int, input_size: int) -> np.ndarray:
+    """Alternate sparse key vectors with dense value vectors."""
+    xs = gen.standard_normal((length, input_size))
+    keys = np.zeros((length, input_size))
+    hot = gen.integers(0, input_size, size=length)
+    keys[np.arange(length), hot] = 2.0
+    xs[::2] = keys[::2]
+    return xs
+
+
+_WORKLOADS = {"copy": _copy_inputs, "recall": _recall_inputs}
+
+
+def generate_scripts(
+    input_size: int,
+    num_sessions: int = 16,
+    mean_session_len: float = 8.0,
+    mean_interarrival_ticks: float = 1.0,
+    kinds: Sequence[str] = WORKLOAD_KINDS,
+    rng: SeedLike = 0,
+) -> List[SessionScript]:
+    """Deterministic open-loop arrival schedule (same seed, same traffic).
+
+    Arrival gaps are exponential with mean ``mean_interarrival_ticks``
+    (0 makes every session arrive at tick 0 — maximum concurrency);
+    session lengths are ``1 + Geometric`` with mean ``mean_session_len``
+    (min 2 steps, for ``mean_session_len >= 2``); workload kinds are
+    drawn uniformly from ``kinds``.
+    """
+    for kind in kinds:
+        if kind not in _WORKLOADS:
+            raise ConfigError(
+                f"unknown workload kind {kind!r}; choose from {WORKLOAD_KINDS}"
+            )
+    gen = new_rng(rng)
+    scripts: List[SessionScript] = []
+    tick = 0.0
+    for i in range(num_sessions):
+        if mean_interarrival_ticks > 0 and i > 0:
+            tick += gen.exponential(mean_interarrival_ticks)
+        length = 1 + int(gen.geometric(1.0 / max(mean_session_len - 1.0, 1.0)))
+        kind = kinds[int(gen.integers(0, len(kinds)))]
+        scripts.append(SessionScript(
+            session_id=f"{kind}-{i}",
+            arrival_tick=int(tick),
+            kind=kind,
+            inputs=_WORKLOADS[kind](gen, length, input_size),
+        ))
+    return scripts
+
+
+def run_open_loop(
+    server: SessionServer,
+    scripts: Sequence[SessionScript],
+    max_ticks: int = 100_000,
+) -> Dict[str, List[StepRequest]]:
+    """Replay scripted sessions against a server; returns per-session results.
+
+    Open-loop: sessions arrive on their scripted ticks whatever the
+    server's backlog.  Each session submits its whole input stream at
+    arrival (the batcher serializes steps within a session).  Admission
+    control sheds whole *streams*, never a step out of the middle of
+    one: a refused open leaves that session's id mapped to an empty
+    result list, and a refused mid-stream submit (queue backpressure)
+    drops the session's remaining steps — submitting step ``t+1`` after
+    a lost step ``t`` would silently put the session on a different
+    trajectory than its script.
+    """
+    results: Dict[str, List[StepRequest]] = {s.session_id: [] for s in scripts}
+    pending = sorted(scripts, key=lambda s: (s.arrival_tick, s.session_id))
+    arrivals = iter(pending)
+    next_script = next(arrivals, None)
+    for _ in range(max_ticks):
+        while next_script is not None and next_script.arrival_tick <= server.tick:
+            if server.open_session(next_script.session_id) is not None:
+                for x in next_script.inputs:
+                    request = server.submit(next_script.session_id, x)
+                    if request is None:
+                        break
+                    results[next_script.session_id].append(request)
+            next_script = next(arrivals, None)
+        if next_script is None and len(server.batcher) == 0:
+            return results
+        server.run_tick()
+    raise ConfigError(f"load did not drain within {max_ticks} ticks")
+
+
+# ---------------------------------------------------------------------------
+# Benchmark measurement
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServeLoadResult:
+    """Measured micro-batched serving vs one-session-at-a-time serving.
+
+    ``requests_per_sec`` counts completed step requests per wall second;
+    both paths process the identical scripted workload.  Field names
+    match :data:`repro.eval.bench_schema.SERVE_ENTRY_KEYS` exactly —
+    :meth:`to_json` is generated from that single source of truth.
+    """
+
+    concurrent_sessions: int
+    steps_per_session: int
+    max_batch: int
+    max_wait_ticks: int
+    requests_per_sec: float
+    sequential_requests_per_sec: float
+    speedup_vs_sequential: float
+    microbatch_max_abs_diff: float
+    p50_wait_ticks: float
+    p95_wait_ticks: float
+    mean_batch_occupancy: float
+    admission_rejects: int
+    evictions: int
+    dtype: str
+    memory_size: int
+
+    def to_json(self) -> Dict[str, object]:
+        """One ``BENCH_serve_load.json`` artifact entry."""
+        return {key: getattr(self, key) for key in SERVE_ENTRY_KEYS}
+
+
+def measure_serve_load(
+    config=None,
+    num_sessions: int = 16,
+    steps_per_session: int = 8,
+    max_batch: int = 16,
+    max_wait_ticks: int = 1,
+    repeats: int = 3,
+    rng: SeedLike = 0,
+) -> ServeLoadResult:
+    """Time micro-batched serving against the one-at-a-time baseline.
+
+    All ``num_sessions`` sessions are concurrent (arrival tick 0) with
+    equal lengths, so the comparison is the clean serving analogue of
+    :func:`repro.eval.runners.measure_batched_throughput`: the baseline
+    steps each session to completion alone through the unbatched engine;
+    the served path schedules them through the micro-batcher.  The best
+    (minimum) wall time over ``repeats`` rounds scores each path, and the
+    served outputs are checked element-wise against the baseline's.
+    """
+    from repro.core.config import HiMAConfig
+    from repro.core.engine import TiledEngine
+
+    if config is None:
+        config = HiMAConfig(
+            memory_size=32, word_size=16, num_tiles=4, hidden_size=32,
+            two_stage_sort=False,
+        )
+    engine = TiledEngine(config, rng=rng)
+    input_size = engine.reference.config.input_size
+    gen = new_rng(rng)
+    kinds = [WORKLOAD_KINDS[i % len(WORKLOAD_KINDS)] for i in range(num_sessions)]
+    scripts = [
+        SessionScript(
+            session_id=f"{kinds[i]}-{i}",
+            arrival_tick=0,
+            kind=kinds[i],
+            inputs=_WORKLOADS[kinds[i]](gen, steps_per_session, input_size),
+        )
+        for i in range(num_sessions)
+    ]
+    total_requests = num_sessions * steps_per_session
+
+    def serve_once():
+        server = SessionServer(
+            engine,
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            queue_capacity=max(total_requests, 1),
+            session_capacity=max(num_sessions, 1),
+        )
+        results = run_open_loop(server, scripts)
+        return server, results
+
+    # Warm up both paths (BLAS pools, allocator), then time.
+    server, _ = serve_once()
+    engine.run(scripts[0].inputs[:2])
+    engine.traffic.clear()
+
+    served_time = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        server, results = serve_once()
+        served_time = min(served_time, time.perf_counter() - start)
+        engine.traffic.clear()
+
+    sequential_time = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        baseline = {s.session_id: engine.run(s.inputs) for s in scripts}
+        sequential_time = min(sequential_time, time.perf_counter() - start)
+        engine.traffic.clear()
+
+    diff = 0.0
+    for script in scripts:
+        served = np.stack([r.y for r in results[script.session_id]])
+        diff = max(diff, float(np.max(np.abs(served - baseline[script.session_id]))))
+
+    metrics = server.metrics
+    p50, p95 = metrics.wait_percentiles()
+    return ServeLoadResult(
+        concurrent_sessions=num_sessions,
+        steps_per_session=steps_per_session,
+        max_batch=max_batch,
+        max_wait_ticks=max_wait_ticks,
+        requests_per_sec=total_requests / served_time,
+        sequential_requests_per_sec=total_requests / sequential_time,
+        speedup_vs_sequential=sequential_time / served_time,
+        microbatch_max_abs_diff=diff,
+        p50_wait_ticks=float(p50 if p50 is not None else -1.0),
+        p95_wait_ticks=float(p95 if p95 is not None else -1.0),
+        mean_batch_occupancy=float(metrics.mean_occupancy() or 0.0),
+        admission_rejects=metrics.admission_rejects,
+        evictions=metrics.evictions_ttl + metrics.evictions_lru,
+        dtype=config.dtype,
+        memory_size=config.memory_size,
+    )
+
+
+__all__ = [
+    "WORKLOAD_KINDS",
+    "SessionScript",
+    "generate_scripts",
+    "run_open_loop",
+    "ServeLoadResult",
+    "measure_serve_load",
+]

@@ -1,0 +1,113 @@
+"""Serving observability: latency, occupancy, and admission counters.
+
+:class:`ServerMetrics` is the single metrics surface shared by the
+:class:`~repro.serve.server.SessionServer`, its
+:class:`~repro.serve.batcher.MicroBatcher`, and the
+:class:`~repro.serve.session.SessionStore`.  Latency is measured in
+*scheduler ticks* (submit tick -> completion tick), the natural unit of
+the discrete-tick serving loop; wall-clock throughput lives in the load
+benchmark, not here.
+
+Wait times and batch occupancies are recorded as integer histograms, so
+the metrics object stays O(distinct values) — not O(requests) — under
+long-running serving, and the percentiles computed from them are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+def _percentile_from_histogram(hist: Dict[int, int], q: float) -> Optional[float]:
+    """Exact nearest-rank percentile of an integer-valued histogram."""
+    total = sum(hist.values())
+    if total == 0:
+        return None
+    rank = max(1, int(-(-q * total // 1)))  # ceil(q * total), rank is 1-based
+    seen = 0
+    for value in sorted(hist):
+        seen += hist[value]
+        if seen >= rank:
+            return float(value)
+    return float(max(hist))
+
+
+class ServerMetrics:
+    """Counters and histograms for one serving run.
+
+    All counters are cumulative from construction (or the last
+    :meth:`reset`); :meth:`snapshot` renders everything as a flat JSON-able
+    dict, which the load benchmark embeds in ``BENCH_serve_load.json``.
+    """
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.requests_submitted = 0
+        self.requests_completed = 0
+        self.requests_failed = 0
+        self.admission_rejects = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.evictions_ttl = 0
+        self.evictions_lru = 0
+        self.ticks = 0
+        #: wait ticks (completion tick - submit tick) -> request count
+        self.wait_histogram: Dict[int, int] = {}
+        #: dispatched batch occupancy -> tick count (0 = idle tick)
+        self.occupancy_histogram: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def observe_wait(self, wait_ticks: int) -> None:
+        self.wait_histogram[wait_ticks] = (
+            self.wait_histogram.get(wait_ticks, 0) + 1
+        )
+
+    def observe_occupancy(self, batch_size: int) -> None:
+        self.ticks += 1
+        self.occupancy_histogram[batch_size] = (
+            self.occupancy_histogram.get(batch_size, 0) + 1
+        )
+
+    # ------------------------------------------------------------------
+    def wait_percentiles(self) -> Tuple[Optional[float], Optional[float]]:
+        """``(p50, p95)`` request latency in scheduler ticks."""
+        return (
+            _percentile_from_histogram(self.wait_histogram, 0.50),
+            _percentile_from_histogram(self.wait_histogram, 0.95),
+        )
+
+    def mean_occupancy(self, include_idle: bool = False) -> Optional[float]:
+        """Mean dispatched batch size; idle (occupancy-0) ticks optional."""
+        items = [
+            (occ, n) for occ, n in self.occupancy_histogram.items()
+            if include_idle or occ > 0
+        ]
+        ticks = sum(n for _, n in items)
+        if ticks == 0:
+            return None
+        return sum(occ * n for occ, n in items) / ticks
+
+    def snapshot(self) -> Dict[str, object]:
+        p50, p95 = self.wait_percentiles()
+        return {
+            "requests_submitted": self.requests_submitted,
+            "requests_completed": self.requests_completed,
+            "requests_failed": self.requests_failed,
+            "admission_rejects": self.admission_rejects,
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "evictions_ttl": self.evictions_ttl,
+            "evictions_lru": self.evictions_lru,
+            "ticks": self.ticks,
+            "p50_wait_ticks": p50,
+            "p95_wait_ticks": p95,
+            "mean_batch_occupancy": self.mean_occupancy(),
+            "occupancy_histogram": {
+                str(k): v for k, v in sorted(self.occupancy_histogram.items())
+            },
+        }
+
+
+__all__ = ["ServerMetrics"]

@@ -25,6 +25,7 @@ def test_bench_files_are_collected():
     )
     assert "bench_fig11_speed_area_power.py" in result.stdout
     assert "bench_table1_kernel_analysis.py" in result.stdout
+    assert "bench_serve_load.py" in result.stdout
     # All bench files collect tests. `-q --collect-only` emits one node id
     # per test on pytest >= 8 and `path: count` summary lines before that;
     # accept either format.
@@ -39,16 +40,52 @@ def test_bench_files_are_collected():
     assert collected >= 20
 
 
-def test_committed_trajectory_artifact_matches_schema():
-    """The checked-in BENCH_batched_throughput.json must satisfy the
-    contract in repro.eval.bench_schema (incl. dtype + sort-enabled
-    variant entries) so the perf trajectory cannot silently drift."""
-    from repro.eval.bench_schema import validate_trajectory
+def test_committed_trajectory_artifacts_match_schema():
+    """Every checked-in BENCH_*.json must satisfy the contract registered
+    for it in repro.eval.bench_schema, so no perf trajectory (batched
+    throughput or serve load) can silently drift."""
+    from repro.eval.bench_schema import ARTIFACT_VALIDATORS, validate_artifact
 
-    artifact = REPO_ROOT / "BENCH_batched_throughput.json"
-    assert artifact.exists(), "trajectory artifact missing from repo root"
-    problems = validate_trajectory(json.loads(artifact.read_text()))
-    assert problems == [], "\n".join(problems)
+    for name in ARTIFACT_VALIDATORS:
+        artifact = REPO_ROOT / name
+        assert artifact.exists(), f"{name} missing from repo root"
+        problems = validate_artifact(name, json.loads(artifact.read_text()))
+        assert problems == [], f"{name}:\n" + "\n".join(problems)
+
+
+def test_result_dataclasses_share_schema_keys():
+    """The artifact writers are generated from the schema key tuples —
+    the writer and validator cannot disagree on the shape."""
+    import dataclasses
+
+    from repro.eval.bench_schema import ENTRY_KEYS, SERVE_ENTRY_KEYS
+    from repro.eval.runners import BatchedThroughput
+    from repro.serve.loadgen import ServeLoadResult
+
+    assert set(ENTRY_KEYS) <= {
+        f.name for f in dataclasses.fields(BatchedThroughput)
+    }
+    assert set(SERVE_ENTRY_KEYS) == {
+        f.name for f in dataclasses.fields(ServeLoadResult)
+    }
+
+
+def test_validator_cli_accepts_multiple_artifacts():
+    """benchmarks/validate_bench_schema.py validates every named artifact
+    and fails on an unregistered filename."""
+    cli = REPO_ROOT / "benchmarks" / "validate_bench_schema.py"
+    ok = subprocess.run(
+        [sys.executable, str(cli),
+         str(REPO_ROOT / "BENCH_batched_throughput.json"),
+         str(REPO_ROOT / "BENCH_serve_load.json")],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert ok.returncode == 0, ok.stdout + ok.stderr
+    bad = subprocess.run(
+        [sys.executable, str(cli), str(REPO_ROOT / "ROADMAP.md")],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert bad.returncode == 1
 
 
 def test_every_figure_has_a_bench_file():

@@ -139,6 +139,75 @@ class TestTrafficAccounting:
         assert sort_words(0.5) < sort_words(0.0)
 
 
+class TestTrafficCompaction:
+    KERNELS = ("linkage", "memory_read", "similarity")
+
+    def _fill(self, log, count=100):
+        for i in range(count):
+            log.add(self.KERNELS[i % 3], i % 5, (i + 1) % 5, 10 + i)
+
+    def test_aggregates_stay_exact_under_compaction(self):
+        bounded = TrafficLog(ct_node=4, max_events=8)
+        unbounded = TrafficLog(ct_node=4)
+        self._fill(bounded)
+        self._fill(unbounded)
+        assert len(bounded.events) <= 8
+        assert bounded.dropped_events > 0
+        assert bounded.total_words() == unbounded.total_words()
+        assert bounded.words_by_kernel() == unbounded.words_by_kernel()
+        assert bounded.inter_pt_words() == unbounded.inter_pt_words()
+
+    def test_retained_window_keeps_recent_events(self):
+        log = TrafficLog(ct_node=4, max_events=8)
+        self._fill(log, count=100)
+        # The retained tail is the most recent appends, in order.
+        assert [e.words for e in log.events] == [
+            10 + i for i in range(100 - len(log.events), 100)
+        ]
+        assert len(log.events) >= 4  # at least max_events // 2 retained
+
+    def test_message_ids_stay_globally_stable(self):
+        log = TrafficLog(ct_node=4, max_events=8)
+        self._fill(log, count=100)
+        messages = log.messages(link_words_per_cycle=32)
+        expected_first = log.dropped_events
+        assert [m.msg_id for m in messages] == list(
+            range(expected_first, 100)
+        )
+
+    def test_clear_resets_aggregates(self):
+        log = TrafficLog(ct_node=4, max_events=8)
+        self._fill(log)
+        log.clear()
+        assert log.events == [] and log.dropped_events == 0
+        assert log.total_words() == 0
+        assert log.words_by_kernel() == {}
+        assert log.inter_pt_words() == 0
+
+    def test_max_events_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            TrafficLog(ct_node=4, max_events=1)
+
+    def test_engine_bounded_log_matches_unbounded_totals(
+        self, small_hima_config, rng
+    ):
+        inputs = rng.standard_normal((6, 16))
+        unbounded = TiledEngine(small_hima_config, rng=0)
+        unbounded.run(inputs)
+        bounded = TiledEngine(
+            small_hima_config, rng=0, traffic_max_events=16
+        )
+        bounded.run(inputs)
+        assert len(bounded.traffic.events) <= 16
+        assert bounded.traffic.total_words() == unbounded.traffic.total_words()
+        assert (
+            bounded.traffic.words_by_kernel()
+            == unbounded.traffic.words_by_kernel()
+        )
+
+
 class TestRun:
     def test_run_sequence(self, engine, rng):
         outputs = engine.run(rng.standard_normal((5, 16)))

@@ -1,0 +1,225 @@
+"""SessionStore eviction policy, MicroBatcher scheduling, metrics, loadgen."""
+
+import numpy as np
+import pytest
+
+from repro.dnc.numpy_ref import NumpyDNC, NumpyDNCConfig
+from repro.errors import CapacityError, ConfigError
+from repro.serve import MicroBatcher, ServerMetrics, SessionStore
+from repro.serve.loadgen import WORKLOAD_KINDS, generate_scripts
+from repro.serve.metrics import _percentile_from_histogram
+
+
+@pytest.fixture
+def state_factory():
+    model = NumpyDNC(NumpyDNCConfig(
+        input_size=5, output_size=3, memory_size=8, word_size=4,
+        num_reads=2, hidden_size=12,
+    ), rng=0)
+    return model.initial_state
+
+
+class TestSessionStore:
+    def test_create_get_touch_remove(self, state_factory):
+        store = SessionStore(state_factory, capacity=4)
+        record = store.create("a", tick=0)
+        assert record.state.batch_size is None
+        assert "a" in store and len(store) == 1
+        store.touch("a", tick=5)
+        assert store.get("a").last_active_tick == 5
+        store.remove("a")
+        assert "a" not in store
+        with pytest.raises(ConfigError):
+            store.get("a")
+
+    def test_duplicate_create_rejected(self, state_factory):
+        store = SessionStore(state_factory, capacity=4)
+        store.create("a", tick=0)
+        with pytest.raises(ConfigError):
+            store.create("a", tick=1)
+
+    def test_ttl_eviction(self, state_factory):
+        store = SessionStore(state_factory, capacity=4, ttl_ticks=3)
+        store.create("a", tick=0)
+        store.create("b", tick=0)
+        store.touch("b", tick=4)
+        assert store.evict_expired(tick=4) == ["a"]  # idle 4 > ttl 3
+        assert "a" not in store and "b" in store
+
+    def test_ttl_protects_pending_sessions(self, state_factory):
+        store = SessionStore(state_factory, capacity=4, ttl_ticks=1)
+        store.create("a", tick=0)
+        assert store.evict_expired(tick=10, protect={"a"}) == []
+        assert "a" in store
+
+    def test_lru_eviction_on_full_create(self, state_factory):
+        evicted = []
+        store = SessionStore(
+            state_factory, capacity=2,
+            on_evict=lambda sid, reason: evicted.append((sid, reason)),
+        )
+        store.create("a", tick=0)
+        store.create("b", tick=1)
+        store.touch("a", tick=2)  # b is now least recently active
+        store.create("c", tick=3)
+        assert evicted == [("b", "lru")]
+        assert store.ids() == ["a", "c"]
+
+    def test_full_store_without_lru_raises(self, state_factory):
+        store = SessionStore(state_factory, capacity=1, lru_evict=False)
+        store.create("a", tick=0)
+        with pytest.raises(CapacityError):
+            store.create("b", tick=1)
+
+    def test_protected_sessions_never_lru_victims(self, state_factory):
+        store = SessionStore(state_factory, capacity=2)
+        store.create("a", tick=0)
+        store.create("b", tick=1)
+        with pytest.raises(CapacityError):
+            store.create("c", tick=2, protect={"a", "b"})
+
+    def test_create_prefers_ttl_then_lru(self, state_factory):
+        evicted = []
+        store = SessionStore(
+            state_factory, capacity=2, ttl_ticks=2,
+            on_evict=lambda sid, reason: evicted.append((sid, reason)),
+        )
+        store.create("a", tick=0)
+        store.create("b", tick=9)
+        store.create("c", tick=10)  # a expired (idle 10 > 2) -> ttl, not lru
+        assert evicted == [("a", "ttl")]
+
+    def test_config_validation(self, state_factory):
+        with pytest.raises(ConfigError):
+            SessionStore(state_factory, capacity=0)
+        with pytest.raises(ConfigError):
+            SessionStore(state_factory, ttl_ticks=0)
+
+
+class TestMicroBatcher:
+    def test_waits_then_dispatches_at_latency_bound(self):
+        batcher = MicroBatcher(max_batch=4, max_wait_ticks=2)
+        batcher.submit("a", np.zeros(3), tick=0)
+        assert batcher.next_batch(tick=0) == []
+        assert batcher.next_batch(tick=1) == []
+        batch = batcher.next_batch(tick=2)
+        assert [r.session_id for r in batch] == ["a"]
+        assert len(batcher) == 0
+
+    def test_full_batch_dispatches_before_wait_bound(self):
+        batcher = MicroBatcher(max_batch=2, max_wait_ticks=100)
+        batcher.submit("a", np.zeros(3), tick=0)
+        batcher.submit("b", np.zeros(3), tick=0)
+        assert len(batcher.next_batch(tick=0)) == 2
+
+    def test_one_request_per_session_per_batch(self):
+        batcher = MicroBatcher(max_batch=4, max_wait_ticks=0)
+        for tick in (0, 0, 0):
+            batcher.submit("a", np.zeros(3), tick=tick)
+        batcher.submit("b", np.zeros(3), tick=0)
+        batch = batcher.next_batch(tick=0)
+        assert sorted(r.session_id for r in batch) == ["a", "b"]
+        assert len(batcher) == 2  # a's later steps stay queued, in order
+        assert [r.session_id for r in batcher.next_batch(tick=1)] == ["a"]
+
+    def test_oldest_requests_dispatch_first(self):
+        batcher = MicroBatcher(max_batch=2, max_wait_ticks=0)
+        batcher.submit("late", np.zeros(3), tick=5)
+        batcher.submit("early", np.zeros(3), tick=1)
+        batcher.submit("mid", np.zeros(3), tick=3)
+        batch = batcher.next_batch(tick=5)
+        assert [r.session_id for r in batch] == ["early", "mid"]
+
+    def test_queue_capacity_backpressure(self):
+        batcher = MicroBatcher(max_batch=2, queue_capacity=2)
+        assert batcher.submit("a", np.zeros(3), tick=0) is not None
+        assert batcher.submit("b", np.zeros(3), tick=0) is not None
+        assert batcher.submit("c", np.zeros(3), tick=0) is None
+
+    def test_drop_session_returns_queue(self):
+        batcher = MicroBatcher(max_batch=2, queue_capacity=8)
+        batcher.submit("a", np.zeros(3), tick=0)
+        batcher.submit("a", np.zeros(3), tick=0)
+        dropped = batcher.drop_session("a")
+        assert len(dropped) == 2 and len(batcher) == 0
+        assert batcher.drop_session("a") == []
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ConfigError):
+            MicroBatcher(max_wait_ticks=-1)
+        with pytest.raises(ConfigError):
+            MicroBatcher(queue_capacity=0)
+
+
+class TestServerMetrics:
+    def test_percentiles_exact_nearest_rank(self):
+        hist = {1: 50, 2: 45, 10: 5}  # 100 samples
+        assert _percentile_from_histogram(hist, 0.50) == 1.0
+        assert _percentile_from_histogram(hist, 0.95) == 2.0
+        assert _percentile_from_histogram(hist, 0.99) == 10.0
+        assert _percentile_from_histogram({}, 0.5) is None
+
+    def test_wait_and_occupancy_tracking(self):
+        metrics = ServerMetrics()
+        for wait in (0, 0, 1, 3):
+            metrics.observe_wait(wait)
+        metrics.observe_occupancy(0)
+        metrics.observe_occupancy(4)
+        metrics.observe_occupancy(4)
+        p50, p95 = metrics.wait_percentiles()
+        assert p50 == 0.0 and p95 == 3.0
+        assert metrics.mean_occupancy() == 4.0
+        assert metrics.mean_occupancy(include_idle=True) == pytest.approx(8 / 3)
+        assert metrics.ticks == 3
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        metrics = ServerMetrics()
+        metrics.observe_wait(2)
+        metrics.observe_occupancy(3)
+        snap = metrics.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["p50_wait_ticks"] == 2.0
+        assert snap["occupancy_histogram"] == {"3": 1}
+
+
+class TestLoadGenerator:
+    def test_same_seed_same_traffic(self):
+        a = generate_scripts(input_size=8, num_sessions=6, rng=11)
+        b = generate_scripts(input_size=8, num_sessions=6, rng=11)
+        assert [s.session_id for s in a] == [s.session_id for s in b]
+        assert [s.arrival_tick for s in a] == [s.arrival_tick for s in b]
+        for x, y in zip(a, b):
+            assert np.array_equal(x.inputs, y.inputs)
+
+    def test_different_seed_different_traffic(self):
+        a = generate_scripts(input_size=8, num_sessions=6, rng=11)
+        b = generate_scripts(input_size=8, num_sessions=6, rng=12)
+        assert any(
+            not np.array_equal(x.inputs, y.inputs) for x, y in zip(a, b)
+        )
+
+    def test_mixed_workloads_and_shapes(self):
+        scripts = generate_scripts(
+            input_size=8, num_sessions=24, mean_session_len=6.0, rng=0
+        )
+        kinds = {s.kind for s in scripts}
+        assert kinds == set(WORKLOAD_KINDS)
+        assert all(s.inputs.shape == (s.length, 8) for s in scripts)
+        assert all(s.length >= 2 for s in scripts)
+        arrivals = [s.arrival_tick for s in scripts]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] > 0  # arrivals actually spread out
+
+    def test_simultaneous_arrivals_with_zero_interarrival(self):
+        scripts = generate_scripts(
+            input_size=8, num_sessions=5, mean_interarrival_ticks=0.0, rng=0
+        )
+        assert all(s.arrival_tick == 0 for s in scripts)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_scripts(input_size=8, kinds=("nope",))
