@@ -11,10 +11,12 @@ track throughput regressions.  Schema (see
       "batch_size": B, "steps_per_sec": x, "speedup_vs_seq": y, ...,
       "dtype": "float64",
       "variants": {
-        "two_stage_sort": {...},   # sort-enabled hot path
-        "skim":           {...},   # skimmed-allocation hot path
-        "float64_n256":   {...},   # dtype A/B at memory_size=256
-        "float32_n256":   {...}
+        "two_stage_sort":        {...},   # sort-enabled hot path
+        "skim":                  {...},   # skimmed-allocation hot path
+        "float64_n256":          {...},   # dtype A/B at memory_size=256
+        "float32_n256":          {...},
+        "fused_write_linkage":   {...},   # fused write-phase kernel A/B
+        "unfused_write_linkage": {...}    # (three-pass legacy path)
       }
     }
 
@@ -33,7 +35,7 @@ import pathlib
 import pytest
 
 from repro.core.config import HiMAConfig
-from repro.eval.bench_schema import validate_trajectory
+from repro.eval.bench_schema import merge_artifact, validate_trajectory
 from repro.eval.runners import batched_throughput_experiment, measure_batched_throughput
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -58,18 +60,7 @@ DTYPE_AB_CONFIG = dict(
 
 def _merge_artifact(update: dict) -> None:
     """Read-modify-write the trajectory JSON, preserving other entries."""
-    data = {}
-    if ARTIFACT.exists():
-        try:
-            data = json.loads(ARTIFACT.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    variants = data.get("variants", {})
-    variants.update(update.pop("variants", {}))
-    data.update(update)
-    if variants:
-        data["variants"] = variants
-    ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")
+    merge_artifact(ARTIFACT, update)
 
 
 def test_batched_throughput_trajectory():
@@ -127,6 +118,37 @@ def test_dtype_throughput_trajectory():
     # the engine's documented float32 tolerance.
     assert f32.batch1_max_abs_diff <= 1e-3
     assert f32.steps_per_sec > f64.steps_per_sec
+
+
+def test_fused_write_linkage_trajectory():
+    """A/B the fused single-sweep write kernel against the three-pass path.
+
+    Both run the bandwidth-bound N=256 config where the write phase's
+    N^2 linkage update is a visible slice of the step.  The fused kernel
+    is bitwise identical to the three-pass path (pinned hard in
+    ``tests/test_fused_kernels.py``); here it lands as a measured
+    trajectory variant so regressions in either path show up in the
+    artifact.
+    """
+    fused = measure_batched_throughput(
+        HiMAConfig(**DTYPE_AB_CONFIG), batch_size=16, seq_len=6, repeats=3
+    )
+    unfused = measure_batched_throughput(
+        HiMAConfig(**DTYPE_AB_CONFIG, fused_write_linkage=False),
+        batch_size=16, seq_len=6, repeats=3,
+    )
+    _merge_artifact({
+        "variants": {
+            "fused_write_linkage": fused.to_json(),
+            "unfused_write_linkage": unfused.to_json(),
+        }
+    })
+    assert fused.fused_write_linkage and not unfused.fused_write_linkage
+    assert fused.batch1_max_abs_diff <= 1e-10
+    assert unfused.batch1_max_abs_diff <= 1e-10
+    # Fusion must never cost throughput (it typically buys a few percent
+    # by dropping full-size temporaries); generous slack for CI noise.
+    assert fused.steps_per_sec >= 0.7 * unfused.steps_per_sec
 
 
 def test_trajectory_schema_valid():

@@ -53,6 +53,14 @@ class HiMAConfig:
     skim_fraction: float = 0.0
     approx_softmax: bool = False
 
+    #: Run the write phase (erase+write, linkage, precedence) through the
+    #: fused single-sweep kernel
+    #: :func:`repro.core.kernels.fused_erase_write_linkage` instead of
+    #: three independent passes.  Bitwise identical either way (the fused
+    #: kernel replicates the reference ufunc order exactly); the flag
+    #: exists for A/B benchmarking and as an escape hatch.
+    fused_write_linkage: bool = True
+
     # Implementation parameters.
     macs_per_cycle: int = 2048  # per-PT M-M engine throughput
     link_words_per_cycle: int = 32  # NoC link width (words/flit)

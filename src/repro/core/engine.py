@@ -225,13 +225,27 @@ class TiledEngine:
             self.sorter = TwoStageSorter(config.memory_size, config.num_tiles)
         else:
             self.sorter = None
+        # Resident buffers for the fused write kernel, used only inside
+        # masked steps where this engine controls the output arrays'
+        # lifecycle (see _step_masked); plain steps return caller-owned
+        # fresh arrays and must never write into shared buffers.
+        self._fused_workspace = SK.FusedWriteWorkspace()
+        self._active_workspace: Optional[SK.FusedWriteWorkspace] = None
 
     # ------------------------------------------------------------------
     def initial_state(self, batch_size: Optional[int] = None) -> NumpyDNCState:
         return self.reference.initial_state(batch_size=batch_size)
 
+    #: Bytes of state gathered + scattered by the most recent masked
+    #: :meth:`step` call (0 on the dense all-slots fast path and for
+    #: unmasked steps); the serving layer's copy-traffic metrics read it.
+    last_state_bytes_copied: int = 0
+
     def step(
-        self, x: np.ndarray, state: NumpyDNCState
+        self,
+        x: np.ndarray,
+        state: NumpyDNCState,
+        active: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, NumpyDNCState]:
         """One sharded timestep; logs traffic into :attr:`self.traffic`.
 
@@ -239,11 +253,103 @@ class TiledEngine:
         matching batched ``state``.  Inputs are cast to the configured
         dtype policy.  Events append to :attr:`traffic` cumulatively —
         see :class:`TrafficLog` for the clearing contract.
+
+        **Masked in-place form** (``active`` given): ``state`` must be
+        batched, and ``active`` selects which batch slots advance — an
+        integer index array (order-preserving: compact row ``k`` is slot
+        ``active[k]``) or a boolean mask of length ``B``.  The state is
+        updated *in place*: active slots advance one step, inactive
+        slots are bitwise untouched, and the returned state is the same
+        object.  The returned ``y`` is ``(B, output_size)`` with
+        inactive rows zero.  When ``active`` covers every slot (any
+        order — it is then a permutation, and the per-row kernels make
+        batch order irrelevant) the step runs directly on the resident
+        arrays with **zero** gather/scatter copies; otherwise the active
+        rows are gathered/scattered with one vectorized fancy index per
+        field (:attr:`last_state_bytes_copied` records the cost).
+        Traffic words scale by the number of *active* slots.
         """
         x = np.asarray(x, dtype=self.config.np_dtype)
+        self.last_state_bytes_copied = 0
+        if active is not None:
+            return self._step_masked(x, state, active)
         if self.config.distributed:
             return self._step_distributed(x, state)
         return self._step_dnc(x, state)
+
+    def _step_masked(
+        self, x: np.ndarray, state: NumpyDNCState, active: np.ndarray
+    ) -> Tuple[np.ndarray, NumpyDNCState]:
+        b = state.batch_size
+        if b is None:
+            raise ConfigError("step(active=...) requires a batched state")
+        if x.ndim != 2 or x.shape[0] != b:
+            raise ConfigError(
+                f"masked step expects x of shape ({b}, input_size), "
+                f"got {x.shape}"
+            )
+        idx = np.asarray(active)
+        if idx.dtype == np.bool_:
+            if idx.shape != (b,):
+                raise ConfigError(
+                    f"boolean active mask must have shape ({b},), "
+                    f"got {idx.shape}"
+                )
+            idx = np.flatnonzero(idx)
+        else:
+            idx = idx.astype(np.intp, copy=False).reshape(-1)
+            if idx.size and (idx.min() < 0 or idx.max() >= b):
+                raise ConfigError(
+                    f"active slot indices must lie in [0, {b}), got {idx}"
+                )
+            if np.unique(idx).size != idx.size:
+                raise ConfigError(
+                    f"active slot indices must be unique, got {idx}"
+                )
+        out_size = self.reference.config.output_size
+        if idx.size == 0:
+            return np.zeros((b, out_size), dtype=self.config.np_dtype), state
+        step_fn = (
+            self._step_distributed if self.config.distributed else self._step_dnc
+        )
+        if idx.size == b:
+            # Dense fast path: every slot advances (the validated idx is
+            # then a permutation of the slots, and per-row kernels make
+            # dispatch order irrelevant to the computed values), so the
+            # step runs on the resident arrays directly and the state
+            # object swaps its field references to the outputs — no
+            # copy-back pass.  The fused write kernel may target the
+            # resident workspace here because this engine owns the
+            # output arrays' fate: the previous arrays are donated back
+            # as the next tick's output buffers (ping-pong), keeping the
+            # hot path allocation-free for the N^2 state.  DNC-D is
+            # excluded from the workspace: its stacked-shard inputs are
+            # *views* of the state arrays, so ping-pong would alias
+            # input and output.  The compact path below never uses the
+            # workspace — its sub-batch shape varies with the active
+            # count, which would accumulate one retained buffer set per
+            # distinct occupancy.
+            use_workspace = (
+                self.config.fused_write_linkage and not self.config.distributed
+            )
+            old = (state.memory, state.linkage, state.precedence)
+            if use_workspace:
+                self._active_workspace = self._fused_workspace
+            try:
+                y, new_state = step_fn(x, state)
+            finally:
+                self._active_workspace = None
+            state.assign_from(new_state)
+            if use_workspace:
+                self._fused_workspace.recycle(*old)
+            return y, state
+        sub = state.take_rows(idx)
+        y_sub, new_sub = step_fn(x[idx], sub)
+        state.write_rows(idx, new_sub)
+        self.last_state_bytes_copied = sub.nbytes + new_sub.nbytes
+        y = np.zeros((b, out_size), dtype=self.config.np_dtype)
+        y[idx] = y_sub
+        return y, state
 
     def run(self, inputs: np.ndarray) -> np.ndarray:
         """Run a ``(T, input_size)`` sequence; returns ``(T, output_size)``.
@@ -336,17 +442,29 @@ class TiledEngine:
         write_w = K.write_weight_merge(
             content_w, alloc, interface.write_gate, interface.allocation_gate
         )
-        memory = K.erase_write(
-            state.memory, write_w, interface.erase, interface.write_vector
-        )
 
-        # --- Linkage + precedence (submatrix-wise blocks). ----------------
-        linkage = self._linkage_update(state, write_w, log)
+        # --- Write phase: erase+write, linkage, precedence. ---------------
+        # Traffic follows the blockwise dataflow exactly as before; the
+        # arithmetic runs through the fused single-sweep kernel by
+        # default (bitwise identical to the three-pass path, which the
+        # ``fused_write_linkage=False`` escape hatch preserves verbatim).
+        self._log_linkage_traffic(b)
         # Global sum of w_w: psum ring ending at the CT.
         for hop in range(nt - 1):
             log.add("precedence", hop, hop + 1, b)
         log.add("precedence", nt - 1, ct, b)
-        precedence = K.precedence_update(state.precedence, write_w)
+        if cfg.fused_write_linkage:
+            memory, linkage, precedence = SK.fused_erase_write_linkage(
+                state.memory, state.linkage, state.precedence,
+                write_w, interface.erase, interface.write_vector,
+                workspace=self._active_workspace,
+            )
+        else:
+            memory = K.erase_write(
+                state.memory, write_w, interface.erase, interface.write_vector
+            )
+            linkage = self._linkage_update(state, write_w)
+            precedence = K.precedence_update(state.precedence, write_w)
 
         # --- Content-based read weighting on the updated memory. ----------
         rkey_unit = K.l2_normalize(interface.read_keys)
@@ -378,21 +496,16 @@ class TiledEngine:
         return y, new_state
 
     # ------------------------------------------------------------------
-    def _linkage_update(
-        self, state: NumpyDNCState, write_w: np.ndarray, log: TrafficLog
-    ) -> np.ndarray:
-        """Linkage update with blockwise segment-distribution traffic.
+    def _log_linkage_traffic(self, b: int) -> None:
+        """Blockwise segment-distribution traffic for the linkage update.
 
-        Traffic follows the submatrix grid exactly; the arithmetic — which
-        is cellwise and therefore identical however the matrix is cut —
-        runs as one contiguous in-place pass (under batching the blockwise
-        form costs Nt strided ``(B, nr, nc)`` updates and dominates the
-        step).
+        Traffic follows the submatrix grid exactly whichever arithmetic
+        path (fused or three-pass) computes the update — the dataflow is
+        a property of the partition, not of the kernel fusion.
         """
         cfg = self.config
         mmap = self.memory_map
-        n = cfg.memory_size
-        b = _lead_batch(write_w.shape[:-1])
+        log = self.traffic
         for t in range(cfg.num_tiles):
             rows, cols = mmap.linkage_block(t)
             # Fetch w_w row segment and (w_w, p) column segments from the
@@ -401,6 +514,18 @@ class TiledEngine:
                 log.add("linkage", owner, t, b * mmap.rows_per_tile)
             for owner in mmap.row_segment_owners(cols):
                 log.add("linkage", owner, t, 2 * b * mmap.rows_per_tile)
+
+    def _linkage_update(
+        self, state: NumpyDNCState, write_w: np.ndarray
+    ) -> np.ndarray:
+        """Three-pass linkage arithmetic (``fused_write_linkage=False``).
+
+        The arithmetic — which is cellwise and therefore identical
+        however the matrix is cut — runs as one contiguous in-place pass
+        (under batching the blockwise form costs Nt strided
+        ``(B, nr, nc)`` updates and dominates the step).
+        """
+        n = self.config.memory_size
         w_rows = write_w[..., :, None]
         # Same association as the reference kernel ((1 - w_i) - w_j) so the
         # decay stays bitwise identical; one full-size allocation total.
@@ -525,14 +650,23 @@ class TiledEngine:
             content_w, alloc,
             gate(interface.write_gate), gate(interface.allocation_gate),
         )
-        local_new_mem = K.erase_write(
-            local_mem, local_write_w,
-            interface.erase[..., None, :], interface.write_vector[..., None, :],
-        )
-        local_link = K.linkage_update(
-            local_link_prev, local_write_w, local_prec_prev
-        )
-        local_prec = K.precedence_update(local_prec_prev, local_write_w)
+        if cfg.fused_write_linkage:
+            local_new_mem, local_link, local_prec = SK.fused_erase_write_linkage(
+                local_mem, local_link_prev, local_prec_prev, local_write_w,
+                interface.erase[..., None, :],
+                interface.write_vector[..., None, :],
+                workspace=self._active_workspace,
+            )
+        else:
+            local_new_mem = K.erase_write(
+                local_mem, local_write_w,
+                interface.erase[..., None, :],
+                interface.write_vector[..., None, :],
+            )
+            local_link = K.linkage_update(
+                local_link_prev, local_write_w, local_prec_prev
+            )
+            local_prec = K.precedence_update(local_prec_prev, local_write_w)
 
         rkey_unit = K.l2_normalize(interface.read_keys)
         local_rscores = SK.stacked_read_scores(

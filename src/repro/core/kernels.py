@@ -13,6 +13,11 @@ Two things live here:
    into a leading tile axis so all per-tile work runs as one stacked
    einsum/matmul instead of a Python loop over tiles, optionally under an
    additional leading batch axis.
+3. The *fused* write-phase kernel :func:`fused_erase_write_linkage`:
+   erase+write, temporal-linkage, and precedence updates in one sweep
+   over memory rows (bitwise identical to the three-pass reference
+   kernels), with a masked variant that skips inactive batch slots for
+   the serving layer's resident state arena.
 """
 
 from __future__ import annotations
@@ -108,6 +113,183 @@ def stacked_read_scores(
 ) -> np.ndarray:
     """Per-tile read-head scores ``(..., Nt, R, n)`` for keys ``(..., R, W)``."""
     return np.einsum("...rw,...tnw->...trn", rkey_unit, local_mem_unit)
+
+
+# ---------------------------------------------------------------------------
+# Fused write-phase kernel
+# ---------------------------------------------------------------------------
+
+
+class FusedWriteWorkspace:
+    """Resident output + scratch buffers for :func:`fused_erase_write_linkage`.
+
+    Allocating the two linkage-sized arrays (the new linkage and the
+    ``w x p`` outer-product term) fresh every step costs more in page
+    faults than the arithmetic itself once ``N`` is a few hundred.  A
+    workspace keeps one set of buffers per (shape, dtype) and the kernel
+    writes into them instead, so a long-running caller — the engine's
+    masked in-place step driving the serving arena — touches warm pages
+    every tick.
+
+    Ownership contract: the arrays returned by a ``workspace=`` call are
+    owned by the workspace until the caller either copies them out or
+    hands replacement buffers back via :meth:`recycle` (the engine's
+    dense masked step does the latter, ping-ponging the arena's previous
+    arrays in as the next tick's outputs).  Calling the kernel again for
+    the same shapes without doing one of those overwrites the previous
+    results.
+    """
+
+    #: Output roles, in the order the kernel returns them (and the order
+    #: :meth:`recycle` expects donated arrays in).
+    ROLES = ("memory", "linkage", "precedence")
+
+    def __init__(self):
+        self._buffers = {}
+
+    @staticmethod
+    def _key(role: str, array: np.ndarray) -> Tuple:
+        # Role is part of the key: memory (N, W) and linkage (N, N)
+        # coincide in shape whenever N == W, and they must never share a
+        # buffer.
+        return (role, array.shape, array.dtype.str)
+
+    def _get(self, role: str, like: np.ndarray) -> np.ndarray:
+        key = self._key(role, like)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(like.shape, dtype=like.dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def recycle(
+        self, memory: np.ndarray, linkage: np.ndarray, precedence: np.ndarray
+    ) -> None:
+        """Donate arrays (e.g. a previous state's buffers) as future outputs."""
+        for role, array in zip(self.ROLES, (memory, linkage, precedence)):
+            self._buffers[self._key(role, array)] = array
+
+
+def fused_erase_write_linkage(
+    memory: np.ndarray,
+    linkage: np.ndarray,
+    precedence: np.ndarray,
+    write_w: np.ndarray,
+    erase: np.ndarray,
+    value: np.ndarray,
+    active: Optional[np.ndarray] = None,
+    workspace: Optional[FusedWriteWorkspace] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One fused sweep for the DNC write phase: erase+write, linkage, precedence.
+
+    **Contract** (the one a hardware/GPU backend implements as a single
+    pass over memory rows; the engine's default write path since the
+    resident-arena PR):
+
+    * inputs are the *previous* step's ``memory (..., N, W)``,
+      ``linkage (..., N, N)``, ``precedence (..., N)`` plus this step's
+      ``write_w (..., N)`` and the interface's ``erase`` / ``value``
+      write vectors (broadcastable to ``(..., W)``);
+    * returns ``(new_memory, new_linkage, new_precedence)`` **bitwise
+      identical** to the three-pass sequence
+      :func:`repro.dnc.numpy_ref.erase_write` →
+      :func:`repro.dnc.numpy_ref.linkage_update` →
+      :func:`repro.dnc.numpy_ref.precedence_update` (the per-row ufunc
+      order is replicated exactly, so no tolerance is needed);
+    * inputs are never mutated.
+
+    The fusion wins by sharing the expanded ``write_w`` column across all
+    three updates and running the two O(N^2)-shaped updates as in-place
+    passes over a single temporary each, instead of three independent
+    kernels each materializing full-size intermediates.
+
+    ``active`` — the masked variant for slot-pinned batched state: an
+    integer index array (or boolean mask) over the leading batch axis.
+    Only the selected slots are computed; unselected slots of the outputs
+    are bitwise copies of the inputs.  Skipping inactive slots keeps the
+    kernel cost proportional to live occupancy rather than arena
+    capacity.
+
+    ``workspace`` — write outputs into a :class:`FusedWriteWorkspace`'s
+    resident buffers instead of fresh allocations (still bitwise: every
+    output element is overwritten, so buffer history never leaks).  See
+    the workspace's ownership contract; without it the kernel returns
+    freshly allocated arrays the caller owns outright.
+    """
+    if active is not None:
+        if memory.ndim < 3:
+            raise ValueError(
+                "fused_erase_write_linkage(active=...) needs a leading "
+                f"batch axis; got memory of shape {memory.shape}"
+            )
+        idx = np.asarray(active)
+        if idx.dtype == np.bool_:
+            idx = np.flatnonzero(idx)
+        out_memory = memory.copy()
+        out_linkage = linkage.copy()
+        out_precedence = precedence.copy()
+        if idx.size:
+            sub = fused_erase_write_linkage(
+                memory[idx], linkage[idx], precedence[idx],
+                write_w[idx], np.broadcast_to(erase, write_w.shape[:-1]
+                + erase.shape[-1:])[idx],
+                np.broadcast_to(value, write_w.shape[:-1]
+                + value.shape[-1:])[idx],
+            )
+            out_memory[idx], out_linkage[idx], out_precedence[idx] = sub
+        return out_memory, out_linkage, out_precedence
+
+    w_col = write_w[..., :, None]
+    if workspace is None:
+        new_memory = np.multiply(w_col, erase[..., None, :])
+        new_linkage = np.subtract(1.0 - w_col, write_w[..., None, :])
+        mem_term = w_col * value[..., None, :]
+        link_term = w_col * precedence[..., None, :]
+        new_precedence = np.empty_like(precedence)
+    else:
+        out_memory = workspace._get("memory", memory)
+        out_linkage = workspace._get("linkage", linkage)
+        out_precedence = workspace._get("precedence", precedence)
+        if (out_memory is memory or out_linkage is linkage
+                or out_precedence is precedence):
+            raise ValueError(
+                "workspace output buffer aliases its input; a caller "
+                "recycled the arrays of the state it is about to step"
+            )
+        new_memory = np.multiply(w_col, erase[..., None, :], out=out_memory)
+        new_linkage = np.subtract(
+            1.0 - w_col, write_w[..., None, :], out=out_linkage
+        )
+        mem_term = np.multiply(
+            w_col, value[..., None, :],
+            out=workspace._get("memory_scratch", memory),
+        )
+        link_term = np.multiply(
+            w_col, precedence[..., None, :],
+            out=workspace._get("linkage_scratch", linkage),
+        )
+        new_precedence = out_precedence
+
+    # Memory rows: m * (1 - w x e) + w x v, same ufunc order as
+    # repro.dnc.numpy_ref.erase_write (bitwise contract).
+    np.subtract(1.0, new_memory, out=new_memory)
+    new_memory *= memory
+    new_memory += mem_term
+
+    # Linkage cells: ((1 - w_i) - w_j) * L + w_i * p_j, the reference
+    # association, as in-place passes over at most two N^2 buffers.
+    new_linkage *= linkage
+    new_linkage += link_term
+    n = write_w.shape[-1]
+    new_linkage[..., np.arange(n), np.arange(n)] = 0.0
+
+    # Precedence: (1 - sum w) * p + w, from the *previous* precedence.
+    np.multiply(
+        1.0 - write_w.sum(axis=-1, keepdims=True), precedence,
+        out=new_precedence,
+    )
+    new_precedence += write_w
+    return new_memory, new_linkage, new_precedence
 
 
 @dataclass(frozen=True)
@@ -384,4 +566,6 @@ __all__ = [
     "scatter_block_diagonal",
     "stacked_key_scores",
     "stacked_read_scores",
+    "FusedWriteWorkspace",
+    "fused_erase_write_linkage",
 ]

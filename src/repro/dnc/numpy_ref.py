@@ -312,6 +312,67 @@ class NumpyDNCState:
         """Leading batch dimension, or ``None`` for an unbatched state."""
         return None if self.usage.ndim == 1 else self.usage.shape[0]
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held across all state fields."""
+        return sum(getattr(self, name).nbytes for name in self.FIELDS)
+
+    @property
+    def row_nbytes(self) -> int:
+        """Bytes of one batch row (one session's full recurrent context).
+
+        For an unbatched state this is simply :attr:`nbytes`.
+        """
+        b = self.batch_size
+        return self.nbytes if b is None else self.nbytes // b
+
+    def copy(self) -> "NumpyDNCState":
+        """Deep copy: every field owns a fresh contiguous array."""
+        return type(self)(**{
+            name: getattr(self, name).copy() for name in self.FIELDS
+        })
+
+    # ------------------------------------------------------------------
+    def _require_batched(self, op: str) -> int:
+        if self.batch_size is None:
+            raise ConfigError(f"{op} expects a batched state")
+        return self.batch_size
+
+    def take_rows(self, idx: np.ndarray) -> "NumpyDNCState":
+        """Copy batch rows ``idx`` (in the given order) into a new state.
+
+        The vectorized gather behind the engine's masked step: one fancy
+        index per field instead of a Python loop over sessions.  Rows in
+        the result follow the order of ``idx`` exactly, and every field
+        is a fresh copy (fancy indexing never returns a view).
+        """
+        self._require_batched("take_rows")
+        return type(self)(**{
+            name: getattr(self, name)[idx] for name in self.FIELDS
+        })
+
+    def write_rows(self, idx: np.ndarray, other: "NumpyDNCState") -> None:
+        """Scatter ``other``'s rows into this state's rows ``idx`` in place.
+
+        The inverse of :meth:`take_rows`: ``other`` row ``k`` lands in
+        this state's row ``idx[k]``; all other rows are untouched (the
+        masked-step guarantee for sessions sitting a tick out).
+        """
+        self._require_batched("write_rows")
+        for name in self.FIELDS:
+            getattr(self, name)[idx] = getattr(other, name)
+
+    def assign_from(self, other: "NumpyDNCState") -> None:
+        """Rebind every field reference to ``other``'s arrays (zero copy).
+
+        Used by the dense masked-step fast path: the state *object* stays
+        the stable handle sessions are pinned to (the arena), while the
+        arrays swap to the freshly computed step outputs without any
+        copy-back pass.
+        """
+        for name in self.FIELDS:
+            setattr(self, name, getattr(other, name))
+
     # ------------------------------------------------------------------
     @classmethod
     def stack(cls, states: Sequence["NumpyDNCState"]) -> "NumpyDNCState":

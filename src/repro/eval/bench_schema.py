@@ -16,16 +16,50 @@ each file must contain, consumed by:
 
 ``BENCH_batched_throughput.json``: one base
 :class:`~repro.eval.runners.BatchedThroughput` entry (flat keys, B=16
-trajectory config) plus a ``variants`` mapping carrying the sort-enabled
-and dtype A/B entries.  ``BENCH_serve_load.json``: one flat
-:class:`~repro.serve.loadgen.ServeLoadResult` entry.
+trajectory config) plus a ``variants`` mapping carrying the
+sort-enabled, dtype, and fused-write-kernel A/B entries.
+``BENCH_serve_load.json``: one flat
+:class:`~repro.serve.loadgen.ServeLoadResult` entry (the state-arena
+hot path) plus a ``variants`` mapping with the ``state_arena`` /
+``gather_scatter`` A/B pair.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import json
+import pathlib
+from typing import Callable, Dict, List, Union
 
 from repro.utils.validation import DTYPE_CHOICES
+
+
+def merge_artifact(path: Union[str, pathlib.Path], update: Dict) -> None:
+    """Read-modify-write a ``BENCH_*.json`` artifact, preserving entries.
+
+    Shared by the bench harnesses (each of their tests contributes part
+    of one artifact): top-level keys from ``update`` overwrite, and its
+    ``variants`` mapping merges entry-wise into the existing one.  An
+    unreadable/corrupt artifact is replaced rather than crashing the
+    bench — a regressing run must still record what it measured.
+    """
+    path = pathlib.Path(path)
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    if not isinstance(data, dict):
+        data = {}
+    update = dict(update)
+    variants = data.get("variants")
+    if not isinstance(variants, dict):
+        variants = {}
+    variants.update(update.pop("variants", {}))
+    data.update(update)
+    if variants:
+        data["variants"] = variants
+    path.write_text(json.dumps(data, indent=2) + "\n")
 
 # ---------------------------------------------------------------------------
 # BENCH_batched_throughput.json
@@ -45,11 +79,21 @@ ENTRY_KEYS = (
     "memory_size",
     "two_stage_sort",
     "skim_fraction",
+    "fused_write_linkage",
 )
 
-#: Variant entries the artifact must include: the sort-enabled hot paths
-#: and the float64/float32 A/B pair at memory_size >= 256.
-REQUIRED_VARIANTS = ("two_stage_sort", "skim", "float64_n256", "float32_n256")
+#: Variant entries the artifact must include: the sort-enabled hot paths,
+#: the float64/float32 A/B pair at memory_size >= 256, and the fused
+#: write/linkage kernel A/B pair (fused single-sweep vs the three-pass
+#: legacy path, same config otherwise).
+REQUIRED_VARIANTS = (
+    "two_stage_sort",
+    "skim",
+    "float64_n256",
+    "float32_n256",
+    "fused_write_linkage",
+    "unfused_write_linkage",
+)
 
 
 def _check_entry(
@@ -105,6 +149,18 @@ def validate_trajectory(data: object) -> List[str]:
             problems.append("variants['float32_n256']: entry must have dtype='float32'")
         if isinstance(f32.get("memory_size"), int) and f32["memory_size"] < 256:
             problems.append("variants['float32_n256']: memory_size must be >= 256")
+    fused = variants.get("fused_write_linkage")
+    if isinstance(fused, dict) and fused.get("fused_write_linkage") is not True:
+        problems.append(
+            "variants['fused_write_linkage']: entry must have "
+            "fused_write_linkage=true"
+        )
+    unfused = variants.get("unfused_write_linkage")
+    if isinstance(unfused, dict) and unfused.get("fused_write_linkage") is not False:
+        problems.append(
+            "variants['unfused_write_linkage']: entry must have "
+            "fused_write_linkage=false"
+        )
     return problems
 
 
@@ -112,8 +168,9 @@ def validate_trajectory(data: object) -> List[str]:
 # BENCH_serve_load.json
 # ---------------------------------------------------------------------------
 
-#: Keys of the serve-load artifact; also the exact field list of
-#: ``ServeLoadResult`` — its ``to_json`` iterates this tuple.
+#: Keys of every serve-load entry (top level and each variant); also the
+#: exact field list of ``ServeLoadResult`` — its ``to_json`` iterates
+#: this tuple.
 SERVE_ENTRY_KEYS = (
     "concurrent_sessions",
     "steps_per_session",
@@ -130,7 +187,15 @@ SERVE_ENTRY_KEYS = (
     "evictions",
     "dtype",
     "memory_size",
+    "state_arena",
+    "state_bytes_copied",
 )
+
+#: Variant entries the serve artifact must include: the resident
+#: state-arena hot path and the gather/scatter fallback it replaced,
+#: measured on the identical workload so the copy tax is visible as a
+#: throughput ratio (and in ``state_bytes_copied``).
+SERVE_REQUIRED_VARIANTS = ("state_arena", "gather_scatter")
 
 _SERVE_POSITIVE = (
     "concurrent_sessions",
@@ -143,25 +208,56 @@ _SERVE_POSITIVE = (
 )
 
 
-def validate_serve_load(data: object) -> List[str]:
-    """Problems with a ``BENCH_serve_load.json`` payload."""
-    problems = _check_entry(data, "top-level", SERVE_ENTRY_KEYS, _SERVE_POSITIVE)
-    if not isinstance(data, dict):
+def _check_serve_entry(entry: object, where: str) -> List[str]:
+    problems = _check_entry(entry, where, SERVE_ENTRY_KEYS, _SERVE_POSITIVE)
+    if not isinstance(entry, dict):
         return problems
-    diff = data.get("microbatch_max_abs_diff")
-    if "microbatch_max_abs_diff" in data and (
+    diff = entry.get("microbatch_max_abs_diff")
+    if "microbatch_max_abs_diff" in entry and (
         not isinstance(diff, (int, float)) or diff < 0
     ):
         problems.append(
-            f"top-level: microbatch_max_abs_diff must be a non-negative "
+            f"{where}: microbatch_max_abs_diff must be a non-negative "
             f"number, got {diff!r}"
         )
-    for key in ("admission_rejects", "evictions"):
-        value = data.get(key)
-        if key in data and (not isinstance(value, int) or value < 0):
+    for key in ("admission_rejects", "evictions", "state_bytes_copied"):
+        value = entry.get(key)
+        if key in entry and (not isinstance(value, int) or value < 0):
             problems.append(
-                f"top-level: {key} must be a non-negative integer, got {value!r}"
+                f"{where}: {key} must be a non-negative integer, got {value!r}"
             )
+    if "state_arena" in entry and not isinstance(entry.get("state_arena"), bool):
+        problems.append(
+            f"{where}: state_arena must be a boolean, "
+            f"got {entry.get('state_arena')!r}"
+        )
+    return problems
+
+
+def validate_serve_load(data: object) -> List[str]:
+    """Problems with a ``BENCH_serve_load.json`` payload."""
+    problems = _check_serve_entry(data, "top-level")
+    if not isinstance(data, dict):
+        return problems
+    variants = data.get("variants")
+    if not isinstance(variants, dict):
+        problems.append("missing or non-object 'variants' mapping")
+        return problems
+    for name in SERVE_REQUIRED_VARIANTS:
+        if name not in variants:
+            problems.append(f"variants: missing required entry {name!r}")
+        else:
+            problems.extend(
+                _check_serve_entry(variants[name], f"variants[{name!r}]")
+            )
+    arena = variants.get("state_arena")
+    if isinstance(arena, dict) and arena.get("state_arena") is not True:
+        problems.append("variants['state_arena']: entry must have state_arena=true")
+    fallback = variants.get("gather_scatter")
+    if isinstance(fallback, dict) and fallback.get("state_arena") is not False:
+        problems.append(
+            "variants['gather_scatter']: entry must have state_arena=false"
+        )
     return problems
 
 
@@ -190,9 +286,11 @@ def validate_artifact(filename: str, data: object) -> List[str]:
 
 
 __all__ = [
+    "merge_artifact",
     "ENTRY_KEYS",
     "REQUIRED_VARIANTS",
     "SERVE_ENTRY_KEYS",
+    "SERVE_REQUIRED_VARIANTS",
     "ARTIFACT_VALIDATORS",
     "validate_trajectory",
     "validate_serve_load",

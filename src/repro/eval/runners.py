@@ -76,6 +76,7 @@ class BatchedThroughput:
     memory_size: int = 0
     two_stage_sort: bool = False
     skim_fraction: float = 0.0
+    fused_write_linkage: bool = True
 
     def to_json(self) -> Dict[str, object]:
         """One ``BENCH_batched_throughput.json`` trajectory entry.
@@ -159,6 +160,7 @@ def measure_batched_throughput(
         memory_size=config.memory_size,
         two_stage_sort=config.two_stage_sort,
         skim_fraction=config.skim_fraction,
+        fused_write_linkage=config.fused_write_linkage,
     )
 
 

@@ -2,9 +2,10 @@
 
 The serving layer turns the batched engine (PRs 1–2) into a multi-user
 service: many independent, asynchronously arriving DNC sessions share
-one :class:`~repro.core.engine.TiledEngine`, with per-session state in a
-capacity-bounded :class:`SessionStore`, scheduling by a
-:class:`MicroBatcher`, and the whole loop driven by
+one :class:`~repro.core.engine.TiledEngine`, with per-session state
+resident in a slot-pinned :class:`StateArena` (admission/eviction
+bookkeeping in a capacity-bounded :class:`SessionStore`), scheduling by
+a :class:`MicroBatcher`, and the whole loop driven by
 :class:`SessionServer`.  :mod:`repro.serve.loadgen` generates
 deterministic open-loop traffic and measures served throughput for
 ``BENCH_serve_load.json``.
@@ -24,11 +25,13 @@ Quickstart::
     print(request.y, request.wait_ticks)
 """
 
+from repro.serve.arena import StateArena
 from repro.serve.batcher import MicroBatcher, StepRequest
 from repro.serve.loadgen import (
     ServeLoadResult,
     SessionScript,
     generate_scripts,
+    measure_serve_ab,
     measure_serve_load,
     run_open_loop,
 )
@@ -37,11 +40,13 @@ from repro.serve.server import SessionServer
 from repro.serve.session import SessionRecord, SessionStore
 
 __all__ = [
+    "StateArena",
     "MicroBatcher",
     "StepRequest",
     "ServeLoadResult",
     "SessionScript",
     "generate_scripts",
+    "measure_serve_ab",
     "measure_serve_load",
     "run_open_loop",
     "ServerMetrics",

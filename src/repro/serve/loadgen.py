@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -176,6 +176,13 @@ class ServeLoadResult:
     evictions: int
     dtype: str
     memory_size: int
+    #: True when the run used the resident :class:`~repro.serve.arena.StateArena`
+    #: hot path, False for the gather/scatter fallback.
+    state_arena: bool
+    #: Total session-state bytes copied during the served run (joins plus
+    #: any gather/scatter or partial-mask traffic) — the quantity the
+    #: arena collapses to one write per join.
+    state_bytes_copied: int
 
     def to_json(self) -> Dict[str, object]:
         """One ``BENCH_serve_load.json`` artifact entry."""
@@ -190,6 +197,7 @@ def measure_serve_load(
     max_wait_ticks: int = 1,
     repeats: int = 3,
     rng: SeedLike = 0,
+    state_arena: bool = True,
 ) -> ServeLoadResult:
     """Time micro-batched serving against the one-at-a-time baseline.
 
@@ -200,6 +208,11 @@ def measure_serve_load(
     the served path schedules them through the micro-batcher.  The best
     (minimum) wall time over ``repeats`` rounds scores each path, and the
     served outputs are checked element-wise against the baseline's.
+
+    ``state_arena`` selects the server's state path: the resident
+    slot-pinned arena (default) or the PR 3 gather/scatter fallback —
+    measuring both on the identical workload is how the serve-load
+    benchmark prices the per-tick state-copy tax.
     """
     from repro.core.config import HiMAConfig
     from repro.core.engine import TiledEngine
@@ -231,6 +244,7 @@ def measure_serve_load(
             max_wait_ticks=max_wait_ticks,
             queue_capacity=max(total_requests, 1),
             session_capacity=max(num_sessions, 1),
+            state_arena=state_arena,
         )
         results = run_open_loop(server, scripts)
         return server, results
@@ -277,7 +291,125 @@ def measure_serve_load(
         evictions=metrics.evictions_ttl + metrics.evictions_lru,
         dtype=config.dtype,
         memory_size=config.memory_size,
+        state_arena=state_arena,
+        state_bytes_copied=metrics.state_bytes_copied,
     )
+
+
+def measure_serve_ab(
+    config=None,
+    num_sessions: int = 16,
+    steps_per_session: int = 4,
+    max_batch: int = 16,
+    max_wait_ticks: int = 1,
+    repeats: int = 5,
+    rng: SeedLike = 0,
+) -> Tuple[ServeLoadResult, ServeLoadResult]:
+    """A/B the resident-arena and gather/scatter state paths, interleaved.
+
+    Both paths serve the identical scripted workload through one shared
+    engine.  Timing rounds are *interleaved* and alternate which path
+    runs first: measuring one path to completion and then the other lets
+    allocator and cache warm-up systematically favor whichever ran
+    second, which at serving timescales is a bigger effect than the
+    difference under test.  Returns ``(arena_result,
+    gather_scatter_result)``; each is checked element-wise against the
+    solo unbatched baseline exactly like :func:`measure_serve_load`.
+    """
+    from repro.core.config import HiMAConfig
+    from repro.core.engine import TiledEngine
+
+    if config is None:
+        config = HiMAConfig(
+            memory_size=32, word_size=16, num_tiles=4, hidden_size=32,
+            two_stage_sort=False,
+        )
+    engine = TiledEngine(config, rng=rng)
+    input_size = engine.reference.config.input_size
+    gen = new_rng(rng)
+    kinds = [WORKLOAD_KINDS[i % len(WORKLOAD_KINDS)] for i in range(num_sessions)]
+    scripts = [
+        SessionScript(
+            session_id=f"{kinds[i]}-{i}",
+            arrival_tick=0,
+            kind=kinds[i],
+            inputs=_WORKLOADS[kinds[i]](gen, steps_per_session, input_size),
+        )
+        for i in range(num_sessions)
+    ]
+    total_requests = num_sessions * steps_per_session
+
+    def serve_once(state_arena: bool):
+        server = SessionServer(
+            engine,
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            queue_capacity=max(total_requests, 1),
+            session_capacity=max(num_sessions, 1),
+            state_arena=state_arena,
+        )
+        results = run_open_loop(server, scripts)
+        return server, results
+
+    # Warm up both paths and the solo baseline.
+    serve_once(True)
+    serve_once(False)
+    engine.run(scripts[0].inputs[:2])
+    engine.traffic.clear()
+
+    times = {True: float("inf"), False: float("inf")}
+    runs: Dict[bool, tuple] = {}
+    for i in range(max(1, repeats)):
+        order = (True, False) if i % 2 == 0 else (False, True)
+        for state_arena in order:
+            start = time.perf_counter()
+            server, results = serve_once(state_arena)
+            times[state_arena] = min(
+                times[state_arena], time.perf_counter() - start
+            )
+            runs[state_arena] = (server, results)
+            engine.traffic.clear()
+
+    sequential_time = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        baseline = {s.session_id: engine.run(s.inputs) for s in scripts}
+        sequential_time = min(sequential_time, time.perf_counter() - start)
+        engine.traffic.clear()
+
+    def build(state_arena: bool) -> ServeLoadResult:
+        server, results = runs[state_arena]
+        diff = 0.0
+        for script in scripts:
+            served = np.stack([r.y for r in results[script.session_id]])
+            diff = max(
+                diff,
+                float(np.max(np.abs(served - baseline[script.session_id]))),
+            )
+        metrics = server.metrics
+        p50, p95 = metrics.wait_percentiles()
+        served_time = times[state_arena]
+        return ServeLoadResult(
+            concurrent_sessions=num_sessions,
+            steps_per_session=steps_per_session,
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            requests_per_sec=total_requests / served_time,
+            sequential_requests_per_sec=total_requests / sequential_time,
+            speedup_vs_sequential=sequential_time / served_time,
+            microbatch_max_abs_diff=diff,
+            p50_wait_ticks=float(p50 if p50 is not None else -1.0),
+            p95_wait_ticks=float(p95 if p95 is not None else -1.0),
+            mean_batch_occupancy=float(metrics.mean_occupancy() or 0.0),
+            admission_rejects=metrics.admission_rejects,
+            evictions=metrics.evictions_ttl + metrics.evictions_lru,
+            dtype=config.dtype,
+            memory_size=config.memory_size,
+            state_arena=state_arena,
+            state_bytes_copied=metrics.state_bytes_copied,
+        )
+
+    return build(True), build(False)
 
 
 __all__ = [
@@ -287,4 +419,5 @@ __all__ = [
     "run_open_loop",
     "ServeLoadResult",
     "measure_serve_load",
+    "measure_serve_ab",
 ]

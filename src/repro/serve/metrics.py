@@ -53,10 +53,18 @@ class ServerMetrics:
         self.evictions_ttl = 0
         self.evictions_lru = 0
         self.ticks = 0
+        #: Cumulative bytes of session state copied (gathered, scattered,
+        #: or slot-written) — the number the resident state arena drives
+        #: toward zero.  Dense arena ticks contribute 0; gather/scatter
+        #: fallback ticks contribute two full batch copies.
+        self.state_bytes_copied = 0
         #: wait ticks (completion tick - submit tick) -> request count
         self.wait_histogram: Dict[int, int] = {}
         #: dispatched batch occupancy -> tick count (0 = idle tick)
         self.occupancy_histogram: Dict[int, int] = {}
+        #: arena slots bound -> tick count (arena mode only; stays empty
+        #: on the gather/scatter fallback path, which has no slots)
+        self.slot_occupancy_histogram: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def observe_wait(self, wait_ticks: int) -> None:
@@ -68,6 +76,16 @@ class ServerMetrics:
         self.ticks += 1
         self.occupancy_histogram[batch_size] = (
             self.occupancy_histogram.get(batch_size, 0) + 1
+        )
+
+    def observe_state_copy(self, nbytes: int) -> None:
+        """Account ``nbytes`` of session-state copy traffic."""
+        self.state_bytes_copied += int(nbytes)
+
+    def observe_slots(self, bound_slots: int) -> None:
+        """Record the arena's bound-slot count for this tick."""
+        self.slot_occupancy_histogram[bound_slots] = (
+            self.slot_occupancy_histogram.get(bound_slots, 0) + 1
         )
 
     # ------------------------------------------------------------------
@@ -89,6 +107,21 @@ class ServerMetrics:
             return None
         return sum(occ * n for occ, n in items) / ticks
 
+    def mean_slot_occupancy(self) -> Optional[float]:
+        """Mean arena slots bound per tick (``None`` without arena ticks)."""
+        ticks = sum(self.slot_occupancy_histogram.values())
+        if ticks == 0:
+            return None
+        return sum(
+            occ * n for occ, n in self.slot_occupancy_histogram.items()
+        ) / ticks
+
+    def state_bytes_per_tick(self) -> Optional[float]:
+        """Mean session-state copy traffic per scheduler tick."""
+        if self.ticks == 0:
+            return None
+        return self.state_bytes_copied / self.ticks
+
     def snapshot(self) -> Dict[str, object]:
         p50, p95 = self.wait_percentiles()
         return {
@@ -106,6 +139,13 @@ class ServerMetrics:
             "mean_batch_occupancy": self.mean_occupancy(),
             "occupancy_histogram": {
                 str(k): v for k, v in sorted(self.occupancy_histogram.items())
+            },
+            "state_bytes_copied": self.state_bytes_copied,
+            "state_bytes_per_tick": self.state_bytes_per_tick(),
+            "mean_slot_occupancy": self.mean_slot_occupancy(),
+            "slot_occupancy_histogram": {
+                str(k): v
+                for k, v in sorted(self.slot_occupancy_histogram.items())
             },
         }
 

@@ -7,11 +7,23 @@ whatever sessions have pending work into a single batched
 per-request cost approaches the engine's banked B=16 batched throughput
 instead of the pay-full-price-per-user sequential path.
 
-Correctness contract (pinned by ``tests/test_serve_microbatch.py``):
-stepping K sessions through the micro-batcher is numerically identical
-(<= 1e-10 in float64) to stepping each session alone through the
-unbatched engine, *including* when sessions join and leave mid-stream —
-the batch membership may differ on every tick.  Traffic accounting keeps
+State residency: by default every session is pinned to one slot of a
+preallocated :class:`~repro.serve.arena.StateArena` for its whole
+lifetime, and each tick advances the dispatched slots through the
+engine's masked in-place step — the per-tick ``gather_states`` /
+``scatter_states`` copy pair of the original serving layer collapses to
+one slot write on join and one slot read on leave/checkpoint.
+``SessionServer(state_arena=False)`` keeps the gather/scatter path,
+which also remains the checkpoint mechanism (:meth:`session_state` /
+:meth:`restore_session_state`).
+
+Correctness contract (pinned by ``tests/test_serve_microbatch.py`` and
+``tests/test_serve_arena.py``): stepping K sessions through the
+micro-batcher is numerically identical (<= 1e-10 in float64) to
+stepping each session alone through the unbatched engine, *including*
+when sessions join and leave mid-stream — the batch membership may
+differ on every tick — and the arena path matches the gather/scatter
+path under arbitrary join/leave/evict churn.  Traffic accounting keeps
 PR 1's batched-words convention: each dispatched tick logs the one-step
 message pattern with every event's words scaled by that tick's batch
 occupancy.
@@ -24,7 +36,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.engine import TiledEngine, gather_states, scatter_states
+from repro.dnc.numpy_ref import NumpyDNCState
 from repro.errors import CapacityError, ConfigError
+from repro.serve.arena import StateArena
 from repro.serve.batcher import MicroBatcher, StepRequest
 from repro.serve.metrics import ServerMetrics
 from repro.serve.session import SessionStore
@@ -49,6 +63,7 @@ class SessionServer:
         queue_capacity: int = 1024,
         session_capacity: int = 64,
         session_ttl_ticks: Optional[int] = None,
+        state_arena: bool = True,
         metrics: Optional[ServerMetrics] = None,
     ):
         self.engine = engine
@@ -58,11 +73,24 @@ class SessionServer:
             max_wait_ticks=max_wait_ticks,
             queue_capacity=queue_capacity,
         )
+        #: Resident slot-pinned state (default), or ``None`` on the
+        #: gather/scatter fallback path where each record owns its state.
+        self.arena: Optional[StateArena] = (
+            StateArena(engine.initial_state, capacity=session_capacity)
+            if state_arena else None
+        )
         self.store = SessionStore(
-            state_factory=engine.initial_state,
+            state_factory=None if state_arena else engine.initial_state,
             capacity=session_capacity,
             ttl_ticks=session_ttl_ticks,
             on_evict=self._on_evict,
+        )
+        # Reused every tick (one row per arena slot, or per batch lane on
+        # the fallback path) instead of a fresh np.stack allocation.
+        input_size = engine.reference.config.input_size
+        buf_rows = session_capacity if state_arena else max_batch
+        self._x_buf = np.zeros(
+            (buf_rows, input_size), dtype=engine.config.np_dtype
         )
         self.tick = 0
         self._session_counter = 0
@@ -73,6 +101,8 @@ class SessionServer:
             self.metrics.evictions_ttl += 1
         else:
             self.metrics.evictions_lru += 1
+        if self.arena is not None:
+            self.arena.release(session_id)
         self._fail_queued(session_id, f"session evicted ({reason})")
 
     def _fail_queued(self, session_id: str, error: str) -> None:
@@ -102,6 +132,11 @@ class SessionServer:
         except CapacityError:
             self.metrics.admission_rejects += 1
             return None
+        if self.arena is not None:
+            # Join: the session's single slot write (a zeroed initial
+            # state); its state never moves again until it leaves.
+            self.arena.bind(session_id)
+            self.metrics.observe_state_copy(self.arena.row_nbytes)
         self.metrics.sessions_opened += 1
         return session_id
 
@@ -109,7 +144,50 @@ class SessionServer:
         """Drop a session's state; queued requests fail with an error."""
         self._fail_queued(session_id, "session closed")
         self.store.remove(session_id)
+        if self.arena is not None:
+            self.arena.release(session_id)
         self.metrics.sessions_closed += 1
+
+    # ------------------------------------------------------------------
+    def session_state(self, session_id: str) -> NumpyDNCState:
+        """Copy of a session's current recurrent state (checkpoint read).
+
+        The arena path's "read one slot on leave/drain"; on the fallback
+        path this copies the record's unbatched state.  The returned
+        state owns its arrays and can be fed to
+        :meth:`restore_session_state` (here or on another server with
+        the same engine config) or to the engine's unbatched step.
+        """
+        if self.arena is not None:
+            state = self.arena.read_slot(session_id)
+        else:
+            state = self.store.get(session_id).state.copy()
+        self.metrics.observe_state_copy(state.nbytes)
+        return state
+
+    def restore_session_state(
+        self, session_id: str, state: NumpyDNCState
+    ) -> None:
+        """Overwrite a session's recurrent state from a checkpoint."""
+        if self.arena is not None:
+            self.arena.write_slot(session_id, state)
+        else:
+            record = self.store.get(session_id)
+            if state.batch_size is not None:
+                raise ConfigError(
+                    "restore_session_state expects an unbatched state"
+                )
+            for name in NumpyDNCState.FIELDS:
+                src = getattr(state, name)
+                cur = getattr(record.state, name)
+                if src.shape != cur.shape or src.dtype != cur.dtype:
+                    raise ConfigError(
+                        f"restore_session_state: field {name!r} has shape "
+                        f"{src.shape} dtype {src.dtype}, expected "
+                        f"{cur.shape} {cur.dtype}"
+                    )
+            record.state = state.copy()
+        self.metrics.observe_state_copy(state.nbytes)
 
     def submit(self, session_id: str, x: np.ndarray) -> Optional[StepRequest]:
         """Queue one timestep for ``session_id``; ``None`` means refused.
@@ -139,9 +217,14 @@ class SessionServer:
         """Advance one scheduler tick; returns the requests completed.
 
         One tick = at most one batched engine step: expire idle sessions,
-        ask the batcher for a dispatchable batch, gather the member
-        sessions' states, run the shared engine once, scatter the states
-        back, and resolve the requests.
+        ask the batcher for a dispatchable batch, and run the shared
+        engine once over the member sessions.  On the arena path the
+        dispatched sessions' slots advance *in place* through the
+        engine's masked step (zero state copies when every slot
+        dispatches); on the fallback path the member states are gathered
+        into a fresh batch and scattered back.  Either way the batch row
+        order is dispatch order, so both paths compute bit-identical
+        results.
         """
         tick = self.tick
         self.store.evict_expired(
@@ -158,15 +241,36 @@ class SessionServer:
                 request.completed_tick = tick
                 self.metrics.requests_failed += 1
 
-        if live:
+        if live and self.arena is not None:
+            slots = self.arena.indices([r.session_id for r in live])
+            for slot, request in zip(slots, live):
+                self._x_buf[slot] = request.x  # casts to the dtype policy
+            y, _ = self.engine.step(
+                self._x_buf, self.arena.state, active=slots
+            )
+            self.metrics.observe_state_copy(
+                self.engine.last_state_bytes_copied
+            )
+            for slot, request in zip(slots, live):
+                record = self.store.touch(request.session_id, tick)
+                record.steps_completed += 1
+                # .copy(): each result must own its data, not alias the
+                # shared batched output buffer.
+                request.y = y[slot].copy()
+                request.completed_tick = tick
+                self.metrics.observe_wait(tick - request.submitted_tick)
+                self.metrics.requests_completed += 1
+        elif live:
             records = [self.store.get(r.session_id) for r in live]
             batched_state = gather_states([rec.state for rec in records])
-            xs = np.stack([
-                np.asarray(r.x, dtype=self.engine.config.np_dtype)
-                for r in live
-            ])
+            xs = self._x_buf[: len(live)]
+            for i, request in enumerate(live):
+                xs[i] = request.x
             y, new_batched = self.engine.step(xs, batched_state)
             new_states = scatter_states(new_batched)
+            self.metrics.observe_state_copy(
+                batched_state.nbytes + new_batched.nbytes
+            )
             for i, request in enumerate(live):
                 record = self.store.touch(request.session_id, tick)
                 record.state = new_states[i]
@@ -180,6 +284,8 @@ class SessionServer:
                 self.metrics.requests_completed += 1
 
         self.metrics.observe_occupancy(len(live))
+        if self.arena is not None:
+            self.metrics.observe_slots(self.arena.occupancy)
         self.tick = tick + 1
         return batch
 

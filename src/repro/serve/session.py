@@ -8,6 +8,11 @@ scatters back after every shared engine step.  :class:`SessionStore`
 owns those states and bounds their memory: the dominant cost is the
 ``N x N`` linkage matrix per session, so a capacity limit plus idle-state
 eviction is what lets one engine serve an open-ended user population.
+
+In the server's default resident-arena mode the recurrent state lives
+in a :class:`~repro.serve.arena.StateArena` slot instead (records carry
+``state=None``); the store then provides only the admission/eviction
+bookkeeping, with the arena's preallocated batch bounding memory.
 """
 
 from __future__ import annotations
@@ -22,10 +27,16 @@ from repro.errors import CapacityError, ConfigError
 
 @dataclass
 class SessionRecord:
-    """One live session: its state plus bookkeeping for eviction."""
+    """One live session: its state plus bookkeeping for eviction.
+
+    ``state`` is the session's unbatched recurrent context on the
+    gather/scatter path, and ``None`` when the server pins state in a
+    :class:`~repro.serve.arena.StateArena` slot instead (the arena, not
+    the record, owns the arrays then).
+    """
 
     session_id: str
-    state: NumpyDNCState
+    state: Optional[NumpyDNCState]
     created_tick: int
     last_active_tick: int
     steps_completed: int = 0
@@ -51,7 +62,7 @@ class SessionStore:
 
     def __init__(
         self,
-        state_factory: Callable[[], NumpyDNCState],
+        state_factory: Optional[Callable[[], NumpyDNCState]],
         capacity: int = 64,
         ttl_ticks: Optional[int] = None,
         lru_evict: bool = True,
@@ -119,7 +130,10 @@ class SessionStore:
                 self.on_evict(victim, "lru")
         record = SessionRecord(
             session_id=session_id,
-            state=self._state_factory(),
+            state=(
+                self._state_factory() if self._state_factory is not None
+                else None
+            ),
             created_tick=tick,
             last_active_tick=tick,
         )

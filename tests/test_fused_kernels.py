@@ -1,0 +1,177 @@
+"""Fused erase/write/linkage kernel: bitwise contract, mask, workspace.
+
+The fused kernel's whole value proposition rests on being *bitwise*
+identical to the three-pass reference sequence — not merely within
+tolerance — so every comparison here uses exact equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HiMAConfig
+from repro.core.engine import TiledEngine
+from repro.core.kernels import FusedWriteWorkspace, fused_erase_write_linkage
+from repro.dnc import numpy_ref as K
+
+
+def random_write_inputs(rng, lead, n=24, w=8, dtype="float64"):
+    """Previous state + write operands with the given leading shape."""
+    def draw(*shape):
+        return rng.standard_normal(lead + shape).astype(dtype)
+
+    memory = draw(n, w)
+    linkage = draw(n, n)
+    precedence = rng.random(lead + (n,)).astype(dtype)
+    write_w = rng.random(lead + (n,)).astype(dtype)
+    write_w /= write_w.sum(axis=-1, keepdims=True)
+    erase = rng.random(lead + (w,)).astype(dtype)
+    value = draw(w)
+    return memory, linkage, precedence, write_w, erase, value
+
+
+def three_pass(memory, linkage, precedence, write_w, erase, value):
+    new_memory = K.erase_write(memory, write_w, erase, value)
+    new_linkage = K.linkage_update(linkage, write_w, precedence)
+    new_precedence = K.precedence_update(precedence, write_w)
+    return new_memory, new_linkage, new_precedence
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+@pytest.mark.parametrize("lead", [(), (3,), (2, 4)], ids=["unbatched", "B3", "B2xNt4"])
+def test_fused_bitwise_equals_three_pass(dtype, lead, rng):
+    inputs = random_write_inputs(rng, lead, dtype=dtype)
+    expected = three_pass(*inputs)
+    fused = fused_erase_write_linkage(*inputs)
+    for got, want in zip(fused, expected):
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+
+
+def test_fused_does_not_mutate_inputs(rng):
+    inputs = random_write_inputs(rng, (2,))
+    copies = [a.copy() for a in inputs]
+    fused_erase_write_linkage(*inputs)
+    for a, c in zip(inputs, copies):
+        assert np.array_equal(a, c)
+
+
+class TestMaskedVariant:
+    def test_active_subset_matches_subset_compute(self, rng):
+        inputs = random_write_inputs(rng, (5,))
+        idx = np.array([3, 0])
+        got = fused_erase_write_linkage(*inputs, active=idx)
+        sub = fused_erase_write_linkage(*(a[idx] for a in inputs))
+        for out, full_in, sub_out in zip(got, inputs[:3], sub):
+            assert np.array_equal(out[idx], sub_out)
+            # Inactive slots pass through bitwise.
+            inactive = [i for i in range(5) if i not in idx]
+            assert np.array_equal(out[inactive], full_in[inactive])
+
+    def test_boolean_mask_accepted(self, rng):
+        inputs = random_write_inputs(rng, (4,))
+        mask = np.array([True, False, True, False])
+        via_mask = fused_erase_write_linkage(*inputs, active=mask)
+        via_idx = fused_erase_write_linkage(
+            *inputs, active=np.flatnonzero(mask)
+        )
+        for a, b in zip(via_mask, via_idx):
+            assert np.array_equal(a, b)
+
+    def test_empty_active_passes_everything_through(self, rng):
+        inputs = random_write_inputs(rng, (3,))
+        got = fused_erase_write_linkage(*inputs, active=np.array([], dtype=int))
+        for out, full_in in zip(got, inputs[:3]):
+            assert np.array_equal(out, full_in)
+
+    def test_unbatched_active_rejected(self, rng):
+        inputs = random_write_inputs(rng, ())
+        with pytest.raises(ValueError):
+            fused_erase_write_linkage(*inputs, active=np.array([0]))
+
+
+class TestWorkspace:
+    def test_workspace_results_bitwise(self, rng):
+        inputs = random_write_inputs(rng, (3,))
+        plain = fused_erase_write_linkage(*inputs)
+        ws = FusedWriteWorkspace()
+        via_ws = fused_erase_write_linkage(*inputs, workspace=ws)
+        for a, b in zip(plain, via_ws):
+            assert np.array_equal(a, b)
+
+    def test_workspace_buffers_are_reused(self, rng):
+        ws = FusedWriteWorkspace()
+        inputs = random_write_inputs(rng, (3,))
+        first = fused_erase_write_linkage(*inputs, workspace=ws)
+        second = fused_erase_write_linkage(*inputs, workspace=ws)
+        for a, b in zip(first, second):
+            assert a is b  # same resident buffer, overwritten in place
+
+    def test_recycled_arrays_become_outputs(self, rng):
+        ws = FusedWriteWorkspace()
+        inputs = random_write_inputs(rng, (2,))
+        donated = [np.empty_like(a) for a in inputs[:3]]
+        ws.recycle(*donated)
+        outs = fused_erase_write_linkage(*inputs, workspace=ws)
+        for out, buf in zip(outs, donated):
+            assert out is buf
+
+    def test_aliasing_input_as_output_raises(self, rng):
+        ws = FusedWriteWorkspace()
+        memory, linkage, precedence, write_w, erase, value = (
+            random_write_inputs(rng, (2,))
+        )
+        ws.recycle(memory, linkage, precedence)
+        with pytest.raises(ValueError):
+            fused_erase_write_linkage(
+                memory, linkage, precedence, write_w, erase, value,
+                workspace=ws,
+            )
+
+    def test_same_shape_memory_and_linkage_do_not_collide(self, rng):
+        # N == W makes memory and linkage the same shape; the workspace
+        # must still hand out distinct buffers per role.
+        n = 6
+        memory = rng.standard_normal((2, n, n))
+        linkage = rng.standard_normal((2, n, n))
+        precedence = rng.random((2, n))
+        write_w = rng.random((2, n))
+        erase = rng.random((2, n))
+        value = rng.standard_normal((2, n))
+        ws = FusedWriteWorkspace()
+        out_m, out_l, _ = fused_erase_write_linkage(
+            memory, linkage, precedence, write_w, erase, value, workspace=ws
+        )
+        assert out_m is not out_l
+        expected = three_pass(memory, linkage, precedence, write_w, erase, value)
+        assert np.array_equal(out_m, expected[0])
+        assert np.array_equal(out_l, expected[1])
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("distributed", [False, True], ids=["dnc", "dncd"])
+    def test_engine_fused_vs_three_pass_bitwise(self, dtype, distributed, rng):
+        base = dict(
+            memory_size=32, word_size=16, num_reads=2, num_tiles=4,
+            hidden_size=32, two_stage_sort=False,
+            distributed=distributed, dtype=dtype,
+        )
+        fused_engine = TiledEngine(HiMAConfig(**base), rng=0)
+        legacy_engine = TiledEngine(
+            HiMAConfig(**base, fused_write_linkage=False), rng=0
+        )
+        xs = rng.standard_normal((5, 16)).astype(dtype)
+        assert np.array_equal(fused_engine.run(xs), legacy_engine.run(xs))
+        xb = rng.standard_normal((3, 4, 16)).astype(dtype)
+        assert np.array_equal(
+            fused_engine.run_batch(xb), legacy_engine.run_batch(xb)
+        )
+
+    def test_engine_fused_passes_reference_verification(self):
+        engine = TiledEngine(HiMAConfig(
+            memory_size=32, word_size=16, num_reads=2, num_tiles=4,
+            hidden_size=32, two_stage_sort=False,
+        ), rng=0)
+        assert engine.config.fused_write_linkage  # the default
+        assert engine.verify_against_reference(steps=3) <= 1e-9
+        assert engine.verify_against_reference(steps=3, batch_size=3) <= 1e-10

@@ -1,0 +1,209 @@
+"""Masked in-place engine step: the state arena's compute primitive.
+
+``TiledEngine.step(x, state, active=idx)`` must advance exactly the
+selected batch slots, bitwise-match the gather/step/scatter reference it
+replaces (dispatch order preserved), and leave every inactive slot
+untouched — for both engine modes and both dtype policies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HiMAConfig
+from repro.core.engine import TiledEngine, gather_states, scatter_states
+from repro.dnc.numpy_ref import NumpyDNCState
+from repro.errors import ConfigError
+
+
+def make_engine(**features):
+    base = dict(
+        memory_size=32, word_size=16, num_reads=2, num_tiles=4,
+        hidden_size=32, two_stage_sort=False,
+    )
+    base.update(features)
+    return TiledEngine(HiMAConfig(**base), rng=0)
+
+
+def warmed_state(engine, rng, batch):
+    """A batched state advanced a few steps so every field is non-trivial."""
+    state = engine.initial_state(batch_size=batch)
+    for _ in range(2):
+        x = rng.standard_normal((batch, 16)).astype(engine.config.np_dtype)
+        _, state = engine.step(x, state)
+    return state
+
+
+def copy_state(state):
+    return NumpyDNCState(**{
+        name: getattr(state, name).copy() for name in NumpyDNCState.FIELDS
+    })
+
+
+def fields_equal(a, b):
+    return all(
+        np.array_equal(getattr(a, name), getattr(b, name))
+        for name in NumpyDNCState.FIELDS
+    )
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+@pytest.mark.parametrize("distributed", [False, True], ids=["dnc", "dncd"])
+def test_masked_step_matches_gather_scatter(dtype, distributed, rng):
+    engine = make_engine(dtype=dtype, distributed=distributed)
+    b = 6
+    arena = warmed_state(engine, rng, b)
+    snapshot = copy_state(arena)
+    sessions = scatter_states(copy_state(arena))
+    x = rng.standard_normal((b, 16)).astype(dtype)
+
+    idx = np.array([4, 1, 3])  # dispatch order, deliberately not sorted
+    y, out = engine.step(x, arena, active=idx)
+    assert out is arena  # in place: the same state object
+
+    # Reference: gather the same rows in the same order, step, scatter.
+    ref_batched = gather_states([sessions[i] for i in idx])
+    y_ref, new_ref = engine.step(x[idx], ref_batched)
+    ref_rows = scatter_states(new_ref)
+    for k, i in enumerate(idx):
+        assert np.array_equal(y[i], y_ref[k])
+        for name in NumpyDNCState.FIELDS:
+            assert np.array_equal(
+                getattr(arena, name)[i], getattr(ref_rows[k], name)
+            ), (name, i)
+    # Inactive slots: bitwise untouched, y rows zero.
+    for i in (0, 2, 5):
+        for name in NumpyDNCState.FIELDS:
+            assert np.array_equal(
+                getattr(arena, name)[i], getattr(snapshot, name)[i]
+            ), (name, i)
+        assert np.all(y[i] == 0.0)
+
+
+@pytest.mark.parametrize("distributed", [False, True], ids=["dnc", "dncd"])
+def test_dense_fast_path_is_zero_copy_and_matches_plain_step(distributed, rng):
+    engine = make_engine(distributed=distributed)
+    b = 4
+    arena = warmed_state(engine, rng, b)
+    reference = copy_state(arena)
+    x = rng.standard_normal((b, 16))
+
+    y, out = engine.step(x, arena, active=np.arange(b))
+    assert out is arena
+    assert engine.last_state_bytes_copied == 0
+
+    y_ref, new_ref = engine.step(x, reference)
+    assert np.array_equal(y, y_ref)
+    assert fields_equal(arena, new_ref)
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_permuted_full_dispatch_is_dense_and_matches_gather_scatter(dtype, rng):
+    """Full occupancy in *any* dispatch order takes the zero-copy dense
+    path, and per-row kernels make the batch order irrelevant — the
+    results stay bitwise those of the dispatch-ordered gather/scatter
+    reference (the property the serving layer's churn equivalence needs
+    after slot reuse permutes dispatch order)."""
+    engine = make_engine(dtype=dtype)
+    b = 5
+    arena = warmed_state(engine, rng, b)
+    sessions = scatter_states(copy_state(arena))
+    x = rng.standard_normal((b, 16)).astype(dtype)
+    idx = np.array([3, 0, 4, 2, 1])
+    y, _ = engine.step(x, arena, active=idx)
+    assert engine.last_state_bytes_copied == 0  # dense path despite order
+    ref_batched = gather_states([sessions[i] for i in idx])
+    y_ref, new_ref = engine.step(x[idx], ref_batched)
+    ref_rows = scatter_states(new_ref)
+    for k, i in enumerate(idx):
+        assert np.array_equal(y[i], y_ref[k])
+        for name in NumpyDNCState.FIELDS:
+            assert np.array_equal(
+                getattr(arena, name)[i], getattr(ref_rows[k], name)
+            ), (name, i)
+
+
+def test_partial_mask_reports_copy_bytes(rng):
+    engine = make_engine()
+    b = 5
+    arena = warmed_state(engine, rng, b)
+    idx = np.array([2, 0])
+    engine.step(rng.standard_normal((b, 16)), arena, active=idx)
+    assert engine.last_state_bytes_copied == 2 * idx.size * arena.row_nbytes
+    # Unmasked steps reset the counter (documented contract).
+    engine.step(rng.standard_normal(16), engine.initial_state())
+    assert engine.last_state_bytes_copied == 0
+
+
+def test_boolean_mask_equivalent_to_indices(rng):
+    engine = make_engine()
+    b = 4
+    arena_a = warmed_state(engine, rng, b)
+    arena_b = copy_state(arena_a)
+    x = np.asarray(rng.standard_normal((b, 16)))
+    mask = np.array([True, False, True, False])
+    ya, _ = engine.step(x, arena_a, active=mask)
+    yb, _ = engine.step(x, arena_b, active=np.flatnonzero(mask))
+    assert np.array_equal(ya, yb)
+    assert fields_equal(arena_a, arena_b)
+
+
+def test_empty_active_is_a_no_op(rng):
+    engine = make_engine()
+    arena = warmed_state(engine, rng, 3)
+    snapshot = copy_state(arena)
+    y, out = engine.step(
+        np.zeros((3, 16)), arena, active=np.array([], dtype=int)
+    )
+    assert out is arena
+    assert np.all(y == 0.0)
+    assert fields_equal(arena, snapshot)
+
+
+def test_masked_traffic_scales_by_active_count(rng):
+    solo = make_engine()
+    solo.traffic.clear()
+    solo.step(rng.standard_normal(16), solo.initial_state())
+    solo_words = solo.traffic.total_words()
+
+    engine = make_engine()
+    arena = engine.initial_state(batch_size=5)
+    engine.traffic.clear()
+    engine.step(
+        rng.standard_normal((5, 16)), arena, active=np.array([0, 2, 4])
+    )
+    assert engine.traffic.total_words() == 3 * solo_words
+
+
+class TestValidation:
+    def setup_method(self):
+        self.engine = make_engine()
+        self.arena = self.engine.initial_state(batch_size=4)
+        self.x = np.zeros((4, 16))
+
+    def test_unbatched_state_rejected(self):
+        with pytest.raises(ConfigError):
+            self.engine.step(
+                np.zeros(16), self.engine.initial_state(), active=np.array([0])
+            )
+
+    def test_wrong_x_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            self.engine.step(
+                np.zeros((3, 16)), self.arena, active=np.array([0])
+            )
+
+    def test_out_of_range_slot_rejected(self):
+        with pytest.raises(ConfigError):
+            self.engine.step(self.x, self.arena, active=np.array([0, 4]))
+        with pytest.raises(ConfigError):
+            self.engine.step(self.x, self.arena, active=np.array([-1]))
+
+    def test_duplicate_slots_rejected(self):
+        with pytest.raises(ConfigError):
+            self.engine.step(self.x, self.arena, active=np.array([1, 1]))
+
+    def test_wrong_length_boolean_mask_rejected(self):
+        with pytest.raises(ConfigError):
+            self.engine.step(
+                self.x, self.arena, active=np.array([True, False])
+            )
