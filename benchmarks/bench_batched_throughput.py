@@ -36,7 +36,11 @@ import pytest
 
 from repro.core.config import HiMAConfig
 from repro.eval.bench_schema import merge_artifact, validate_trajectory
-from repro.eval.runners import batched_throughput_experiment, measure_batched_throughput
+from repro.eval.runners import (
+    batched_throughput_experiment,
+    measure_batched_throughput,
+    measure_masked_occupancy,
+)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 ARTIFACT = REPO_ROOT / "BENCH_batched_throughput.json"
@@ -54,6 +58,15 @@ TRAJECTORY_CONFIG = dict(
 #: halving the word width is measurable above timer noise.
 DTYPE_AB_CONFIG = dict(
     memory_size=256, word_size=32, num_reads=2, num_tiles=8, hidden_size=64,
+    two_stage_sort=False,
+)
+
+#: Masked-occupancy A/B configuration: state-heavy (N=256, one read
+#: head) so the per-tick state movement the dense-capacity path
+#: eliminates is visible; half occupancy (8 of 16 resident slots) is
+#: the serving arena's steady-state shape when it is not full.
+OCCUPANCY_CONFIG = dict(
+    memory_size=256, word_size=32, num_reads=1, num_tiles=8, hidden_size=64,
     two_stage_sort=False,
 )
 
@@ -149,6 +162,41 @@ def test_fused_write_linkage_trajectory():
     # Fusion must never cost throughput (it typically buys a few percent
     # by dropping full-size temporaries); generous slack for CI noise.
     assert fused.steps_per_sec >= 0.7 * unfused.steps_per_sec
+
+
+def test_masked_occupancy_trajectory():
+    """A/B the partial-occupancy masked-step paths at half occupancy.
+
+    The dense-capacity path (``masked_dense_min_occupancy=0.0``: cheap
+    kernels over the full resident batch, O(N^2) write phase skipping
+    inactive slots in place) against the compact gather path
+    (``masked_dense_min_occupancy=1.0``: fancy-index gather/scatter of
+    the active rows), both stepping 8 active of 16 resident slots on
+    the state-heavy config.  The paths are numerically interchangeable
+    (pinned in ``tests/test_masked_step.py``); the artifact records
+    which one wins at this occupancy, and the floor only forbids the
+    dense path from regressing materially below the gather path it is
+    meant to replace above the threshold.
+    """
+    dense = measure_masked_occupancy(
+        HiMAConfig(**OCCUPANCY_CONFIG, masked_dense_min_occupancy=0.0),
+        capacity=16, active=8, seq_len=8, repeats=3,
+    )
+    gather = measure_masked_occupancy(
+        HiMAConfig(**OCCUPANCY_CONFIG, masked_dense_min_occupancy=1.0),
+        capacity=16, active=8, seq_len=8, repeats=3,
+    )
+    _merge_artifact({
+        "variants": {
+            "masked_dense_occupancy": dense.to_json(),
+            "masked_gather_occupancy": gather.to_json(),
+        }
+    })
+    assert dense.masked_dense_min_occupancy == 0.0
+    assert gather.masked_dense_min_occupancy == 1.0
+    assert dense.batch1_max_abs_diff <= 1e-10
+    assert gather.batch1_max_abs_diff <= 1e-10
+    assert dense.steps_per_sec >= 0.8 * gather.steps_per_sec
 
 
 def test_trajectory_schema_valid():

@@ -1,0 +1,137 @@
+"""Sharded serving scaling — router + engine-shard cluster vs one server.
+
+Drives the identical 64-concurrent-session workload through
+:class:`repro.serve.ShardedServer` at 1, 2, and 4 shards (per-shard
+arena capacity ``64 / shards``, same per-engine ``max_batch``) plus the
+pre-sharding :class:`repro.serve.SessionServer`, and writes the scaling
+curve to ``BENCH_shard_scaling.json`` at the repo root under the schema
+registered in :mod:`repro.eval.bench_schema` (``SHARD_ENTRY_KEYS``)::
+
+    {
+      "shards": 4, "requests_per_sec": x, "speedup_vs_one_shard": y, ...,
+      "variants": {
+        "shards_1": {...},   # the no-regression point vs SessionServer
+        "shards_2": {...},
+        "shards_4": {...}    # == the top-level entry
+      }
+    }
+
+What sharding buys on this workload: every shard runs its arena at full
+occupancy, so each tick is the zero-copy dense masked step with
+ping-ponged fused-write buffers, while the 1-shard server holds all 64
+sessions in one arena and dispatches 16-of-64 — the partial-occupancy
+masked step that still moves state every tick — and the shards' ticks
+overlap on separate cores (they share nothing, so thread-parallel ticks
+are bit-identical to sequential ones).
+
+Asserted floors (conservative, as ever): the 4-shard cluster must
+deliver >= 2.5x the 1-shard cluster's request throughput at 64
+concurrent sessions; the 1-shard cluster must be within 10% of the
+plain ``SessionServer`` (the refactor cannot tax the unsharded path);
+and every served trajectory — including the forced mid-stream migration
+in the correctness pass — must match solo unbatched stepping to
+<= 1e-10.
+"""
+
+import json
+import pathlib
+
+from repro.core.config import HiMAConfig
+from repro.eval.bench_schema import merge_artifact, validate_shard_scaling
+from repro.serve import (
+    ConsistentHashPlacement,
+    HotSpotRebalance,
+    ShardedServer,
+    generate_zipf_scripts,
+    measure_shard_scaling,
+    run_open_loop,
+    tenant_of,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_shard_scaling.json"
+
+#: The state-heavy serve A/B config (N=384, one read head): per-tick
+#: state movement — what full-occupancy shards eliminate — is a visible
+#: fraction of the step, exactly as in ``bench_serve_load``.
+SHARD_CONFIG = dict(
+    memory_size=384, word_size=16, num_reads=1, num_tiles=8, hidden_size=32,
+    two_stage_sort=False,
+)
+
+
+def _merge_artifact(update: dict) -> None:
+    """Read-modify-write the shard JSON, preserving other entries."""
+    merge_artifact(ARTIFACT, update)
+
+
+def test_shard_scaling_trajectory():
+    results = measure_shard_scaling(
+        HiMAConfig(**SHARD_CONFIG),
+        shard_counts=(1, 2, 4),
+        num_sessions=64, steps_per_session=4,
+        max_batch=16, max_wait_ticks=1, repeats=3,
+    )
+    # Always leave the artifact on disk, even if the floors fail below:
+    # a regressing run should still record what it measured.  Top level
+    # carries the headline 4-shard point.
+    _merge_artifact({
+        **results[4].to_json(),
+        "variants": {
+            f"shards_{count}": result.to_json()
+            for count, result in sorted(results.items())
+        },
+    })
+    for count, result in results.items():
+        assert result.sharded_max_abs_diff <= 1e-10, count
+        if count > 1:
+            # The correctness pass migrated a session mid-stream and the
+            # trajectory still matched solo stepping above.
+            assert result.sessions_migrated >= 1, count
+    # The refactor cannot tax the unsharded path: 1-shard cluster within
+    # 10% of the PR 4 SessionServer on the identical workload.
+    one = results[1]
+    assert one.requests_per_sec >= 0.9 * one.session_server_requests_per_sec
+    # The scaling floor: 4 shards must buy >= 2.5x aggregate throughput.
+    assert results[4].speedup_vs_one_shard >= 2.5
+
+
+def test_shard_artifact_schema_valid():
+    """The artifact written above satisfies the published contract."""
+    problems = validate_shard_scaling(json.loads(ARTIFACT.read_text()))
+    assert problems == [], "\n".join(problems)
+
+
+def test_zipf_hot_shard_rebalances_and_drains():
+    """Tenant-skewed arrivals through tenant-keyed consistent hashing
+    pile sessions onto few shards; hot-spot rebalancing must migrate
+    sessions off the hot shard and the whole load must still drain with
+    every request served."""
+    from repro.core.engine import TiledEngine
+
+    config = HiMAConfig(
+        memory_size=32, word_size=16, num_tiles=4, hidden_size=32,
+        two_stage_sort=False,
+    )
+    engines = [TiledEngine(config, rng=0) for _ in range(4)]
+    cluster = ShardedServer(
+        engines,
+        max_batch=8, max_wait_ticks=1,
+        queue_capacity=4096, session_capacity=16,
+        placement=ConsistentHashPlacement(key_of=tenant_of),
+        rebalance=HotSpotRebalance(max_spread=2, max_moves=2),
+        parallel=False,
+    )
+    scripts = generate_zipf_scripts(
+        input_size=16, num_sessions=24, num_tenants=6,
+        zipf_exponent=1.4, mean_session_len=6.0,
+        mean_interarrival_ticks=0.5, rng=11,
+    )
+    results = run_open_loop(cluster, scripts)
+    cluster.close()
+    assert cluster.migrations > 0  # the hot shard actually shed load
+    completed = sum(len(v) for v in results.values())
+    assert completed == sum(s.length for s in scripts)
+    assert all(
+        r.done and r.error is None for v in results.values() for r in v
+    )

@@ -61,6 +61,18 @@ class HiMAConfig:
     #: exists for A/B benchmarking and as an escape hatch.
     fused_write_linkage: bool = True
 
+    #: Occupancy fraction at which a partially-masked step
+    #: (:meth:`~repro.core.engine.TiledEngine.step` with ``active=``
+    #: covering some but not all slots) switches from the compact
+    #: gather/scatter path to the *dense-capacity* path: every cheap
+    #: per-row kernel runs over the full resident batch (no gathers)
+    #: while the O(N^2) write phase skips inactive slots in place via
+    #: the masked fused kernel.  ``0.0`` always takes the dense path,
+    #: ``1.0`` never does (full occupancy already has its own zero-copy
+    #: fast path).  Non-distributed engines only — the DNC-D stacked
+    #: kernels view-shard the state, so it keeps the compact path.
+    masked_dense_min_occupancy: float = 0.75
+
     # Implementation parameters.
     macs_per_cycle: int = 2048  # per-PT M-M engine throughput
     link_words_per_cycle: int = 32  # NoC link width (words/flit)
@@ -75,6 +87,9 @@ class HiMAConfig:
         check_positive("num_tiles", self.num_tiles)
         check_in("noc", self.noc, _NOC_CHOICES)
         check_probability("skim_fraction", self.skim_fraction)
+        check_probability(
+            "masked_dense_min_occupancy", self.masked_dense_min_occupancy
+        )
         check_positive("macs_per_cycle", self.macs_per_cycle)
         check_positive("link_words_per_cycle", self.link_words_per_cycle)
         check_positive("sequence_length", self.sequence_length)

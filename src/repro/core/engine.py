@@ -231,6 +231,14 @@ class TiledEngine:
         # fresh arrays and must never write into shared buffers.
         self._fused_workspace = SK.FusedWriteWorkspace()
         self._active_workspace: Optional[SK.FusedWriteWorkspace] = None
+        # Partial-occupancy dense masked step plumbing: when set, the
+        # fused write phase skips inactive slots in place
+        # (kernels.fused_erase_write_linkage_inplace with the reused
+        # scratch dict) and traffic words scale by the active count
+        # instead of the resident batch size.
+        self._fused_active: Optional[np.ndarray] = None
+        self._masked_scratch: Dict = {}
+        self._traffic_words_scale: Optional[int] = None
 
     # ------------------------------------------------------------------
     def initial_state(self, batch_size: Optional[int] = None) -> NumpyDNCState:
@@ -264,10 +272,15 @@ class TiledEngine:
         inactive rows zero.  When ``active`` covers every slot (any
         order — it is then a permutation, and the per-row kernels make
         batch order irrelevant) the step runs directly on the resident
-        arrays with **zero** gather/scatter copies; otherwise the active
+        arrays with **zero** gather/scatter copies.  Partial occupancy
+        at or above ``config.masked_dense_min_occupancy`` (non-DNC-D)
+        takes the dense-capacity path: every cheap kernel runs over the
+        full resident batch while the O(N^2) write phase skips inactive
+        slots in place, so only the small per-row fields are scattered
+        back.  Below the threshold (and always for DNC-D) the active
         rows are gathered/scattered with one vectorized fancy index per
-        field (:attr:`last_state_bytes_copied` records the cost).
-        Traffic words scale by the number of *active* slots.
+        field (:attr:`last_state_bytes_copied` records the cost either
+        way).  Traffic words scale by the number of *active* slots.
         """
         x = np.asarray(x, dtype=self.config.np_dtype)
         self.last_state_bytes_copied = 0
@@ -312,6 +325,17 @@ class TiledEngine:
         step_fn = (
             self._step_distributed if self.config.distributed else self._step_dnc
         )
+        if (
+            idx.size < b
+            and not self.config.distributed
+            and idx.size >= self.config.masked_dense_min_occupancy * b
+        ):
+            # Partial occupancy above the configured threshold: run the
+            # step over the whole resident batch with zero gathers
+            # rather than paying the compact path's per-field
+            # gather/scatter.  DNC-D is excluded — its stacked kernels
+            # view-shard the state arrays.
+            return self._step_masked_dense(x, state, idx)
         if idx.size == b:
             # Dense fast path: every slot advances (the validated idx is
             # then a permutation of the slots, and per-row kernels make
@@ -350,6 +374,57 @@ class TiledEngine:
         y = np.zeros((b, out_size), dtype=self.config.np_dtype)
         y[idx] = y_sub
         return y, state
+
+    def _step_masked_dense(
+        self, x: np.ndarray, state: NumpyDNCState, idx: np.ndarray
+    ) -> Tuple[np.ndarray, NumpyDNCState]:
+        """Partial-occupancy masked step over the full resident batch.
+
+        Above ``masked_dense_min_occupancy`` the compact path's
+        per-field gather/scatter of the active rows costs more than
+        simply computing the cheap per-row kernels for every resident
+        slot, so this path steps the whole capacity-``B`` batch with
+        zero gathers: the O(N^2) write phase skips inactive slots *in
+        place* (:func:`repro.core.kernels.fused_erase_write_linkage_inplace`),
+        and only the small per-row state fields are scattered back.
+        Inactive slots stay bitwise untouched, inactive ``y`` rows are
+        zero, and traffic words scale by the active count — the same
+        masked-step contract as the compact path, at
+        :attr:`last_state_bytes_copied` cost of one write per active
+        row of the non-resident fields (the N^2 fields never move).
+
+        With ``fused_write_linkage=False`` the three-pass write phase
+        has no masked form, so it computes all ``B`` rows and the three
+        big fields join the scatter — the escape hatch stays available
+        at the cost of the extra write-phase compute.
+        """
+        b = state.batch_size
+        self._traffic_words_scale = int(idx.size)
+        self._fused_active = idx if self.config.fused_write_linkage else None
+        try:
+            y, new_state = self._step_dnc(x, state)
+        finally:
+            self._fused_active = None
+            self._traffic_words_scale = None
+        copied = 0
+        for name in NumpyDNCState.FIELDS:
+            new = getattr(new_state, name)
+            cur = getattr(state, name)
+            if new is cur:
+                continue  # the masked fused write phase updated it in place
+            cur[idx] = new[idx]
+            copied += idx.size * cur[0].nbytes
+        self.last_state_bytes_copied = copied
+        mask = np.zeros(b, dtype=bool)
+        mask[idx] = True
+        y[~mask] = 0.0
+        return y, state
+
+    def _traffic_words(self, lead_batch: int) -> int:
+        """Traffic word multiplier: the active count under the
+        partial-occupancy dense masked step, else the lead batch."""
+        scale = self._traffic_words_scale
+        return lead_batch if scale is None else scale
 
     def run(self, inputs: np.ndarray) -> np.ndarray:
         """Run a ``(T, input_size)`` sequence; returns ``(T, output_size)``.
@@ -403,7 +478,7 @@ class TiledEngine:
         n, w, r = cfg.memory_size, cfg.word_size, cfg.num_reads
         log = self.traffic
         lead = x.shape[:-1]
-        b = _lead_batch(lead)
+        b = self._traffic_words(_lead_batch(lead))
 
         # --- Controller at CT; interface vectors broadcast to PTs. -------
         lstm_h, lstm_c, interface = self._controller(x, state)
@@ -453,7 +528,19 @@ class TiledEngine:
         for hop in range(nt - 1):
             log.add("precedence", hop, hop + 1, b)
         log.add("precedence", nt - 1, ct, b)
-        if cfg.fused_write_linkage:
+        if cfg.fused_write_linkage and self._fused_active is not None:
+            # Partial-occupancy dense masked step: advance only the
+            # active slots, in place on the resident arrays — the
+            # inactive N^2 rows are neither read nor written.
+            SK.fused_erase_write_linkage_inplace(
+                state.memory, state.linkage, state.precedence,
+                write_w, interface.erase, interface.write_vector,
+                active=self._fused_active, scratch=self._masked_scratch,
+            )
+            memory = state.memory
+            linkage = state.linkage
+            precedence = state.precedence
+        elif cfg.fused_write_linkage:
             memory, linkage, precedence = SK.fused_erase_write_linkage(
                 state.memory, state.linkage, state.precedence,
                 write_w, interface.erase, interface.write_vector,
@@ -546,7 +633,7 @@ class TiledEngine:
         cfg = self.config
         mmap = self.memory_map
         r = prev_read_w.shape[-2]
-        b = _lead_batch(prev_read_w.shape[:-2])
+        b = self._traffic_words(_lead_batch(prev_read_w.shape[:-2]))
         nt_h, nt_w = mmap.nt_h, mmap.nt_w
         for t in range(cfg.num_tiles):
             rows, cols = mmap.linkage_block(t)
@@ -575,7 +662,7 @@ class TiledEngine:
         cfg = self.config
         ct = self.memory_map.ct_node
         n_local = cfg.local_rows
-        b = _lead_batch(usage.shape[:-1])
+        b = self._traffic_words(_lead_batch(usage.shape[:-1]))
         if cfg.skim_fraction > 0.0:
             order = skimmed_sort_order(usage, cfg.skim_fraction)
             effective = cfg.effective_sort_length

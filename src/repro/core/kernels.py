@@ -292,6 +292,86 @@ def fused_erase_write_linkage(
     return new_memory, new_linkage, new_precedence
 
 
+def fused_erase_write_linkage_inplace(
+    memory: np.ndarray,
+    linkage: np.ndarray,
+    precedence: np.ndarray,
+    write_w: np.ndarray,
+    erase: np.ndarray,
+    value: np.ndarray,
+    active: np.ndarray,
+    scratch: Optional[Dict] = None,
+) -> None:
+    """Masked fused write phase mutating the resident arrays in place.
+
+    The zero-copy companion of :func:`fused_erase_write_linkage` for
+    slot-pinned batched state at *partial* occupancy: rows ``active`` of
+    ``memory (B, N, W)``, ``linkage (B, N, N)``, and ``precedence
+    (B, N)`` are advanced one write step **in place** — no full-capacity
+    input copies, no gather of the O(N^2) fields — and every other row
+    is left bitwise untouched.  Each active row's values are bitwise
+    identical to :func:`fused_erase_write_linkage` on that row (the same
+    ufunc sequence runs per slot, into a reused scratch buffer that is
+    copied back only after every old value it depends on has been read).
+
+    The per-slot loop is deliberate: a vectorized fancy-index pass would
+    have to gather the active ``N^2`` rows first, which is exactly the
+    copy this kernel exists to avoid; the loop body is a handful of
+    whole-row vectorized ufuncs, so Python overhead is negligible
+    against the O(N^2) arithmetic.
+
+    ``scratch`` — an optional dict the caller keeps between invocations
+    so the three per-slot buffers (one ``(N, W)``, two ``(N, N)``) are
+    allocated once per (shape, dtype) rather than per call.
+    """
+    if memory.ndim < 3:
+        raise ValueError(
+            "fused_erase_write_linkage_inplace needs a leading batch "
+            f"axis; got memory of shape {memory.shape}"
+        )
+    idx = np.asarray(active)
+    if idx.dtype == np.bool_:
+        idx = np.flatnonzero(idx)
+    if idx.size == 0:
+        return
+    n = write_w.shape[-1]
+    scratch = {} if scratch is None else scratch
+
+    def buf(key: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        held = scratch.get(key)
+        if held is None or held.shape != shape or held.dtype != dtype:
+            held = np.empty(shape, dtype=dtype)
+            scratch[key] = held
+        return held
+
+    mw = buf("mw", memory.shape[-2:], memory.dtype)
+    nn = buf("nn", linkage.shape[-2:], linkage.dtype)
+    nn2 = buf("nn2", linkage.shape[-2:], linkage.dtype)
+    erase_b = np.broadcast_to(erase, write_w.shape[:-1] + erase.shape[-1:])
+    value_b = np.broadcast_to(value, write_w.shape[:-1] + value.shape[-1:])
+    diag = np.arange(n)
+    for s in idx:
+        m, link, p, w = memory[s], linkage[s], precedence[s], write_w[s]
+        w_col = w[:, None]
+        # Memory rows: m * (1 - w x e) + w x v, reference ufunc order.
+        np.multiply(w_col, erase_b[s][None, :], out=mw)
+        np.subtract(1.0, mw, out=mw)
+        np.multiply(mw, m, out=mw)
+        mw += w_col * value_b[s][None, :]
+        # Linkage cells: ((1 - w_i) - w_j) * L + w_i * p_j.
+        np.subtract(1.0 - w_col, w[None, :], out=nn)
+        np.multiply(nn, link, out=nn)
+        np.multiply(w_col, p[None, :], out=nn2)
+        nn += nn2
+        nn[diag, diag] = 0.0
+        # Precedence reads old p; linkage above already consumed it too,
+        # so it may now be overwritten: (1 - sum w) * p + w.
+        np.multiply(1.0 - w.sum(), p, out=p)
+        p += w
+        m[...] = mw
+        link[...] = nn
+
+
 @dataclass(frozen=True)
 class KernelSpec:
     """One DNC kernel's Table 1 row."""
@@ -568,4 +648,5 @@ __all__ = [
     "stacked_read_scores",
     "FusedWriteWorkspace",
     "fused_erase_write_linkage",
+    "fused_erase_write_linkage_inplace",
 ]

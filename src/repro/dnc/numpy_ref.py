@@ -19,6 +19,8 @@ float64 precision.
 
 from __future__ import annotations
 
+import json
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -331,6 +333,104 @@ class NumpyDNCState:
         return type(self)(**{
             name: getattr(self, name).copy() for name in self.FIELDS
         })
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization (the serving layer's migration primitive)
+    # ------------------------------------------------------------------
+
+    #: ``to_bytes`` wire format: magic, little-endian uint16 version +
+    #: uint32 header length, a JSON header recording every field's dtype
+    #: and shape, then the raw C-order field bytes in header order.
+    BYTES_MAGIC = b"HIMASTATE"
+    BYTES_VERSION = 1
+
+    def to_bytes(self) -> bytes:
+        """Serialize the state to a self-describing byte string.
+
+        The round trip through :meth:`from_bytes` is **bitwise** and
+        dtype-preserving for any dtype policy and for batched and
+        unbatched states alike — the payload is the exact C-order bytes
+        of every field, prefixed with a versioned header, so a
+        checkpoint taken on one engine restores bit-identically on any
+        other engine with the same configuration (the session-migration
+        contract of :mod:`repro.serve`).
+        """
+        header = json.dumps({
+            "fields": {
+                name: [getattr(self, name).dtype.str,
+                       list(getattr(self, name).shape)]
+                for name in self.FIELDS
+            },
+        }).encode("utf-8")
+        parts = [
+            self.BYTES_MAGIC,
+            struct.pack("<HI", self.BYTES_VERSION, len(header)),
+            header,
+        ]
+        parts.extend(
+            np.ascontiguousarray(getattr(self, name)).tobytes()
+            for name in self.FIELDS
+        )
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "NumpyDNCState":
+        """Reconstruct a state serialized by :meth:`to_bytes`.
+
+        Every returned field owns a fresh contiguous array (the payload
+        can be dropped immediately).  Raises
+        :class:`~repro.errors.ConfigError` for a payload that is not a
+        state checkpoint: wrong magic, unknown version, a truncated or
+        oversized body, or a header whose field set does not match
+        :attr:`FIELDS`.
+        """
+        magic_len = len(cls.BYTES_MAGIC)
+        prefix_len = magic_len + struct.calcsize("<HI")
+        if len(payload) < prefix_len or payload[:magic_len] != cls.BYTES_MAGIC:
+            raise ConfigError("from_bytes: payload is not a state checkpoint")
+        version, header_len = struct.unpack(
+            "<HI", payload[magic_len:prefix_len]
+        )
+        if version != cls.BYTES_VERSION:
+            raise ConfigError(
+                f"from_bytes: unsupported checkpoint version {version} "
+                f"(this build reads version {cls.BYTES_VERSION})"
+            )
+        body_start = prefix_len + header_len
+        if len(payload) < body_start:
+            raise ConfigError("from_bytes: truncated checkpoint header")
+        try:
+            header = json.loads(payload[prefix_len:body_start])
+            fields = header["fields"]
+        except (ValueError, KeyError, TypeError):
+            raise ConfigError(
+                "from_bytes: malformed checkpoint header"
+            ) from None
+        if tuple(fields) != cls.FIELDS:
+            raise ConfigError(
+                f"from_bytes: checkpoint fields {tuple(fields)} do not "
+                f"match the state layout {cls.FIELDS}"
+            )
+        arrays = {}
+        offset = body_start
+        for name, (dtype_str, shape) in fields.items():
+            dtype = np.dtype(dtype_str)
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            end = offset + count * dtype.itemsize
+            if end > len(payload):
+                raise ConfigError(
+                    f"from_bytes: truncated checkpoint body at field {name!r}"
+                )
+            arrays[name] = np.frombuffer(
+                payload, dtype=dtype, count=count, offset=offset
+            ).reshape(shape).copy()
+            offset = end
+        if offset != len(payload):
+            raise ConfigError(
+                f"from_bytes: {len(payload) - offset} trailing bytes after "
+                "the last checkpoint field"
+            )
+        return cls(**arrays)
 
     # ------------------------------------------------------------------
     def _require_batched(self, op: str) -> int:

@@ -22,6 +22,10 @@ sort-enabled, dtype, and fused-write-kernel A/B entries.
 :class:`~repro.serve.loadgen.ServeLoadResult` entry (the state-arena
 hot path) plus a ``variants`` mapping with the ``state_arena`` /
 ``gather_scatter`` A/B pair.
+``BENCH_shard_scaling.json``: one flat
+:class:`~repro.serve.loadgen.ShardScalingResult` entry (the headline
+multi-shard point) plus ``shards_1`` / ``shards_2`` / ``shards_4``
+variants tracing the sharded-serving scaling curve.
 """
 
 from __future__ import annotations
@@ -80,12 +84,15 @@ ENTRY_KEYS = (
     "two_stage_sort",
     "skim_fraction",
     "fused_write_linkage",
+    "masked_dense_min_occupancy",
 )
 
 #: Variant entries the artifact must include: the sort-enabled hot paths,
-#: the float64/float32 A/B pair at memory_size >= 256, and the fused
+#: the float64/float32 A/B pair at memory_size >= 256, the fused
 #: write/linkage kernel A/B pair (fused single-sweep vs the three-pass
-#: legacy path, same config otherwise).
+#: legacy path, same config otherwise), and the partial-occupancy
+#: masked-step A/B (dense-capacity in-place write phase vs the compact
+#: gather path, same half-occupancy workload).
 REQUIRED_VARIANTS = (
     "two_stage_sort",
     "skim",
@@ -93,6 +100,8 @@ REQUIRED_VARIANTS = (
     "float32_n256",
     "fused_write_linkage",
     "unfused_write_linkage",
+    "masked_dense_occupancy",
+    "masked_gather_occupancy",
 )
 
 
@@ -160,6 +169,18 @@ def validate_trajectory(data: object) -> List[str]:
         problems.append(
             "variants['unfused_write_linkage']: entry must have "
             "fused_write_linkage=false"
+        )
+    dense = variants.get("masked_dense_occupancy")
+    if isinstance(dense, dict) and dense.get("masked_dense_min_occupancy") != 0.0:
+        problems.append(
+            "variants['masked_dense_occupancy']: entry must have "
+            "masked_dense_min_occupancy=0.0 (dense path forced on)"
+        )
+    gather = variants.get("masked_gather_occupancy")
+    if isinstance(gather, dict) and gather.get("masked_dense_min_occupancy") != 1.0:
+        problems.append(
+            "variants['masked_gather_occupancy']: entry must have "
+            "masked_dense_min_occupancy=1.0 (compact gather path forced)"
         )
     return problems
 
@@ -262,6 +283,107 @@ def validate_serve_load(data: object) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# BENCH_shard_scaling.json
+# ---------------------------------------------------------------------------
+
+#: Keys of every shard-scaling entry (top level and each variant); also
+#: the exact field list of ``ShardScalingResult`` — its ``to_json``
+#: iterates this tuple.
+SHARD_ENTRY_KEYS = (
+    "shards",
+    "concurrent_sessions",
+    "steps_per_session",
+    "max_batch",
+    "requests_per_sec",
+    "speedup_vs_one_shard",
+    "session_server_requests_per_sec",
+    "sharded_max_abs_diff",
+    "sessions_migrated",
+    "parallel",
+    "placement",
+    "dtype",
+    "memory_size",
+)
+
+#: The scaling curve the artifact must carry: 1/2/4-shard clusters over
+#: the identical workload (the 1-shard point doubles as the
+#: no-regression bound against the single ``SessionServer``).
+SHARD_REQUIRED_VARIANTS = ("shards_1", "shards_2", "shards_4")
+
+_SHARD_POSITIVE = (
+    "shards",
+    "concurrent_sessions",
+    "steps_per_session",
+    "max_batch",
+    "requests_per_sec",
+    "speedup_vs_one_shard",
+    "session_server_requests_per_sec",
+)
+
+
+def _check_shard_entry(entry: object, where: str) -> List[str]:
+    problems = _check_entry(entry, where, SHARD_ENTRY_KEYS, _SHARD_POSITIVE)
+    if not isinstance(entry, dict):
+        return problems
+    diff = entry.get("sharded_max_abs_diff")
+    if "sharded_max_abs_diff" in entry and (
+        not isinstance(diff, (int, float)) or diff < 0
+    ):
+        problems.append(
+            f"{where}: sharded_max_abs_diff must be a non-negative number, "
+            f"got {diff!r}"
+        )
+    migrated = entry.get("sessions_migrated")
+    if "sessions_migrated" in entry and (
+        not isinstance(migrated, int) or migrated < 0
+    ):
+        problems.append(
+            f"{where}: sessions_migrated must be a non-negative integer, "
+            f"got {migrated!r}"
+        )
+    if "parallel" in entry and not isinstance(entry.get("parallel"), bool):
+        problems.append(
+            f"{where}: parallel must be a boolean, got {entry.get('parallel')!r}"
+        )
+    if "placement" in entry and not isinstance(entry.get("placement"), str):
+        problems.append(
+            f"{where}: placement must be a string, got {entry.get('placement')!r}"
+        )
+    return problems
+
+
+def validate_shard_scaling(data: object) -> List[str]:
+    """Problems with a ``BENCH_shard_scaling.json`` payload."""
+    problems = _check_shard_entry(data, "top-level")
+    if not isinstance(data, dict):
+        return problems
+    variants = data.get("variants")
+    if not isinstance(variants, dict):
+        problems.append("missing or non-object 'variants' mapping")
+        return problems
+    for name in SHARD_REQUIRED_VARIANTS:
+        if name not in variants:
+            problems.append(f"variants: missing required entry {name!r}")
+            continue
+        problems.extend(_check_shard_entry(variants[name], f"variants[{name!r}]"))
+        expected = int(name.rsplit("_", 1)[1])
+        entry = variants[name]
+        if isinstance(entry, dict) and entry.get("shards") != expected:
+            problems.append(
+                f"variants[{name!r}]: entry must have shards={expected}"
+            )
+    one = variants.get("shards_1")
+    if isinstance(one, dict) and isinstance(
+        one.get("speedup_vs_one_shard"), (int, float)
+    ) and abs(one["speedup_vs_one_shard"] - 1.0) > 1e-9:
+        problems.append(
+            "variants['shards_1']: speedup_vs_one_shard must be 1.0 "
+            "(it is the reference point)"
+        )
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # Artifact registry
 # ---------------------------------------------------------------------------
 
@@ -271,6 +393,7 @@ def validate_serve_load(data: object) -> List[str]:
 ARTIFACT_VALIDATORS: Dict[str, Callable[[object], List[str]]] = {
     "BENCH_batched_throughput.json": validate_trajectory,
     "BENCH_serve_load.json": validate_serve_load,
+    "BENCH_shard_scaling.json": validate_shard_scaling,
 }
 
 
@@ -291,8 +414,11 @@ __all__ = [
     "REQUIRED_VARIANTS",
     "SERVE_ENTRY_KEYS",
     "SERVE_REQUIRED_VARIANTS",
+    "SHARD_ENTRY_KEYS",
+    "SHARD_REQUIRED_VARIANTS",
     "ARTIFACT_VALIDATORS",
     "validate_trajectory",
     "validate_serve_load",
+    "validate_shard_scaling",
     "validate_artifact",
 ]

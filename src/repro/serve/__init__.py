@@ -2,13 +2,26 @@
 
 The serving layer turns the batched engine (PRs 1–2) into a multi-user
 service: many independent, asynchronously arriving DNC sessions share
-one :class:`~repro.core.engine.TiledEngine`, with per-session state
-resident in a slot-pinned :class:`StateArena` (admission/eviction
-bookkeeping in a capacity-bounded :class:`SessionStore`), scheduling by
-a :class:`MicroBatcher`, and the whole loop driven by
-:class:`SessionServer`.  :mod:`repro.serve.loadgen` generates
-deterministic open-loop traffic and measures served throughput for
-``BENCH_serve_load.json``.
+an engine, with per-session state resident in a slot-pinned
+:class:`StateArena` (admission/eviction bookkeeping in a
+capacity-bounded :class:`SessionStore`), scheduling by a
+:class:`MicroBatcher`, and the loop driven by an engine-owning worker.
+
+Two server front doors share that worker (:class:`EngineShard`):
+
+* :class:`SessionServer` — the single-engine server (the 1-shard
+  special case, API unchanged since PR 3);
+* :class:`ShardedServer` — a router + engine-shard cluster: N shards,
+  pluggable session placement (:class:`LeastLoadedPlacement` /
+  :class:`RoundRobinPlacement` / :class:`ConsistentHashPlacement`),
+  optional hot-spot rebalancing (:class:`HotSpotRebalance`) over the
+  checkpoint-based migration path, thread-parallel ticks, and exact
+  cluster-wide metrics via :meth:`ServerMetrics.merge`.
+
+:mod:`repro.serve.loadgen` generates deterministic open-loop traffic —
+uniform or Zipf-tenant-skewed (:func:`generate_zipf_scripts`, the
+hot-shard mix) — and measures served throughput for
+``BENCH_serve_load.json`` and ``BENCH_shard_scaling.json``.
 
 Quickstart::
 
@@ -27,30 +40,56 @@ Quickstart::
 
 from repro.serve.arena import StateArena
 from repro.serve.batcher import MicroBatcher, StepRequest
+from repro.serve.cluster import ShardedServer
 from repro.serve.loadgen import (
     ServeLoadResult,
     SessionScript,
+    ShardScalingResult,
     generate_scripts,
+    generate_zipf_scripts,
     measure_serve_ab,
     measure_serve_load,
+    measure_shard_scaling,
     run_open_loop,
+    tenant_of,
 )
 from repro.serve.metrics import ServerMetrics
+from repro.serve.router import (
+    ConsistentHashPlacement,
+    HotSpotRebalance,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RebalancePolicy,
+    RoundRobinPlacement,
+)
 from repro.serve.server import SessionServer
 from repro.serve.session import SessionRecord, SessionStore
+from repro.serve.shard import EngineShard
 
 __all__ = [
     "StateArena",
     "MicroBatcher",
     "StepRequest",
+    "ShardedServer",
     "ServeLoadResult",
     "SessionScript",
+    "ShardScalingResult",
     "generate_scripts",
+    "generate_zipf_scripts",
     "measure_serve_ab",
     "measure_serve_load",
+    "measure_shard_scaling",
     "run_open_loop",
+    "tenant_of",
     "ServerMetrics",
+    "PlacementPolicy",
+    "LeastLoadedPlacement",
+    "RoundRobinPlacement",
+    "ConsistentHashPlacement",
+    "RebalancePolicy",
+    "HotSpotRebalance",
     "SessionServer",
     "SessionRecord",
     "SessionStore",
+    "EngineShard",
 ]

@@ -120,6 +120,27 @@ class MicroBatcher:
         self._depth -= len(queue)
         return list(queue)
 
+    def adopt(self, session_id: str, requests: List[StepRequest]) -> None:
+        """Re-enqueue existing requests — a migrated session's pending FIFO.
+
+        The *same* request objects land at the tail of ``session_id``'s
+        queue in the given order, so client-held references complete
+        normally after the session moves shards.  Each request keeps its
+        ``submitted_tick`` (age-based dispatch honors the original
+        submit time) but is re-stamped with this batcher's sequence
+        counter, folding the adopted FIFO into the local tiebreak order.
+        Capacity is deliberately not re-checked: migration is
+        server-initiated, and the requests were already admitted once.
+        """
+        if not requests:
+            return
+        queue = self._queues.setdefault(session_id, deque())
+        for request in requests:
+            request.seq = self._seq
+            self._seq += 1
+            queue.append(request)
+        self._depth += len(requests)
+
     # ------------------------------------------------------------------
     def _heads(self) -> List[StepRequest]:
         """Front request of every session queue, oldest submission first."""

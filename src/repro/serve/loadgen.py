@@ -30,8 +30,9 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.eval.bench_schema import SERVE_ENTRY_KEYS
+from repro.eval.bench_schema import SERVE_ENTRY_KEYS, SHARD_ENTRY_KEYS
 from repro.serve.batcher import StepRequest
+from repro.serve.cluster import ShardedServer
 from repro.serve.server import SessionServer
 from repro.utils.rng import SeedLike, new_rng
 
@@ -70,6 +71,74 @@ def _recall_inputs(gen: np.random.Generator, length: int, input_size: int) -> np
 
 
 _WORKLOADS = {"copy": _copy_inputs, "recall": _recall_inputs}
+
+
+def tenant_of(session_id: str) -> str:
+    """Routing key of a :func:`generate_zipf_scripts` session id.
+
+    The tenant prefix before the first ``-``: the companion ``key_of``
+    for :class:`repro.serve.router.ConsistentHashPlacement`, so every
+    session of one tenant lands on the same shard.
+    """
+    return session_id.split("-", 1)[0]
+
+
+def generate_zipf_scripts(
+    input_size: int,
+    num_sessions: int = 32,
+    num_tenants: int = 8,
+    zipf_exponent: float = 1.2,
+    mean_session_len: float = 8.0,
+    mean_interarrival_ticks: float = 1.0,
+    kinds: Sequence[str] = WORKLOAD_KINDS,
+    rng: SeedLike = 0,
+) -> List[SessionScript]:
+    """Tenant-skewed open-loop traffic: the hot-shard generator.
+
+    Like :func:`generate_scripts`, but every session belongs to a
+    *tenant* drawn from a truncated Zipf distribution over
+    ``num_tenants`` tenants (tenant ``k`` with weight ``(k+1) **
+    -zipf_exponent``), and session ids carry the tenant as a routing
+    prefix — ``t03-copy-7`` — that :func:`tenant_of` extracts.  Routed
+    through tenant-keyed consistent hashing, the head tenants pile onto
+    a few shards, which is precisely the imbalance a
+    :class:`~repro.serve.router.RebalancePolicy` exists to fix; load
+    tests use this mix to exercise migration under realistic skew.
+
+    Determinism: one seed fixes the whole trace — tenants, arrival
+    ticks, lengths, kinds, and every input value — exactly like the
+    uniform generator (pinned in ``tests/test_serve_store.py``).
+    """
+    for kind in kinds:
+        if kind not in _WORKLOADS:
+            raise ConfigError(
+                f"unknown workload kind {kind!r}; choose from {WORKLOAD_KINDS}"
+            )
+    if num_tenants < 1:
+        raise ConfigError(f"num_tenants must be >= 1, got {num_tenants}")
+    if zipf_exponent <= 0.0:
+        raise ConfigError(
+            f"zipf_exponent must be positive, got {zipf_exponent}"
+        )
+    gen = new_rng(rng)
+    ranks = np.arange(1, num_tenants + 1, dtype=float)
+    weights = ranks ** -zipf_exponent
+    weights /= weights.sum()
+    scripts: List[SessionScript] = []
+    tick = 0.0
+    for i in range(num_sessions):
+        if mean_interarrival_ticks > 0 and i > 0:
+            tick += gen.exponential(mean_interarrival_ticks)
+        tenant = int(gen.choice(num_tenants, p=weights))
+        length = 1 + int(gen.geometric(1.0 / max(mean_session_len - 1.0, 1.0)))
+        kind = kinds[int(gen.integers(0, len(kinds)))]
+        scripts.append(SessionScript(
+            session_id=f"t{tenant:02d}-{kind}-{i}",
+            arrival_tick=int(tick),
+            kind=kind,
+            inputs=_WORKLOADS[kind](gen, length, input_size),
+        ))
+    return scripts
 
 
 def generate_scripts(
@@ -111,11 +180,17 @@ def generate_scripts(
 
 
 def run_open_loop(
-    server: SessionServer,
+    server,
     scripts: Sequence[SessionScript],
     max_ticks: int = 100_000,
 ) -> Dict[str, List[StepRequest]]:
     """Replay scripted sessions against a server; returns per-session results.
+
+    ``server`` is anything with the serving surface — a
+    :class:`~repro.serve.server.SessionServer` /
+    :class:`~repro.serve.shard.EngineShard` or a multi-shard
+    :class:`~repro.serve.cluster.ShardedServer` (``open_session`` /
+    ``submit`` / ``run_tick`` / ``queue_depth`` / ``tick``).
 
     Open-loop: sessions arrive on their scripted ticks whatever the
     server's backlog.  Each session submits its whole input stream at
@@ -140,7 +215,7 @@ def run_open_loop(
                         break
                     results[next_script.session_id].append(request)
             next_script = next(arrivals, None)
-        if next_script is None and len(server.batcher) == 0:
+        if next_script is None and server.queue_depth == 0:
             return results
         server.run_tick()
     raise ConfigError(f"load did not drain within {max_ticks} ticks")
@@ -412,12 +487,222 @@ def measure_serve_ab(
     return build(True), build(False)
 
 
+# ---------------------------------------------------------------------------
+# Shard-scaling measurement
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardScalingResult:
+    """One shard-count point of the sharded-serving scaling curve.
+
+    Field names match :data:`repro.eval.bench_schema.SHARD_ENTRY_KEYS`
+    exactly — :meth:`to_json` is generated from that single source of
+    truth.  ``requests_per_sec`` counts completed step requests per wall
+    second over the identical workload at every shard count;
+    ``speedup_vs_one_shard`` is relative to this sweep's 1-shard
+    cluster, and ``session_server_requests_per_sec`` is the pre-sharding
+    :class:`~repro.serve.server.SessionServer` on the same workload (the
+    no-regression baseline for the 1-shard cluster).
+    """
+
+    shards: int
+    concurrent_sessions: int
+    steps_per_session: int
+    max_batch: int
+    requests_per_sec: float
+    speedup_vs_one_shard: float
+    session_server_requests_per_sec: float
+    #: Served-vs-solo max abs error from the correctness pass, which for
+    #: multi-shard counts includes one forced mid-stream migration.
+    sharded_max_abs_diff: float
+    sessions_migrated: int
+    parallel: bool
+    placement: str
+    dtype: str
+    memory_size: int
+
+    def to_json(self) -> Dict[str, object]:
+        """One ``BENCH_shard_scaling.json`` artifact entry."""
+        return {key: getattr(self, key) for key in SHARD_ENTRY_KEYS}
+
+
+def measure_shard_scaling(
+    config=None,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    num_sessions: int = 64,
+    steps_per_session: int = 4,
+    max_batch: int = 16,
+    max_wait_ticks: int = 1,
+    repeats: int = 3,
+    rng: int = 0,
+    parallel: bool = True,
+) -> Dict[int, ShardScalingResult]:
+    """Measure :class:`~repro.serve.cluster.ShardedServer` scaling.
+
+    Every shard count serves the identical workload (``num_sessions``
+    concurrent sessions, all arriving at tick 0) with per-shard arena
+    capacity ``num_sessions / shards`` and the same per-engine
+    ``max_batch``, so the engine-step budget is constant and the curve
+    isolates what sharding buys: full-occupancy zero-copy arena steps on
+    every shard (the 1-shard cluster runs at fractional occupancy and
+    pays the masked-step state movement) plus thread-parallel shard
+    ticks.  A :class:`~repro.serve.server.SessionServer` baseline runs
+    the same workload for the no-regression bound, and a separate
+    correctness pass — with one forced mid-stream migration when there
+    is more than one shard — checks served outputs against solo
+    unbatched stepping.
+
+    ``rng`` must be an integer seed (not a live generator): it seeds
+    every shard engine identically, the cluster's migration contract.
+    """
+    from repro.core.config import HiMAConfig
+    from repro.core.engine import TiledEngine
+
+    if config is None:
+        config = HiMAConfig(
+            memory_size=384, word_size=16, num_reads=1, num_tiles=8,
+            hidden_size=32, two_stage_sort=False,
+        )
+    if 1 not in shard_counts:
+        raise ConfigError(
+            "shard_counts must include 1 (the speedup reference), got "
+            f"{tuple(shard_counts)}"
+        )
+    for count in shard_counts:
+        if num_sessions % count != 0:
+            raise ConfigError(
+                f"num_sessions ({num_sessions}) must divide evenly into "
+                f"{count} shards"
+            )
+    input_size = config.word_size
+    gen = new_rng(rng)
+    kinds = [
+        WORKLOAD_KINDS[i % len(WORKLOAD_KINDS)] for i in range(num_sessions)
+    ]
+    scripts = [
+        SessionScript(
+            session_id=f"{kinds[i]}-{i}",
+            arrival_tick=0,
+            kind=kinds[i],
+            inputs=_WORKLOADS[kinds[i]](gen, steps_per_session, input_size),
+        )
+        for i in range(num_sessions)
+    ]
+    total_requests = num_sessions * steps_per_session
+
+    # Solo unbatched reference trajectories (the correctness bar).
+    solo_engine = TiledEngine(config, rng=rng)
+    baseline = {s.session_id: solo_engine.run(s.inputs) for s in scripts}
+    solo_engine.traffic.clear()
+
+    # Pre-sharding SessionServer baseline on the identical workload.
+    server_engine = TiledEngine(config, rng=rng)
+    single_time = float("inf")
+    for _ in range(max(1, repeats)):
+        server = SessionServer(
+            server_engine,
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            queue_capacity=max(total_requests, 1),
+            session_capacity=num_sessions,
+        )
+        start = time.perf_counter()
+        run_open_loop(server, scripts)
+        single_time = min(single_time, time.perf_counter() - start)
+        server_engine.traffic.clear()
+    session_server_rps = total_requests / single_time
+
+    results: Dict[int, ShardScalingResult] = {}
+    for count in shard_counts:
+        capacity = num_sessions // count
+        engines = [TiledEngine(config, rng=rng) for _ in range(count)]
+
+        def make_cluster(slack: int = 0) -> ShardedServer:
+            return ShardedServer(
+                engines,
+                max_batch=max_batch,
+                max_wait_ticks=max_wait_ticks,
+                queue_capacity=max(total_requests, 1),
+                session_capacity=capacity + slack,
+                parallel=parallel,
+            )
+
+        # Correctness pass (one free slot so a migration can land).
+        cluster = make_cluster(slack=1)
+        migrated = 0
+        results_map: Dict[str, List[StepRequest]] = {}
+        for script in scripts:
+            if cluster.open_session(script.session_id) is None:
+                raise ConfigError(
+                    f"shard cluster refused session {script.session_id!r} "
+                    "during the correctness pass"
+                )
+            results_map[script.session_id] = [
+                cluster.submit(script.session_id, x) for x in script.inputs
+            ]
+        cluster.run_tick()
+        if count > 1:
+            victim = scripts[0].session_id
+            src = cluster.shard_of(victim)
+            cluster.migrate_session(victim, (src + 1) % count)
+            migrated = cluster.migrations
+        cluster.drain()
+        cluster.close()
+        diff = 0.0
+        for script in scripts:
+            served = np.stack(
+                [r.y for r in results_map[script.session_id]]
+            )
+            diff = max(
+                diff,
+                float(np.max(np.abs(served - baseline[script.session_id]))),
+            )
+        for engine in engines:
+            engine.traffic.clear()
+
+        # Timing rounds: fresh cluster per round, best wall time.
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            cluster = make_cluster()
+            start = time.perf_counter()
+            run_open_loop(cluster, scripts)
+            best = min(best, time.perf_counter() - start)
+            cluster.close()
+            for engine in engines:
+                engine.traffic.clear()
+        results[count] = ShardScalingResult(
+            shards=count,
+            concurrent_sessions=num_sessions,
+            steps_per_session=steps_per_session,
+            max_batch=max_batch,
+            requests_per_sec=total_requests / best,
+            speedup_vs_one_shard=0.0,  # filled below once shards=1 is known
+            session_server_requests_per_sec=session_server_rps,
+            sharded_max_abs_diff=diff,
+            sessions_migrated=migrated,
+            parallel=parallel,
+            placement=type(cluster.placement).__name__,
+            dtype=config.dtype,
+            memory_size=config.memory_size,
+        )
+
+    reference = results[1].requests_per_sec
+    for result in results.values():
+        result.speedup_vs_one_shard = result.requests_per_sec / reference
+    return results
+
+
 __all__ = [
     "WORKLOAD_KINDS",
     "SessionScript",
+    "tenant_of",
     "generate_scripts",
+    "generate_zipf_scripts",
     "run_open_loop",
     "ServeLoadResult",
     "measure_serve_load",
     "measure_serve_ab",
+    "ShardScalingResult",
+    "measure_shard_scaling",
 ]

@@ -15,7 +15,7 @@ long-running serving, and the percentiles computed from them are exact.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 
 def _percentile_from_histogram(hist: Dict[int, int], q: float) -> Optional[float]:
@@ -40,6 +40,31 @@ class ServerMetrics:
     dict, which the load benchmark embeds in ``BENCH_serve_load.json``.
     """
 
+    #: Additive counters, the complete list: :meth:`merge` sums exactly
+    #: these, so a new counter added here aggregates across shards
+    #: without touching the merge logic.
+    COUNTERS = (
+        "requests_submitted",
+        "requests_completed",
+        "requests_failed",
+        "admission_rejects",
+        "sessions_opened",
+        "sessions_closed",
+        "evictions_ttl",
+        "evictions_lru",
+        "migrations_in",
+        "migrations_out",
+        "ticks",
+        "state_bytes_copied",
+    )
+
+    #: Integer histograms (value -> count), summed bin-wise by :meth:`merge`.
+    HISTOGRAMS = (
+        "wait_histogram",
+        "occupancy_histogram",
+        "slot_occupancy_histogram",
+    )
+
     def __init__(self):
         self.reset()
 
@@ -52,6 +77,11 @@ class ServerMetrics:
         self.sessions_closed = 0
         self.evictions_ttl = 0
         self.evictions_lru = 0
+        #: Sessions that arrived from / left for another engine shard
+        #: (checkpoint-based migration); a migration is not an open or a
+        #: close, so the cluster-wide sessions_opened stays exact.
+        self.migrations_in = 0
+        self.migrations_out = 0
         self.ticks = 0
         #: Cumulative bytes of session state copied (gathered, scattered,
         #: or slot-written) — the number the resident state arena drives
@@ -89,6 +119,28 @@ class ServerMetrics:
         )
 
     # ------------------------------------------------------------------
+    @classmethod
+    def merge(cls, parts: Iterable["ServerMetrics"]) -> "ServerMetrics":
+        """Exact aggregation of per-shard metrics into one object.
+
+        Counters add; histograms sum bin-wise — so every derived
+        statistic (the exact histogram percentiles, means, bytes per
+        tick) computed from the merged object equals the statistic of
+        one metrics object that had observed every event itself.  Note
+        ``ticks`` counts *shard* ticks: a cluster tick driving S shards
+        contributes S, which keeps per-tick rates comparable with a
+        single server doing the same engine work.
+        """
+        merged = cls()
+        for part in parts:
+            for name in cls.COUNTERS:
+                setattr(merged, name, getattr(merged, name) + getattr(part, name))
+            for name in cls.HISTOGRAMS:
+                hist = getattr(merged, name)
+                for value, count in getattr(part, name).items():
+                    hist[value] = hist.get(value, 0) + count
+        return merged
+
     def wait_percentiles(self) -> Tuple[Optional[float], Optional[float]]:
         """``(p50, p95)`` request latency in scheduler ticks."""
         return (
@@ -133,6 +185,8 @@ class ServerMetrics:
             "sessions_closed": self.sessions_closed,
             "evictions_ttl": self.evictions_ttl,
             "evictions_lru": self.evictions_lru,
+            "migrations_in": self.migrations_in,
+            "migrations_out": self.migrations_out,
             "ticks": self.ticks,
             "p50_wait_ticks": p50,
             "p95_wait_ticks": p95,

@@ -1,58 +1,42 @@
 """The micro-batching session server: many users, one batched engine.
 
-:class:`SessionServer` is the serving layer's front door.  Clients open
-sessions, submit one timestep of input at a time, and the server packs
-whatever sessions have pending work into a single batched
+:class:`SessionServer` is the serving layer's single-engine front door.
+Clients open sessions, submit one timestep of input at a time, and the
+server packs whatever sessions have pending work into a single batched
 :meth:`~repro.core.engine.TiledEngine.step` per scheduler tick — so the
 per-request cost approaches the engine's banked B=16 batched throughput
 instead of the pay-full-price-per-user sequential path.
 
-State residency: by default every session is pinned to one slot of a
-preallocated :class:`~repro.serve.arena.StateArena` for its whole
-lifetime, and each tick advances the dispatched slots through the
-engine's masked in-place step — the per-tick ``gather_states`` /
-``scatter_states`` copy pair of the original serving layer collapses to
-one slot write on join and one slot read on leave/checkpoint.
-``SessionServer(state_arena=False)`` keeps the gather/scatter path,
-which also remains the checkpoint mechanism (:meth:`session_state` /
-:meth:`restore_session_state`).
-
-Correctness contract (pinned by ``tests/test_serve_microbatch.py`` and
-``tests/test_serve_arena.py``): stepping K sessions through the
-micro-batcher is numerically identical (<= 1e-10 in float64) to
-stepping each session alone through the unbatched engine, *including*
-when sessions join and leave mid-stream — the batch membership may
-differ on every tick — and the arena path matches the gather/scatter
-path under arbitrary join/leave/evict churn.  Traffic accounting keeps
-PR 1's batched-words convention: each dispatched tick logs the one-step
-message pattern with every event's words scaled by that tick's batch
-occupancy.
+Since the sharding PR the implementation lives in
+:class:`repro.serve.shard.EngineShard` — the engine-owning worker
+(store + batcher + arena + masked-step dispatch) that
+:class:`repro.serve.cluster.ShardedServer` composes N of.
+``SessionServer`` *is* the 1-shard special case: a subclass pinning
+``shard_id=0`` and keeping the original constructor signature, so
+every pre-sharding call site and test runs unmodified.  See
+:mod:`repro.serve.shard` for the state-residency and correctness
+contracts, and :mod:`repro.serve.cluster` for multi-shard serving.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-import numpy as np
-
-from repro.core.engine import TiledEngine, gather_states, scatter_states
-from repro.dnc.numpy_ref import NumpyDNCState
-from repro.errors import CapacityError, ConfigError
-from repro.serve.arena import StateArena
-from repro.serve.batcher import MicroBatcher, StepRequest
+from repro.core.engine import TiledEngine
 from repro.serve.metrics import ServerMetrics
-from repro.serve.session import SessionStore
+from repro.serve.shard import EngineShard
 
 
-class SessionServer:
+class SessionServer(EngineShard):
     """Serve asynchronously arriving DNC sessions through one engine.
 
-    The server is deterministic and single-threaded by design: time
-    advances only through :meth:`run_tick`, which makes the scheduling
-    (and therefore every session's numerical trajectory) exactly
-    reproducible — the property the correctness tests pin.  An async I/O
-    front-end would sit on top of this core, calling :meth:`run_tick`
-    from its event loop (ROADMAP follow-up).
+    The deterministic single-engine server: time advances only through
+    :meth:`~repro.serve.shard.EngineShard.run_tick`, which makes the
+    scheduling (and therefore every session's numerical trajectory)
+    exactly reproducible.  An async I/O front-end would sit on top of
+    this core, calling ``run_tick`` from its event loop (ROADMAP
+    follow-up); horizontal scale sits beside it as
+    :class:`repro.serve.cluster.ShardedServer`.
     """
 
     def __init__(
@@ -66,243 +50,16 @@ class SessionServer:
         state_arena: bool = True,
         metrics: Optional[ServerMetrics] = None,
     ):
-        self.engine = engine
-        self.metrics = metrics if metrics is not None else ServerMetrics()
-        self.batcher = MicroBatcher(
+        super().__init__(
+            engine,
+            shard_id=0,
             max_batch=max_batch,
             max_wait_ticks=max_wait_ticks,
             queue_capacity=queue_capacity,
-        )
-        #: Resident slot-pinned state (default), or ``None`` on the
-        #: gather/scatter fallback path where each record owns its state.
-        self.arena: Optional[StateArena] = (
-            StateArena(engine.initial_state, capacity=session_capacity)
-            if state_arena else None
-        )
-        self.store = SessionStore(
-            state_factory=None if state_arena else engine.initial_state,
-            capacity=session_capacity,
-            ttl_ticks=session_ttl_ticks,
-            on_evict=self._on_evict,
-        )
-        # Reused every tick (one row per arena slot, or per batch lane on
-        # the fallback path) instead of a fresh np.stack allocation.
-        input_size = engine.reference.config.input_size
-        buf_rows = session_capacity if state_arena else max_batch
-        self._x_buf = np.zeros(
-            (buf_rows, input_size), dtype=engine.config.np_dtype
-        )
-        self.tick = 0
-        self._session_counter = 0
-
-    # ------------------------------------------------------------------
-    def _on_evict(self, session_id: str, reason: str) -> None:
-        if reason == "ttl":
-            self.metrics.evictions_ttl += 1
-        else:
-            self.metrics.evictions_lru += 1
-        if self.arena is not None:
-            self.arena.release(session_id)
-        self._fail_queued(session_id, f"session evicted ({reason})")
-
-    def _fail_queued(self, session_id: str, error: str) -> None:
-        for request in self.batcher.drop_session(session_id):
-            request.error = error
-            request.completed_tick = self.tick
-            self.metrics.requests_failed += 1
-
-    # ------------------------------------------------------------------
-    def open_session(self, session_id: Optional[str] = None) -> Optional[str]:
-        """Admit a new session; returns its id, or ``None`` when refused.
-
-        Admission may evict an idle session (TTL first, then LRU — never
-        one with queued requests); when the store is full of protected
-        sessions the open is refused and counted as an admission reject.
-        """
-        if session_id is None:
-            # Skip over any ids the caller already claimed explicitly.
-            while f"session-{self._session_counter}" in self.store:
-                self._session_counter += 1
-            session_id = f"session-{self._session_counter}"
-            self._session_counter += 1
-        try:
-            self.store.create(
-                session_id, self.tick, protect=self.batcher.pending_sessions()
-            )
-        except CapacityError:
-            self.metrics.admission_rejects += 1
-            return None
-        if self.arena is not None:
-            # Join: the session's single slot write (a zeroed initial
-            # state); its state never moves again until it leaves.
-            self.arena.bind(session_id)
-            self.metrics.observe_state_copy(self.arena.row_nbytes)
-        self.metrics.sessions_opened += 1
-        return session_id
-
-    def close_session(self, session_id: str) -> None:
-        """Drop a session's state; queued requests fail with an error."""
-        self._fail_queued(session_id, "session closed")
-        self.store.remove(session_id)
-        if self.arena is not None:
-            self.arena.release(session_id)
-        self.metrics.sessions_closed += 1
-
-    # ------------------------------------------------------------------
-    def session_state(self, session_id: str) -> NumpyDNCState:
-        """Copy of a session's current recurrent state (checkpoint read).
-
-        The arena path's "read one slot on leave/drain"; on the fallback
-        path this copies the record's unbatched state.  The returned
-        state owns its arrays and can be fed to
-        :meth:`restore_session_state` (here or on another server with
-        the same engine config) or to the engine's unbatched step.
-        """
-        if self.arena is not None:
-            state = self.arena.read_slot(session_id)
-        else:
-            state = self.store.get(session_id).state.copy()
-        self.metrics.observe_state_copy(state.nbytes)
-        return state
-
-    def restore_session_state(
-        self, session_id: str, state: NumpyDNCState
-    ) -> None:
-        """Overwrite a session's recurrent state from a checkpoint."""
-        if self.arena is not None:
-            self.arena.write_slot(session_id, state)
-        else:
-            record = self.store.get(session_id)
-            if state.batch_size is not None:
-                raise ConfigError(
-                    "restore_session_state expects an unbatched state"
-                )
-            for name in NumpyDNCState.FIELDS:
-                src = getattr(state, name)
-                cur = getattr(record.state, name)
-                if src.shape != cur.shape or src.dtype != cur.dtype:
-                    raise ConfigError(
-                        f"restore_session_state: field {name!r} has shape "
-                        f"{src.shape} dtype {src.dtype}, expected "
-                        f"{cur.shape} {cur.dtype}"
-                    )
-            record.state = state.copy()
-        self.metrics.observe_state_copy(state.nbytes)
-
-    def submit(self, session_id: str, x: np.ndarray) -> Optional[StepRequest]:
-        """Queue one timestep for ``session_id``; ``None`` means refused.
-
-        A refusal is backpressure (the global queue is full) and counts
-        as an admission reject; the session itself stays open.  A
-        malformed input is rejected here, at the offending client —
-        never inside ``run_tick``, where it would poison a whole batch.
-        """
-        if session_id not in self.store:
-            raise ConfigError(f"unknown session {session_id!r}")
-        x = np.asarray(x)
-        input_size = self.engine.reference.config.input_size
-        if x.shape != (input_size,):
-            raise ConfigError(
-                f"submit expects x of shape ({input_size},), got {x.shape}"
-            )
-        request = self.batcher.submit(session_id, x, self.tick)
-        if request is None:
-            self.metrics.admission_rejects += 1
-        else:
-            self.metrics.requests_submitted += 1
-        return request
-
-    # ------------------------------------------------------------------
-    def run_tick(self) -> List[StepRequest]:
-        """Advance one scheduler tick; returns the requests completed.
-
-        One tick = at most one batched engine step: expire idle sessions,
-        ask the batcher for a dispatchable batch, and run the shared
-        engine once over the member sessions.  On the arena path the
-        dispatched sessions' slots advance *in place* through the
-        engine's masked step (zero state copies when every slot
-        dispatches); on the fallback path the member states are gathered
-        into a fresh batch and scattered back.  Either way the batch row
-        order is dispatch order, so both paths compute bit-identical
-        results.
-        """
-        tick = self.tick
-        self.store.evict_expired(
-            tick, protect=self.batcher.pending_sessions()
-        )
-        batch = self.batcher.next_batch(tick)
-        # A session can only vanish between submit and dispatch through
-        # close_session/eviction, both of which fail its queue — but a
-        # stale request must degrade into an error, not a crash.
-        live = [r for r in batch if r.session_id in self.store]
-        for request in batch:
-            if request.session_id not in self.store:
-                request.error = "session state missing at dispatch"
-                request.completed_tick = tick
-                self.metrics.requests_failed += 1
-
-        if live and self.arena is not None:
-            slots = self.arena.indices([r.session_id for r in live])
-            for slot, request in zip(slots, live):
-                self._x_buf[slot] = request.x  # casts to the dtype policy
-            y, _ = self.engine.step(
-                self._x_buf, self.arena.state, active=slots
-            )
-            self.metrics.observe_state_copy(
-                self.engine.last_state_bytes_copied
-            )
-            for slot, request in zip(slots, live):
-                record = self.store.touch(request.session_id, tick)
-                record.steps_completed += 1
-                # .copy(): each result must own its data, not alias the
-                # shared batched output buffer.
-                request.y = y[slot].copy()
-                request.completed_tick = tick
-                self.metrics.observe_wait(tick - request.submitted_tick)
-                self.metrics.requests_completed += 1
-        elif live:
-            records = [self.store.get(r.session_id) for r in live]
-            batched_state = gather_states([rec.state for rec in records])
-            xs = self._x_buf[: len(live)]
-            for i, request in enumerate(live):
-                xs[i] = request.x
-            y, new_batched = self.engine.step(xs, batched_state)
-            new_states = scatter_states(new_batched)
-            self.metrics.observe_state_copy(
-                batched_state.nbytes + new_batched.nbytes
-            )
-            for i, request in enumerate(live):
-                record = self.store.touch(request.session_id, tick)
-                record.state = new_states[i]
-                record.steps_completed += 1
-                # .copy(), not ascontiguousarray (a view of a contiguous
-                # row): each result must own its data, not alias the
-                # shared batched output buffer.
-                request.y = y[i].copy()
-                request.completed_tick = tick
-                self.metrics.observe_wait(tick - request.submitted_tick)
-                self.metrics.requests_completed += 1
-
-        self.metrics.observe_occupancy(len(live))
-        if self.arena is not None:
-            self.metrics.observe_slots(self.arena.occupancy)
-        self.tick = tick + 1
-        return batch
-
-    def drain(self, max_ticks: int = 10_000) -> List[StepRequest]:
-        """Run ticks until no request is queued; returns all completions.
-
-        Raises :class:`~repro.errors.ConfigError` if the queue fails to
-        empty within ``max_ticks`` (a scheduler bug would otherwise spin
-        forever).
-        """
-        completed: List[StepRequest] = []
-        for _ in range(max_ticks):
-            if len(self.batcher) == 0:
-                return completed
-            completed.extend(self.run_tick())
-        raise ConfigError(
-            f"drain did not empty the queue within {max_ticks} ticks"
+            session_capacity=session_capacity,
+            session_ttl_ticks=session_ttl_ticks,
+            state_arena=state_arena,
+            metrics=metrics,
         )
 
 

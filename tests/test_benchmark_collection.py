@@ -26,6 +26,7 @@ def test_bench_files_are_collected():
     assert "bench_fig11_speed_area_power.py" in result.stdout
     assert "bench_table1_kernel_analysis.py" in result.stdout
     assert "bench_serve_load.py" in result.stdout
+    assert "bench_shard_scaling.py" in result.stdout
     # All bench files collect tests. `-q --collect-only` emits one node id
     # per test on pytest >= 8 and `path: count` summary lines before that;
     # accept either format.
@@ -58,15 +59,22 @@ def test_result_dataclasses_share_schema_keys():
     the writer and validator cannot disagree on the shape."""
     import dataclasses
 
-    from repro.eval.bench_schema import ENTRY_KEYS, SERVE_ENTRY_KEYS
+    from repro.eval.bench_schema import (
+        ENTRY_KEYS,
+        SERVE_ENTRY_KEYS,
+        SHARD_ENTRY_KEYS,
+    )
     from repro.eval.runners import BatchedThroughput
-    from repro.serve.loadgen import ServeLoadResult
+    from repro.serve.loadgen import ServeLoadResult, ShardScalingResult
 
     assert set(ENTRY_KEYS) <= {
         f.name for f in dataclasses.fields(BatchedThroughput)
     }
     assert set(SERVE_ENTRY_KEYS) == {
         f.name for f in dataclasses.fields(ServeLoadResult)
+    }
+    assert set(SHARD_ENTRY_KEYS) == {
+        f.name for f in dataclasses.fields(ShardScalingResult)
     }
 
 
@@ -77,7 +85,8 @@ def test_validator_cli_accepts_multiple_artifacts():
     ok = subprocess.run(
         [sys.executable, str(cli),
          str(REPO_ROOT / "BENCH_batched_throughput.json"),
-         str(REPO_ROOT / "BENCH_serve_load.json")],
+         str(REPO_ROOT / "BENCH_serve_load.json"),
+         str(REPO_ROOT / "BENCH_shard_scaling.json")],
         capture_output=True, text=True, timeout=60,
     )
     assert ok.returncode == 0, ok.stdout + ok.stderr

@@ -122,6 +122,120 @@ def test_permuted_full_dispatch_is_dense_and_matches_gather_scatter(dtype, rng):
             ), (name, i)
 
 
+class TestDensePartialOccupancyPath:
+    """Partial occupancy above ``masked_dense_min_occupancy``: the step
+    runs over the whole resident batch with the O(N^2) write phase
+    skipping inactive slots in place.  The path must be numerically
+    interchangeable with the compact gather path, keep inactive slots
+    bitwise untouched, and slash the per-tick state movement."""
+
+    @pytest.mark.parametrize(
+        "dtype,tol", [("float64", 1e-10), ("float32", 1e-4)]
+    )
+    @pytest.mark.parametrize("fused", [True, False], ids=["fused", "unfused"])
+    def test_dense_partial_matches_compact_path(self, dtype, tol, fused, rng):
+        dense = make_engine(
+            dtype=dtype, fused_write_linkage=fused,
+            masked_dense_min_occupancy=0.0,
+        )
+        compact = make_engine(
+            dtype=dtype, fused_write_linkage=fused,
+            masked_dense_min_occupancy=1.0,
+        )
+        b = 6
+        arena_dense = warmed_state(dense, rng, b)
+        arena_compact = copy_state(arena_dense)
+        worst = 0.0
+        for t in range(6):
+            x = rng.standard_normal((b, 16)).astype(dtype)
+            idx = np.asarray(rng.permutation(b)[: 1 + t % 5])
+            yd, _ = dense.step(x, arena_dense, active=idx)
+            yc, _ = compact.step(x, arena_compact, active=idx)
+            worst = max(worst, float(np.max(np.abs(yd - yc))))
+            for name in NumpyDNCState.FIELDS:
+                worst = max(worst, float(np.max(np.abs(
+                    getattr(arena_dense, name) - getattr(arena_compact, name)
+                ))))
+        # Interchangeable paths.  float64 holds the serving bar; float32
+        # is bounded by the engine's documented batched-vs-unbatched
+        # story — full-capacity vs dispatch-sized gemms (m=1 especially)
+        # can hit different BLAS kernels that round differently.
+        assert worst <= tol
+
+    def test_inactive_slots_bitwise_untouched_and_y_zero(self, rng):
+        engine = make_engine(masked_dense_min_occupancy=0.0)
+        b = 5
+        arena = warmed_state(engine, rng, b)
+        snapshot = copy_state(arena)
+        idx = np.array([4, 1, 2])
+        y, out = engine.step(rng.standard_normal((b, 16)), arena, active=idx)
+        assert out is arena
+        for i in (0, 3):
+            for name in NumpyDNCState.FIELDS:
+                assert np.array_equal(
+                    getattr(arena, name)[i], getattr(snapshot, name)[i]
+                ), (name, i)
+            assert np.all(y[i] == 0.0)
+
+    def test_dense_partial_copies_only_small_fields(self, rng):
+        """With the fused in-place write phase the N^2 fields never
+        move: the copy counter records one write per active row of the
+        remaining fields — under half the compact path's two full-row
+        copies."""
+        engine = make_engine(masked_dense_min_occupancy=0.0)
+        b = 5
+        arena = warmed_state(engine, rng, b)
+        idx = np.array([2, 0])
+        engine.step(rng.standard_normal((b, 16)), arena, active=idx)
+        big3 = (
+            arena.memory[0].nbytes
+            + arena.linkage[0].nbytes
+            + arena.precedence[0].nbytes
+        )
+        assert engine.last_state_bytes_copied == idx.size * (
+            arena.row_nbytes - big3
+        )
+        assert engine.last_state_bytes_copied < 2 * idx.size * arena.row_nbytes
+
+    def test_threshold_selects_the_path(self, rng):
+        """The occupancy fraction against ``masked_dense_min_occupancy``
+        decides gather vs dense — visible through the copy counter."""
+        b, k = 6, 3  # occupancy 0.5
+        idx = np.array([4, 0, 2])
+        below = make_engine(masked_dense_min_occupancy=0.75)
+        arena = warmed_state(below, rng, b)
+        below.step(rng.standard_normal((b, 16)), arena, active=idx)
+        assert below.last_state_bytes_copied == 2 * k * arena.row_nbytes
+        above = make_engine(masked_dense_min_occupancy=0.5)
+        arena = warmed_state(above, rng, b)
+        above.step(rng.standard_normal((b, 16)), arena, active=idx)
+        assert above.last_state_bytes_copied < 2 * k * arena.row_nbytes
+
+    def test_distributed_engine_keeps_compact_path(self, rng):
+        """DNC-D's stacked kernels view-shard the state arrays, so the
+        dense in-place write phase never applies to it."""
+        engine = make_engine(distributed=True, masked_dense_min_occupancy=0.0)
+        b = 4
+        arena = warmed_state(engine, rng, b)
+        idx = np.array([1, 3, 0])
+        engine.step(rng.standard_normal((b, 16)), arena, active=idx)
+        assert engine.last_state_bytes_copied == 2 * idx.size * arena.row_nbytes
+
+    def test_dense_partial_traffic_scales_by_active_count(self, rng):
+        solo = make_engine()
+        solo.traffic.clear()
+        solo.step(rng.standard_normal(16), solo.initial_state())
+        solo_words = solo.traffic.total_words()
+
+        engine = make_engine(masked_dense_min_occupancy=0.0)
+        arena = engine.initial_state(batch_size=5)
+        engine.traffic.clear()
+        engine.step(
+            rng.standard_normal((5, 16)), arena, active=np.array([0, 2, 4])
+        )
+        assert engine.traffic.total_words() == 3 * solo_words
+
+
 def test_partial_mask_reports_copy_bytes(rng):
     engine = make_engine()
     b = 5

@@ -211,6 +211,49 @@ def test_churn_arena_matches_gather_scatter_and_solo(dtype):
     assert compared_requests >= 100
 
 
+@pytest.mark.parametrize("dtype,tol", [("float64", 1e-10), ("float32", 1e-4)])
+def test_churn_dense_partial_step_matches_gather_scatter(dtype, tol):
+    """The same churn property with the dense-capacity masked step forced
+    on (``masked_dense_min_occupancy=0.0``): every partially-occupied
+    arena tick runs the in-place write phase over the full resident
+    batch.  float64 keeps the 1e-10 bar; float32 gets the engine's
+    documented batched-vs-unbatched story — the dense path's
+    full-capacity gemms and the fallback's dispatch-sized gemms can hit
+    different BLAS kernels (m=1 especially), which rounds differently at
+    float32 but stays well inside the dtype's verify tolerance."""
+    rng = np.random.default_rng(1234)
+    schedule = make_schedule(rng, ticks=80)
+    input_cache = {}
+
+    def inputs_of(sid):
+        if sid not in input_cache:
+            gen = np.random.default_rng(hash(sid) % (2**32))
+            input_cache[sid] = gen.standard_normal((30, 16))
+        return input_cache[sid]
+
+    outputs = {}
+    for state_arena in (True, False):
+        engine = make_engine(dtype=dtype, masked_dense_min_occupancy=0.0)
+        server = SessionServer(
+            engine, max_batch=4, max_wait_ticks=1,
+            session_capacity=6, session_ttl_ticks=25,
+            state_arena=state_arena,
+        )
+        outputs[state_arena] = run_churn(server, schedule, inputs_of)
+
+    arena_out, gs_out = outputs[True], outputs[False]
+    assert set(arena_out) == set(gs_out)
+    compared = 0
+    for sid in arena_out:
+        for ra, rg in zip(arena_out[sid], gs_out[sid]):
+            assert ra.done == rg.done
+            if ra.error is not None:
+                continue
+            assert np.max(np.abs(ra.y - rg.y)) <= tol, sid
+            compared += 1
+    assert compared >= 50
+
+
 def test_churn_exercises_eviction_paths():
     """The churn schedule is only a real test if sessions get evicted."""
     rng = np.random.default_rng(99)

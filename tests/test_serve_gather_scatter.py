@@ -1,10 +1,13 @@
-"""gather_states / scatter_states: bitwise round trips, ragged membership.
+"""gather_states / scatter_states and state (de)serialization.
 
-Property-style coverage for the serving layer's packing primitive:
-``scatter_states(gather_states(states))`` must reproduce the inputs
-*bitwise* (not merely within tolerance) for both dtype policies and
-across memory sizes, and gathering changing subsets of a session
-population must never perturb non-members.
+Property-style coverage for the serving layer's packing and checkpoint
+primitives: ``scatter_states(gather_states(states))`` must reproduce
+the inputs *bitwise* (not merely within tolerance) for both dtype
+policies and across memory sizes; gathering changing subsets of a
+session population must never perturb non-members; and
+``NumpyDNCState.from_bytes(state.to_bytes())`` — the cluster's
+session-migration wire format — must round-trip bitwise and
+dtype-preserving with a validated versioned header.
 """
 
 import numpy as np
@@ -108,6 +111,55 @@ def test_ragged_membership_leaves_nonmembers_untouched(rng):
                     getattr(states[i], name) - getattr(solo_state, name)
                 ))
                 assert diff <= 1e-10, (step, i, name)
+
+
+class TestStateBytesRoundTrip:
+    """to_bytes/from_bytes: the checkpoint/migration primitive."""
+
+    def make_model(self, dtype, memory_size=8):
+        return NumpyDNC(NumpyDNCConfig(
+            input_size=5, output_size=3, memory_size=memory_size,
+            word_size=4, num_reads=2, hidden_size=12, dtype=dtype,
+        ), rng=0)
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("memory_size", [8, 32])
+    def test_roundtrip_is_bitwise_and_dtype_preserving(
+        self, dtype, memory_size, rng
+    ):
+        for _ in range(5):  # property-style: many random states
+            state = random_state(self.make_model(dtype, memory_size), rng)
+            recovered = NumpyDNCState.from_bytes(state.to_bytes())
+            assert states_equal_bitwise(state, recovered)
+            # The recovered arrays own their data (the payload may die).
+            assert recovered.memory.base is None
+
+    def test_batched_state_roundtrips(self, rng):
+        model = self.make_model("float64")
+        state = NumpyDNCState.stack(
+            [random_state(model, rng) for _ in range(3)]
+        )
+        recovered = NumpyDNCState.from_bytes(state.to_bytes())
+        assert recovered.batch_size == 3
+        assert states_equal_bitwise(state, recovered)
+
+    def test_header_is_versioned(self):
+        payload = self.make_model("float64").initial_state().to_bytes()
+        assert payload.startswith(NumpyDNCState.BYTES_MAGIC)
+
+    def test_malformed_payloads_rejected(self, rng):
+        state = random_state(self.make_model("float64"), rng)
+        payload = state.to_bytes()
+        with pytest.raises(ConfigError):
+            NumpyDNCState.from_bytes(b"not a checkpoint")
+        with pytest.raises(ConfigError):  # wrong version
+            bad = bytearray(payload)
+            bad[len(NumpyDNCState.BYTES_MAGIC)] = 99
+            NumpyDNCState.from_bytes(bytes(bad))
+        with pytest.raises(ConfigError):  # truncated body
+            NumpyDNCState.from_bytes(payload[:-10])
+        with pytest.raises(ConfigError):  # trailing garbage
+            NumpyDNCState.from_bytes(payload + b"x")
 
 
 class TestValidation:

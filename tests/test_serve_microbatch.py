@@ -15,7 +15,13 @@ import pytest
 from repro.core.config import HiMAConfig
 from repro.core.engine import TiledEngine
 from repro.errors import ConfigError
-from repro.serve import SessionServer, SessionScript, generate_scripts, run_open_loop
+from repro.serve import (
+    EngineShard,
+    SessionScript,
+    SessionServer,
+    generate_scripts,
+    run_open_loop,
+)
 
 
 def serve_config(**features):
@@ -270,3 +276,51 @@ class TestSchedulingPolicy:
         assert server.metrics.requests_failed == 1
         with pytest.raises(ConfigError):
             server.submit(sid, rng.standard_normal(16))
+
+
+class TestShardExtraction:
+    """SessionServer is the 1-shard special case of EngineShard — the
+    extraction that makes the sharded cluster possible must leave the
+    single-server surface intact."""
+
+    def test_session_server_is_an_engine_shard(self):
+        server = SessionServer(make_engine())
+        assert isinstance(server, EngineShard)
+        assert server.shard_id == 0
+        assert server.load == 0 and server.queue_depth == 0
+
+    def test_bare_engine_shard_serves_like_the_server(self, rng):
+        """A raw EngineShard (as the cluster builds them) serves the
+        identical trajectory the SessionServer front door does."""
+        scripts = [
+            scripted(f"s{i}", 0, rng.standard_normal((4, 16)))
+            for i in range(3)
+        ]
+        shard = EngineShard(make_engine(), shard_id=7, max_batch=4,
+                            max_wait_ticks=1)
+        shard_results = run_open_loop(shard, scripts)
+        server = SessionServer(make_engine(), max_batch=4, max_wait_ticks=1)
+        server_results = run_open_loop(server, scripts)
+        for script in scripts:
+            a = np.stack([r.y for r in shard_results[script.session_id]])
+            b = np.stack([r.y for r in server_results[script.session_id]])
+            assert np.array_equal(a, b), script.session_id
+
+    def test_checkpoint_bytes_roundtrip_on_server(self, rng):
+        """checkpoint_session/restore_session: the byte-level checkpoint
+        path works on the single server too (same shard surface)."""
+        server = SessionServer(make_engine(), max_batch=2, max_wait_ticks=0)
+        sid = server.open_session()
+        xs = rng.standard_normal((3, 16))
+        for x in xs[:2]:
+            server.submit(sid, x)
+            server.run_tick()
+        payload = server.checkpoint_session(sid)
+        assert isinstance(payload, bytes)
+        server.submit(sid, xs[2])
+        server.run_tick()  # diverge...
+        server.restore_session(sid, payload)  # ...and rewind
+        request = server.submit(sid, xs[2])
+        server.run_tick()
+        solo = server.engine.run(xs)
+        assert np.max(np.abs(request.y - solo[2])) <= 1e-10

@@ -6,7 +6,12 @@ import pytest
 from repro.dnc.numpy_ref import NumpyDNC, NumpyDNCConfig
 from repro.errors import CapacityError, ConfigError
 from repro.serve import MicroBatcher, ServerMetrics, SessionStore
-from repro.serve.loadgen import WORKLOAD_KINDS, generate_scripts
+from repro.serve.loadgen import (
+    WORKLOAD_KINDS,
+    generate_scripts,
+    generate_zipf_scripts,
+    tenant_of,
+)
 from repro.serve.metrics import _percentile_from_histogram
 
 
@@ -152,6 +157,33 @@ class TestMicroBatcher:
         with pytest.raises(ConfigError):
             MicroBatcher(queue_capacity=0)
 
+    def test_adopt_requeues_same_objects_in_order(self):
+        """A migrated session's pending FIFO lands on the destination
+        batcher as the same request objects, order preserved, submit
+        ticks intact, re-stamped into the local sequence."""
+        src = MicroBatcher(max_batch=4, max_wait_ticks=0)
+        for tick in (0, 1, 2):
+            src.submit("s", np.zeros(3), tick=tick)
+        pending = src.drop_session("s")
+        dst = MicroBatcher(max_batch=4, max_wait_ticks=0)
+        dst.submit("other", np.zeros(3), tick=0)
+        dst.adopt("s", pending)
+        assert len(dst) == 4
+        first = dst.next_batch(tick=5)
+        assert {r.session_id for r in first} == {"other", "s"}
+        adopted = next(r for r in first if r.session_id == "s")
+        assert adopted is pending[0]  # identity, not a copy
+        assert adopted.submitted_tick == 0
+        # The remaining adopted requests drain in FIFO order.
+        assert dst.next_batch(tick=6) == [pending[1]]
+        assert dst.next_batch(tick=7) == [pending[2]]
+
+    def test_adopt_empty_is_noop(self):
+        batcher = MicroBatcher()
+        batcher.adopt("s", [])
+        assert len(batcher) == 0
+        assert "s" not in batcher.pending_sessions()
+
 
 class TestServerMetrics:
     def test_percentiles_exact_nearest_rank(self):
@@ -184,6 +216,51 @@ class TestServerMetrics:
         assert json.loads(json.dumps(snap)) == snap
         assert snap["p50_wait_ticks"] == 2.0
         assert snap["occupancy_histogram"] == {"3": 1}
+        assert snap["migrations_in"] == 0 and snap["migrations_out"] == 0
+
+    def test_merge_equals_recompute_from_events(self):
+        """The cross-shard aggregation contract: merging per-shard
+        metrics must equal one metrics object that observed every event
+        itself — counters, histograms, and every derived statistic."""
+        events = [
+            (0, [(0, 3), (1, 2), (0, 0)], 128),   # (waits per tick,) ...
+            (1, [(2, 4), (5, 4)], 256),
+            (2, [(1, 1)], 0),
+        ]
+        parts = []
+        reference = ServerMetrics()
+        for shard, ticks, copied in events:
+            part = ServerMetrics()
+            for wait, occupancy in ticks:
+                for sink in (part, reference):
+                    sink.observe_wait(wait)
+                    sink.observe_occupancy(occupancy)
+                    sink.observe_slots(occupancy)
+            part.observe_state_copy(copied)
+            reference.observe_state_copy(copied)
+            part.requests_completed = len(ticks)
+            reference.requests_completed += len(ticks)
+            part.migrations_in = shard  # arbitrary distinct counter values
+            reference.migrations_in += shard
+            parts.append(part)
+        merged = ServerMetrics.merge(parts)
+        assert merged.snapshot() == reference.snapshot()
+        assert merged.wait_percentiles() == reference.wait_percentiles()
+        assert merged.mean_occupancy() == reference.mean_occupancy()
+        assert merged.state_bytes_per_tick() == reference.state_bytes_per_tick()
+
+    def test_merge_of_nothing_is_fresh(self):
+        assert ServerMetrics.merge([]).snapshot() == ServerMetrics().snapshot()
+
+    def test_counters_tuple_is_complete(self):
+        """Every plain integer counter must be listed in COUNTERS, or
+        merge would silently drop it."""
+        metrics = ServerMetrics()
+        plain = {
+            name for name, value in vars(metrics).items()
+            if isinstance(value, int)
+        }
+        assert plain == set(ServerMetrics.COUNTERS)
 
 
 class TestLoadGenerator:
@@ -223,3 +300,47 @@ class TestLoadGenerator:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ConfigError):
             generate_scripts(input_size=8, kinds=("nope",))
+
+
+class TestZipfLoadGenerator:
+    def test_same_seed_same_trace(self):
+        """Identical seeds pin the identical trace: ids (tenants
+        included), arrivals, lengths, and every input value."""
+        a = generate_zipf_scripts(input_size=8, num_sessions=30, rng=21)
+        b = generate_zipf_scripts(input_size=8, num_sessions=30, rng=21)
+        assert [s.session_id for s in a] == [s.session_id for s in b]
+        assert [s.arrival_tick for s in a] == [s.arrival_tick for s in b]
+        for x, y in zip(a, b):
+            assert np.array_equal(x.inputs, y.inputs)
+
+    def test_different_seed_different_trace(self):
+        a = generate_zipf_scripts(input_size=8, num_sessions=30, rng=21)
+        b = generate_zipf_scripts(input_size=8, num_sessions=30, rng=22)
+        assert [s.session_id for s in a] != [s.session_id for s in b]
+
+    def test_tenants_are_zipf_skewed(self):
+        scripts = generate_zipf_scripts(
+            input_size=8, num_sessions=120, num_tenants=8,
+            zipf_exponent=1.3, rng=4,
+        )
+        counts = {}
+        for script in scripts:
+            tenant = tenant_of(script.session_id)
+            counts[tenant] = counts.get(tenant, 0) + 1
+        # The head tenant dominates any uniform share.
+        assert max(counts.values()) > 2 * (120 // 8)
+        assert len(counts) > 1
+
+    def test_session_ids_carry_tenant_routing_key(self):
+        scripts = generate_zipf_scripts(input_size=8, num_sessions=10, rng=0)
+        for script in scripts:
+            assert tenant_of(script.session_id).startswith("t")
+            assert script.kind in WORKLOAD_KINDS
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            generate_zipf_scripts(input_size=8, num_tenants=0)
+        with pytest.raises(ConfigError):
+            generate_zipf_scripts(input_size=8, zipf_exponent=0.0)
+        with pytest.raises(ConfigError):
+            generate_zipf_scripts(input_size=8, kinds=("nope",))
