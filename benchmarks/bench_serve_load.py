@@ -136,11 +136,11 @@ def test_serve_poisson_load_completes():
         num_sessions=12, mean_session_len=6.0,
         mean_interarrival_ticks=1.5, rng=7,
     )
-    server = SessionServer(
+    with SessionServer(
         engine, max_batch=8, max_wait_ticks=2,
         queue_capacity=4096, session_capacity=32,
-    )
-    results = run_open_loop(server, scripts)
+    ) as server:
+        results = run_open_loop(server, scripts)
     completed = sum(len(v) for v in results.values())
     assert completed == sum(s.length for s in scripts)
     assert all(r.done and r.error is None for v in results.values() for r in v)

@@ -114,21 +114,20 @@ def test_zipf_hot_shard_rebalances_and_drains():
         two_stage_sort=False,
     )
     engines = [TiledEngine(config, rng=0) for _ in range(4)]
-    cluster = ShardedServer(
+    scripts = generate_zipf_scripts(
+        input_size=16, num_sessions=24, num_tenants=6,
+        zipf_exponent=1.4, mean_session_len=6.0,
+        mean_interarrival_ticks=0.5, rng=11,
+    )
+    with ShardedServer(
         engines,
         max_batch=8, max_wait_ticks=1,
         queue_capacity=4096, session_capacity=16,
         placement=ConsistentHashPlacement(key_of=tenant_of),
         rebalance=HotSpotRebalance(max_spread=2, max_moves=2),
         parallel=False,
-    )
-    scripts = generate_zipf_scripts(
-        input_size=16, num_sessions=24, num_tenants=6,
-        zipf_exponent=1.4, mean_session_len=6.0,
-        mean_interarrival_ticks=0.5, rng=11,
-    )
-    results = run_open_loop(cluster, scripts)
-    cluster.close()
+    ) as cluster:
+        results = run_open_loop(cluster, scripts)
     assert cluster.migrations > 0  # the hot shard actually shed load
     completed = sum(len(v) for v in results.values())
     assert completed == sum(s.length for s in scripts)

@@ -1,15 +1,21 @@
-"""Serving demo: many users, one batched HiMA engine — then a cluster.
+"""Serving demo: many users, one batched HiMA engine — then clusters.
 
 Opens a handful of DNC sessions that arrive at different times, streams
 their inputs through the micro-batching :class:`repro.serve.SessionServer`,
 and prints the scheduler's metrics — then shows that every session's
 outputs are numerically identical to running that session alone through
-the unbatched engine.  The final section scales the same serving surface
+the unbatched engine.  The later sections scale the same serving surface
 horizontally: a :class:`repro.serve.ShardedServer` routes Zipf-skewed
 tenant traffic across four engine shards with tenant-keyed consistent
-hashing, and hot-spot rebalancing migrates sessions off the overloaded
-shard mid-stream via the byte-level checkpoint path — without perturbing
-a single trajectory.
+hashing (hot-spot rebalancing migrates sessions off the overloaded shard
+mid-stream via the byte-level checkpoint path), and a
+:class:`repro.serve.ProcCluster` hosts each shard in its own worker
+*process* — surviving a SIGKILLed worker mid-stream through
+checkpoint/replay recovery without perturbing a single trajectory.
+
+Every server object is a context manager; ``with`` blocks below are the
+recommended usage — worker threads and child processes are released even
+when the serving code raises.
 
 Run:  python examples/serve_demo.py
 """
@@ -20,6 +26,7 @@ from repro.core import HiMAConfig, TiledEngine
 from repro.serve import (
     ConsistentHashPlacement,
     HotSpotRebalance,
+    ProcCluster,
     SessionServer,
     ShardedServer,
     generate_scripts,
@@ -38,40 +45,40 @@ config = HiMAConfig(
 # ---------------------------------------------------------------------------
 print("=== 1. Micro-batching session server ===")
 engine = TiledEngine(config, rng=0, traffic_max_events=4096)
-server = SessionServer(
+with SessionServer(
     engine,
     max_batch=8,          # up to 8 sessions share one engine step
     max_wait_ticks=2,     # latency bound: no request waits longer to batch
     session_capacity=16,  # per-session state is O(N^2); bound it
     session_ttl_ticks=50, # idle sessions are evicted
-)
+) as server:
+    scripts = generate_scripts(
+        input_size=engine.reference.config.input_size,
+        num_sessions=10, mean_session_len=8.0, mean_interarrival_ticks=1.0,
+        rng=42,
+    )
+    for s in scripts[:4]:
+        print(f"  {s.session_id:10s} arrives tick {s.arrival_tick:2d}, "
+              f"{s.length} steps ({s.kind})")
+    print(f"  ... {len(scripts)} sessions total")
 
-scripts = generate_scripts(
-    input_size=engine.reference.config.input_size,
-    num_sessions=10, mean_session_len=8.0, mean_interarrival_ticks=1.0,
-    rng=42,
-)
-for s in scripts[:4]:
-    print(f"  {s.session_id:10s} arrives tick {s.arrival_tick:2d}, "
-          f"{s.length} steps ({s.kind})")
-print(f"  ... {len(scripts)} sessions total")
+    results = run_open_loop(server, scripts)
 
-results = run_open_loop(server, scripts)
-
-# ---------------------------------------------------------------------------
-# 2. Scheduler metrics: latency in ticks, batch occupancy, admissions.
-# ---------------------------------------------------------------------------
-print("\n=== 2. Server metrics ===")
-snap = server.metrics.snapshot()
-print(f"requests completed: {snap['requests_completed']} "
-      f"in {snap['ticks']} scheduler ticks")
-print(f"latency p50/p95:    {snap['p50_wait_ticks']}/{snap['p95_wait_ticks']} ticks")
-print(f"mean batch size:    {snap['mean_batch_occupancy']:.2f} "
-      f"(histogram {snap['occupancy_histogram']})")
-print(f"admission rejects:  {snap['admission_rejects']}, "
-      f"evictions: {snap['evictions_ttl']} ttl + {snap['evictions_lru']} lru")
-print(f"traffic log: {len(engine.traffic.events)} retained events, "
-      f"{engine.traffic.total_words():,} total words (exact under compaction)")
+    # -----------------------------------------------------------------------
+    # 2. Scheduler metrics: latency in ticks, batch occupancy, admissions.
+    # -----------------------------------------------------------------------
+    print("\n=== 2. Server metrics ===")
+    snap = server.metrics.snapshot()
+    print(f"requests completed: {snap['requests_completed']} "
+          f"in {snap['ticks']} scheduler ticks")
+    print(f"latency p50/p95:    {snap['p50_wait_ticks']}"
+          f"/{snap['p95_wait_ticks']} ticks")
+    print(f"mean batch size:    {snap['mean_batch_occupancy']:.2f} "
+          f"(histogram {snap['occupancy_histogram']})")
+    print(f"admission rejects:  {snap['admission_rejects']}, "
+          f"evictions: {snap['evictions_ttl']} ttl + {snap['evictions_lru']} lru")
+    print(f"traffic log: {len(engine.traffic.events)} retained events, "
+          f"{engine.traffic.total_words():,} total words (exact under compaction)")
 
 # ---------------------------------------------------------------------------
 # 3. Correctness: served == each session stepped alone, unbatched.
@@ -91,14 +98,6 @@ print(f"max abs diff across all sessions: {worst:.2e} (bound 1e-10)")
 #    the checkpoint path (one slot read + one slot write) mid-stream.
 # ---------------------------------------------------------------------------
 print("\n=== 4. Sharded cluster: skewed tenants, hot-spot rebalancing ===")
-cluster = ShardedServer(
-    [TiledEngine(config, rng=0, traffic_max_events=4096) for _ in range(4)],
-    max_batch=8,
-    max_wait_ticks=2,
-    session_capacity=12,   # per shard
-    placement=ConsistentHashPlacement(key_of=tenant_of),
-    rebalance=HotSpotRebalance(max_spread=2, max_moves=2),
-)
 zipf_scripts = generate_zipf_scripts(
     input_size=engine.reference.config.input_size,
     num_sessions=24, num_tenants=6, zipf_exponent=1.4,
@@ -107,8 +106,16 @@ zipf_scripts = generate_zipf_scripts(
 tenants = sorted({tenant_of(s.session_id) for s in zipf_scripts})
 print(f"{len(zipf_scripts)} sessions across tenants {', '.join(tenants)}")
 
-zipf_results = run_open_loop(cluster, zipf_scripts)
-snap = cluster.snapshot()
+with ShardedServer(
+    [TiledEngine(config, rng=0, traffic_max_events=4096) for _ in range(4)],
+    max_batch=8,
+    max_wait_ticks=2,
+    session_capacity=12,   # per shard
+    placement=ConsistentHashPlacement(key_of=tenant_of),
+    rebalance=HotSpotRebalance(max_spread=2, max_moves=2),
+) as cluster:
+    zipf_results = run_open_loop(cluster, zipf_scripts)
+    snap = cluster.snapshot()
 print(f"cluster served {snap['requests_completed']} requests on "
       f"{snap['shards']} shards in {snap['cluster_ticks']} cluster ticks")
 print(f"sessions migrated off hot shards: {snap['sessions_migrated']}")
@@ -123,4 +130,46 @@ for script in zipf_scripts:
     worst = max(worst, float(np.max(np.abs(served - solo))))
 print(f"max abs diff vs solo runs, migrations included: {worst:.2e} "
       f"(bound 1e-10)")
-cluster.close()
+
+# ---------------------------------------------------------------------------
+# 5. Process cluster: worker processes, one SIGKILLed mid-stream.
+#    Each shard lives in its own child process behind framed RPC; the
+#    parent checkpoints session state, so killing a worker -9 loses
+#    nothing — its sessions are restored onto a fresh process and their
+#    trajectories continue exactly where the checkpoint left them.
+# ---------------------------------------------------------------------------
+print("\n=== 5. Process cluster: crash mid-stream, recover, verify ===")
+with ProcCluster(
+    config,
+    seed=0,
+    num_workers=2,
+    max_batch=8,
+    max_wait_ticks=2,
+    session_capacity=24,
+    checkpoint_interval=4,
+) as proc_cluster:
+    proc_results = {s.session_id: [] for s in zipf_scripts}
+    for script in zipf_scripts:
+        proc_cluster.open_session(script.session_id)
+        proc_results[script.session_id] = [
+            proc_cluster.submit(script.session_id, x) for x in script.inputs
+        ]
+    for tick in range(1, 200):
+        proc_cluster.run_tick()
+        if tick == 3:  # SIGKILL a worker with traffic in flight
+            proc_cluster.kill_worker(0)
+        if proc_cluster.queue_depth == 0:
+            break
+    print(f"worker restarts: {proc_cluster.worker_restarts}, "
+          f"sessions recovered: {proc_cluster.supervisor.sessions_recovered}, "
+          f"checkpoints taken: {proc_cluster.supervisor.checkpoints_taken}")
+print("worker processes reaped:",
+      all(not w.process.is_alive() for w in proc_cluster.workers))
+
+worst = 0.0
+solo_engine = TiledEngine(config, rng=0)
+for script in zipf_scripts:
+    served = np.stack([r.y for r in proc_results[script.session_id]])
+    solo = solo_engine.run(script.inputs)
+    worst = max(worst, float(np.max(np.abs(served - solo))))
+print(f"max abs diff vs solo runs, kill included: {worst:.2e} (bound 1e-10)")

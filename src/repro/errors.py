@@ -35,3 +35,15 @@ class RoutingError(SimulationError):
 
 class CapacityError(SimulationError):
     """A hardware resource (buffer, memory bank, sorter) overflowed."""
+
+
+class ServeError(ReproError):
+    """A serving-layer request or worker operation failed."""
+
+
+class FrameError(ServeError):
+    """A length-prefixed RPC frame was truncated, corrupted, or oversized."""
+
+
+class WorkerCrashed(ServeError):
+    """A worker process died (or stopped answering) mid-conversation."""

@@ -26,6 +26,11 @@ hot path) plus a ``variants`` mapping with the ``state_arena`` /
 :class:`~repro.serve.loadgen.ShardScalingResult` entry (the headline
 multi-shard point) plus ``shards_1`` / ``shards_2`` / ``shards_4``
 variants tracing the sharded-serving scaling curve.
+``BENCH_proc_serve.json``: one flat
+:class:`~repro.serve.loadgen.ProcServeResult` entry (the headline
+process-cluster point) plus ``threads`` / ``procs`` / ``procs_restart``
+variants comparing topologies — and pricing crash recovery — on the
+identical 64-session Zipf mix.
 """
 
 from __future__ import annotations
@@ -384,6 +389,126 @@ def validate_shard_scaling(data: object) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# BENCH_proc_serve.json
+# ---------------------------------------------------------------------------
+
+#: Keys of every process-serving entry (top level and each variant); also
+#: the exact field list of ``ProcServeResult`` — its ``to_json`` iterates
+#: this tuple.
+PROC_ENTRY_KEYS = (
+    "mode",
+    "workers",
+    "concurrent_sessions",
+    "total_requests",
+    "max_batch",
+    "requests_per_sec",
+    "speedup_vs_threads",
+    "max_abs_diff_vs_solo",
+    "requests_failed",
+    "worker_restarts",
+    "sessions_recovered",
+    "checkpoints_taken",
+    "checkpoint_interval",
+    "p95_wait_ticks",
+    "dtype",
+    "memory_size",
+)
+
+#: The topology comparison the artifact must carry, all on the identical
+#: 64-session Zipf mix: thread-sharded cluster, process cluster, and the
+#: process cluster under rolling SIGKILL restarts (the crash-recovery
+#: cost, measured rather than asserted).
+PROC_REQUIRED_VARIANTS = ("threads", "procs", "procs_restart")
+
+#: Legal ``mode`` value per required variant name.
+PROC_VARIANT_MODES = {
+    "threads": "threads",
+    "procs": "procs",
+    "procs_restart": "procs_restart",
+}
+
+_PROC_POSITIVE = (
+    "workers",
+    "concurrent_sessions",
+    "total_requests",
+    "max_batch",
+    "requests_per_sec",
+    "speedup_vs_threads",
+)
+
+
+def _check_proc_entry(entry: object, where: str) -> List[str]:
+    problems = _check_entry(entry, where, PROC_ENTRY_KEYS, _PROC_POSITIVE)
+    if not isinstance(entry, dict):
+        return problems
+    mode = entry.get("mode")
+    if "mode" in entry and mode not in PROC_VARIANT_MODES:
+        problems.append(
+            f"{where}: mode must be one of "
+            f"{tuple(PROC_VARIANT_MODES)}, got {mode!r}"
+        )
+    diff = entry.get("max_abs_diff_vs_solo")
+    if "max_abs_diff_vs_solo" in entry and (
+        not isinstance(diff, (int, float)) or diff < 0
+    ):
+        problems.append(
+            f"{where}: max_abs_diff_vs_solo must be a non-negative number, "
+            f"got {diff!r}"
+        )
+    for key in (
+        "requests_failed",
+        "worker_restarts",
+        "sessions_recovered",
+        "checkpoints_taken",
+    ):
+        value = entry.get(key)
+        if key in entry and (not isinstance(value, int) or value < 0):
+            problems.append(
+                f"{where}: {key} must be a non-negative integer, got {value!r}"
+            )
+    return problems
+
+
+def validate_proc_serve(data: object) -> List[str]:
+    """Problems with a ``BENCH_proc_serve.json`` payload."""
+    problems = _check_proc_entry(data, "top-level")
+    if not isinstance(data, dict):
+        return problems
+    variants = data.get("variants")
+    if not isinstance(variants, dict):
+        problems.append("missing or non-object 'variants' mapping")
+        return problems
+    for name in PROC_REQUIRED_VARIANTS:
+        if name not in variants:
+            problems.append(f"variants: missing required entry {name!r}")
+            continue
+        problems.extend(_check_proc_entry(variants[name], f"variants[{name!r}]"))
+        entry = variants[name]
+        if isinstance(entry, dict) and entry.get("mode") != PROC_VARIANT_MODES[name]:
+            problems.append(
+                f"variants[{name!r}]: entry must have "
+                f"mode={PROC_VARIANT_MODES[name]!r}"
+            )
+    restart = variants.get("procs_restart")
+    if isinstance(restart, dict):
+        restarts = restart.get("worker_restarts")
+        if isinstance(restarts, int) and restarts < 1:
+            problems.append(
+                "variants['procs_restart']: worker_restarts must be >= 1 "
+                "(the rolling-restart drill must actually kill workers)"
+            )
+    threads = variants.get("threads")
+    if isinstance(threads, dict):
+        restarts = threads.get("worker_restarts")
+        if isinstance(restarts, int) and restarts != 0:
+            problems.append(
+                "variants['threads']: worker_restarts must be 0 "
+                "(threads have no worker processes to restart)"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # Artifact registry
 # ---------------------------------------------------------------------------
 
@@ -394,6 +519,7 @@ ARTIFACT_VALIDATORS: Dict[str, Callable[[object], List[str]]] = {
     "BENCH_batched_throughput.json": validate_trajectory,
     "BENCH_serve_load.json": validate_serve_load,
     "BENCH_shard_scaling.json": validate_shard_scaling,
+    "BENCH_proc_serve.json": validate_proc_serve,
 }
 
 
@@ -416,9 +542,12 @@ __all__ = [
     "SERVE_REQUIRED_VARIANTS",
     "SHARD_ENTRY_KEYS",
     "SHARD_REQUIRED_VARIANTS",
+    "PROC_ENTRY_KEYS",
+    "PROC_REQUIRED_VARIANTS",
     "ARTIFACT_VALIDATORS",
     "validate_trajectory",
     "validate_serve_load",
     "validate_shard_scaling",
+    "validate_proc_serve",
     "validate_artifact",
 ]

@@ -14,9 +14,18 @@ Two server front doors share that worker (:class:`EngineShard`):
 * :class:`ShardedServer` — a router + engine-shard cluster: N shards,
   pluggable session placement (:class:`LeastLoadedPlacement` /
   :class:`RoundRobinPlacement` / :class:`ConsistentHashPlacement`),
-  optional hot-spot rebalancing (:class:`HotSpotRebalance`) over the
-  checkpoint-based migration path, thread-parallel ticks, and exact
-  cluster-wide metrics via :meth:`ServerMetrics.merge`.
+  optional rebalancing (:class:`HotSpotRebalance` /
+  :class:`QueueDepthRebalance`) over the checkpoint-based migration
+  path, thread-parallel ticks, and exact cluster-wide metrics via
+  :meth:`ServerMetrics.merge`.
+
+A third front door leaves the process: :class:`ProcCluster` hosts each
+shard in its own worker *process* (length-prefixed framed RPC, true
+parallel ticks, one failure domain per worker) with checkpoint/replay
+crash recovery through a :class:`CheckpointSupervisor` — a SIGKILLed
+worker's sessions are restored on a replacement process with their
+trajectories intact.  :class:`AsyncFrontend` wraps any of the three in
+an awaitable per-request asyncio API.
 
 :mod:`repro.serve.loadgen` generates deterministic open-loop traffic —
 uniform or Zipf-tenant-skewed (:func:`generate_zipf_scripts`, the
@@ -41,55 +50,70 @@ Quickstart::
 from repro.serve.arena import StateArena
 from repro.serve.batcher import MicroBatcher, StepRequest
 from repro.serve.cluster import ShardedServer
+from repro.serve.frontend import AsyncFrontend
 from repro.serve.loadgen import (
+    ProcServeResult,
     ServeLoadResult,
     SessionScript,
     ShardScalingResult,
     generate_scripts,
     generate_zipf_scripts,
+    measure_proc_serve,
     measure_serve_ab,
     measure_serve_load,
     measure_shard_scaling,
     run_open_loop,
+    run_rolling_restart,
     tenant_of,
 )
 from repro.serve.metrics import ServerMetrics
+from repro.serve.proc import ProcCluster, ProcWorker
 from repro.serve.router import (
     ConsistentHashPlacement,
     HotSpotRebalance,
     LeastLoadedPlacement,
     PlacementPolicy,
+    QueueDepthRebalance,
     RebalancePolicy,
     RoundRobinPlacement,
 )
 from repro.serve.server import SessionServer
 from repro.serve.session import SessionRecord, SessionStore
 from repro.serve.shard import EngineShard
+from repro.serve.supervisor import CheckpointSupervisor
 
 __all__ = [
     "StateArena",
     "MicroBatcher",
     "StepRequest",
     "ShardedServer",
+    "AsyncFrontend",
+    "ProcServeResult",
     "ServeLoadResult",
     "SessionScript",
     "ShardScalingResult",
     "generate_scripts",
     "generate_zipf_scripts",
+    "measure_proc_serve",
     "measure_serve_ab",
     "measure_serve_load",
     "measure_shard_scaling",
     "run_open_loop",
+    "run_rolling_restart",
     "tenant_of",
     "ServerMetrics",
+    "ProcCluster",
+    "ProcWorker",
     "PlacementPolicy",
     "LeastLoadedPlacement",
     "RoundRobinPlacement",
     "ConsistentHashPlacement",
     "RebalancePolicy",
     "HotSpotRebalance",
+    "QueueDepthRebalance",
     "SessionServer",
     "SessionRecord",
     "SessionStore",
     "EngineShard",
+    "CheckpointSupervisor",
 ]

@@ -67,10 +67,17 @@ class ShardedServer:
     session/batching knobs are per shard: a 4-shard cluster with
     ``session_capacity=16`` holds 64 sessions total.
 
-    ``parallel=True`` drives the shards' ticks from a thread pool
-    (bounded by the CPU count).  Shards share no state, so the results
-    are bit-identical to sequential ticking — the threads only overlap
-    the engines' numpy work on separate cores.
+    ``parallel=True`` drives the shards' ticks from a thread pool.
+    Shards share no state, so the results are bit-identical to
+    sequential ticking — the threads only overlap the engines' numpy
+    work on separate cores.  The pool defaults to
+    ``min(num_shards, cpu_count)`` workers; pass ``parallel_workers``
+    to force a specific width (``parallel_workers=num_shards`` is the
+    thread-per-shard topology — every shard gets its own execution
+    context regardless of the box, the configuration a threaded serving
+    deployment actually runs and the apples-to-apples baseline for the
+    process-cluster comparison in
+    :func:`~repro.serve.loadgen.measure_proc_serve`).
     """
 
     def __init__(
@@ -88,7 +95,14 @@ class ShardedServer:
         placement: Optional[PlacementPolicy] = None,
         rebalance: Optional[RebalancePolicy] = None,
         parallel: bool = True,
+        parallel_workers: Optional[int] = None,
+        admission_spill: bool = False,
     ):
+        if parallel_workers is not None and parallel_workers < 1:
+            raise ConfigError(
+                f"parallel_workers must be >= 1 or None, got "
+                f"{parallel_workers}"
+            )
         if engines is None:
             if engine_factory is None or num_shards is None:
                 raise ConfigError(
@@ -119,6 +133,15 @@ class ShardedServer:
         self.placement = placement if placement is not None else LeastLoadedPlacement()
         self.rebalance = rebalance
         self.parallel = parallel
+        self.parallel_workers = parallel_workers
+        #: When the placed shard refuses an open, try the remaining
+        #: shards in next-best order before giving up.  Off by default —
+        #: strict placement (a consistent-hash tier relies on sessions
+        #: landing where the hash says) stays the historical behavior.
+        self.admission_spill = admission_spill
+        #: Front-door-local counters (admission spills); merged into
+        #: :meth:`cluster_metrics` alongside the per-shard metrics.
+        self.metrics = ServerMetrics()
         #: Cluster ticks driven (each drives every shard once).
         self.tick = 0
         #: Sessions migrated between shards over the cluster's lifetime.
@@ -181,21 +204,33 @@ class ShardedServer:
             self._session_counter += 1
         elif session_id in self._shard_of:
             raise ConfigError(f"session {session_id!r} already exists")
-        index = self.placement.place(session_id, self.shards)
-        if not 0 <= index < len(self.shards):
+        first = self.placement.place(session_id, self.shards)
+        if not 0 <= first < len(self.shards):
             raise ConfigError(
-                f"placement policy returned shard {index}, cluster has "
+                f"placement policy returned shard {first}, cluster has "
                 f"{len(self.shards)}"
             )
-        opened = self.shards[index].open_session(session_id)
-        # Admission may have LRU/TTL-evicted another resident session to
-        # make room — resync the routing table immediately (not just at
-        # the next tick) so the victim cannot linger as a phantom entry.
-        self._sync_departures()
-        if opened is None:
-            return None
-        self._shard_of[opened] = index
-        return opened
+        candidates = [first]
+        if self.admission_spill:
+            candidates += sorted(
+                (i for i in range(len(self.shards)) if i != first),
+                key=lambda i: (
+                    self.shards[i].load, self.shards[i].queue_depth, i
+                ),
+            )
+        for attempt, index in enumerate(candidates):
+            opened = self.shards[index].open_session(session_id)
+            # Admission may have LRU/TTL-evicted another resident session
+            # to make room — resync the routing table immediately (not
+            # just at the next tick) so the victim cannot linger as a
+            # phantom entry.
+            self._sync_departures()
+            if opened is not None:
+                if attempt > 0:
+                    self.metrics.admission_spills += 1
+                self._shard_of[opened] = index
+                return opened
+        return None
 
     def close_session(self, session_id: str) -> None:
         self._owner(session_id).close_session(session_id)
@@ -272,7 +307,11 @@ class ShardedServer:
         if self.parallel and len(self.shards) > 1:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
-                    max_workers=min(len(self.shards), os.cpu_count() or 1),
+                    max_workers=(
+                        self.parallel_workers
+                        if self.parallel_workers is not None
+                        else min(len(self.shards), os.cpu_count() or 1)
+                    ),
                     thread_name_prefix="engine-shard",
                 )
             per_shard = list(
@@ -315,6 +354,8 @@ class ShardedServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        for shard in self.shards:
+            shard.close()
 
     def __enter__(self) -> "ShardedServer":
         return self
@@ -325,7 +366,9 @@ class ShardedServer:
     # ------------------------------------------------------------------
     def cluster_metrics(self) -> ServerMetrics:
         """Exact merge of every shard's metrics (see ServerMetrics.merge)."""
-        return ServerMetrics.merge(shard.metrics for shard in self.shards)
+        return ServerMetrics.merge(
+            [self.metrics] + [shard.metrics for shard in self.shards]
+        )
 
     def snapshot(self) -> Dict[str, object]:
         """One JSON-able cluster snapshot: merged metrics + topology."""

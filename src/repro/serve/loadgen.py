@@ -30,7 +30,11 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.eval.bench_schema import SERVE_ENTRY_KEYS, SHARD_ENTRY_KEYS
+from repro.eval.bench_schema import (
+    PROC_ENTRY_KEYS,
+    SERVE_ENTRY_KEYS,
+    SHARD_ENTRY_KEYS,
+)
 from repro.serve.batcher import StepRequest
 from repro.serve.cluster import ShardedServer
 from repro.serve.server import SessionServer
@@ -218,6 +222,49 @@ def run_open_loop(
         if next_script is None and server.queue_depth == 0:
             return results
         server.run_tick()
+    raise ConfigError(f"load did not drain within {max_ticks} ticks")
+
+
+def run_rolling_restart(
+    cluster,
+    scripts: Sequence[SessionScript],
+    kill_every_ticks: int = 8,
+    max_ticks: int = 100_000,
+) -> Tuple[Dict[str, List[StepRequest]], int]:
+    """Open-loop replay with a rolling SIGKILL drill against a ProcCluster.
+
+    Identical traffic semantics to :func:`run_open_loop`, but every
+    ``kill_every_ticks`` cluster ticks one worker — round-robin across
+    the cluster — is SIGKILLed mid-stream while its sessions have live
+    traffic.  The cluster's checkpoint/replay recovery must carry every
+    affected session through on a replacement process; callers assert
+    that the results match solo stepping exactly as in the never-killed
+    run.  Returns ``(per-session results, workers killed)``.
+    """
+    if kill_every_ticks < 1:
+        raise ConfigError(
+            f"kill_every_ticks must be >= 1, got {kill_every_ticks}"
+        )
+    results: Dict[str, List[StepRequest]] = {s.session_id: [] for s in scripts}
+    pending = sorted(scripts, key=lambda s: (s.arrival_tick, s.session_id))
+    arrivals = iter(pending)
+    next_script = next(arrivals, None)
+    kills = 0
+    for tick in range(max_ticks):
+        while next_script is not None and next_script.arrival_tick <= cluster.tick:
+            if cluster.open_session(next_script.session_id) is not None:
+                for x in next_script.inputs:
+                    request = cluster.submit(next_script.session_id, x)
+                    if request is None:
+                        break
+                    results[next_script.session_id].append(request)
+            next_script = next(arrivals, None)
+        if next_script is None and cluster.queue_depth == 0:
+            return results, kills
+        if tick > 0 and tick % kill_every_ticks == 0 and cluster.queue_depth > 0:
+            cluster.kill_worker(kills % cluster.num_workers)
+            kills += 1
+        cluster.run_tick()
     raise ConfigError(f"load did not drain within {max_ticks} ticks")
 
 
@@ -629,26 +676,26 @@ def measure_shard_scaling(
             )
 
         # Correctness pass (one free slot so a migration can land).
-        cluster = make_cluster(slack=1)
         migrated = 0
         results_map: Dict[str, List[StepRequest]] = {}
-        for script in scripts:
-            if cluster.open_session(script.session_id) is None:
-                raise ConfigError(
-                    f"shard cluster refused session {script.session_id!r} "
-                    "during the correctness pass"
-                )
-            results_map[script.session_id] = [
-                cluster.submit(script.session_id, x) for x in script.inputs
-            ]
-        cluster.run_tick()
-        if count > 1:
-            victim = scripts[0].session_id
-            src = cluster.shard_of(victim)
-            cluster.migrate_session(victim, (src + 1) % count)
-            migrated = cluster.migrations
-        cluster.drain()
-        cluster.close()
+        with make_cluster(slack=1) as cluster:
+            for script in scripts:
+                if cluster.open_session(script.session_id) is None:
+                    raise ConfigError(
+                        f"shard cluster refused session "
+                        f"{script.session_id!r} during the correctness pass"
+                    )
+                results_map[script.session_id] = [
+                    cluster.submit(script.session_id, x)
+                    for x in script.inputs
+                ]
+            cluster.run_tick()
+            if count > 1:
+                victim = scripts[0].session_id
+                src = cluster.shard_of(victim)
+                cluster.migrate_session(victim, (src + 1) % count)
+                migrated = cluster.migrations
+            cluster.drain()
         diff = 0.0
         for script in scripts:
             served = np.stack(
@@ -664,11 +711,10 @@ def measure_shard_scaling(
         # Timing rounds: fresh cluster per round, best wall time.
         best = float("inf")
         for _ in range(max(1, repeats)):
-            cluster = make_cluster()
-            start = time.perf_counter()
-            run_open_loop(cluster, scripts)
-            best = min(best, time.perf_counter() - start)
-            cluster.close()
+            with make_cluster() as cluster:
+                start = time.perf_counter()
+                run_open_loop(cluster, scripts)
+                best = min(best, time.perf_counter() - start)
             for engine in engines:
                 engine.traffic.clear()
         results[count] = ShardScalingResult(
@@ -693,6 +739,236 @@ def measure_shard_scaling(
     return results
 
 
+# ---------------------------------------------------------------------------
+# Process-serving measurement (threads vs procs vs procs + restarts)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProcServeResult:
+    """One topology point of the process-serving comparison.
+
+    Field names match :data:`repro.eval.bench_schema.PROC_ENTRY_KEYS`
+    exactly — :meth:`to_json` is generated from that single source of
+    truth.  ``mode`` is ``"threads"`` (thread-sharded
+    :class:`~repro.serve.cluster.ShardedServer`), ``"procs"``
+    (:class:`~repro.serve.proc.ProcCluster`), or ``"procs_restart"``
+    (the process cluster under the rolling SIGKILL drill);
+    ``speedup_vs_threads`` is relative to this sweep's threads variant.
+    """
+
+    mode: str
+    workers: int
+    concurrent_sessions: int
+    total_requests: int
+    max_batch: int
+    requests_per_sec: float
+    speedup_vs_threads: float
+    #: Served-vs-solo max abs error over every completed request — for
+    #: ``procs_restart`` that bound holds *through* worker kills and
+    #: checkpoint/replay recovery.
+    max_abs_diff_vs_solo: float
+    requests_failed: int
+    worker_restarts: int
+    sessions_recovered: int
+    checkpoints_taken: int
+    checkpoint_interval: int
+    p95_wait_ticks: float
+    dtype: str
+    memory_size: int
+
+    def to_json(self) -> Dict[str, object]:
+        """One ``BENCH_proc_serve.json`` artifact entry."""
+        return {key: getattr(self, key) for key in PROC_ENTRY_KEYS}
+
+
+def measure_proc_serve(
+    config=None,
+    num_workers: int = 4,
+    num_sessions: int = 64,
+    max_batch: int = 16,
+    max_wait_ticks: int = 1,
+    repeats: int = 3,
+    rng: int = 0,
+    checkpoint_interval: int = 8,
+    kill_every_ticks: int = 8,
+    mean_session_len: float = 6.0,
+) -> Dict[str, ProcServeResult]:
+    """Threads vs worker processes vs processes-under-restarts, one workload.
+
+    All three topologies serve the identical ``num_sessions``-session
+    Zipf-tenant mix (:func:`generate_zipf_scripts`): the thread cluster
+    shares one GIL across its shard ticks, so at serving-heavy
+    ``memory_size`` the process cluster's truly parallel ticks are the
+    scaling story this measurement exists to record — and the
+    ``procs_restart`` variant prices crash recovery by SIGKILLing a
+    worker every ``kill_every_ticks`` ticks mid-traffic
+    (:func:`run_rolling_restart`) while the checkpoint/replay path keeps
+    every trajectory within 1e-10 of solo stepping.
+
+    Each variant runs ``repeats`` rounds on a fresh cluster, with the
+    rounds interleaved round-robin across the variants so drifting
+    background load cannot bias one variant's block (best wall time
+    scores each variant); correctness stats come from the first round.
+    Returns ``{"threads": ..., "procs": ..., "procs_restart": ...}``
+    with ``speedup_vs_threads`` filled relative to the threads variant.
+
+    ``rng`` must be an integer seed: it seeds every shard and worker
+    engine identically (the migration/recovery weight contract).
+    """
+    from repro.core.config import HiMAConfig
+    from repro.core.engine import TiledEngine
+    from repro.serve.proc import ProcCluster
+
+    if config is None:
+        config = HiMAConfig(
+            memory_size=384, word_size=16, num_reads=1, num_tiles=8,
+            hidden_size=32, two_stage_sort=False,
+        )
+    input_size = config.word_size
+    scripts = generate_zipf_scripts(
+        input_size,
+        num_sessions=num_sessions,
+        mean_session_len=mean_session_len,
+        rng=rng,
+    )
+    total_requests = sum(script.length for script in scripts)
+
+    # Solo unbatched reference trajectories (the correctness bar).
+    solo_engine = TiledEngine(config, rng=rng)
+    baseline = {s.session_id: solo_engine.run(s.inputs) for s in scripts}
+    solo_engine.traffic.clear()
+
+    def check_results(results_map) -> Tuple[float, int]:
+        diff = 0.0
+        failed = 0
+        for script in scripts:
+            for t, request in enumerate(results_map[script.session_id]):
+                if request.error is not None or request.y is None:
+                    failed += 1
+                    continue
+                diff = max(diff, float(np.max(np.abs(
+                    request.y - baseline[script.session_id][t]
+                ))))
+        return diff, failed
+
+    thread_engines = [TiledEngine(config, rng=rng) for _ in range(num_workers)]
+
+    def run_threads():
+        # Thread-per-shard: both sides of the comparison get one
+        # execution context per shard (4 threads vs 4 processes).  The
+        # pool's default ``min(shards, cpu_count)`` width would quietly
+        # degenerate to a single worker thread on a small box — a
+        # sequential cluster wearing a ``parallel=True`` label, which
+        # measures neither the GIL cost threads actually pay nor the
+        # topology this comparison exists to record.
+        with ShardedServer(
+            thread_engines,
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            queue_capacity=max(total_requests, 1),
+            session_capacity=num_sessions,
+            parallel=True,
+            parallel_workers=num_workers,
+        ) as cluster:
+            start = time.perf_counter()
+            results_map = run_open_loop(cluster, scripts)
+            elapsed = time.perf_counter() - start
+            metrics = cluster.cluster_metrics()
+        for engine in thread_engines:
+            engine.traffic.clear()
+        return elapsed, results_map, metrics
+
+    def run_procs(restart: bool):
+        # The steady-state variant turns periodic checkpointing off so
+        # the threads-vs-procs point compares pure serving topology —
+        # neither side does durability work (the supervisor still logs
+        # every input, so replay-from-open recovery stays available).
+        # ``procs_restart`` keeps the interval and prices the full
+        # checkpoint + SIGKILL + restore drill.
+        with ProcCluster(
+            config,
+            seed=rng,
+            num_workers=num_workers,
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            queue_capacity=max(total_requests, 1),
+            session_capacity=num_sessions,
+            checkpoint_interval=checkpoint_interval if restart else None,
+        ) as cluster:
+            start = time.perf_counter()
+            if restart:
+                results_map, _ = run_rolling_restart(
+                    cluster, scripts, kill_every_ticks=kill_every_ticks
+                )
+            else:
+                results_map = run_open_loop(cluster, scripts)
+            elapsed = time.perf_counter() - start
+            metrics = cluster.cluster_metrics()
+            extra = {
+                "sessions_recovered": cluster.supervisor.sessions_recovered,
+                "checkpoints_taken": cluster.supervisor.checkpoints_taken,
+            }
+        return elapsed, results_map, (metrics, extra)
+
+    runners = {
+        "threads": run_threads,
+        "procs": lambda: run_procs(False),
+        "procs_restart": lambda: run_procs(True),
+    }
+    # Interleave the timing rounds round-robin across the variants
+    # rather than measuring each variant as one block: on a busy box,
+    # background load drifts over seconds, and a blocked schedule lets
+    # that drift masquerade as a topology difference.  Interleaving
+    # exposes every variant to the same noise distribution, so the
+    # best-of-``repeats`` comparison below is apples to apples.
+    best: Dict[str, float] = {mode: float("inf") for mode in runners}
+    first: Dict[str, object] = {}
+    for round_index in range(max(1, repeats)):
+        for mode, runner in runners.items():
+            elapsed, results_map, stats = runner()
+            best[mode] = min(best[mode], elapsed)
+            if round_index == 0:
+                first[mode] = (results_map, stats)
+
+    def build(mode: str) -> ProcServeResult:
+        results_map, stats = first[mode]
+        if mode == "threads":
+            metrics, extra = stats, {
+                "sessions_recovered": 0, "checkpoints_taken": 0,
+            }
+        else:
+            metrics, extra = stats
+        diff, failed = check_results(results_map)
+        p95 = metrics.wait_percentiles()[1]
+        return ProcServeResult(
+            mode=mode,
+            workers=num_workers,
+            concurrent_sessions=num_sessions,
+            total_requests=total_requests,
+            max_batch=max_batch,
+            requests_per_sec=total_requests / best[mode],
+            speedup_vs_threads=0.0,  # filled below once threads is known
+            max_abs_diff_vs_solo=diff,
+            requests_failed=failed,
+            worker_restarts=metrics.worker_restarts,
+            sessions_recovered=extra["sessions_recovered"],
+            checkpoints_taken=extra["checkpoints_taken"],
+            checkpoint_interval=(
+                checkpoint_interval if mode == "procs_restart" else 0
+            ),
+            p95_wait_ticks=float(p95 if p95 is not None else -1.0),
+            dtype=config.dtype,
+            memory_size=config.memory_size,
+        )
+
+    results = {mode: build(mode) for mode in runners}
+    reference = results["threads"].requests_per_sec
+    for result in results.values():
+        result.speedup_vs_threads = result.requests_per_sec / reference
+    return results
+
+
 __all__ = [
     "WORKLOAD_KINDS",
     "SessionScript",
@@ -700,9 +976,12 @@ __all__ = [
     "generate_scripts",
     "generate_zipf_scripts",
     "run_open_loop",
+    "run_rolling_restart",
     "ServeLoadResult",
     "measure_serve_load",
     "measure_serve_ab",
     "ShardScalingResult",
     "measure_shard_scaling",
+    "ProcServeResult",
+    "measure_proc_serve",
 ]

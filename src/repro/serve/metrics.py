@@ -54,6 +54,8 @@ class ServerMetrics:
         "evictions_lru",
         "migrations_in",
         "migrations_out",
+        "worker_restarts",
+        "admission_spills",
         "ticks",
         "state_bytes_copied",
     )
@@ -82,6 +84,11 @@ class ServerMetrics:
         #: close, so the cluster-wide sessions_opened stays exact.
         self.migrations_in = 0
         self.migrations_out = 0
+        #: Worker processes respawned after a crash (process cluster).
+        self.worker_restarts = 0
+        #: Sessions admitted on a non-first-choice shard after the
+        #: placement pick refused (cluster-level admission spill).
+        self.admission_spills = 0
         self.ticks = 0
         #: Cumulative bytes of session state copied (gathered, scattered,
         #: or slot-written) — the number the resident state arena drives
@@ -141,6 +148,32 @@ class ServerMetrics:
                     hist[value] = hist.get(value, 0) + count
         return merged
 
+    def to_state(self) -> Dict[str, object]:
+        """All counters + histograms as one picklable/JSON-able dict.
+
+        The process cluster ships worker metrics across the RPC boundary
+        in this form; :meth:`from_state` rebuilds an equivalent object,
+        and round-tripping is exact (integer counters, integer bins).
+        """
+        state: Dict[str, object] = {
+            name: getattr(self, name) for name in self.COUNTERS
+        }
+        for name in self.HISTOGRAMS:
+            state[name] = dict(getattr(self, name))
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "ServerMetrics":
+        """Inverse of :meth:`to_state` (missing keys default to empty)."""
+        metrics = cls()
+        for name in cls.COUNTERS:
+            setattr(metrics, name, int(state.get(name, 0)))
+        for name in cls.HISTOGRAMS:
+            hist = getattr(metrics, name)
+            for value, count in dict(state.get(name, {})).items():
+                hist[int(value)] = int(count)
+        return metrics
+
     def wait_percentiles(self) -> Tuple[Optional[float], Optional[float]]:
         """``(p50, p95)`` request latency in scheduler ticks."""
         return (
@@ -187,6 +220,8 @@ class ServerMetrics:
             "evictions_lru": self.evictions_lru,
             "migrations_in": self.migrations_in,
             "migrations_out": self.migrations_out,
+            "worker_restarts": self.worker_restarts,
+            "admission_spills": self.admission_spills,
             "ticks": self.ticks,
             "p50_wait_ticks": p50,
             "p95_wait_ticks": p95,

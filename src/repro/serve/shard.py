@@ -122,6 +122,22 @@ class EngineShard:
         """Total queued step requests across this shard's sessions."""
         return len(self.batcher)
 
+    @property
+    def capacity(self) -> int:
+        """Maximum resident sessions (the store's admission bound)."""
+        return self.store.capacity
+
+    @property
+    def pending_counts(self):
+        """Queued requests per session — see
+        :meth:`MicroBatcher.pending_counts`."""
+        return self.batcher.pending_counts()
+
+    @property
+    def p95_wait(self) -> Optional[float]:
+        """p95 request wait in ticks (``None`` before any completion)."""
+        return self.metrics.wait_percentiles()[1]
+
     # ------------------------------------------------------------------
     def _on_evict(self, session_id: str, reason: str) -> None:
         if reason == "ttl":
@@ -417,6 +433,25 @@ class EngineShard:
         raise ConfigError(
             f"drain did not empty the queue within {max_ticks} ticks"
         )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release serving resources (idempotent).
+
+        A lone shard owns no threads or processes — its arena and store
+        are plain arrays the collector reclaims — so there is nothing to
+        tear down here.  The method exists so every server object in the
+        stack shares one context-manager surface: callers write
+        ``with make_server() as server:`` without caring whether they
+        got a shard, a thread cluster (executor shutdown), or a process
+        cluster (child processes stopped).
+        """
+
+    def __enter__(self) -> "EngineShard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 __all__ = ["EngineShard"]
