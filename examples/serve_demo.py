@@ -173,3 +173,45 @@ for script in zipf_scripts:
     solo = solo_engine.run(script.inputs)
     worst = max(worst, float(np.max(np.abs(served - solo))))
 print(f"max abs diff vs solo runs, kill included: {worst:.2e} (bound 1e-10)")
+
+# ---------------------------------------------------------------------------
+# 6. Large-N sparse serving: memory_size=1024 with top-K access.
+#    Dense content addressing and linkage updates are O(N^2) per step —
+#    unservable in the thousands of slots.  The sparse access policy
+#    (access_policy="sparse", access_top_k=K) truncates addressing to
+#    the K best slots and updates only the written linkage rows, so the
+#    same serving stack handles N=1024+ (>= 5x dense at N=2048; see
+#    BENCH_sparse_access.json for the measured speedups and the
+#    accuracy deltas vs dense float64).
+# ---------------------------------------------------------------------------
+print("\n=== 6. Large-N sparse serving: N=1024, top-K access ===")
+from repro.serve import large_n_sparse_config  # noqa: E402
+
+sparse_config = large_n_sparse_config(memory_size=1024, access_top_k=64)
+print(f"memory_size={sparse_config.memory_size}, "
+      f"access_policy={sparse_config.access_policy!r}, "
+      f"top_k={sparse_config.access_top_k}")
+sparse_engine = TiledEngine(sparse_config, rng=0, traffic_max_events=4096)
+sparse_scripts = generate_zipf_scripts(
+    input_size=sparse_engine.reference.config.input_size,
+    num_sessions=8, num_tenants=4, mean_session_len=4.0,
+    mean_interarrival_ticks=0.5, rng=11,
+)
+with SessionServer(
+    sparse_engine,
+    max_batch=8,
+    max_wait_ticks=2,
+    session_capacity=8,
+) as sparse_server:
+    sparse_results = run_open_loop(sparse_server, sparse_scripts)
+    snap = sparse_server.metrics.snapshot()
+print(f"served {snap['requests_completed']} requests at N=1024 in "
+      f"{snap['ticks']} ticks (mean batch {snap['mean_batch_occupancy']:.2f})")
+
+worst = 0.0
+solo_sparse = TiledEngine(sparse_config, rng=0)
+for script in sparse_scripts:
+    served = np.stack([r.y for r in sparse_results[script.session_id]])
+    solo = solo_sparse.run(script.inputs)
+    worst = max(worst, float(np.max(np.abs(served - solo))))
+print(f"max abs diff vs solo sparse runs: {worst:.2e} (bound 1e-10)")

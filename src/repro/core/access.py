@@ -1,0 +1,449 @@
+"""Memory-access policy layer: dense (verbatim) vs top-K sparse addressing.
+
+The DNC step has exactly five phases whose cost scales with the memory
+size ``N``: content-based write weighting, usage-sort/allocation, the
+write phase (erase+write, linkage, precedence), the forward/backward
+temporal weightings, and the read weighting/read-vector gather.  This
+module puts those five phases behind an :class:`AccessPolicy` interface
+so :class:`repro.core.engine.TiledEngine` can swap the *addressing
+scheme* without touching the controller, the interface parsing, the
+retention/usage arithmetic, or any of the serving stack above it.
+
+Two policies:
+
+* :class:`DenseAccess` — the paper's path, verbatim.  The method bodies
+  are the exact kernel calls (and the exact traffic-log sequences) the
+  engine ran before this layer existed, so dense trajectories are
+  bitwise-identical to the pre-refactor engine.
+* :class:`SparseAccess` — Rae et al.-style sparse access memory: top-K
+  content addressing, top-K allocation (the ``skim_fraction``
+  argpartition idiom generalized), a K-row sparse write/linkage kernel
+  (:func:`repro.core.kernels.sparse_erase_write_linkage_inplace`), sparse
+  forward/backward over the previous read weights' support, and top-K
+  read-weight truncation.  Per-step cost drops from O(N^2) to O(K·N)
+  while the state representation (:class:`repro.dnc.numpy_ref.NumpyDNCState`)
+  stays dense — only the *support* is sparse — so checkpointing,
+  migration, and the whole serving stack work unchanged.
+
+  At ``K = N`` the sparse path reproduces the dense path to <=1e-10
+  (bitwise through the write phase): the top-K selections become
+  index-ordered identity gathers, the allocation reuses the reference
+  :func:`repro.dnc.numpy_ref.allocation_from_order` kernel with the same
+  stable tie-break, and the sparse write kernel's column+row passes
+  reduce to the fused kernel's dense formula.
+
+Traffic accounting: the sparse policy logs the same message *pattern*
+(endpoints, event order) as the dense path, but the word counts of the
+N-scaling events (linkage segment distribution, usage sort,
+forward/backward operands and psums) scale with K rather than N —
+that is the dataflow a sparse-access HiMA tile array would move.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core import kernels as SK
+from repro.core.config import HiMAConfig
+from repro.dnc import numpy_ref as K
+
+
+def _lead_batch(lead: Tuple[int, ...]) -> int:
+    b = 1
+    for d in lead:
+        b *= int(d)
+    return b
+
+
+def _topk_largest(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries along the last axis, index-sorted.
+
+    Index-sorting the selection makes the subsequent gather order
+    deterministic and, at ``k = N``, an identity permutation — which is
+    what makes the K=N sparse path reduce to the dense arithmetic
+    (gather → compute → scatter becomes compute in place).
+    """
+    n = values.shape[-1]
+    if k >= n:
+        return np.broadcast_to(np.arange(n), values.shape)
+    part = np.argpartition(values, n - k, axis=-1)[..., n - k :]
+    return np.sort(part, axis=-1)
+
+
+def _topk_smallest(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest entries along the last axis, index-sorted."""
+    n = values.shape[-1]
+    if k >= n:
+        return np.broadcast_to(np.arange(n), values.shape)
+    part = np.argpartition(values, k - 1, axis=-1)[..., :k]
+    return np.sort(part, axis=-1)
+
+
+class AccessPolicy:
+    """Strategy interface for the five N-scaling phases of a DNC step.
+
+    Every method receives the calling engine (for config, memory map,
+    softmax policy, and the masked-step plumbing) plus the traffic log
+    and the word multiplier ``b`` (the active-slot count under a masked
+    dense step, else the lead batch).  Implementations own both the
+    arithmetic *and* the traffic events of their phase, so word
+    accounting scales with whatever the policy actually moves.
+    """
+
+    #: Sparse policies route every masked step through the engine's
+    #: dense-capacity path and skip the fused-workspace ping-pong.
+    is_sparse = False
+    name = "dense"
+
+    def write_content(self, engine, state, interface, log, b):
+        """Content-based write weighting ``(..., N)`` from the write key."""
+        raise NotImplementedError
+
+    def allocation(self, engine, usage, log, b):
+        """Allocation weighting ``(..., N)`` from the updated usage."""
+        raise NotImplementedError
+
+    def write_phase(self, engine, state, write_w, interface, log, b):
+        """Erase+write, linkage, precedence → ``(memory, linkage, precedence)``.
+
+        Under the engine's masked dense step (``engine._fused_active``
+        set) the policy must update the resident arrays of the active
+        slots in place and return them; otherwise it must leave
+        ``state`` unmutated and return fresh (or workspace-backed)
+        arrays.
+        """
+        raise NotImplementedError
+
+    def read_content(self, engine, memory, interface, log, b):
+        """Content-based read weighting ``(..., R, N)`` on the new memory."""
+        raise NotImplementedError
+
+    def forward_backward(self, engine, linkage, prev_read_w, log):
+        """Temporal forward/backward weightings ``(..., R, N)`` pair."""
+        raise NotImplementedError
+
+    def read_weights(self, engine, content_r, fwd, bwd, read_modes):
+        """Merge content/forward/backward into the read weighting."""
+        raise NotImplementedError
+
+    def read_vectors(self, engine, memory, read_w, log, b):
+        """Weighted read ``(..., R, W)`` plus the psum-reduction traffic."""
+        raise NotImplementedError
+
+
+class DenseAccess(AccessPolicy):
+    """The paper's dense addressing path, verbatim.
+
+    Each method body is the exact code (kernel calls, ufunc order, and
+    traffic-log sequence) that lived inline in
+    ``TiledEngine._step_dnc`` before the policy layer: dense
+    trajectories are bitwise-identical to the pre-refactor engine at
+    equal dispatch order.
+    """
+
+    is_sparse = False
+    name = "dense"
+
+    def write_content(self, engine, state, interface, log, b):
+        nt = engine.config.num_tiles
+        ct = engine.memory_map.ct_node
+        # Row-wise shards: normalization fully local; scores need one
+        # global softmax -> tiles exchange (max, sum) psums with the CT.
+        key_unit = K.l2_normalize(interface.write_key)
+        mem_unit = K.l2_normalize(state.memory)
+        scores = (mem_unit @ key_unit[..., :, None])[..., 0]
+        for t in range(nt):
+            log.add("similarity", t, ct, 2 * b)  # local max + local exp-sum
+        content_w = engine._softmax(interface.write_strength * scores)
+        for t in range(nt):
+            log.add("similarity", ct, t, 2 * b)  # global max + normalizer back
+        return content_w
+
+    def allocation(self, engine, usage, log, b):
+        order = engine._usage_sort(usage, log)
+        alloc = K.allocation_from_order(usage, order)
+        # Running product hand-off between tiles in sorted order.
+        for hop in range(engine.config.num_tiles - 1):
+            log.add("allocation", hop, hop + 1, b)
+        return alloc
+
+    def write_phase(self, engine, state, write_w, interface, log, b):
+        cfg = engine.config
+        nt = cfg.num_tiles
+        ct = engine.memory_map.ct_node
+        # Traffic follows the blockwise dataflow exactly as before; the
+        # arithmetic runs through the fused single-sweep kernel by
+        # default (bitwise identical to the three-pass path, which the
+        # ``fused_write_linkage=False`` escape hatch preserves verbatim).
+        engine._log_linkage_traffic(b)
+        # Global sum of w_w: psum ring ending at the CT.
+        for hop in range(nt - 1):
+            log.add("precedence", hop, hop + 1, b)
+        log.add("precedence", nt - 1, ct, b)
+        if cfg.fused_write_linkage and engine._fused_active is not None:
+            # Partial-occupancy dense masked step: advance only the
+            # active slots, in place on the resident arrays — the
+            # inactive N^2 rows are neither read nor written.
+            SK.fused_erase_write_linkage_inplace(
+                state.memory, state.linkage, state.precedence,
+                write_w, interface.erase, interface.write_vector,
+                active=engine._fused_active, scratch=engine._masked_scratch,
+            )
+            return state.memory, state.linkage, state.precedence
+        if cfg.fused_write_linkage:
+            return SK.fused_erase_write_linkage(
+                state.memory, state.linkage, state.precedence,
+                write_w, interface.erase, interface.write_vector,
+                workspace=engine._active_workspace,
+            )
+        memory = K.erase_write(
+            state.memory, write_w, interface.erase, interface.write_vector
+        )
+        linkage = engine._linkage_update(state, write_w)
+        precedence = K.precedence_update(state.precedence, write_w)
+        return memory, linkage, precedence
+
+    def read_content(self, engine, memory, interface, log, b):
+        nt = engine.config.num_tiles
+        ct = engine.memory_map.ct_node
+        r = engine.config.num_reads
+        rkey_unit = K.l2_normalize(interface.read_keys)
+        rscores = rkey_unit @ np.swapaxes(K.l2_normalize(memory), -1, -2)
+        for t in range(nt):
+            log.add("similarity", t, ct, 2 * b * r)
+        content_r = engine._softmax(
+            interface.read_strengths[..., None] * rscores, axis=-1
+        )
+        for t in range(nt):
+            log.add("similarity", ct, t, 2 * b * r)
+        return content_r
+
+    def forward_backward(self, engine, linkage, prev_read_w, log):
+        return engine._forward_backward(linkage, prev_read_w, log)
+
+    def read_weights(self, engine, content_r, fwd, bwd, read_modes):
+        return K.read_weight_merge(content_r, fwd, bwd, read_modes)
+
+    def read_vectors(self, engine, memory, read_w, log, b):
+        cfg = engine.config
+        ct = engine.memory_map.ct_node
+        read_vecs = K.read_vectors(memory, read_w)
+        for t in range(cfg.num_tiles):
+            log.add("memory_read", t, ct, b * cfg.num_reads * cfg.word_size)
+        return read_vecs
+
+
+class SparseAccess(AccessPolicy):
+    """Top-K sparse addressing: O(K·N) per step on a dense state.
+
+    The four approximations (everything else stays exact):
+
+    * write content weighting: softmax over the K highest-scoring rows
+      (zero elsewhere), so the write support has at most K content rows;
+    * allocation: computed over the K *least-used* rows only — the
+      ``skim_fraction`` argpartition idiom promoted from sort-skipping
+      to the full allocation, reusing the reference
+      :func:`repro.dnc.numpy_ref.allocation_from_order` arithmetic with
+      its stable index tie-break on the gathered slice;
+    * forward/backward: contracted over the previous read weights'
+      top-K support instead of the full N×N matmul pair (the discarded
+      entries are exactly zero, so this is lossless given the read
+      truncation below);
+    * read weights: merged weighting truncated to its K largest entries
+      per head (unrenormalized, as in Rae et al.), which is what keeps
+      the *next* step's forward/backward and read gather sparse.
+
+    The write phase
+    (:func:`repro.core.kernels.sparse_erase_write_linkage_inplace`)
+    reproduces the dense linkage algebra on the ≤2K written rows;
+    rows outside the write support keep their outgoing links undecayed
+    until their own next write (the kernel's only approximation —
+    vacuous at K = N, where the softmax support is every slot).
+    Retention, usage, and precedence are O(N) elementwise and remain
+    dense-exact.
+    """
+
+    is_sparse = True
+    name = "sparse"
+
+    def __init__(self, config: HiMAConfig):
+        self.top_k = int(config.access_top_k)
+
+    # -- content ------------------------------------------------------
+    def _scatter_softmax(self, engine, scaled, idx):
+        """Softmax over the selected entries, zero everywhere else."""
+        vals = np.take_along_axis(scaled, idx, axis=-1)
+        soft = engine._softmax(vals, axis=-1)
+        out = np.zeros_like(scaled)
+        np.put_along_axis(out, idx, soft, axis=-1)
+        return out
+
+    def write_content(self, engine, state, interface, log, b):
+        nt = engine.config.num_tiles
+        ct = engine.memory_map.ct_node
+        # The similarity scan stays a dense O(N·W) matmul (it is BLAS
+        # bound, not the hot term); sparsity enters at the softmax.
+        key_unit = K.l2_normalize(interface.write_key)
+        mem_unit = K.l2_normalize(state.memory)
+        scores = (mem_unit @ key_unit[..., :, None])[..., 0]
+        for t in range(nt):
+            log.add("similarity", t, ct, 2 * b)
+        scaled = interface.write_strength * scores
+        content_w = self._scatter_softmax(
+            engine, scaled, _topk_largest(scaled, self.top_k)
+        )
+        for t in range(nt):
+            log.add("similarity", ct, t, 2 * b)
+        return content_w
+
+    # -- allocation ---------------------------------------------------
+    def allocation(self, engine, usage, log, b):
+        cfg = engine.config
+        ct = engine.memory_map.ct_node
+        per_tile = max(1, self.top_k // cfg.num_tiles)
+        for t in range(cfg.num_tiles):
+            log.add("usage_sort", t, ct, b * per_tile)
+            log.add("usage_sort", ct, t, b * per_tile)
+        idx = _topk_smallest(usage, self.top_k)
+        vals = np.take_along_axis(usage, idx, axis=-1)
+        # Stable argsort of the gathered slice: ties break toward the
+        # lower *memory* index because ``idx`` is index-sorted — the
+        # same tie order as the dense stable argsort, which is what
+        # makes K=N reproduce the dense allocation bitwise.
+        sub_order = np.argsort(vals, axis=-1, kind="stable")
+        alloc_k = K.allocation_from_order(vals, sub_order)
+        alloc = np.zeros_like(usage)
+        np.put_along_axis(alloc, idx, alloc_k, axis=-1)
+        for hop in range(cfg.num_tiles - 1):
+            log.add("allocation", hop, hop + 1, b)
+        return alloc
+
+    # -- write phase --------------------------------------------------
+    def write_phase(self, engine, state, write_w, interface, log, b):
+        cfg = engine.config
+        mmap = engine.memory_map
+        nt = cfg.num_tiles
+        # Same blockwise message pattern as the dense path, but each
+        # segment carries only the ≤K written rows' worth of operands.
+        rows_k = max(1, self.top_k // nt)
+        for t in range(nt):
+            rows, cols = mmap.linkage_block(t)
+            for owner in mmap.row_segment_owners(rows):
+                log.add("linkage", owner, t, b * rows_k)
+            for owner in mmap.row_segment_owners(cols):
+                log.add("linkage", owner, t, 2 * b * rows_k)
+        for hop in range(nt - 1):
+            log.add("precedence", hop, hop + 1, b)
+        log.add("precedence", nt - 1, mmap.ct_node, b)
+        if engine._fused_active is not None:
+            # Masked dense step: advance the active slots in place on
+            # the resident arrays, touching only the written rows of
+            # the O(N^2) fields.
+            SK.sparse_erase_write_linkage_inplace(
+                state.memory, state.linkage, state.precedence,
+                write_w, interface.erase, interface.write_vector,
+                active=engine._fused_active,
+            )
+            return state.memory, state.linkage, state.precedence
+        # Plain (caller-owned state) step: same arithmetic on copies —
+        # the bitwise plain-vs-masked consistency the serving bar needs.
+        return SK.sparse_erase_write_linkage(
+            state.memory, state.linkage, state.precedence,
+            write_w, interface.erase, interface.write_vector,
+        )
+
+    # -- read ---------------------------------------------------------
+    def read_content(self, engine, memory, interface, log, b):
+        nt = engine.config.num_tiles
+        ct = engine.memory_map.ct_node
+        r = engine.config.num_reads
+        rkey_unit = K.l2_normalize(interface.read_keys)
+        rscores = rkey_unit @ np.swapaxes(K.l2_normalize(memory), -1, -2)
+        for t in range(nt):
+            log.add("similarity", t, ct, 2 * b * r)
+        scaled = interface.read_strengths[..., None] * rscores
+        content_r = self._scatter_softmax(
+            engine, scaled, _topk_largest(scaled, self.top_k)
+        )
+        for t in range(nt):
+            log.add("similarity", ct, t, 2 * b * r)
+        return content_r
+
+    def forward_backward(self, engine, linkage, prev_read_w, log):
+        cfg = engine.config
+        mmap = engine.memory_map
+        r = prev_read_w.shape[-2]
+        n = linkage.shape[-1]
+        b = engine._traffic_words(_lead_batch(prev_read_w.shape[:-2]))
+        # Dense message pattern, K-scaled words: operand segments and
+        # psum chains carry the support rows only.
+        rows_k = max(1, self.top_k // cfg.num_tiles)
+        nt_h, nt_w = mmap.nt_h, mmap.nt_w
+        for t in range(cfg.num_tiles):
+            rows, cols = mmap.linkage_block(t)
+            for owner in mmap.row_segment_owners(cols):
+                log.add("forward_backward", owner, t, b * r * rows_k)
+            for owner in mmap.row_segment_owners(rows):
+                log.add("forward_backward", owner, t, b * r * rows_k)
+            bi, bj = mmap.linkage_grid_index(t)
+            if bj + 1 < nt_w:
+                log.add("forward_backward", t, t + 1, b * r * rows_k)
+            if bi + 1 < nt_h:
+                log.add("forward_backward", t, t + nt_w, b * r * rows_k)
+        # f = w_r L^T / b = w_r L contracted over the previous read
+        # weights' support: the weights are non-negative with at most K
+        # nonzeros per head (read truncation), so the dropped terms are
+        # exact zeros.
+        lead = prev_read_w.shape[:-2]
+        rw = prev_read_w.reshape((-1,) + prev_read_w.shape[-2:])
+        link = linkage.reshape((-1,) + linkage.shape[-2:])
+        idx = _topk_largest(rw, self.top_k)
+        vals = np.take_along_axis(rw, idx, axis=-1)
+        fidx = np.arange(link.shape[0])[:, None, None]
+        bwd = np.einsum("frk,frkn->frn", vals, link[fidx, idx, :])
+        link_t = np.swapaxes(link, -1, -2)
+        fwd = np.einsum("frk,frkn->frn", vals, link_t[fidx, idx, :])
+        return fwd.reshape(lead + (r, n)), bwd.reshape(lead + (r, n))
+
+    def read_weights(self, engine, content_r, fwd, bwd, read_modes):
+        read_w = K.read_weight_merge(content_r, fwd, bwd, read_modes)
+        # Truncate to the K largest entries per head (no renormalize,
+        # following Rae et al.) so the recurrent read support stays
+        # sparse.  At K=N this is an identity copy.
+        idx = _topk_largest(read_w, self.top_k)
+        vals = np.take_along_axis(read_w, idx, axis=-1)
+        out = np.zeros_like(read_w)
+        np.put_along_axis(out, idx, vals, axis=-1)
+        return out
+
+    def read_vectors(self, engine, memory, read_w, log, b):
+        cfg = engine.config
+        ct = engine.memory_map.ct_node
+        r = read_w.shape[-2]
+        lead = read_w.shape[:-2]
+        rw = read_w.reshape((-1,) + read_w.shape[-2:])
+        mem = memory.reshape((-1,) + memory.shape[-2:])
+        idx = _topk_largest(rw, self.top_k)
+        vals = np.take_along_axis(rw, idx, axis=-1)
+        fidx = np.arange(mem.shape[0])[:, None, None]
+        read_vecs = np.einsum("frk,frkw->frw", vals, mem[fidx, idx, :])
+        for t in range(cfg.num_tiles):
+            log.add("memory_read", t, ct, b * cfg.num_reads * cfg.word_size)
+        return read_vecs.reshape(lead + (r, memory.shape[-1]))
+
+
+def make_access_policy(config: HiMAConfig) -> AccessPolicy:
+    """Instantiate the policy named by ``config.access_policy``."""
+    if config.access_policy == "sparse":
+        return SparseAccess(config)
+    return DenseAccess()
+
+
+__all__ = [
+    "AccessPolicy",
+    "DenseAccess",
+    "SparseAccess",
+    "make_access_policy",
+]

@@ -53,6 +53,23 @@ class HiMAConfig:
     skim_fraction: float = 0.0
     approx_softmax: bool = False
 
+    #: Memory-access policy (see :mod:`repro.core.access`).  ``"dense"``
+    #: is the verbatim paper path; ``"sparse"`` is Rae-style top-K
+    #: content addressing with K-row sparse write/linkage updates and
+    #: truncated read weightings — O(K·N) per step instead of O(N^2).
+    #: Sparse access generalizes the ``skim_fraction`` argpartition idiom
+    #: to every N-scaling phase, so the two are mutually exclusive; it
+    #: owns the allocation order directly (argpartition + stable
+    #: tie-break), bypassing the two-stage sorter, and is not available
+    #: for the distributed (DNC-D) model whose state is view-sharded.
+    access_policy: str = "dense"
+
+    #: Rows kept per addressing step under ``access_policy="sparse"``
+    #: (the K of top-K).  Must satisfy ``1 <= K <= memory_size``; at
+    #: K = N the sparse path matches the dense path to <=1e-10 (bitwise
+    #: through the write phase).  Must be 0 (unset) under dense access.
+    access_top_k: int = 0
+
     #: Run the write phase (erase+write, linkage, precedence) through the
     #: fused single-sweep kernel
     #: :func:`repro.core.kernels.fused_erase_write_linkage` instead of
@@ -87,6 +104,30 @@ class HiMAConfig:
         check_positive("num_tiles", self.num_tiles)
         check_in("noc", self.noc, _NOC_CHOICES)
         check_probability("skim_fraction", self.skim_fraction)
+        check_in("access_policy", self.access_policy, ("dense", "sparse"))
+        if self.access_policy == "sparse":
+            if not (1 <= self.access_top_k <= self.memory_size):
+                raise ConfigError(
+                    f"access_top_k must be in [1, memory_size] under sparse "
+                    f"access, got {self.access_top_k} (memory_size="
+                    f"{self.memory_size})"
+                )
+            if self.distributed:
+                raise ConfigError(
+                    "access_policy='sparse' is incompatible with the "
+                    "distributed (DNC-D) model: the stacked tile kernels "
+                    "view-shard the state dense"
+                )
+            if self.skim_fraction > 0.0:
+                raise ConfigError(
+                    "access_policy='sparse' subsumes usage skimming; set "
+                    "skim_fraction=0.0"
+                )
+        elif self.access_top_k != 0:
+            raise ConfigError(
+                f"access_top_k ({self.access_top_k}) requires "
+                f"access_policy='sparse'"
+            )
         check_probability(
             "masked_dense_min_occupancy", self.masked_dense_min_occupancy
         )

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core import kernels as SK  # stacked shard kernels
+from repro.core.access import make_access_policy
 from repro.core.config import HiMAConfig
 from repro.core.mapping import MemoryMap
 from repro.dnc import numpy_ref as K  # the shared numpy kernels
@@ -225,6 +226,10 @@ class TiledEngine:
             self.sorter = TwoStageSorter(config.memory_size, config.num_tiles)
         else:
             self.sorter = None
+        #: The memory-access policy owning the five N-scaling phases of
+        #: the step (see :mod:`repro.core.access`): dense is the paper's
+        #: verbatim path, sparse is top-K addressing at O(K·N)/step.
+        self.access = make_access_policy(config)
         # Resident buffers for the fused write kernel, used only inside
         # masked steps where this engine controls the output arrays'
         # lifecycle (see _step_masked); plain steps return caller-owned
@@ -239,6 +244,10 @@ class TiledEngine:
         self._fused_active: Optional[np.ndarray] = None
         self._masked_scratch: Dict = {}
         self._traffic_words_scale: Optional[int] = None
+        # DNC-D de-aliasing buffers for workspace-backed masked steps:
+        # staging copies of the view-sharded inputs plus the resident
+        # scatter target for the full linkage (see _step_distributed).
+        self._dncd_scratch: Dict = {}
 
     # ------------------------------------------------------------------
     def initial_state(self, batch_size: Optional[int] = None) -> NumpyDNCState:
@@ -322,6 +331,14 @@ class TiledEngine:
         out_size = self.reference.config.output_size
         if idx.size == 0:
             return np.zeros((b, out_size), dtype=self.config.np_dtype), state
+        if self.access.is_sparse:
+            # Sparse access always takes the dense-capacity path, at any
+            # occupancy: its cheap kernels are O(K)/O(N) per slot (so
+            # compact-path gathers of the N^2 fields would dominate the
+            # step), and the K-row sparse write kernel already skips
+            # inactive slots in place.  Sparse + distributed is rejected
+            # at config time, so no DNC-D case arises here.
+            return self._step_masked_dense(x, state, idx)
         step_fn = (
             self._step_distributed if self.config.distributed else self._step_dnc
         )
@@ -346,16 +363,19 @@ class TiledEngine:
             # resident workspace here because this engine owns the
             # output arrays' fate: the previous arrays are donated back
             # as the next tick's output buffers (ping-pong), keeping the
-            # hot path allocation-free for the N^2 state.  DNC-D is
-            # excluded from the workspace: its stacked-shard inputs are
-            # *views* of the state arrays, so ping-pong would alias
-            # input and output.  The compact path below never uses the
+            # hot path allocation-free for the N^2 state.  DNC-D uses
+            # the workspace too, but *stage-and-overwrite* instead of
+            # ping-pong: its stacked-shard inputs are views of the state
+            # arrays, so _step_distributed first copies them into
+            # engine-owned staging buffers (de-aliasing input from
+            # output) and the stacked outputs live in one stable
+            # workspace buffer set — nothing is recycled because the
+            # donated full-shape arrays could never match the stacked
+            # buffer keys.  The compact path below never uses the
             # workspace — its sub-batch shape varies with the active
             # count, which would accumulate one retained buffer set per
             # distinct occupancy.
-            use_workspace = (
-                self.config.fused_write_linkage and not self.config.distributed
-            )
+            use_workspace = self.config.fused_write_linkage
             old = (state.memory, state.linkage, state.precedence)
             if use_workspace:
                 self._active_workspace = self._fused_workspace
@@ -364,7 +384,7 @@ class TiledEngine:
             finally:
                 self._active_workspace = None
             state.assign_from(new_state)
-            if use_workspace:
+            if use_workspace and not self.config.distributed:
                 self._fused_workspace.recycle(*old)
             return y, state
         sub = state.take_rows(idx)
@@ -397,10 +417,20 @@ class TiledEngine:
         has no masked form, so it computes all ``B`` rows and the three
         big fields join the scatter — the escape hatch stays available
         at the cost of the extra write-phase compute.
+
+        Sparse access (``access_policy="sparse"``) routes *every* masked
+        step here, including full occupancy: its write phase
+        (:func:`repro.core.kernels.sparse_erase_write_linkage_inplace`)
+        is masked-in-place by construction, so ``_fused_active`` is set
+        regardless of the ``fused_write_linkage`` flag.
         """
         b = state.batch_size
         self._traffic_words_scale = int(idx.size)
-        self._fused_active = idx if self.config.fused_write_linkage else None
+        self._fused_active = (
+            idx
+            if (self.config.fused_write_linkage or self.access.is_sparse)
+            else None
+        )
         try:
             y, new_state = self._step_dnc(x, state)
         finally:
@@ -470,15 +500,13 @@ class TiledEngine:
     def _step_dnc(
         self, x: np.ndarray, state: NumpyDNCState
     ) -> Tuple[np.ndarray, NumpyDNCState]:
-        cfg = self.config
-        mmap = self.memory_map
         ref = self.reference
-        nt = cfg.num_tiles
-        ct = mmap.ct_node
-        n, w, r = cfg.memory_size, cfg.word_size, cfg.num_reads
+        nt = self.config.num_tiles
+        ct = self.memory_map.ct_node
         log = self.traffic
         lead = x.shape[:-1]
         b = self._traffic_words(_lead_batch(lead))
+        access = self.access
 
         # --- Controller at CT; interface vectors broadcast to PTs. -------
         lstm_h, lstm_c, interface = self._controller(x, state)
@@ -490,89 +518,43 @@ class TiledEngine:
         # retention, usage, erase/write are all row-local), so the hot
         # path runs each kernel once over all rows — batched, that is one
         # stacked matmul instead of Nt small ones — while the traffic
-        # loops below record the per-tile dataflow exactly as before.
+        # loops inside the access policy record the per-tile dataflow
+        # exactly as before.  Every phase whose cost scales with N is
+        # delegated to the configured access policy (dense = the paper's
+        # verbatim path; sparse = top-K addressing); the exact O(N)
+        # elementwise pieces — retention, usage, weight merges — stay
+        # here, shared by both.
 
         # --- Content-based write weighting (normalize + similarity). -----
-        # Row-wise shards: normalization fully local; scores need one
-        # global softmax -> tiles exchange (max, sum) psums with the CT.
-        key_unit = K.l2_normalize(interface.write_key)
-        mem_unit = K.l2_normalize(state.memory)
-        scores = (mem_unit @ key_unit[..., :, None])[..., 0]
-        for t in range(nt):
-            log.add("similarity", t, ct, 2 * b)  # local max + local exp-sum
-        content_w = self._softmax(interface.write_strength * scores)
-        for t in range(nt):
-            log.add("similarity", ct, t, 2 * b)  # global max + normalizer back
+        content_w = access.write_content(self, state, interface, log, b)
 
         # --- History-based write weighting (fully row-local). -------------
         psi = K.retention(interface.free_gates, state.read_w)
         usage = K.usage_update(state.usage, state.write_w, psi)
 
-        order = self._usage_sort(usage, log)
-        alloc = K.allocation_from_order(usage, order)
-        # Running product hand-off between tiles in sorted order.
-        for hop in range(nt - 1):
-            log.add("allocation", hop, hop + 1, b)
+        alloc = access.allocation(self, usage, log, b)
 
         write_w = K.write_weight_merge(
             content_w, alloc, interface.write_gate, interface.allocation_gate
         )
 
         # --- Write phase: erase+write, linkage, precedence. ---------------
-        # Traffic follows the blockwise dataflow exactly as before; the
-        # arithmetic runs through the fused single-sweep kernel by
-        # default (bitwise identical to the three-pass path, which the
-        # ``fused_write_linkage=False`` escape hatch preserves verbatim).
-        self._log_linkage_traffic(b)
-        # Global sum of w_w: psum ring ending at the CT.
-        for hop in range(nt - 1):
-            log.add("precedence", hop, hop + 1, b)
-        log.add("precedence", nt - 1, ct, b)
-        if cfg.fused_write_linkage and self._fused_active is not None:
-            # Partial-occupancy dense masked step: advance only the
-            # active slots, in place on the resident arrays — the
-            # inactive N^2 rows are neither read nor written.
-            SK.fused_erase_write_linkage_inplace(
-                state.memory, state.linkage, state.precedence,
-                write_w, interface.erase, interface.write_vector,
-                active=self._fused_active, scratch=self._masked_scratch,
-            )
-            memory = state.memory
-            linkage = state.linkage
-            precedence = state.precedence
-        elif cfg.fused_write_linkage:
-            memory, linkage, precedence = SK.fused_erase_write_linkage(
-                state.memory, state.linkage, state.precedence,
-                write_w, interface.erase, interface.write_vector,
-                workspace=self._active_workspace,
-            )
-        else:
-            memory = K.erase_write(
-                state.memory, write_w, interface.erase, interface.write_vector
-            )
-            linkage = self._linkage_update(state, write_w)
-            precedence = K.precedence_update(state.precedence, write_w)
+        memory, linkage, precedence = access.write_phase(
+            self, state, write_w, interface, log, b
+        )
 
         # --- Content-based read weighting on the updated memory. ----------
-        rkey_unit = K.l2_normalize(interface.read_keys)
-        rscores = rkey_unit @ np.swapaxes(K.l2_normalize(memory), -1, -2)
-        for t in range(nt):
-            log.add("similarity", t, ct, 2 * b * r)
-        content_r = self._softmax(
-            interface.read_strengths[..., None] * rscores, axis=-1
-        )
-        for t in range(nt):
-            log.add("similarity", ct, t, 2 * b * r)
+        content_r = access.read_content(self, memory, interface, log, b)
 
         # --- Forward-backward over the linkage blocks. ---------------------
-        fwd, bwd = self._forward_backward(linkage, state.read_w, log)
+        fwd, bwd = access.forward_backward(self, linkage, state.read_w, log)
 
-        read_w = K.read_weight_merge(content_r, fwd, bwd, interface.read_modes)
+        read_w = access.read_weights(
+            self, content_r, fwd, bwd, interface.read_modes
+        )
 
         # --- Memory read: local partials + psum reduction at the CT. ------
-        read_vecs = K.read_vectors(memory, read_w)
-        for t in range(nt):
-            log.add("memory_read", t, ct, b * r * w)
+        read_vecs = access.read_vectors(self, memory, read_w, log, b)
 
         y = self._output(lstm_h, read_vecs)
         new_state = NumpyDNCState(
@@ -695,6 +677,22 @@ class TiledEngine:
         kernel runs once over ``(..., Nt, n)`` shards as a stacked
         einsum/matmul (see :mod:`repro.core.kernels`), under an optional
         leading batch axis.
+
+        **Workspace-backed masked steps** (``self._active_workspace``
+        set by the full-occupancy masked path): the stacked shard
+        operands of the fused write kernel are *views* of the state
+        arrays, and the workspace's stacked output buffers become the
+        next state's storage — so without care step ``t+1`` would read
+        and write the same memory.  The de-aliasing contract: the three
+        fused-kernel inputs are first copied into engine-owned resident
+        staging buffers (``_dncd_stage``), after which the state arrays
+        have no remaining readers and the outputs may land in the one
+        stable workspace buffer set (stage-and-overwrite rather than the
+        non-distributed ping-pong).  The full linkage likewise scatters
+        into a resident zeroed buffer (``_dncd_scatter_out``) instead of
+        a fresh N^2 allocation — DNC-D linkage never has off-block mass,
+        so the off-block zeros written once at buffer creation hold
+        forever.
         """
         cfg = self.config
         ref = self.reference
@@ -738,8 +736,16 @@ class TiledEngine:
             gate(interface.write_gate), gate(interface.allocation_gate),
         )
         if cfg.fused_write_linkage:
+            local_mem_in, local_link_in, local_prec_in = (
+                local_mem, local_link_prev, local_prec_prev,
+            )
+            if self._active_workspace is not None:
+                # De-alias the view-sharded operands (see docstring).
+                local_mem_in = self._dncd_stage("mem_in", local_mem)
+                local_link_in = self._dncd_stage("link_in", local_link_prev)
+                local_prec_in = self._dncd_stage("prec_in", local_prec_prev)
             local_new_mem, local_link, local_prec = SK.fused_erase_write_linkage(
-                local_mem, local_link_prev, local_prec_prev, local_write_w,
+                local_mem_in, local_link_in, local_prec_in, local_write_w,
                 interface.erase[..., None, :],
                 interface.write_vector[..., None, :],
                 workspace=self._active_workspace,
@@ -776,17 +782,47 @@ class TiledEngine:
             log.add("read_vector_collect", t, ct, b * r * w)
 
         y = self._output(lstm_h, read_vecs)
+        if self._active_workspace is not None and cfg.fused_write_linkage:
+            # Resident scatter target: the state's linkage storage under
+            # workspace-backed masked stepping, overwritten in place
+            # (its previous blocks were staged above).
+            linkage_full = SK.scatter_block_diagonal(
+                local_link, out=self._dncd_scatter_out(state.linkage)
+            )
+        else:
+            linkage_full = SK.scatter_block_diagonal(local_link)
         new_state = NumpyDNCState(
             memory=SK.unshard_matrix(local_new_mem),
             usage=SK.unshard_vector(local_usage),
             precedence=SK.unshard_vector(local_prec),
-            linkage=SK.scatter_block_diagonal(local_link),
+            linkage=linkage_full,
             write_w=SK.unshard_vector(local_write_w),
             read_w=SK.unshard_heads(local_read_w),
             read_vecs=read_vecs,
             lstm_h=lstm_h, lstm_c=lstm_c,
         )
         return y, new_state
+
+    def _dncd_stage(self, name: str, view: np.ndarray) -> np.ndarray:
+        """Copy a view-sharded operand into an engine-owned resident buffer."""
+        key = (name, view.shape, view.dtype.str)
+        buf = self._dncd_scratch.get(key)
+        if buf is None:
+            buf = np.empty(view.shape, dtype=view.dtype)
+            self._dncd_scratch[key] = buf
+        np.copyto(buf, view)
+        return buf
+
+    def _dncd_scatter_out(self, like: np.ndarray) -> np.ndarray:
+        """Resident zeroed buffer for the full block-diagonal linkage."""
+        key = ("scatter_out", like.shape, like.dtype.str)
+        buf = self._dncd_scratch.get(key)
+        if buf is None:
+            # Zeroed once: only diagonal blocks are ever written, and
+            # DNC-D linkage has no off-block mass, so the invariant holds.
+            buf = np.zeros(like.shape, dtype=like.dtype)
+            self._dncd_scratch[key] = buf
+        return buf
 
     # ------------------------------------------------------------------
     # Shared helpers

@@ -86,15 +86,31 @@ def block_diagonal(linkage: np.ndarray, num_tiles: int) -> np.ndarray:
     return np.einsum("...titj->...tij", grid)
 
 
-def scatter_block_diagonal(blocks: np.ndarray) -> np.ndarray:
+def scatter_block_diagonal(
+    blocks: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Place ``(..., Nt, n, n)`` blocks on the diagonal of a zero ``(..., N, N)``.
 
     The output keeps the blocks' dtype, so the engine-wide dtype policy
     flows through the stacked DNC-D path without silent upcasts.
+
+    ``out`` — write the blocks into a caller-owned resident buffer
+    instead of allocating a fresh ``(..., N, N)`` zero array every step.
+    The caller must guarantee the buffer's off-diagonal-block cells are
+    already zero (DNC-D linkage never has off-block mass, so a buffer
+    that only ever receives linkage through this function keeps that
+    invariant after a single zeroed initialization).
     """
     num_tiles, n_local = blocks.shape[-3], blocks.shape[-1]
     n = num_tiles * n_local
-    out = np.zeros(blocks.shape[:-3] + (n, n), dtype=blocks.dtype)
+    if out is None:
+        out = np.zeros(blocks.shape[:-3] + (n, n), dtype=blocks.dtype)
+    elif out.shape != blocks.shape[:-3] + (n, n) or out.dtype != blocks.dtype:
+        raise ValueError(
+            f"scatter_block_diagonal out= has shape {out.shape} dtype "
+            f"{out.dtype}; expected {blocks.shape[:-3] + (n, n)} "
+            f"{blocks.dtype}"
+        )
     for t in range(num_tiles):
         rows = slice(t * n_local, (t + 1) * n_local)
         out[..., rows, rows] = blocks[..., t, :, :]
@@ -370,6 +386,128 @@ def fused_erase_write_linkage_inplace(
         p += w
         m[...] = mw
         link[...] = nn
+
+
+def sparse_erase_write_linkage_inplace(
+    memory: np.ndarray,
+    linkage: np.ndarray,
+    precedence: np.ndarray,
+    write_w: np.ndarray,
+    erase: np.ndarray,
+    value: np.ndarray,
+    active: Optional[np.ndarray] = None,
+) -> None:
+    """K-row sparse write phase mutating the arrays in place.
+
+    The sparse-access companion of
+    :func:`fused_erase_write_linkage_inplace`: ``write_w`` rows carry a
+    small support ``S`` (top-K content + top-K allocation positions, so
+    ``|S| <= 2K``), and the update touches only O(|S|·N) *contiguous*
+    cells instead of O(N^2):
+
+    * memory rows in ``S`` get the full erase+write formula
+      ``m * (1 - w x e) + w x v`` (reference ufunc order, bitwise);
+    * linkage rows in ``S`` get the full
+      ``((1 - w_i) - w_j) * L + w_i * p_j`` row update, identical
+      ufunc-for-ufunc to :func:`fused_erase_write_linkage`.  Rows
+      *outside* ``S`` are left untouched: the dense formula would decay
+      their ``S`` columns by ``(1 - w_j)``, but applying that decay is
+      a scattered-column pass whose cache traffic is effectively the
+      whole matrix — the O(N^2) cost this kernel exists to avoid — so,
+      following the sparse-memory literature, stale rows keep their
+      outgoing links undecayed until their own next write.  This is the
+      kernel's *only* approximation; the benchmark reports its measured
+      trajectory cost as ``max/mean_abs_delta_vs_dense``.  At full
+      support (softmax support is all ``N`` slots when K = N) every row
+      is in ``S``, the skipped term is vacuous, and the kernel is
+      bitwise-identical to :func:`fused_erase_write_linkage`;
+    * precedence is a dense O(N) elementwise update (same as the fused
+      kernel, bitwise), since it is never the hot term.
+
+    Accepts unbatched ``(N, W)/(N, N)/(N,)`` state or batched
+    ``(B, ...)``; ``active`` (int indices or bool mask over the leading
+    batch axis) restricts the update to the selected slots, leaving the
+    rest bitwise untouched — the serving arena's masked tick.
+    """
+    if memory.ndim == 2:
+        if active is not None:
+            raise ValueError(
+                "sparse_erase_write_linkage_inplace(active=...) needs a "
+                f"leading batch axis; got memory of shape {memory.shape}"
+            )
+        memory, linkage, precedence = (
+            memory[None], linkage[None], precedence[None],
+        )
+        write_w = write_w[None]
+        erase = np.asarray(erase)[None] if erase.ndim == 1 else erase
+        value = np.asarray(value)[None] if value.ndim == 1 else value
+    elif memory.ndim != 3:
+        raise ValueError(
+            "sparse_erase_write_linkage_inplace supports (N, W) or "
+            f"(B, N, W) memory; got shape {memory.shape}"
+        )
+    if active is None:
+        idx = np.arange(memory.shape[0])
+    else:
+        idx = np.asarray(active)
+        if idx.dtype == np.bool_:
+            idx = np.flatnonzero(idx)
+    if idx.size == 0:
+        return
+    erase_b = np.broadcast_to(erase, write_w.shape[:-1] + erase.shape[-1:])
+    value_b = np.broadcast_to(value, write_w.shape[:-1] + value.shape[-1:])
+    for s in idx:
+        m, link, p, w = memory[s], linkage[s], precedence[s], write_w[s]
+        support = np.flatnonzero(w)
+        if support.size == 0:
+            continue
+        w_s = w[support]
+        w_col = w_s[:, None]
+        # Memory rows S: m * (1 - w x e) + w x v, reference ufunc order.
+        mw = np.multiply(w_col, erase_b[s][None, :])
+        np.subtract(1.0, mw, out=mw)
+        mw *= m[support]
+        mw += w_col * value_b[s][None, :]
+        # Linkage: full row update for rows in S (snapshot first so the
+        # formula reads pre-update values).  Rows outside S are left
+        # untouched — see the docstring's approximation note.
+        rows_old = link[support, :].copy()
+        new_rows = np.subtract(1.0 - w_col, w[None, :])
+        new_rows *= rows_old
+        new_rows += w_col * p[None, :]
+        new_rows[np.arange(support.size), support] = 0.0
+        link[support, :] = new_rows
+        # Precedence reads old p; the linkage term above already
+        # consumed it, so it may now be overwritten: (1 - sum w) * p + w.
+        np.multiply(1.0 - w.sum(), p, out=p)
+        p += w
+        m[support] = mw
+
+
+def sparse_erase_write_linkage(
+    memory: np.ndarray,
+    linkage: np.ndarray,
+    precedence: np.ndarray,
+    write_w: np.ndarray,
+    erase: np.ndarray,
+    value: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Non-mutating K-row sparse write phase.
+
+    Copies the state and applies
+    :func:`sparse_erase_write_linkage_inplace`, so a plain (unmasked)
+    sparse step runs the *same arithmetic* as the arena's in-place
+    masked tick — the bitwise plain-vs-masked consistency the serving
+    bar depends on.  The O(N^2) linkage copy makes this the cold path;
+    resident-state serving goes through the in-place kernel.
+    """
+    new_memory = memory.copy()
+    new_linkage = linkage.copy()
+    new_precedence = precedence.copy()
+    sparse_erase_write_linkage_inplace(
+        new_memory, new_linkage, new_precedence, write_w, erase, value
+    )
+    return new_memory, new_linkage, new_precedence
 
 
 @dataclass(frozen=True)
@@ -649,4 +787,6 @@ __all__ = [
     "FusedWriteWorkspace",
     "fused_erase_write_linkage",
     "fused_erase_write_linkage_inplace",
+    "sparse_erase_write_linkage",
+    "sparse_erase_write_linkage_inplace",
 ]

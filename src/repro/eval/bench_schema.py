@@ -31,12 +31,18 @@ variants tracing the sharded-serving scaling curve.
 process-cluster point) plus ``threads`` / ``procs`` / ``procs_restart``
 variants comparing topologies — and pricing crash recovery — on the
 identical 64-session Zipf mix.
+``BENCH_sparse_access.json``: one flat
+:class:`~repro.eval.runners.SparseAccessResult` entry (the headline
+N=2048 sparse point) plus ``dense_n{384,1024,2048}`` /
+``sparse_k<K>_n<N>`` variants A/B'ing the access policies with explicit
+accuracy deltas vs dense float64.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import re
 from typing import Callable, Dict, List, Union
 
 from repro.utils.validation import DTYPE_CHOICES
@@ -509,6 +515,149 @@ def validate_proc_serve(data: object) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# BENCH_sparse_access.json
+# ---------------------------------------------------------------------------
+
+#: Keys of every sparse-access entry (top level and each variant); also
+#: the exact field list of ``SparseAccessResult`` — its ``to_json``
+#: iterates this tuple.  Each entry is one (memory_size, access policy)
+#: point: masked full-occupancy stepping throughput A/B'd against the
+#: dense policy at the same N, plus the explicit accuracy deltas of a
+#: same-seed sparse-vs-dense float64 trajectory.
+SPARSE_ENTRY_KEYS = (
+    "memory_size",
+    "access_policy",
+    "access_top_k",
+    "batch_size",
+    "steps",
+    "steps_per_sec",
+    "dense_steps_per_sec",
+    "speedup_vs_dense",
+    "max_abs_delta_vs_dense",
+    "mean_abs_delta_vs_dense",
+    "dtype",
+)
+
+#: The memory sizes the dense/sparse A/B must cover.
+SPARSE_MEMORY_SIZES = (384, 1024, 2048)
+
+#: Dense reference variants the artifact must carry; additionally, every
+#: covered N needs at least one ``sparse_k<K>_n<N>`` variant (wildcard K:
+#: the chosen top-K may evolve without a schema change).
+SPARSE_REQUIRED_VARIANTS = tuple(
+    f"dense_n{n}" for n in SPARSE_MEMORY_SIZES
+)
+
+_SPARSE_POSITIVE = (
+    "memory_size",
+    "batch_size",
+    "steps",
+    "steps_per_sec",
+    "dense_steps_per_sec",
+    "speedup_vs_dense",
+)
+
+_SPARSE_VARIANT_RE = re.compile(r"^(dense|sparse_k(\d+))_n(\d+)$")
+
+
+def _check_sparse_entry(entry: object, where: str) -> List[str]:
+    problems = _check_entry(entry, where, SPARSE_ENTRY_KEYS, _SPARSE_POSITIVE)
+    if not isinstance(entry, dict):
+        return problems
+    policy = entry.get("access_policy")
+    if "access_policy" in entry and policy not in ("dense", "sparse"):
+        problems.append(
+            f"{where}: access_policy must be 'dense' or 'sparse', "
+            f"got {policy!r}"
+        )
+    top_k = entry.get("access_top_k")
+    if "access_top_k" in entry and (
+        not isinstance(top_k, int) or top_k < 0
+    ):
+        problems.append(
+            f"{where}: access_top_k must be a non-negative integer, "
+            f"got {top_k!r}"
+        )
+    if policy == "sparse" and isinstance(top_k, int) and top_k < 1:
+        problems.append(
+            f"{where}: sparse entries must have access_top_k >= 1"
+        )
+    if policy == "dense" and top_k not in (0, None):
+        problems.append(
+            f"{where}: dense entries must have access_top_k=0"
+        )
+    for key in ("max_abs_delta_vs_dense", "mean_abs_delta_vs_dense"):
+        value = entry.get(key)
+        if key in entry and (
+            not isinstance(value, (int, float)) or value < 0
+        ):
+            problems.append(
+                f"{where}: {key} must be a non-negative number, got {value!r}"
+            )
+    return problems
+
+
+def validate_sparse_access(data: object) -> List[str]:
+    """Problems with a ``BENCH_sparse_access.json`` payload."""
+    problems = _check_sparse_entry(data, "top-level")
+    if not isinstance(data, dict):
+        return problems
+    variants = data.get("variants")
+    if not isinstance(variants, dict):
+        problems.append("missing or non-object 'variants' mapping")
+        return problems
+    sparse_sizes = set()
+    for name, entry in variants.items():
+        match = _SPARSE_VARIANT_RE.match(name)
+        if match is None:
+            problems.append(
+                f"variants[{name!r}]: name must look like 'dense_n<N>' "
+                f"or 'sparse_k<K>_n<N>'"
+            )
+            continue
+        problems.extend(_check_sparse_entry(entry, f"variants[{name!r}]"))
+        if not isinstance(entry, dict):
+            continue
+        n = int(match.group(3))
+        if entry.get("memory_size") != n:
+            problems.append(
+                f"variants[{name!r}]: entry must have memory_size={n}"
+            )
+        if match.group(2) is not None:  # sparse_k<K>_n<N>
+            k = int(match.group(2))
+            sparse_sizes.add(n)
+            if entry.get("access_policy") != "sparse":
+                problems.append(
+                    f"variants[{name!r}]: entry must have access_policy='sparse'"
+                )
+            if entry.get("access_top_k") != k:
+                problems.append(
+                    f"variants[{name!r}]: entry must have access_top_k={k}"
+                )
+        else:
+            if entry.get("access_policy") != "dense":
+                problems.append(
+                    f"variants[{name!r}]: entry must have access_policy='dense'"
+                )
+            speedup = entry.get("speedup_vs_dense")
+            if isinstance(speedup, (int, float)) and abs(speedup - 1.0) > 1e-9:
+                problems.append(
+                    f"variants[{name!r}]: speedup_vs_dense must be 1.0 "
+                    f"(it is the reference point)"
+                )
+    for name in SPARSE_REQUIRED_VARIANTS:
+        if name not in variants:
+            problems.append(f"variants: missing required entry {name!r}")
+    for n in SPARSE_MEMORY_SIZES:
+        if n not in sparse_sizes:
+            problems.append(
+                f"variants: missing a 'sparse_k*_n{n}' entry "
+                f"(every covered N needs a sparse point)"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # Artifact registry
 # ---------------------------------------------------------------------------
 
@@ -520,6 +669,7 @@ ARTIFACT_VALIDATORS: Dict[str, Callable[[object], List[str]]] = {
     "BENCH_serve_load.json": validate_serve_load,
     "BENCH_shard_scaling.json": validate_shard_scaling,
     "BENCH_proc_serve.json": validate_proc_serve,
+    "BENCH_sparse_access.json": validate_sparse_access,
 }
 
 
@@ -544,10 +694,14 @@ __all__ = [
     "SHARD_REQUIRED_VARIANTS",
     "PROC_ENTRY_KEYS",
     "PROC_REQUIRED_VARIANTS",
+    "SPARSE_ENTRY_KEYS",
+    "SPARSE_MEMORY_SIZES",
+    "SPARSE_REQUIRED_VARIANTS",
     "ARTIFACT_VALIDATORS",
     "validate_trajectory",
     "validate_serve_load",
     "validate_shard_scaling",
     "validate_proc_serve",
+    "validate_sparse_access",
     "validate_artifact",
 ]

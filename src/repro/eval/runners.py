@@ -8,7 +8,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.eval.bench_schema import ENTRY_KEYS
+from repro.eval.bench_schema import ENTRY_KEYS, SPARSE_ENTRY_KEYS
 from repro.utils.formatting import format_table
 
 
@@ -262,6 +262,155 @@ def measure_masked_occupancy(
     )
 
 
+# ---------------------------------------------------------------------------
+# Sparse-access A/B (dense vs top-K content addressing)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SparseAccessResult:
+    """One dense-vs-sparse access-policy measurement at a fixed ``N``.
+
+    ``steps_per_sec`` counts masked full-occupancy engine steps per wall
+    second for *this* variant; ``dense_steps_per_sec`` is the dense
+    baseline measured at the same ``memory_size`` so
+    ``speedup_vs_dense`` is self-describing (1.0 for the dense reference
+    entry itself).  The ``*_delta_vs_dense`` fields report the output
+    divergence of an unbatched same-seed, same-input trajectory stepped
+    under this policy against the dense float64 trajectory — the
+    accuracy cost of truncating content addressing to K slots (0.0 for
+    the dense entry).
+    """
+
+    memory_size: int
+    access_policy: str
+    access_top_k: int
+    batch_size: int
+    steps: int
+    steps_per_sec: float
+    dense_steps_per_sec: float
+    speedup_vs_dense: float
+    max_abs_delta_vs_dense: float
+    mean_abs_delta_vs_dense: float
+    dtype: str = "float64"
+
+    def to_json(self) -> Dict[str, object]:
+        """One ``BENCH_sparse_access.json`` variant entry.
+
+        Generated from
+        :data:`repro.eval.bench_schema.SPARSE_ENTRY_KEYS` so the writer
+        and the validator share one key list by construction.
+        """
+        return {key: getattr(self, key) for key in SPARSE_ENTRY_KEYS}
+
+
+def measure_sparse_access(
+    memory_size: int,
+    top_ks: Sequence[int] = (64,),
+    batch_size: int = 4,
+    steps: int = 4,
+    repeats: int = 2,
+    accuracy_steps: int = 12,
+    rng: int = 0,
+    num_tiles: int = 8,
+) -> Dict[str, "SparseAccessResult"]:
+    """A/B dense vs sparse top-K access at one memory size.
+
+    Returns a variants map — ``dense_n{N}`` plus one ``sparse_k{K}_n{N}``
+    per requested K — matching the ``BENCH_sparse_access.json`` naming
+    scheme, so callers can merge the result straight into the artifact.
+
+    Timing exercises the serving hot path: masked stepping at full
+    occupancy (``TiledEngine.step(active=arange(B))``), warm-up first,
+    best-of-``repeats`` wall time, with the cumulative
+    :class:`~repro.core.engine.TrafficLog` cleared at every phase
+    boundary.  Accuracy deltas come from a separate unbatched
+    ``accuracy_steps``-long trajectory: both engines are seeded
+    identically (same controller/interface weights) and fed the same
+    inputs, so any divergence is attributable to the access policy
+    alone.
+    """
+    from repro.core.config import HiMAConfig
+    from repro.core.engine import TiledEngine
+
+    def make_config(policy: str, top_k: int) -> "HiMAConfig":
+        return HiMAConfig(
+            memory_size=memory_size, word_size=16, num_reads=1,
+            num_tiles=num_tiles, hidden_size=32, two_stage_sort=False,
+            access_policy=policy, access_top_k=top_k,
+        )
+
+    def time_masked(config) -> float:
+        """Best-of-repeats full-occupancy masked steps per second."""
+        engine = TiledEngine(config, rng=rng)
+        gen = np.random.default_rng(rng)
+        inputs = gen.standard_normal(
+            (steps, batch_size, engine.reference.config.input_size)
+        ).astype(config.np_dtype)
+        idx = np.arange(batch_size)
+        state = engine.initial_state(batch_size=batch_size)
+        for t in range(min(2, steps)):  # warm-up: allocator + BLAS pools
+            _, state = engine.step(inputs[t], state, active=idx)
+        engine.traffic.clear()
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            state = engine.initial_state(batch_size=batch_size)
+            start = time.perf_counter()
+            for t in range(steps):
+                _, state = engine.step(inputs[t], state, active=idx)
+            best = min(best, time.perf_counter() - start)
+            engine.traffic.clear()
+        return (steps * batch_size) / best
+
+    def solo_trajectory(config) -> np.ndarray:
+        engine = TiledEngine(config, rng=rng)
+        gen = np.random.default_rng(rng + 1)
+        inputs = gen.standard_normal(
+            (accuracy_steps, engine.reference.config.input_size)
+        ).astype(config.np_dtype)
+        out = engine.run(inputs)
+        engine.traffic.clear()
+        return out
+
+    dense_config = make_config("dense", 0)
+    dense_sps = time_masked(dense_config)
+    dense_out = solo_trajectory(dense_config)
+
+    results: Dict[str, SparseAccessResult] = {}
+    results[f"dense_n{memory_size}"] = SparseAccessResult(
+        memory_size=memory_size,
+        access_policy="dense",
+        access_top_k=0,
+        batch_size=batch_size,
+        steps=steps,
+        steps_per_sec=dense_sps,
+        dense_steps_per_sec=dense_sps,
+        speedup_vs_dense=1.0,
+        max_abs_delta_vs_dense=0.0,
+        mean_abs_delta_vs_dense=0.0,
+        dtype=dense_config.dtype,
+    )
+    for top_k in top_ks:
+        sparse_config = make_config("sparse", int(top_k))
+        sparse_sps = time_masked(sparse_config)
+        sparse_out = solo_trajectory(sparse_config)
+        delta = np.abs(sparse_out - dense_out)
+        results[f"sparse_k{int(top_k)}_n{memory_size}"] = SparseAccessResult(
+            memory_size=memory_size,
+            access_policy="sparse",
+            access_top_k=int(top_k),
+            batch_size=batch_size,
+            steps=steps,
+            steps_per_sec=sparse_sps,
+            dense_steps_per_sec=dense_sps,
+            speedup_vs_dense=sparse_sps / dense_sps,
+            max_abs_delta_vs_dense=float(np.max(delta)),
+            mean_abs_delta_vs_dense=float(np.mean(delta)),
+            dtype=sparse_config.dtype,
+        )
+    return results
+
+
 @register("batched_throughput")
 def batched_throughput_experiment(
     config=None, batch_sizes: Sequence[int] = (4, 16), seq_len: int = 16
@@ -298,4 +447,6 @@ __all__ = [
     "BatchedThroughput",
     "measure_batched_throughput",
     "measure_masked_occupancy",
+    "SparseAccessResult",
+    "measure_sparse_access",
 ]

@@ -58,9 +58,11 @@ from repro.serve.loadgen import (
     ShardScalingResult,
     generate_scripts,
     generate_zipf_scripts,
+    large_n_sparse_config,
     measure_proc_serve,
     measure_serve_ab,
     measure_serve_load,
+    measure_serve_memory_sweep,
     measure_shard_scaling,
     run_open_loop,
     run_rolling_restart,
@@ -95,8 +97,10 @@ __all__ = [
     "generate_scripts",
     "generate_zipf_scripts",
     "measure_proc_serve",
+    "large_n_sparse_config",
     "measure_serve_ab",
     "measure_serve_load",
+    "measure_serve_memory_sweep",
     "measure_shard_scaling",
     "run_open_loop",
     "run_rolling_restart",

@@ -534,6 +534,137 @@ def measure_serve_ab(
     return build(True), build(False)
 
 
+def large_n_sparse_config(
+    memory_size: int = 1024,
+    access_top_k: int = 64,
+    word_size: int = 16,
+    num_reads: int = 1,
+    num_tiles: int = 8,
+    hidden_size: int = 32,
+    **overrides,
+):
+    """The canonical large-N sparse serving configuration.
+
+    Sparse top-K access is what makes ``memory_size >= 1024`` servable —
+    the dense O(N^2) write/linkage phases dominate the step there (see
+    ``BENCH_sparse_access.json``) — so the large-N load scenarios build
+    their engine from this one place.  ``access_top_k=0`` drops back to
+    the dense policy (the sweep's baseline arm); any other
+    :class:`~repro.core.config.HiMAConfig` field can be overridden.
+    """
+    from repro.core.config import HiMAConfig
+
+    policy = "sparse" if access_top_k > 0 else "dense"
+    return HiMAConfig(
+        memory_size=memory_size, word_size=word_size, num_reads=num_reads,
+        num_tiles=num_tiles, hidden_size=hidden_size, two_stage_sort=False,
+        access_policy=policy, access_top_k=access_top_k, **overrides,
+    )
+
+
+def measure_serve_memory_sweep(
+    memory_sizes: Sequence[int] = (384, 1024),
+    access_top_k: int = 64,
+    num_sessions: int = 12,
+    max_batch: int = 8,
+    max_wait_ticks: int = 1,
+    repeats: int = 2,
+    rng: int = 0,
+    mean_session_len: float = 6.0,
+) -> Dict[int, ServeLoadResult]:
+    """Serve the same Zipf-tenant mix across a ``memory_size`` sweep.
+
+    The memory-size knob for serving measurements: each sweep point
+    builds a :func:`large_n_sparse_config` engine at that ``N``
+    (``access_top_k=0`` sweeps the dense policy instead), replays one
+    seeded :func:`generate_zipf_scripts` trace through a
+    :class:`~repro.serve.server.SessionServer`, checks every served
+    trajectory against solo unbatched stepping on a same-seed engine,
+    and scores the best wall time over ``repeats`` rounds.  Returns
+    ``{memory_size: ServeLoadResult}``; ``steps_per_session`` records
+    the trace's mean session length (Zipf sessions are ragged).
+    """
+    from repro.core.engine import TiledEngine
+
+    results: Dict[int, ServeLoadResult] = {}
+    for memory_size in memory_sizes:
+        config = large_n_sparse_config(
+            memory_size=memory_size, access_top_k=access_top_k
+        )
+        engine = TiledEngine(config, rng=rng)
+        input_size = engine.reference.config.input_size
+        scripts = generate_zipf_scripts(
+            input_size,
+            num_sessions=num_sessions,
+            mean_session_len=mean_session_len,
+            rng=rng,
+        )
+        total_requests = sum(script.length for script in scripts)
+
+        solo_engine = TiledEngine(config, rng=rng)
+        baseline = {s.session_id: solo_engine.run(s.inputs) for s in scripts}
+        solo_engine.traffic.clear()
+
+        def serve_once():
+            server = SessionServer(
+                engine,
+                max_batch=max_batch,
+                max_wait_ticks=max_wait_ticks,
+                queue_capacity=max(total_requests, 1),
+                session_capacity=max(num_sessions, 1),
+            )
+            return server, run_open_loop(server, scripts)
+
+        server, results_map = serve_once()  # warm-up + correctness run
+        engine.traffic.clear()
+        diff = 0.0
+        for script in scripts:
+            served = np.stack([r.y for r in results_map[script.session_id]])
+            diff = max(
+                diff,
+                float(np.max(np.abs(served - baseline[script.session_id]))),
+            )
+
+        served_time = float("inf")
+        sequential_time = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            server, _ = serve_once()
+            served_time = min(served_time, time.perf_counter() - start)
+            engine.traffic.clear()
+
+            start = time.perf_counter()
+            for script in scripts:
+                solo_engine.run(script.inputs)
+            sequential_time = min(
+                sequential_time, time.perf_counter() - start
+            )
+            solo_engine.traffic.clear()
+
+        metrics = server.metrics
+        p50, p95 = metrics.wait_percentiles()
+        results[memory_size] = ServeLoadResult(
+            concurrent_sessions=num_sessions,
+            steps_per_session=max(1, total_requests // num_sessions),
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            requests_per_sec=total_requests / served_time,
+            sequential_requests_per_sec=total_requests / sequential_time,
+            speedup_vs_sequential=sequential_time / served_time,
+            microbatch_max_abs_diff=diff,
+            p50_wait_ticks=float(p50 if p50 is not None else -1.0),
+            p95_wait_ticks=float(p95 if p95 is not None else -1.0),
+            mean_batch_occupancy=float(metrics.mean_occupancy() or 0.0),
+            admission_rejects=metrics.admission_rejects,
+            evictions=metrics.evictions_ttl + metrics.evictions_lru,
+            dtype=config.dtype,
+            memory_size=config.memory_size,
+            state_arena=True,
+            state_bytes_copied=metrics.state_bytes_copied,
+        )
+    return results
+
+
 # ---------------------------------------------------------------------------
 # Shard-scaling measurement
 # ---------------------------------------------------------------------------
@@ -980,6 +1111,8 @@ __all__ = [
     "ServeLoadResult",
     "measure_serve_load",
     "measure_serve_ab",
+    "large_n_sparse_config",
+    "measure_serve_memory_sweep",
     "ShardScalingResult",
     "measure_shard_scaling",
     "ProcServeResult",

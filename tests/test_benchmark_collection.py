@@ -63,8 +63,9 @@ def test_result_dataclasses_share_schema_keys():
         ENTRY_KEYS,
         SERVE_ENTRY_KEYS,
         SHARD_ENTRY_KEYS,
+        SPARSE_ENTRY_KEYS,
     )
-    from repro.eval.runners import BatchedThroughput
+    from repro.eval.runners import BatchedThroughput, SparseAccessResult
     from repro.serve.loadgen import ServeLoadResult, ShardScalingResult
 
     assert set(ENTRY_KEYS) <= {
@@ -75,6 +76,9 @@ def test_result_dataclasses_share_schema_keys():
     }
     assert set(SHARD_ENTRY_KEYS) == {
         f.name for f in dataclasses.fields(ShardScalingResult)
+    }
+    assert set(SPARSE_ENTRY_KEYS) == {
+        f.name for f in dataclasses.fields(SparseAccessResult)
     }
 
 

@@ -1,0 +1,506 @@
+"""Sparse top-K access policy: exactness at K=N, serving, and traffic.
+
+The acceptance bars for :mod:`repro.core.access`:
+
+* at K = N the sparse policy's write phase is **bitwise** the fused
+  dense kernel (the softmax support is every slot, so the kernel's
+  skipped-stale-row approximation is vacuous), and whole trajectories
+  match the dense policy to <= 1e-10;
+* serving sparse sessions — arena churn, a sharded-cluster migration,
+  a process-cluster kill/restore — matches solo sparse stepping to
+  <= 1e-10, exactly the bar the dense serving stack already meets;
+* checkpoint round trips of mid-trajectory sparse state are bitwise;
+* :class:`~repro.core.engine.TrafficLog` words for the O(N^2)-shaped
+  kernels scale with K, not N.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.kernels as K
+from repro.core.access import DenseAccess, SparseAccess, make_access_policy
+from repro.core.config import HiMAConfig
+from repro.core.engine import TiledEngine
+from repro.dnc.numpy_ref import NumpyDNCState
+from repro.errors import ConfigError
+from repro.serve import SessionServer, ShardedServer
+from repro.serve.proc import ProcCluster
+
+SEED = 7
+
+
+def sparse_config(**features):
+    base = dict(
+        memory_size=64, word_size=16, num_reads=2, num_tiles=4,
+        hidden_size=32, two_stage_sort=False,
+        access_policy="sparse", access_top_k=16,
+    )
+    base.update(features)
+    return HiMAConfig(**base)
+
+
+def dense_config(**features):
+    features.setdefault("access_policy", "dense")
+    features.setdefault("access_top_k", 0)
+    return sparse_config(**features)
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+
+
+class TestConfigValidation:
+    def test_policy_factory(self):
+        assert isinstance(make_access_policy(dense_config()), DenseAccess)
+        assert isinstance(make_access_policy(sparse_config()), SparseAccess)
+
+    def test_sparse_requires_top_k_in_range(self):
+        with pytest.raises(ConfigError):
+            sparse_config(access_top_k=0)
+        with pytest.raises(ConfigError):
+            sparse_config(access_top_k=65)
+        with pytest.raises(ConfigError):
+            sparse_config(access_top_k=-3)
+        assert sparse_config(access_top_k=64).access_top_k == 64
+
+    def test_dense_rejects_stray_top_k(self):
+        with pytest.raises(ConfigError):
+            dense_config(access_top_k=8)
+
+    def test_sparse_excludes_distributed_and_skim(self):
+        with pytest.raises(ConfigError):
+            sparse_config(distributed=True)
+        with pytest.raises(ConfigError):
+            sparse_config(skim_fraction=0.25)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            sparse_config(access_policy="topk")
+
+
+# ---------------------------------------------------------------------------
+# The sparse write kernel
+# ---------------------------------------------------------------------------
+
+
+class TestSparseWriteKernel:
+    def make_operands(self, rng, batch=3, n=32, w=8, support=None):
+        mem = rng.standard_normal((batch, n, w))
+        link = rng.random((batch, n, n)) * 0.05
+        for b in range(batch):
+            np.fill_diagonal(link[b], 0.0)
+        prec = rng.random((batch, n))
+        prec /= prec.sum(-1, keepdims=True)
+        write_w = rng.random((batch, n))
+        if support is not None:
+            mask = np.zeros((batch, n), dtype=bool)
+            for b in range(batch):
+                mask[b, rng.choice(n, support, replace=False)] = True
+            write_w *= mask
+        write_w /= 2.0 * write_w.sum(-1, keepdims=True)
+        erase = rng.random((batch, w))
+        value = rng.standard_normal((batch, w))
+        return mem, link, prec, write_w, erase, value
+
+    def test_full_support_bitwise_matches_fused(self, rng):
+        """Dense write weights (softmax support = N): bitwise identity."""
+        ops = self.make_operands(rng)
+        fused = K.fused_erase_write_linkage(*ops)
+        sparse = K.sparse_erase_write_linkage(*ops)
+        for f, s in zip(fused, sparse):
+            assert np.array_equal(f, s)
+
+    def test_inplace_matches_copy_path_bitwise(self, rng):
+        ops = self.make_operands(rng, support=6)
+        expect = K.sparse_erase_write_linkage(*ops)
+        mem, link, prec = ops[0].copy(), ops[1].copy(), ops[2].copy()
+        K.sparse_erase_write_linkage_inplace(mem, link, prec, *ops[3:])
+        for e, got in zip(expect, (mem, link, prec)):
+            assert np.array_equal(e, got)
+
+    def test_unbatched_promotes_and_matches_batched(self, rng):
+        ops = self.make_operands(rng, batch=1, support=6)
+        batched = K.sparse_erase_write_linkage(*ops)
+        flat = K.sparse_erase_write_linkage(*(op[0] for op in ops))
+        for b, f in zip(batched, flat):
+            assert np.array_equal(b[0], f)
+
+    def test_rows_outside_support_untouched(self, rng):
+        """The documented approximation: stale rows keep their links."""
+        mem, link, prec, write_w, erase, value = self.make_operands(
+            rng, support=5
+        )
+        new_mem, new_link, _ = K.sparse_erase_write_linkage(
+            mem, link, prec, write_w, erase, value
+        )
+        for b in range(mem.shape[0]):
+            cold = np.flatnonzero(write_w[b] == 0.0)
+            hot = np.flatnonzero(write_w[b])
+            assert np.array_equal(new_mem[b][cold], mem[b][cold])
+            assert np.array_equal(new_link[b][cold], link[b][cold])
+            assert not np.array_equal(new_link[b][hot], link[b][hot])
+
+    def test_active_mask_leaves_inactive_slots_bitwise(self, rng):
+        mem, link, prec, write_w, erase, value = self.make_operands(
+            rng, support=6
+        )
+        keep = (mem.copy(), link.copy(), prec.copy())
+        K.sparse_erase_write_linkage_inplace(
+            mem, link, prec, write_w, erase, value, active=np.array([0, 2])
+        )
+        for got, old in zip((mem, link, prec), keep):
+            assert np.array_equal(got[1], old[1])
+            assert not np.array_equal(got[0], old[0])
+            assert not np.array_equal(got[2], old[2])
+
+    def test_active_rejected_without_batch_axis(self, rng):
+        ops = [op[0] for op in self.make_operands(rng, batch=1)]
+        with pytest.raises(ValueError):
+            K.sparse_erase_write_linkage_inplace(
+                *ops, active=np.array([0])
+            )
+
+
+# ---------------------------------------------------------------------------
+# K = N exactness and trajectory behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestSparseTrajectories:
+    def test_k_equals_n_matches_dense_trajectory(self, rng):
+        """Full-K sparse stepping reproduces the dense policy <= 1e-10."""
+        dense = TiledEngine(dense_config(), rng=SEED)
+        sparse = TiledEngine(sparse_config(access_top_k=64), rng=SEED)
+        xs = rng.standard_normal((16, dense.reference.config.input_size))
+        assert np.max(np.abs(dense.run(xs) - sparse.run(xs))) <= 1e-10
+
+    def test_truncated_k_stays_finite_and_close(self, rng):
+        """K << N is an approximation: finite outputs, bounded drift."""
+        dense = TiledEngine(dense_config(), rng=SEED)
+        sparse = TiledEngine(sparse_config(access_top_k=8), rng=SEED)
+        xs = rng.standard_normal((16, dense.reference.config.input_size))
+        delta = np.abs(dense.run(xs) - sparse.run(xs))
+        assert np.all(np.isfinite(delta))
+        assert np.max(delta) <= 0.5
+
+    def test_masked_full_occupancy_matches_plain_batched_bitwise(self, rng):
+        """Equal dispatch order (same batch shape): masked sparse steps
+        are bitwise the plain batched step."""
+        config = sparse_config()
+        masked = TiledEngine(config, rng=SEED)
+        plain = TiledEngine(config, rng=SEED)
+        batch = 4
+        xs = rng.standard_normal(
+            (6, batch, masked.reference.config.input_size)
+        )
+        idx = np.arange(batch)
+        ms = masked.initial_state(batch_size=batch)
+        ps = plain.initial_state(batch_size=batch)
+        for t in range(xs.shape[0]):
+            ym, ms = masked.step(xs[t], ms, active=idx)
+            yp, ps = plain.step(xs[t], ps)
+            assert np.array_equal(ym, yp), t
+        for name in NumpyDNCState.FIELDS:
+            assert np.array_equal(getattr(ms, name), getattr(ps, name)), name
+
+    def test_masked_vs_solo_within_serving_bar(self, rng):
+        """Across batch shapes BLAS rounds differently (GEMM vs GEMV):
+        the bar is the serving stack's <= 1e-10, not bitwise."""
+        config = sparse_config()
+        engine = TiledEngine(config, rng=SEED)
+        solo = TiledEngine(config, rng=SEED)
+        batch = 3
+        xs = rng.standard_normal(
+            (8, batch, engine.reference.config.input_size)
+        )
+        state = engine.initial_state(batch_size=batch)
+        outs = []
+        for t in range(xs.shape[0]):
+            y, state = engine.step(xs[t], state, active=np.arange(batch))
+            outs.append(y)
+        served = np.stack(outs)
+        for b in range(batch):
+            assert np.max(np.abs(served[:, b] - solo.run(xs[:, b]))) <= 1e-10
+
+    def test_partial_occupancy_leaves_inactive_slots_bitwise(self, rng):
+        config = sparse_config()
+        engine = TiledEngine(config, rng=SEED)
+        state = engine.initial_state(batch_size=4)
+        # Bounded-magnitude garbage: distinguishable from zeros without
+        # sending the active slots' dynamics into overflow territory.
+        for name in NumpyDNCState.FIELDS:
+            getattr(state, name)[...] = rng.random(
+                getattr(state, name).shape
+            ) * 0.5
+        frozen = {
+            name: getattr(state, name)[1::2].copy()
+            for name in NumpyDNCState.FIELDS
+        }
+        xs = rng.standard_normal((3, 4, engine.reference.config.input_size))
+        for t in range(3):
+            _, state = engine.step(xs[t], state, active=np.array([0, 2]))
+        for name in NumpyDNCState.FIELDS:
+            assert np.array_equal(getattr(state, name)[1::2], frozen[name])
+
+    def test_checkpoint_roundtrip_mid_sparse_trajectory_bitwise(self, rng):
+        config = sparse_config()
+        engine = TiledEngine(config, rng=SEED)
+        xs = rng.standard_normal((10, engine.reference.config.input_size))
+        state = engine.initial_state()
+        for t in range(5):
+            _, state = engine.step(xs[t], state)
+        restored = NumpyDNCState.from_bytes(state.to_bytes())
+        for name in NumpyDNCState.FIELDS:
+            assert np.array_equal(getattr(restored, name), getattr(state, name))
+        for t in range(5, 10):
+            y_a, state = engine.step(xs[t], state)
+            y_b, restored = engine.step(xs[t], restored)
+            assert np.array_equal(y_a, y_b), t
+
+
+# ---------------------------------------------------------------------------
+# Traffic accounting scales with K
+# ---------------------------------------------------------------------------
+
+
+class TestTrafficScaling:
+    def words(self, config, steps=3):
+        engine = TiledEngine(config, rng=SEED)
+        gen = np.random.default_rng(SEED)
+        xs = gen.standard_normal((steps, engine.reference.config.input_size))
+        engine.run(xs)
+        return engine.traffic.words_by_kernel()
+
+    def test_linkage_and_fb_words_scale_with_k_not_n(self):
+        n = 256
+        dense = self.words(dense_config(memory_size=n, num_tiles=8))
+        sparse = self.words(
+            sparse_config(memory_size=n, num_tiles=8, access_top_k=16)
+        )
+        for kernel in ("linkage", "forward_backward", "usage_sort"):
+            assert sparse[kernel] < dense[kernel] / 4, kernel
+        # Constant-size rings/psums are policy-independent.
+        assert sparse["precedence"] == dense["precedence"]
+        assert sparse["memory_read"] == dense["memory_read"]
+
+    def test_sparse_words_grow_with_k(self):
+        small = self.words(sparse_config(memory_size=256, access_top_k=8))
+        large = self.words(sparse_config(memory_size=256, access_top_k=64))
+        assert large["linkage"] > small["linkage"]
+        assert large["forward_backward"] > small["forward_backward"]
+
+
+# ---------------------------------------------------------------------------
+# Serving: arena churn, migration, kill/restore — all vs solo sparse
+# ---------------------------------------------------------------------------
+
+
+class TestSparseServing:
+    def run_sparse_churn(self, config, tol):
+        """Ragged join/leave/evict churn: arena path vs gather/scatter
+        path vs solo sparse stepping, every pair within ``tol``."""
+        from tests.test_serve_arena import make_schedule, run_churn
+
+        rng = np.random.default_rng(41)
+        schedule = make_schedule(rng, ticks=90)
+        input_cache = {}
+
+        def inputs_of(sid):
+            if sid not in input_cache:
+                gen = np.random.default_rng(hash(sid) % (2**32))
+                input_cache[sid] = gen.standard_normal((30, 16))
+            return input_cache[sid]
+
+        outputs = {}
+        for state_arena in (True, False):
+            engine = TiledEngine(config, rng=SEED)
+            server = SessionServer(
+                engine, max_batch=4, max_wait_ticks=1,
+                session_capacity=6, session_ttl_ticks=25,
+                state_arena=state_arena,
+            )
+            outputs[state_arena] = run_churn(server, schedule, inputs_of)
+
+        arena_out, gs_out = outputs[True], outputs[False]
+        assert set(arena_out) == set(gs_out)
+        solo = TiledEngine(config, rng=SEED)
+        compared = 0
+        for sid in arena_out:
+            for ra, rg in zip(arena_out[sid], gs_out[sid]):
+                if ra.error is not None:
+                    continue
+                assert np.all(np.isfinite(ra.y))
+                assert np.max(np.abs(ra.y - rg.y)) <= tol, sid
+            done = [r for r in arena_out[sid] if r.done and r.error is None]
+            if not done:
+                continue
+            solo_out = solo.run(inputs_of(sid)[: len(done)])
+            served = np.stack([r.y for r in done])
+            assert np.max(np.abs(served - solo_out)) <= tol, sid
+            compared += len(done)
+        assert compared > 50
+
+    def test_arena_churn_full_k_matches_solo_tight(self):
+        """At K = N the sparse policy is exact, so churn through the
+        arena must hit the dense serving bar: <= 1e-10 against both the
+        gather/scatter path and solo sparse stepping."""
+        self.run_sparse_churn(sparse_config(access_top_k=64), tol=1e-10)
+
+    def test_arena_churn_truncated_k_bounded_drift(self):
+        """Truncated K churn: top-K selection is discontinuous, so the
+        ~1e-16 batched-vs-unbatched BLAS rounding the dense churn test
+        absorbs invisibly can flip a borderline slot in or out of the
+        support mid-session, after which the paths step slightly
+        different supports and drift (~1e-7 over 30-step sessions).
+        That is intrinsic to the approximation, not an arena bug — a
+        real aliasing/indexing bug shows up at O(0.1) — so the
+        truncated run gets a drift bound three orders above the
+        observed deviation and the exactness bar lives in the K = N
+        variant above."""
+        self.run_sparse_churn(sparse_config(access_top_k=16), tol=1e-3)
+
+    def test_sharded_migration_matches_solo_sparse(self, rng):
+        """One mid-stream checkpoint migration of a sparse session."""
+        config = sparse_config()
+        engines = [TiledEngine(config, rng=SEED) for _ in range(2)]
+        cluster = ShardedServer(
+            engines, max_batch=4, max_wait_ticks=1, session_capacity=8
+        )
+        inputs = {f"s{i}": rng.standard_normal((6, 16)) for i in range(4)}
+        requests = {}
+        for sid, xs in inputs.items():
+            assert cluster.open_session(sid) == sid
+            requests[sid] = [cluster.submit(sid, x) for x in xs]
+        cluster.run_tick()
+        victim = "s0"
+        src = cluster.shard_of(victim)
+        cluster.migrate_session(victim, 1 - src)
+        assert cluster.migrations == 1
+        cluster.drain()
+        cluster.close()
+        solo = TiledEngine(config, rng=SEED)
+        for sid, xs in inputs.items():
+            assert all(r.done and r.error is None for r in requests[sid]), sid
+            served = np.stack([r.y for r in requests[sid]])
+            assert np.max(np.abs(served - solo.run(xs))) <= 1e-10, sid
+
+    def test_proc_cluster_kill_restore_matches_solo_sparse(self):
+        """SIGKILL a worker mid-stream under the sparse policy: the
+        checkpoint/replay recovery must keep the trajectory <= 1e-10."""
+        config = sparse_config(
+            memory_size=32, word_size=8, num_reads=1, hidden_size=16,
+            access_top_k=8,
+        )
+        gen = np.random.default_rng(SEED)
+        xs = gen.standard_normal((8, 8))
+        with ProcCluster(
+            config, seed=SEED, num_workers=1, max_batch=4,
+            max_wait_ticks=1, session_capacity=8, checkpoint_interval=3,
+            rpc_timeout=30.0,
+        ) as cluster:
+            sid = cluster.open_session("s")
+            requests = [cluster.submit(sid, x) for x in xs[:4]]
+            cluster.run_tick()
+            cluster.kill_worker(0)
+            requests += [cluster.submit(sid, x) for x in xs[4:]]
+            cluster.drain()
+            assert cluster.worker_restarts == 1
+            solo = TiledEngine(config, rng=SEED)
+            served = np.stack([r.y for r in requests])
+            assert all(r.done and r.error is None for r in requests)
+            assert np.max(np.abs(served - solo.run(xs))) <= 1e-10
+
+    def test_memory_sweep_and_large_n_config(self):
+        """The loadgen sweep knob serves a Zipf mix at each N <= 1e-10."""
+        from repro.serve.loadgen import (
+            large_n_sparse_config,
+            measure_serve_memory_sweep,
+        )
+
+        config = large_n_sparse_config(memory_size=1024, access_top_k=64)
+        assert config.access_policy == "sparse"
+        assert config.memory_size == 1024
+        assert large_n_sparse_config(access_top_k=0).access_policy == "dense"
+
+        sweep = measure_serve_memory_sweep(
+            memory_sizes=(64, 128), access_top_k=16,
+            num_sessions=4, repeats=1, mean_session_len=3.0,
+        )
+        assert set(sweep) == {64, 128}
+        for n, result in sweep.items():
+            assert result.memory_size == n
+            assert result.microbatch_max_abs_diff <= 1e-10
+            assert result.requests_per_sec > 0
+
+
+# ---------------------------------------------------------------------------
+# DNC-D de-aliased workspace (stacked-tile stage-and-overwrite)
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedWorkspaceDealias:
+    def make(self, fused=True):
+        return TiledEngine(
+            dense_config(distributed=True, fused_write_linkage=fused),
+            rng=SEED,
+        )
+
+    def test_masked_full_occupancy_matches_plain_batched_bitwise(self, rng):
+        """The workspace-backed DNC-D masked path (staged shard inputs,
+        scatter into a resident buffer) is bitwise the plain step."""
+        masked, plain = self.make(), self.make()
+        batch = 4
+        xs = rng.standard_normal(
+            (6, batch, masked.reference.config.input_size)
+        )
+        idx = np.arange(batch)
+        ms = masked.initial_state(batch_size=batch)
+        ps = plain.initial_state(batch_size=batch)
+        for t in range(xs.shape[0]):
+            ym, ms = masked.step(xs[t], ms, active=idx)
+            yp, ps = plain.step(xs[t], ps)
+            assert np.array_equal(ym, yp), t
+        for name in NumpyDNCState.FIELDS:
+            assert np.array_equal(getattr(ms, name), getattr(ps, name)), name
+
+    def test_masked_fused_matches_unfused_bitwise(self, rng):
+        """Fused kernels are bitwise the three-pass path (repo-wide
+        precedent); that must survive the DNC-D workspace routing."""
+        fused, unfused = self.make(fused=True), self.make(fused=False)
+        batch = 3
+        xs = rng.standard_normal(
+            (5, batch, fused.reference.config.input_size)
+        )
+        idx = np.arange(batch)
+        fs = fused.initial_state(batch_size=batch)
+        us = unfused.initial_state(batch_size=batch)
+        for t in range(xs.shape[0]):
+            yf, fs = fused.step(xs[t], fs, active=idx)
+            yu, us = unfused.step(xs[t], us, active=idx)
+            assert np.array_equal(yf, yu), t
+        for name in NumpyDNCState.FIELDS:
+            assert np.array_equal(getattr(fs, name), getattr(us, name)), name
+
+    def test_repeated_masked_steps_do_not_alias_workspace(self, rng):
+        """Back-to-back masked DNC-D steps reuse the staging buffers;
+        outputs must depend only on inputs, never on buffer history."""
+        engine = self.make()
+        batch = 2
+        xs = rng.standard_normal(
+            (4, batch, engine.reference.config.input_size)
+        )
+        idx = np.arange(batch)
+        state = engine.initial_state(batch_size=batch)
+        outs = []
+        for t in range(xs.shape[0]):
+            y, state = engine.step(xs[t], state, active=idx)
+            outs.append(y.copy())
+        replay = TiledEngine(
+            dense_config(distributed=True, fused_write_linkage=True),
+            rng=SEED,
+        )
+        rs = replay.initial_state(batch_size=batch)
+        for t in range(xs.shape[0]):
+            y, rs = replay.step(xs[t], rs, active=idx)
+            assert np.array_equal(y, outs[t]), t
