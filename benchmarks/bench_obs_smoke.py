@@ -1,0 +1,146 @@
+"""Observability smoke — traced serving, exporter schemas, overhead floor.
+
+Runs a fully-instrumented 16-session serve (request tracing + per-phase
+engine profiling on one :class:`repro.serve.SessionServer`), checks the
+three export surfaces against their published validators —
+
+* the span JSONL dump (:func:`repro.obs.validate_trace_jsonl`),
+* the metrics JSON export (:func:`repro.obs.validate_metrics_json`),
+* the Prometheus text exposition (line-format sanity)
+
+— and prices the instrumentation with an interleaved tracing-on vs
+tracing-off A/B (:func:`repro.serve.measure_serve_tracing_ab`) whose
+results land in ``BENCH_serve_load.json`` as the ``tracing_on`` /
+``tracing_off`` variants.  Asserted floor: tracing + profiling may cost
+at most 3% request throughput (``tracing_on.requests_per_sec >= 0.97 *
+tracing_off.requests_per_sec``), and the traced run's outputs must be
+bitwise identical to the untraced run's — observability is timing and
+counting only, never arithmetic.
+"""
+
+import json
+import pathlib
+
+from repro.core.config import HiMAConfig
+from repro.core.engine import TiledEngine
+from repro.eval.bench_schema import merge_artifact, validate_serve_load
+from repro.obs import (
+    PHASES,
+    PhaseTimer,
+    Tracer,
+    render_span_tree,
+    validate_metrics_json,
+    validate_trace_jsonl,
+)
+from repro.serve import (
+    SessionServer,
+    generate_scripts,
+    measure_serve_tracing_ab,
+    run_open_loop,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_serve_load.json"
+
+#: The A/B serves at N=256 — large enough that engine phases dominate
+#: the tick (the regime where per-phase timer overhead is meaningful)
+#: yet small enough for a CI runner's 20-minute budget.
+OBS_AB_CONFIG = dict(
+    memory_size=256, word_size=16, num_reads=1, num_tiles=8, hidden_size=32,
+    two_stage_sort=False,
+)
+
+#: Small config for the export-surface checks: schema validity does not
+#: depend on engine scale, so these stay fast.
+OBS_SMOKE_CONFIG = dict(
+    memory_size=32, word_size=16, num_tiles=4, hidden_size=32,
+    two_stage_sort=False,
+)
+
+
+def _traced_serve(num_sessions: int = 16):
+    """One fully-instrumented serve; returns the drained server."""
+    engine = TiledEngine(HiMAConfig(**OBS_SMOKE_CONFIG), rng=0)
+    scripts = generate_scripts(
+        input_size=engine.reference.config.input_size,
+        num_sessions=num_sessions, mean_session_len=4.0,
+        mean_interarrival_ticks=0.0, rng=3,
+    )
+    server = SessionServer(
+        engine,
+        max_batch=16, max_wait_ticks=1,
+        queue_capacity=4096, session_capacity=num_sessions,
+        tracer=Tracer(), profiler=PhaseTimer(),
+    )
+    results = run_open_loop(server, scripts)
+    assert all(r.done and r.error is None for v in results.values() for r in v)
+    return server
+
+
+def test_traced_serve_exports_valid_jsonl(tmp_path):
+    """A traced 16-session serve dumps a schema-valid span JSONL file."""
+    server = _traced_serve()
+    path = tmp_path / "trace.jsonl"
+    written = server.tracer.export_jsonl(path)
+    assert written > 0
+    problems = validate_trace_jsonl(path)
+    assert problems == [], "\n".join(problems)
+    # The single-server tree: submits and ticks, with engine steps and
+    # every profiled phase hanging under the ticks.
+    names = {rec["name"] for rec in server.tracer.records()}
+    assert {"shard.submit", "shard.tick", "shard.dispatch", "engine.step"} <= names
+    assert {f"engine.phase:{phase}" for phase in PHASES} <= names
+    tree = render_span_tree(server.tracer.records())
+    assert "shard.tick" in tree and "engine.phase:controller" in tree
+
+
+def test_metrics_exports_validate():
+    """Registry JSON passes its validator; Prometheus text is well-formed."""
+    server = _traced_serve()
+    registry = server.metrics.to_registry(
+        labels={"shard": "0"}, phase_stats=server.phase_stats()
+    )
+    data = json.loads(registry.to_json_text())
+    problems = validate_metrics_json(data)
+    assert problems == [], "\n".join(problems)
+    text = registry.to_prometheus_text()
+    assert "# TYPE" in text and "serve_requests_completed" in text
+    # Every profiled phase surfaces as a labelled series.
+    for phase in PHASES:
+        assert f'phase="{phase}"' in text
+
+
+def test_tracing_overhead_trajectory():
+    """Full observability costs < 3% throughput on the N=256 serve.
+
+    The floor the whole PR stands behind: span starts/ends are bounded
+    ring appends and the phase timers are perf_counter pairs, so at
+    N=256 — where engine arithmetic dominates the tick — the
+    instrumented serve must hold >= 97% of the bare serve's request
+    throughput.  Merged into the serve-load artifact as the
+    ``tracing_on`` / ``tracing_off`` variant pair.
+    """
+    on, off = measure_serve_tracing_ab(
+        HiMAConfig(**OBS_AB_CONFIG),
+        num_sessions=16, steps_per_session=4,
+        max_batch=16, max_wait_ticks=1, repeats=5,
+    )
+    merge_artifact(ARTIFACT, {
+        "variants": {
+            "tracing_on": on.to_json(),
+            "tracing_off": off.to_json(),
+        },
+    })
+    assert on.tracing and not off.tracing
+    # Tracing must never perturb numerics: bitwise-identical outputs.
+    assert on.microbatch_max_abs_diff == 0.0
+    for result in (on, off):
+        assert result.mean_batch_occupancy >= 8.0
+        assert result.admission_rejects == 0
+    assert on.requests_per_sec >= 0.97 * off.requests_per_sec
+
+
+def test_serve_load_artifact_schema_valid():
+    """The artifact written above satisfies the published contract."""
+    problems = validate_serve_load(json.loads(ARTIFACT.read_text()))
+    assert problems == [], "\n".join(problems)

@@ -12,6 +12,8 @@ mid-stream via the byte-level checkpoint path), and a
 :class:`repro.serve.ProcCluster` hosts each shard in its own worker
 *process* — surviving a SIGKILLed worker mid-stream through
 checkpoint/replay recovery without perturbing a single trajectory.
+The final section traces a request end to end across the process
+cluster and prints the span tree plus the per-phase engine profile.
 
 Every server object is a context manager; ``with`` blocks below are the
 recommended usage — worker threads and child processes are released even
@@ -215,3 +217,45 @@ for script in sparse_scripts:
     solo = solo_sparse.run(script.inputs)
     worst = max(worst, float(np.max(np.abs(served - solo))))
 print(f"max abs diff vs solo sparse runs: {worst:.2e} (bound 1e-10)")
+
+# ---------------------------------------------------------------------------
+# 7. Observability: trace one request across processes, profile phases.
+#    A Tracer attached to the cluster collects one span tree per traced
+#    request — frontend/router spans in this process, shard/engine spans
+#    in the worker processes (the trace context rides the RPC frame
+#    header; workers drain their spans into tick replies).  profile=True
+#    attaches per-phase engine timers, and the flight recorder keeps
+#    each worker's last-K ticks for post-mortems.  All of it is pure
+#    timing and counting: traced trajectories are bitwise the untraced
+#    ones (priced < 3% throughput in benchmarks/bench_obs_smoke.py).
+# ---------------------------------------------------------------------------
+print("\n=== 7. Observability: cross-process span tree, phase profile ===")
+from repro.obs import Tracer, render_span_tree  # noqa: E402
+
+tracer = Tracer()
+with ProcCluster(
+    config,
+    seed=0,
+    num_workers=2,
+    max_batch=8,
+    max_wait_ticks=2,
+    tracer=tracer,
+    profile=True,
+    flight_recorder=16,
+) as obs_cluster:
+    sid = obs_cluster.open_session("t00-traced-0")
+    traced = [obs_cluster.submit(sid, x) for x in zipf_scripts[0].inputs[:3]]
+    while not all(r.done for r in traced):
+        obs_cluster.run_tick()
+    phase_profile = obs_cluster.cluster_profile()
+
+print("span tree (one traced request's serving ticks):")
+print(render_span_tree(tracer.records()))
+total = sum(entry["seconds"] for entry in phase_profile.values()) or 1.0
+print("\nper-phase engine breakdown (merged across workers):")
+for phase, entry in sorted(
+    phase_profile.items(), key=lambda kv: -kv[1]["seconds"]
+):
+    print(f"  {phase:22s} {entry['seconds'] * 1e3:8.3f} ms "
+          f"({100.0 * entry['seconds'] / total:5.1f}%)  "
+          f"calls={entry['count']}")

@@ -132,6 +132,32 @@ class AccessPolicy:
         """Weighted read ``(..., R, W)`` plus the psum-reduction traffic."""
         raise NotImplementedError
 
+    # -- profiling ----------------------------------------------------
+
+    def support_rows(self, engine) -> int:
+        """Rows of access support per step: ``N`` dense, ``K`` sparse."""
+        return engine.config.memory_size
+
+    def bytes_touched(self, phase: str, engine, b: int) -> int:
+        """Estimated bytes moved by ``phase`` this step (profiling).
+
+        Feeds the :class:`repro.obs.profiler.PhaseTimer` bytes column:
+        the per-slot element model lives in
+        :func:`repro.core.kernels.phase_touched_bytes` with the policy
+        contributing its support size, so sparse phases report the
+        O(K·N) footprint they actually touch.
+        """
+        cfg = engine.config
+        per_slot = SK.phase_touched_bytes(
+            phase,
+            n=cfg.memory_size,
+            w=cfg.word_size,
+            r=cfg.num_reads,
+            rows=self.support_rows(engine),
+            hidden=cfg.hidden_size,
+        )
+        return b * per_slot * np.dtype(cfg.np_dtype).itemsize
+
 
 class DenseAccess(AccessPolicy):
     """The paper's dense addressing path, verbatim.
@@ -270,6 +296,9 @@ class SparseAccess(AccessPolicy):
 
     def __init__(self, config: HiMAConfig):
         self.top_k = int(config.access_top_k)
+
+    def support_rows(self, engine) -> int:
+        return min(self.top_k, engine.config.memory_size)
 
     # -- content ------------------------------------------------------
     def _scatter_softmax(self, engine, scaled, idx):

@@ -258,6 +258,16 @@ class TiledEngine:
     #: unmasked steps); the serving layer's copy-traffic metrics read it.
     last_state_bytes_copied: int = 0
 
+    #: Optional :class:`repro.obs.profiler.PhaseTimer` (duck-typed — the
+    #: core never imports ``repro.obs``).  ``None`` by default: the step
+    #: loop's hooks then cost one attribute load and ``None`` check per
+    #: phase.  Servers enabling per-phase profiling attach a timer here;
+    #: each tick is attributed to named phases (content addressing,
+    #: sort/allocation, erase+write+linkage, read, gather/scatter, ...)
+    #: with counts, cumulative seconds, and estimated bytes touched
+    #: (:meth:`repro.core.access.AccessPolicy.bytes_touched`).
+    profiler = None
+
     def step(
         self,
         x: np.ndarray,
@@ -387,9 +397,18 @@ class TiledEngine:
             if use_workspace and not self.config.distributed:
                 self._fused_workspace.recycle(*old)
             return y, state
+        prof = self.profiler
+        if prof is not None:
+            tg = prof.now()
         sub = state.take_rows(idx)
+        if prof is not None:
+            prof.lap("gather_scatter", tg, sub.nbytes)
         y_sub, new_sub = step_fn(x[idx], sub)
+        if prof is not None:
+            tg = prof.now()
         state.write_rows(idx, new_sub)
+        if prof is not None:
+            prof.lap("gather_scatter", tg, new_sub.nbytes)
         self.last_state_bytes_copied = sub.nbytes + new_sub.nbytes
         y = np.zeros((b, out_size), dtype=self.config.np_dtype)
         y[idx] = y_sub
@@ -436,6 +455,9 @@ class TiledEngine:
         finally:
             self._fused_active = None
             self._traffic_words_scale = None
+        prof = self.profiler
+        if prof is not None:
+            tg = prof.now()
         copied = 0
         for name in NumpyDNCState.FIELDS:
             new = getattr(new_state, name)
@@ -445,6 +467,8 @@ class TiledEngine:
             cur[idx] = new[idx]
             copied += idx.size * cur[0].nbytes
         self.last_state_bytes_copied = copied
+        if prof is not None:
+            prof.lap("gather_scatter", tg, copied)
         mask = np.zeros(b, dtype=bool)
         mask[idx] = True
         y[~mask] = 0.0
@@ -507,11 +531,19 @@ class TiledEngine:
         lead = x.shape[:-1]
         b = self._traffic_words(_lead_batch(lead))
         access = self.access
+        # Per-phase profiling seam: off (None) by default, near-zero when
+        # on — each enabled phase costs one perf_counter call and a dict
+        # update, attributed via the access policy's bytes model.
+        prof = self.profiler
+        if prof is not None:
+            tp = prof.now()
 
         # --- Controller at CT; interface vectors broadcast to PTs. -------
         lstm_h, lstm_c, interface = self._controller(x, state)
         for t in range(nt):
             log.add("interface_broadcast", ct, t, b * ref.config.interface_size)
+        if prof is not None:
+            tp = prof.lap("controller", tp, access.bytes_touched("controller", self, b))
 
         # The row-wise partition makes every per-slot kernel's shard
         # computation bit-equal to the whole-array form (normalization,
@@ -527,6 +559,11 @@ class TiledEngine:
 
         # --- Content-based write weighting (normalize + similarity). -----
         content_w = access.write_content(self, state, interface, log, b)
+        if prof is not None:
+            tp = prof.lap(
+                "content_addressing", tp,
+                access.bytes_touched("content_addressing", self, b),
+            )
 
         # --- History-based write weighting (fully row-local). -------------
         psi = K.retention(interface.free_gates, state.read_w)
@@ -537,14 +574,29 @@ class TiledEngine:
         write_w = K.write_weight_merge(
             content_w, alloc, interface.write_gate, interface.allocation_gate
         )
+        if prof is not None:
+            tp = prof.lap(
+                "sort_allocation", tp,
+                access.bytes_touched("sort_allocation", self, b),
+            )
 
         # --- Write phase: erase+write, linkage, precedence. ---------------
         memory, linkage, precedence = access.write_phase(
             self, state, write_w, interface, log, b
         )
+        if prof is not None:
+            tp = prof.lap(
+                "erase_write_linkage", tp,
+                access.bytes_touched("erase_write_linkage", self, b),
+            )
 
         # --- Content-based read weighting on the updated memory. ----------
         content_r = access.read_content(self, memory, interface, log, b)
+        if prof is not None:
+            tp = prof.lap(
+                "content_addressing", tp,
+                access.bytes_touched("content_addressing", self, b),
+            )
 
         # --- Forward-backward over the linkage blocks. ---------------------
         fwd, bwd = access.forward_backward(self, linkage, state.read_w, log)
@@ -555,6 +607,8 @@ class TiledEngine:
 
         # --- Memory read: local partials + psum reduction at the CT. ------
         read_vecs = access.read_vectors(self, memory, read_w, log, b)
+        if prof is not None:
+            tp = prof.lap("read", tp, access.bytes_touched("read", self, b))
 
         y = self._output(lstm_h, read_vecs)
         new_state = NumpyDNCState(
@@ -562,6 +616,8 @@ class TiledEngine:
             write_w=write_w, read_w=read_w, read_vecs=read_vecs,
             lstm_h=lstm_h, lstm_c=lstm_c,
         )
+        if prof is not None:
+            prof.lap("output", tp, access.bytes_touched("output", self, b))
         return y, new_state
 
     # ------------------------------------------------------------------

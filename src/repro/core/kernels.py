@@ -45,6 +45,40 @@ from repro.dnc.instrumentation import KernelCategory
 # ---------------------------------------------------------------------------
 
 
+def phase_touched_bytes(
+    phase: str, *, n: int, w: int, r: int, rows: int, hidden: int
+) -> int:
+    """Elements touched by one engine-step phase for one batch slot.
+
+    The per-phase bytes model behind
+    :meth:`repro.core.access.AccessPolicy.bytes_touched`: ``rows`` is the
+    access support (``N`` dense, ``K`` sparse), so the N-scaling phases
+    report the O(rows·N) footprint the policy actually moves.  These are
+    element counts — the caller multiplies by batch and dtype itemsize.
+    The estimates deliberately track the dominant arrays only (the same
+    granularity as Table 1's access counts), not every temporary.
+    """
+    if phase == "controller":
+        # LSTM gate blocks over the hidden state.
+        return 8 * hidden
+    if phase == "content_addressing":
+        # Memory scan for scores + the weight support (write or read).
+        return n * w + rows * (1 + r)
+    if phase == "sort_allocation":
+        # Usage/retention/weight vectors + the sorted support.
+        return 4 * n + rows
+    if phase == "erase_write_linkage":
+        # Linkage rows+columns of the support, written memory rows,
+        # precedence.
+        return 2 * n * rows + rows * w + 2 * n
+    if phase == "read":
+        # Forward/backward over the linkage support + weighted read.
+        return 2 * n * rows + r * rows * w + r * n
+    if phase == "output":
+        return hidden + r * w
+    return 0
+
+
 def shard_vector(x: np.ndarray, num_tiles: int) -> np.ndarray:
     """``(..., N)`` -> ``(..., Nt, n)`` row-wise shard stack (a view)."""
     return x.reshape(x.shape[:-1] + (num_tiles, -1))
@@ -774,6 +808,7 @@ __all__ = [
     "KernelSpec",
     "KERNEL_REGISTRY",
     "table1_rows",
+    "phase_touched_bytes",
     "shard_vector",
     "unshard_vector",
     "shard_matrix",

@@ -21,7 +21,8 @@ sort-enabled, dtype, and fused-write-kernel A/B entries.
 ``BENCH_serve_load.json``: one flat
 :class:`~repro.serve.loadgen.ServeLoadResult` entry (the state-arena
 hot path) plus a ``variants`` mapping with the ``state_arena`` /
-``gather_scatter`` A/B pair.
+``gather_scatter`` A/B pair and the ``tracing_on`` / ``tracing_off``
+observability-overhead A/B pair.
 ``BENCH_shard_scaling.json``: one flat
 :class:`~repro.serve.loadgen.ShardScalingResult` entry (the headline
 multi-shard point) plus ``shards_1`` / ``shards_2`` / ``shards_4``
@@ -214,6 +215,7 @@ SERVE_ENTRY_KEYS = (
     "microbatch_max_abs_diff",
     "p50_wait_ticks",
     "p95_wait_ticks",
+    "p99_wait_ticks",
     "mean_batch_occupancy",
     "admission_rejects",
     "evictions",
@@ -221,13 +223,22 @@ SERVE_ENTRY_KEYS = (
     "memory_size",
     "state_arena",
     "state_bytes_copied",
+    "tracing",
 )
 
 #: Variant entries the serve artifact must include: the resident
 #: state-arena hot path and the gather/scatter fallback it replaced,
 #: measured on the identical workload so the copy tax is visible as a
-#: throughput ratio (and in ``state_bytes_copied``).
-SERVE_REQUIRED_VARIANTS = ("state_arena", "gather_scatter")
+#: throughput ratio (and in ``state_bytes_copied``) — plus the
+#: observability A/B (full tracing + per-phase profiling vs none, same
+#: workload), where the ``tracing_on`` entry is held to a <3% overhead
+#: floor by the obs-smoke bench.
+SERVE_REQUIRED_VARIANTS = (
+    "state_arena",
+    "gather_scatter",
+    "tracing_on",
+    "tracing_off",
+)
 
 _SERVE_POSITIVE = (
     "concurrent_sessions",
@@ -258,11 +269,11 @@ def _check_serve_entry(entry: object, where: str) -> List[str]:
             problems.append(
                 f"{where}: {key} must be a non-negative integer, got {value!r}"
             )
-    if "state_arena" in entry and not isinstance(entry.get("state_arena"), bool):
-        problems.append(
-            f"{where}: state_arena must be a boolean, "
-            f"got {entry.get('state_arena')!r}"
-        )
+    for key in ("state_arena", "tracing"):
+        if key in entry and not isinstance(entry.get(key), bool):
+            problems.append(
+                f"{where}: {key} must be a boolean, got {entry.get(key)!r}"
+            )
     return problems
 
 
@@ -289,6 +300,14 @@ def validate_serve_load(data: object) -> List[str]:
     if isinstance(fallback, dict) and fallback.get("state_arena") is not False:
         problems.append(
             "variants['gather_scatter']: entry must have state_arena=false"
+        )
+    traced = variants.get("tracing_on")
+    if isinstance(traced, dict) and traced.get("tracing") is not True:
+        problems.append("variants['tracing_on']: entry must have tracing=true")
+    untraced = variants.get("tracing_off")
+    if isinstance(untraced, dict) and untraced.get("tracing") is not False:
+        problems.append(
+            "variants['tracing_off']: entry must have tracing=false"
         )
     return problems
 
@@ -416,6 +435,7 @@ PROC_ENTRY_KEYS = (
     "checkpoints_taken",
     "checkpoint_interval",
     "p95_wait_ticks",
+    "p99_wait_ticks",
     "dtype",
     "memory_size",
 )

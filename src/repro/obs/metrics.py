@@ -1,0 +1,227 @@
+"""Metrics registry + exporters (Prometheus text, structured JSON).
+
+One :class:`MetricsRegistry` unifies the three metric kinds the serving
+stack produces — monotone counters, point-in-time gauges, and *exact*
+integer-bin histograms (``{bin_value: count}``, the
+:class:`~repro.serve.metrics.ServerMetrics` representation) — behind a
+single namespace with optional label dimensions (per-tenant, per-phase,
+per-shard).  :meth:`repro.serve.metrics.ServerMetrics.to_registry`
+adopts it as the export surface, so every layer (shard, cluster,
+process cluster) emits the same two formats:
+
+* :meth:`MetricsRegistry.to_prometheus_text` — the Prometheus text
+  exposition format (exact histograms become cumulative ``_bucket``
+  series plus ``_sum``/``_count``);
+* :meth:`MetricsRegistry.to_json` — a structured dump,
+  schema-checked by :func:`validate_metrics_json` (the obs-smoke CI
+  step validates the dump of a traced serve).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Tuple
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _label_pairs(labels: Optional[Mapping[str, object]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_text(pairs: LabelPairs, extra: Optional[Tuple[str, str]] = None) -> str:
+    items = list(pairs)
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """Named metrics with label dimensions, built per export.
+
+    The registry is a *view builder*: producers call
+    :meth:`counter`/:meth:`gauge`/:meth:`histogram` with current values
+    (repeat calls with the same name+labels overwrite), then an exporter
+    renders the whole namespace.  This keeps the hot path free of
+    registry bookkeeping — servers accumulate in their own structures
+    and adopt the registry only at export time.
+    """
+
+    def __init__(self) -> None:
+        # name -> (kind, help); name -> {label_pairs: value}
+        self._meta: Dict[str, Tuple[str, str]] = {}
+        self._values: Dict[str, Dict[LabelPairs, object]] = {}
+
+    def _set(
+        self,
+        kind: str,
+        name: str,
+        value: object,
+        labels: Optional[Mapping[str, object]],
+        help: str,
+    ) -> None:
+        known = self._meta.get(name)
+        if known is not None and known[0] != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {known[0]}, not {kind}"
+            )
+        if known is None or (help and not known[1]):
+            self._meta[name] = (kind, help)
+        self._values.setdefault(name, {})[_label_pairs(labels)] = value
+
+    def counter(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, object]] = None,
+        help: str = "",
+    ) -> None:
+        self._set("counter", name, float(value), labels, help)
+
+    def gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, object]] = None,
+        help: str = "",
+    ) -> None:
+        self._set("gauge", name, float(value), labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        bins: Mapping[int, int],
+        labels: Optional[Mapping[str, object]] = None,
+        help: str = "",
+    ) -> None:
+        """Register an exact histogram: ``{bin_value: count}``."""
+        self._set(
+            "histogram", name, {int(k): int(v) for k, v in bins.items()}, labels, help
+        )
+
+    # -- exporters ---------------------------------------------------
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._meta):
+            kind, help_text = self._meta[name]
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            series = self._values.get(name, {})
+            for pairs in sorted(series):
+                value = series[pairs]
+                if kind != "histogram":
+                    lines.append(f"{name}{_label_text(pairs)} {_fmt(value)}")
+                    continue
+                bins: Mapping[int, int] = value  # type: ignore[assignment]
+                cumulative = 0
+                total = 0.0
+                for edge in sorted(bins):
+                    cumulative += bins[edge]
+                    total += edge * bins[edge]
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_text(pairs, ('le', _fmt(float(edge))))} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_label_text(pairs, ('le', '+Inf'))} {cumulative}"
+                )
+                lines.append(f"{name}_sum{_label_text(pairs)} {_fmt(total)}")
+                lines.append(f"{name}_count{_label_text(pairs)} {cumulative}")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> Dict[str, object]:
+        """Structured dump: ``{metrics: [{name, kind, help, series}]}``
+        where each series entry carries ``labels`` and ``value`` (or
+        ``bins`` for histograms, keys stringified for JSON)."""
+        metrics: List[Dict[str, object]] = []
+        for name in sorted(self._meta):
+            kind, help_text = self._meta[name]
+            series: List[Dict[str, object]] = []
+            for pairs in sorted(self._values.get(name, {})):
+                value = self._values[name][pairs]
+                entry: Dict[str, object] = {"labels": dict(pairs)}
+                if kind == "histogram":
+                    entry["bins"] = {
+                        str(k): v
+                        for k, v in sorted(value.items())  # type: ignore[union-attr]
+                    }
+                else:
+                    entry["value"] = value
+                series.append(entry)
+            metrics.append(
+                {"name": name, "kind": kind, "help": help_text, "series": series}
+            )
+        return {"metrics": metrics}
+
+    def to_json_text(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def validate_metrics_json(data: object) -> List[str]:
+    """Problems with a :meth:`MetricsRegistry.to_json` payload."""
+    problems: List[str] = []
+    if not isinstance(data, dict) or not isinstance(data.get("metrics"), list):
+        return ["top-level: expected {'metrics': [...]}"]
+    for i, metric in enumerate(data["metrics"]):
+        where = f"metrics[{i}]"
+        if not isinstance(metric, dict):
+            problems.append(f"{where}: expected an object")
+            continue
+        name = metric.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing/empty name")
+        kind = metric.get("kind")
+        if kind not in _KINDS:
+            problems.append(f"{where}: kind must be one of {_KINDS}, got {kind!r}")
+        series = metric.get("series")
+        if not isinstance(series, list):
+            problems.append(f"{where}: series must be a list")
+            continue
+        for j, entry in enumerate(series):
+            swhere = f"{where}.series[{j}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{swhere}: expected an object")
+                continue
+            if not isinstance(entry.get("labels"), dict):
+                problems.append(f"{swhere}: labels must be an object")
+            if kind == "histogram":
+                bins = entry.get("bins")
+                if not isinstance(bins, dict):
+                    problems.append(f"{swhere}: histogram entry needs 'bins'")
+                else:
+                    for key, count in bins.items():
+                        try:
+                            int(key)
+                        except (TypeError, ValueError):
+                            problems.append(
+                                f"{swhere}: bin key {key!r} is not an integer"
+                            )
+                        if not isinstance(count, int) or count < 0:
+                            problems.append(
+                                f"{swhere}: bin count must be a non-negative "
+                                f"int, got {count!r}"
+                            )
+            elif "value" not in entry or not isinstance(
+                entry.get("value"), (int, float)
+            ):
+                problems.append(f"{swhere}: entry needs a numeric 'value'")
+    return problems
+
+
+__all__ = ["MetricsRegistry", "validate_metrics_json"]

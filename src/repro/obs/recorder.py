@@ -1,0 +1,61 @@
+"""Flight recorder: last-K ticks of spans + phase stats per worker.
+
+The parent :class:`~repro.serve.proc.ProcCluster` records every tick
+reply's drained spans and phase-stat snapshot into a bounded per-worker
+ring.  When a worker dies (SIGKILL, crash) the recorder's ring for that
+worker is exactly "what the worker was doing for its last K ticks" —
+:meth:`repro.serve.supervisor.CheckpointSupervisor.on_worker_death`
+receives the dump, so a post-mortem is available even though the worker
+process took its own tracer with it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.obs.profiler import StatDict
+
+
+class FlightRecorder:
+    """Per-worker bounded rings of tick records."""
+
+    def __init__(self, last_k: int = 64):
+        if last_k < 1:
+            raise ValueError(f"last_k must be >= 1, got {last_k}")
+        self.last_k = int(last_k)
+        self._rings: Dict[int, "deque[Dict[str, object]]"] = {}
+
+    def record(
+        self,
+        worker: int,
+        tick: int,
+        spans: List[Dict[str, object]],
+        phase_stats: Optional[StatDict] = None,
+    ) -> None:
+        """Append one tick's observability payload for ``worker``."""
+        ring = self._rings.get(worker)
+        if ring is None:
+            ring = self._rings[worker] = deque(maxlen=self.last_k)
+        ring.append(
+            {
+                "tick": int(tick),
+                "spans": list(spans),
+                "phase_stats": dict(phase_stats) if phase_stats else {},
+            }
+        )
+
+    def dump(self, worker: int) -> List[Dict[str, object]]:
+        """The last-K tick records for ``worker``, oldest first."""
+        return list(self._rings.get(worker, ()))
+
+    def clear(self, worker: int) -> None:
+        """Drop ``worker``'s ring (after a post-mortem is taken, the
+        replacement process starts with a clean record)."""
+        self._rings.pop(worker, None)
+
+    def workers(self) -> List[int]:
+        return sorted(self._rings)
+
+
+__all__ = ["FlightRecorder"]

@@ -63,10 +63,13 @@ from repro.serve.loadgen import (
     measure_serve_ab,
     measure_serve_load,
     measure_serve_memory_sweep,
+    measure_serve_tracing_ab,
     measure_shard_scaling,
     run_open_loop,
     run_rolling_restart,
     tenant_of,
+    timed_call,
+    timed_reps,
 )
 from repro.serve.metrics import ServerMetrics
 from repro.serve.proc import ProcCluster, ProcWorker
@@ -101,10 +104,13 @@ __all__ = [
     "measure_serve_ab",
     "measure_serve_load",
     "measure_serve_memory_sweep",
+    "measure_serve_tracing_ab",
     "measure_shard_scaling",
     "run_open_loop",
     "run_rolling_restart",
     "tenant_of",
+    "timed_call",
+    "timed_reps",
     "ServerMetrics",
     "ProcCluster",
     "ProcWorker",

@@ -44,6 +44,10 @@ class StepRequest:
     y: Optional[np.ndarray] = None
     completed_tick: Optional[int] = None
     error: Optional[str] = None
+    #: Propagated trace context ``(trace_id, span_id)`` of the submit
+    #: span, or ``None`` when the request is untraced.  The owning shard
+    #: parents its per-request dispatch span here.
+    trace: Optional[tuple] = None
 
     @property
     def done(self) -> bool:

@@ -43,6 +43,7 @@ import numpy as np
 from repro.core.engine import TiledEngine
 from repro.dnc.numpy_ref import NumpyDNCState
 from repro.errors import CapacityError, ConfigError
+from repro.obs import PhaseTimer, Tracer
 from repro.serve.batcher import StepRequest
 from repro.serve.metrics import ServerMetrics
 from repro.serve.router import (
@@ -97,6 +98,8 @@ class ShardedServer:
         parallel: bool = True,
         parallel_workers: Optional[int] = None,
         admission_spill: bool = False,
+        tracer: Optional[Tracer] = None,
+        profile: bool = False,
     ):
         if parallel_workers is not None and parallel_workers < 1:
             raise ConfigError(
@@ -116,6 +119,11 @@ class ShardedServer:
         if not engines:
             raise ConfigError("ShardedServer needs at least one engine")
         self._check_uniform_engines(engines)
+        #: Shared request tracer (``None`` = tracing off).  One ring for
+        #: the whole cluster: shard ticks append concurrently (atomic
+        #: deque appends), so the cluster's spans interleave exactly as
+        #: they completed.
+        self.tracer = tracer
         self.shards: List[EngineShard] = [
             EngineShard(
                 engine,
@@ -127,6 +135,8 @@ class ShardedServer:
                 session_ttl_ticks=session_ttl_ticks,
                 state_arena=state_arena,
                 metrics=ServerMetrics(),
+                tracer=tracer,
+                profiler=PhaseTimer() if profile else None,
             )
             for index, engine in enumerate(engines)
         ]
@@ -149,6 +159,10 @@ class ShardedServer:
         self._shard_of: Dict[str, int] = {}
         self._session_counter = 0
         self._executor: Optional[ThreadPoolExecutor] = None
+        # Oldest-first router.submit contexts of traced requests not yet
+        # dispatched: the next cluster tick parents its span on the
+        # oldest one, attributing the tick to the request it serves.
+        self._pending_traces: List[tuple] = []
 
     @staticmethod
     def _check_uniform_engines(engines: Sequence[TiledEngine]) -> None:
@@ -236,9 +250,31 @@ class ShardedServer:
         self._owner(session_id).close_session(session_id)
         del self._shard_of[session_id]
 
-    def submit(self, session_id: str, x: np.ndarray) -> Optional[StepRequest]:
-        """Forward one timestep to the owning shard (same contract)."""
-        return self._owner(session_id).submit(session_id, x)
+    def submit(
+        self,
+        session_id: str,
+        x: np.ndarray,
+        trace: Optional[tuple] = None,
+    ) -> Optional[StepRequest]:
+        """Forward one timestep to the owning shard (same contract).
+
+        With a tracer attached the routing hop is a ``router.submit``
+        span (child of ``trace`` when the frontend propagated one) and
+        the shard's submit span parents on it.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return self._owner(session_id).submit(session_id, x, trace=trace)
+        span = tracer.start(
+            "router.submit", parent=trace, attrs={"session": session_id}
+        )
+        request = self._owner(session_id).submit(
+            session_id, x, trace=span.context
+        )
+        tracer.end(span, accepted=request is not None)
+        if request is not None:
+            self._pending_traces.append(span.context)
+        return request
 
     # ------------------------------------------------------------------
     def session_state(self, session_id: str) -> NumpyDNCState:
@@ -304,6 +340,14 @@ class ShardedServer:
         table before the rebalancer runs, so it never plans a move for a
         dead session.
         """
+        tick_ctx = None
+        tick_span = None
+        if self.tracer is not None:
+            parent = self._pending_traces[0] if self._pending_traces else None
+            tick_span = self.tracer.start(
+                "cluster.tick", parent=parent, attrs={"tick": self.tick}
+            )
+            tick_ctx = tick_span.context
         if self.parallel and len(self.shards) > 1:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
@@ -315,10 +359,18 @@ class ShardedServer:
                     thread_name_prefix="engine-shard",
                 )
             per_shard = list(
-                self._executor.map(lambda shard: shard.run_tick(), self.shards)
+                self._executor.map(
+                    lambda shard: shard.run_tick(trace=tick_ctx), self.shards
+                )
             )
         else:
-            per_shard = [shard.run_tick() for shard in self.shards]
+            per_shard = [shard.run_tick(trace=tick_ctx) for shard in self.shards]
+        if tick_span is not None:
+            self.tracer.end(
+                tick_span,
+                completed=sum(len(batch) for batch in per_shard),
+            )
+        self._pending_traces.clear()
         self.tick += 1
         self._sync_departures()
         if self.rebalance is not None:
@@ -369,6 +421,13 @@ class ShardedServer:
         return ServerMetrics.merge(
             [self.metrics] + [shard.metrics for shard in self.shards]
         )
+
+    def cluster_profile(self) -> Dict[str, Dict[str, float]]:
+        """Merged per-phase engine profile across shards (empty if off)."""
+        merged = PhaseTimer()
+        for shard in self.shards:
+            merged.merge(shard.phase_stats())
+        return merged.stats()
 
     def snapshot(self) -> Dict[str, object]:
         """One JSON-able cluster snapshot: merged metrics + topology."""

@@ -36,6 +36,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import CapacityError, ServeError
+from repro.obs import Tracer
 from repro.serve.batcher import StepRequest
 
 
@@ -55,8 +56,21 @@ class AsyncFrontend:
     hanging its awaiter.
     """
 
-    def __init__(self, server, *, tick_interval: float = 0.0):
+    def __init__(
+        self,
+        server,
+        *,
+        tick_interval: float = 0.0,
+        tracer: Optional[Tracer] = None,
+    ):
         self.server = server
+        #: When set, every admitted request gets a root ``frontend.submit``
+        #: span covering admission→completion, and its context is
+        #: propagated into the server's submit path so the whole
+        #: downstream tree (router, shard, engine phases — and for
+        #: :class:`~repro.serve.proc.ProcCluster`, worker-process spans)
+        #: hangs off one trace.
+        self.tracer = tracer
         #: Optional wall-clock pause between ticks (0 = tick as fast as
         #: the engine allows).  Non-zero values trade latency for larger
         #: batches under trickling traffic.
@@ -116,14 +130,30 @@ class AsyncFrontend:
         if self._closed:
             raise ServeError("frontend is closed")
         self.start()
-        request = await self._call(self.server.submit, session_id, x)
+        tracer = self.tracer
+        if tracer is None:
+            request = await self._call(self.server.submit, session_id, x)
+        else:
+            span = tracer.start(
+                "frontend.submit", attrs={"session": session_id}
+            )
+            ctx = span.context
+            request = await self._call(
+                lambda: self.server.submit(session_id, x, trace=ctx)
+            )
         if request is None:
+            if tracer is not None:
+                tracer.end(span, accepted=False)
             raise CapacityError("server queue is full (backpressure)")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending[id(request)] = (request, future)
         self._work.set()
-        result = await future
+        try:
+            result = await future
+        finally:
+            if tracer is not None:
+                tracer.end(span, accepted=True)
         return result
 
     @property

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,10 +37,62 @@ from repro.eval.bench_schema import (
 )
 from repro.serve.batcher import StepRequest
 from repro.serve.cluster import ShardedServer
+from repro.serve.metrics import tenant_of
 from repro.serve.server import SessionServer
 from repro.utils.rng import SeedLike, new_rng
 
 WORKLOAD_KINDS = ("copy", "recall")
+
+
+def timed_call(fn: Callable[[], object]) -> Tuple[float, object]:
+    """Run ``fn()`` under one wall-clock measurement.
+
+    Returns ``(elapsed_seconds, payload)`` — the building block
+    :func:`timed_reps` runners use when the whole call *is* the critical
+    section.
+    """
+    start = time.perf_counter()
+    payload = fn()
+    return time.perf_counter() - start, payload
+
+
+def timed_reps(
+    runners: Dict[str, Callable[[], Tuple[float, object]]],
+    repeats: int,
+    cleanup: Optional[Callable[[], object]] = None,
+) -> Tuple[Dict[str, float], Dict[str, object]]:
+    """Best-of-``repeats`` interleaved timing rounds over named runners.
+
+    Every runner runs once per round and reports its own
+    ``(elapsed_seconds, payload)`` — self-timing lets a runner keep
+    setup/teardown (server construction, worker-process spawns) out of
+    its critical section; wrap the critical section in
+    :func:`timed_call` when the whole call should be timed.  Rounds are
+    interleaved and the visit order flips every round: on a busy box,
+    background load drifts over seconds, and timing one runner as a
+    block lets that drift (and allocator/cache warm-up) masquerade as a
+    difference between runners.  ``cleanup`` runs after every timed
+    call, outside its measurement (e.g. clearing engine traffic
+    counters).
+
+    Returns ``(best, first)``: the minimum elapsed seconds per runner,
+    and each runner's round-0 payload — the measured workloads are
+    deterministic, so round 0's results serve for correctness checks
+    and metrics.
+    """
+    names = list(runners)
+    best: Dict[str, float] = {name: float("inf") for name in names}
+    first: Dict[str, object] = {}
+    for round_index in range(max(1, repeats)):
+        order = names if round_index % 2 == 0 else list(reversed(names))
+        for name in order:
+            elapsed, payload = runners[name]()
+            if cleanup is not None:
+                cleanup()
+            best[name] = min(best[name], float(elapsed))
+            if round_index == 0:
+                first[name] = payload
+    return best, first
 
 
 @dataclass(frozen=True)
@@ -75,16 +127,6 @@ def _recall_inputs(gen: np.random.Generator, length: int, input_size: int) -> np
 
 
 _WORKLOADS = {"copy": _copy_inputs, "recall": _recall_inputs}
-
-
-def tenant_of(session_id: str) -> str:
-    """Routing key of a :func:`generate_zipf_scripts` session id.
-
-    The tenant prefix before the first ``-``: the companion ``key_of``
-    for :class:`repro.serve.router.ConsistentHashPlacement`, so every
-    session of one tenant lands on the same shard.
-    """
-    return session_id.split("-", 1)[0]
 
 
 def generate_zipf_scripts(
@@ -293,6 +335,7 @@ class ServeLoadResult:
     microbatch_max_abs_diff: float
     p50_wait_ticks: float
     p95_wait_ticks: float
+    p99_wait_ticks: float
     mean_batch_occupancy: float
     admission_rejects: int
     evictions: int
@@ -305,6 +348,10 @@ class ServeLoadResult:
     #: any gather/scatter or partial-mask traffic) — the quantity the
     #: arena collapses to one write per join.
     state_bytes_copied: int
+    #: True when the run served with full observability attached (request
+    #: tracing + per-phase engine profiling); the ``tracing_on`` /
+    #: ``tracing_off`` artifact pair prices that overhead.
+    tracing: bool = False
 
     def to_json(self) -> Dict[str, object]:
         """One ``BENCH_serve_load.json`` artifact entry."""
@@ -376,19 +423,20 @@ def measure_serve_load(
     engine.run(scripts[0].inputs[:2])
     engine.traffic.clear()
 
-    served_time = float("inf")
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        server, results = serve_once()
-        served_time = min(served_time, time.perf_counter() - start)
-        engine.traffic.clear()
-
-    sequential_time = float("inf")
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        baseline = {s.session_id: engine.run(s.inputs) for s in scripts}
-        sequential_time = min(sequential_time, time.perf_counter() - start)
-        engine.traffic.clear()
+    best, first = timed_reps(
+        {
+            "served": lambda: timed_call(serve_once),
+            "sequential": lambda: timed_call(
+                lambda: {s.session_id: engine.run(s.inputs) for s in scripts}
+            ),
+        },
+        repeats,
+        cleanup=engine.traffic.clear,
+    )
+    server, results = first["served"]
+    baseline = first["sequential"]
+    served_time = best["served"]
+    sequential_time = best["sequential"]
 
     diff = 0.0
     for script in scripts:
@@ -397,6 +445,7 @@ def measure_serve_load(
 
     metrics = server.metrics
     p50, p95 = metrics.wait_percentiles()
+    p99 = metrics.wait_quantile(0.99)
     return ServeLoadResult(
         concurrent_sessions=num_sessions,
         steps_per_session=steps_per_session,
@@ -408,6 +457,7 @@ def measure_serve_load(
         microbatch_max_abs_diff=diff,
         p50_wait_ticks=float(p50 if p50 is not None else -1.0),
         p95_wait_ticks=float(p95 if p95 is not None else -1.0),
+        p99_wait_ticks=float(p99 if p99 is not None else -1.0),
         mean_batch_occupancy=float(metrics.mean_occupancy() or 0.0),
         admission_rejects=metrics.admission_rejects,
         evictions=metrics.evictions_ttl + metrics.evictions_lru,
@@ -479,25 +529,23 @@ def measure_serve_ab(
     engine.run(scripts[0].inputs[:2])
     engine.traffic.clear()
 
-    times = {True: float("inf"), False: float("inf")}
-    runs: Dict[bool, tuple] = {}
-    for i in range(max(1, repeats)):
-        order = (True, False) if i % 2 == 0 else (False, True)
-        for state_arena in order:
-            start = time.perf_counter()
-            server, results = serve_once(state_arena)
-            times[state_arena] = min(
-                times[state_arena], time.perf_counter() - start
-            )
-            runs[state_arena] = (server, results)
-            engine.traffic.clear()
-
-    sequential_time = float("inf")
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        baseline = {s.session_id: engine.run(s.inputs) for s in scripts}
-        sequential_time = min(sequential_time, time.perf_counter() - start)
-        engine.traffic.clear()
+    best, first = timed_reps(
+        {
+            "arena": lambda: timed_call(lambda: serve_once(True)),
+            "gather_scatter": lambda: timed_call(lambda: serve_once(False)),
+            "sequential": lambda: timed_call(
+                lambda: {s.session_id: engine.run(s.inputs) for s in scripts}
+            ),
+        },
+        repeats,
+        cleanup=engine.traffic.clear,
+    )
+    times = {True: best["arena"], False: best["gather_scatter"]}
+    runs: Dict[bool, tuple] = {
+        True: first["arena"], False: first["gather_scatter"],
+    }
+    baseline = first["sequential"]
+    sequential_time = best["sequential"]
 
     def build(state_arena: bool) -> ServeLoadResult:
         server, results = runs[state_arena]
@@ -510,6 +558,7 @@ def measure_serve_ab(
             )
         metrics = server.metrics
         p50, p95 = metrics.wait_percentiles()
+        p99 = metrics.wait_quantile(0.99)
         served_time = times[state_arena]
         return ServeLoadResult(
             concurrent_sessions=num_sessions,
@@ -522,6 +571,7 @@ def measure_serve_ab(
             microbatch_max_abs_diff=diff,
             p50_wait_ticks=float(p50 if p50 is not None else -1.0),
             p95_wait_ticks=float(p95 if p95 is not None else -1.0),
+            p99_wait_ticks=float(p99 if p99 is not None else -1.0),
             mean_batch_occupancy=float(metrics.mean_occupancy() or 0.0),
             admission_rejects=metrics.admission_rejects,
             evictions=metrics.evictions_ttl + metrics.evictions_lru,
@@ -532,6 +582,136 @@ def measure_serve_ab(
         )
 
     return build(True), build(False)
+
+
+def measure_serve_tracing_ab(
+    config=None,
+    num_sessions: int = 16,
+    steps_per_session: int = 4,
+    max_batch: int = 16,
+    max_wait_ticks: int = 1,
+    repeats: int = 5,
+    rng: SeedLike = 0,
+) -> Tuple[ServeLoadResult, ServeLoadResult]:
+    """A/B full observability (tracing + profiling) against a bare server.
+
+    Both variants serve the identical scripted workload through one
+    shared engine on the resident-arena path; the ``tracing_on`` run
+    attaches a fresh :class:`~repro.obs.trace.Tracer` and
+    :class:`~repro.obs.profiler.PhaseTimer` to its
+    :class:`~repro.serve.server.SessionServer`, the ``tracing_off`` run
+    attaches nothing.  Timing rounds are interleaved exactly like
+    :func:`measure_serve_ab` so warm-up and background drift cannot
+    masquerade as instrumentation cost.  Returns ``(tracing_on_result,
+    tracing_off_result)``; the serve-load artifact's <3% overhead floor
+    is asserted on this pair.
+
+    The default configuration serves at ``memory_size=256`` — large
+    enough that engine phases dominate the tick, which is the regime
+    where the per-phase timers' overhead bound is meaningful.
+    """
+    from repro.core.config import HiMAConfig
+    from repro.core.engine import TiledEngine
+    from repro.obs import PhaseTimer, Tracer
+
+    if config is None:
+        config = HiMAConfig(
+            memory_size=256, word_size=16, num_reads=1, num_tiles=8,
+            hidden_size=32, two_stage_sort=False,
+        )
+    engine = TiledEngine(config, rng=rng)
+    input_size = engine.reference.config.input_size
+    gen = new_rng(rng)
+    kinds = [WORKLOAD_KINDS[i % len(WORKLOAD_KINDS)] for i in range(num_sessions)]
+    scripts = [
+        SessionScript(
+            session_id=f"{kinds[i]}-{i}",
+            arrival_tick=0,
+            kind=kinds[i],
+            inputs=_WORKLOADS[kinds[i]](gen, steps_per_session, input_size),
+        )
+        for i in range(num_sessions)
+    ]
+    total_requests = num_sessions * steps_per_session
+
+    def serve_once(tracing: bool):
+        server = SessionServer(
+            engine,
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            queue_capacity=max(total_requests, 1),
+            session_capacity=max(num_sessions, 1),
+            tracer=Tracer() if tracing else None,
+            profiler=PhaseTimer() if tracing else None,
+        )
+        results = run_open_loop(server, scripts)
+        return server, results
+
+    def cleanup():
+        # The shard attaches its profiler to the shared engine and never
+        # detaches it; without this reset the "off" rounds would keep
+        # timing phases and the A/B would measure nothing.
+        engine.profiler = None
+        engine.traffic.clear()
+
+    # Warm up both paths, then time.
+    serve_once(True)
+    serve_once(False)
+    cleanup()
+
+    best, first = timed_reps(
+        {
+            "tracing_on": lambda: timed_call(lambda: serve_once(True)),
+            "tracing_off": lambda: timed_call(lambda: serve_once(False)),
+            "sequential": lambda: timed_call(
+                lambda: {s.session_id: engine.run(s.inputs) for s in scripts}
+            ),
+        },
+        repeats,
+        cleanup=cleanup,
+    )
+    sequential_time = best["sequential"]
+
+    # Traced and untraced serving must be numerically identical —
+    # observability is timing and counting only.  Compare the two
+    # variants' round-0 outputs directly.
+    on_results = first["tracing_on"][1]
+    off_results = first["tracing_off"][1]
+    diff = 0.0
+    for script in scripts:
+        on = np.stack([r.y for r in on_results[script.session_id]])
+        off = np.stack([r.y for r in off_results[script.session_id]])
+        diff = max(diff, float(np.max(np.abs(on - off))))
+
+    def build(key: str, tracing: bool) -> ServeLoadResult:
+        server, _ = first[key]
+        served_time = best[key]
+        metrics = server.metrics
+        p50, p95 = metrics.wait_percentiles()
+        p99 = metrics.wait_quantile(0.99)
+        return ServeLoadResult(
+            concurrent_sessions=num_sessions,
+            steps_per_session=steps_per_session,
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            requests_per_sec=total_requests / served_time,
+            sequential_requests_per_sec=total_requests / sequential_time,
+            speedup_vs_sequential=sequential_time / served_time,
+            microbatch_max_abs_diff=diff,
+            p50_wait_ticks=float(p50 if p50 is not None else -1.0),
+            p95_wait_ticks=float(p95 if p95 is not None else -1.0),
+            p99_wait_ticks=float(p99 if p99 is not None else -1.0),
+            mean_batch_occupancy=float(metrics.mean_occupancy() or 0.0),
+            admission_rejects=metrics.admission_rejects,
+            evictions=metrics.evictions_ttl + metrics.evictions_lru,
+            dtype=config.dtype,
+            memory_size=config.memory_size,
+            state_arena=True,
+            state_bytes_copied=metrics.state_bytes_copied,
+            tracing=tracing,
+        )
+
+    return build("tracing_on", True), build("tracing_off", False)
 
 
 def large_n_sparse_config(
@@ -625,24 +805,29 @@ def measure_serve_memory_sweep(
                 float(np.max(np.abs(served - baseline[script.session_id]))),
             )
 
-        served_time = float("inf")
-        sequential_time = float("inf")
-        for _ in range(max(1, repeats)):
-            start = time.perf_counter()
-            server, _ = serve_once()
-            served_time = min(served_time, time.perf_counter() - start)
-            engine.traffic.clear()
-
-            start = time.perf_counter()
+        def run_sequential():
             for script in scripts:
                 solo_engine.run(script.inputs)
-            sequential_time = min(
-                sequential_time, time.perf_counter() - start
-            )
+
+        def cleanup():
+            engine.traffic.clear()
             solo_engine.traffic.clear()
+
+        best, timed_first = timed_reps(
+            {
+                "served": lambda: timed_call(serve_once),
+                "sequential": lambda: timed_call(run_sequential),
+            },
+            repeats,
+            cleanup=cleanup,
+        )
+        server, _ = timed_first["served"]
+        served_time = best["served"]
+        sequential_time = best["sequential"]
 
         metrics = server.metrics
         p50, p95 = metrics.wait_percentiles()
+        p99 = metrics.wait_quantile(0.99)
         results[memory_size] = ServeLoadResult(
             concurrent_sessions=num_sessions,
             steps_per_session=max(1, total_requests // num_sessions),
@@ -654,6 +839,7 @@ def measure_serve_memory_sweep(
             microbatch_max_abs_diff=diff,
             p50_wait_ticks=float(p50 if p50 is not None else -1.0),
             p95_wait_ticks=float(p95 if p95 is not None else -1.0),
+            p99_wait_ticks=float(p99 if p99 is not None else -1.0),
             mean_batch_occupancy=float(metrics.mean_occupancy() or 0.0),
             admission_rejects=metrics.admission_rejects,
             evictions=metrics.evictions_ttl + metrics.evictions_lru,
@@ -776,8 +962,10 @@ def measure_shard_scaling(
 
     # Pre-sharding SessionServer baseline on the identical workload.
     server_engine = TiledEngine(config, rng=rng)
-    single_time = float("inf")
-    for _ in range(max(1, repeats)):
+
+    def run_session_server() -> Tuple[float, object]:
+        # Construction stays outside the critical section: the point is
+        # serving throughput, not arena allocation.
         server = SessionServer(
             server_engine,
             max_batch=max_batch,
@@ -785,11 +973,14 @@ def measure_shard_scaling(
             queue_capacity=max(total_requests, 1),
             session_capacity=num_sessions,
         )
-        start = time.perf_counter()
-        run_open_loop(server, scripts)
-        single_time = min(single_time, time.perf_counter() - start)
-        server_engine.traffic.clear()
-    session_server_rps = total_requests / single_time
+        return timed_call(lambda: run_open_loop(server, scripts))
+
+    single_best, _ = timed_reps(
+        {"session_server": run_session_server},
+        repeats,
+        cleanup=server_engine.traffic.clear,
+    )
+    session_server_rps = total_requests / single_best["session_server"]
 
     results: Dict[int, ShardScalingResult] = {}
     for count in shard_counts:
@@ -839,15 +1030,22 @@ def measure_shard_scaling(
         for engine in engines:
             engine.traffic.clear()
 
-        # Timing rounds: fresh cluster per round, best wall time.
-        best = float("inf")
-        for _ in range(max(1, repeats)):
-            with make_cluster() as cluster:
-                start = time.perf_counter()
-                run_open_loop(cluster, scripts)
-                best = min(best, time.perf_counter() - start)
+        # Timing rounds: fresh cluster per round, best wall time
+        # (cluster construction and teardown stay outside the clock).
+        def run_cluster() -> Tuple[float, object]:
+            with make_cluster() as timing_cluster:
+                return timed_call(
+                    lambda: run_open_loop(timing_cluster, scripts)
+                )
+
+        def clear_engines():
             for engine in engines:
                 engine.traffic.clear()
+
+        cluster_best, _ = timed_reps(
+            {"cluster": run_cluster}, repeats, cleanup=clear_engines
+        )
+        best = cluster_best["cluster"]
         results[count] = ShardScalingResult(
             shards=count,
             concurrent_sessions=num_sessions,
@@ -905,6 +1103,7 @@ class ProcServeResult:
     checkpoints_taken: int
     checkpoint_interval: int
     p95_wait_ticks: float
+    p99_wait_ticks: float
     dtype: str
     memory_size: int
 
@@ -1002,13 +1201,13 @@ def measure_proc_serve(
             parallel=True,
             parallel_workers=num_workers,
         ) as cluster:
-            start = time.perf_counter()
-            results_map = run_open_loop(cluster, scripts)
-            elapsed = time.perf_counter() - start
+            elapsed, results_map = timed_call(
+                lambda: run_open_loop(cluster, scripts)
+            )
             metrics = cluster.cluster_metrics()
         for engine in thread_engines:
             engine.traffic.clear()
-        return elapsed, results_map, metrics
+        return elapsed, (results_map, metrics)
 
     def run_procs(restart: bool):
         # The steady-state variant turns periodic checkpointing off so
@@ -1027,40 +1226,32 @@ def measure_proc_serve(
             session_capacity=num_sessions,
             checkpoint_interval=checkpoint_interval if restart else None,
         ) as cluster:
-            start = time.perf_counter()
             if restart:
-                results_map, _ = run_rolling_restart(
-                    cluster, scripts, kill_every_ticks=kill_every_ticks
+                elapsed, (results_map, _) = timed_call(
+                    lambda: run_rolling_restart(
+                        cluster, scripts, kill_every_ticks=kill_every_ticks
+                    )
                 )
             else:
-                results_map = run_open_loop(cluster, scripts)
-            elapsed = time.perf_counter() - start
+                elapsed, results_map = timed_call(
+                    lambda: run_open_loop(cluster, scripts)
+                )
             metrics = cluster.cluster_metrics()
             extra = {
                 "sessions_recovered": cluster.supervisor.sessions_recovered,
                 "checkpoints_taken": cluster.supervisor.checkpoints_taken,
             }
-        return elapsed, results_map, (metrics, extra)
+        return elapsed, (results_map, (metrics, extra))
 
     runners = {
         "threads": run_threads,
         "procs": lambda: run_procs(False),
         "procs_restart": lambda: run_procs(True),
     }
-    # Interleave the timing rounds round-robin across the variants
-    # rather than measuring each variant as one block: on a busy box,
-    # background load drifts over seconds, and a blocked schedule lets
-    # that drift masquerade as a topology difference.  Interleaving
-    # exposes every variant to the same noise distribution, so the
-    # best-of-``repeats`` comparison below is apples to apples.
-    best: Dict[str, float] = {mode: float("inf") for mode in runners}
-    first: Dict[str, object] = {}
-    for round_index in range(max(1, repeats)):
-        for mode, runner in runners.items():
-            elapsed, results_map, stats = runner()
-            best[mode] = min(best[mode], elapsed)
-            if round_index == 0:
-                first[mode] = (results_map, stats)
+    # Interleaved rounds (see timed_reps): every variant sees the same
+    # background-noise distribution, so best-of-``repeats`` compares
+    # topologies, not measurement order.
+    best, first = timed_reps(runners, repeats)
 
     def build(mode: str) -> ProcServeResult:
         results_map, stats = first[mode]
@@ -1072,6 +1263,7 @@ def measure_proc_serve(
             metrics, extra = stats
         diff, failed = check_results(results_map)
         p95 = metrics.wait_percentiles()[1]
+        p99 = metrics.wait_quantile(0.99)
         return ProcServeResult(
             mode=mode,
             workers=num_workers,
@@ -1089,6 +1281,7 @@ def measure_proc_serve(
                 checkpoint_interval if mode == "procs_restart" else 0
             ),
             p95_wait_ticks=float(p95 if p95 is not None else -1.0),
+            p99_wait_ticks=float(p99 if p99 is not None else -1.0),
             dtype=config.dtype,
             memory_size=config.memory_size,
         )
@@ -1104,6 +1297,8 @@ __all__ = [
     "WORKLOAD_KINDS",
     "SessionScript",
     "tenant_of",
+    "timed_call",
+    "timed_reps",
     "generate_scripts",
     "generate_zipf_scripts",
     "run_open_loop",
@@ -1111,6 +1306,7 @@ __all__ = [
     "ServeLoadResult",
     "measure_serve_load",
     "measure_serve_ab",
+    "measure_serve_tracing_ab",
     "large_n_sparse_config",
     "measure_serve_memory_sweep",
     "ShardScalingResult",

@@ -10,12 +10,40 @@ benchmark, not here.
 
 Wait times and batch occupancies are recorded as integer histograms, so
 the metrics object stays O(distinct values) — not O(requests) — under
-long-running serving, and the percentiles computed from them are exact.
+long-running serving, and the quantiles computed from them are exact
+(:attr:`ServerMetrics.WAIT_QUANTILES` — p50/p95/p99 by default,
+configurable per instance).
+
+Export goes through the :mod:`repro.obs` registry:
+:meth:`ServerMetrics.to_registry` adopts every counter, the exact
+histograms, the per-tenant label dimension, and (optionally) per-phase
+engine profile stats into one :class:`repro.obs.metrics.MetricsRegistry`,
+which renders Prometheus text or structured JSON.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def tenant_of(session_id: str) -> str:
+    """Tenant id of a session: the prefix before the first ``-``.
+
+    The loadgen's session naming convention (``t03-copy-7`` → tenant
+    ``t03``) — defined here (and re-exported by
+    :mod:`repro.serve.loadgen`) so shards can attribute per-tenant
+    metrics without importing the load generator.
+    """
+    return session_id.split("-", 1)[0]
+
+
+def _quantile_key(q: float) -> str:
+    """``0.95 -> "p95_wait_ticks"``, ``0.999 -> "p99.9_wait_ticks"``."""
+    pct = q * 100.0
+    text = f"{pct:g}"
+    return f"p{text}_wait_ticks"
 
 
 def _percentile_from_histogram(hist: Dict[int, int], q: float) -> Optional[float]:
@@ -67,7 +95,21 @@ class ServerMetrics:
         "slot_occupancy_histogram",
     )
 
-    def __init__(self):
+    #: Labeled counter dicts (label value -> count), summed key-wise by
+    #: :meth:`merge` — the per-tenant dimension of ROADMAP item 5.
+    LABELED = ("tenant_completed",)
+
+    #: Default wait-latency quantiles surfaced by :meth:`snapshot`.
+    WAIT_QUANTILES = (0.50, 0.95, 0.99)
+
+    def __init__(self, quantiles: Optional[Sequence[float]] = None):
+        if quantiles is not None:
+            bad = [q for q in quantiles if not 0.0 < q <= 1.0]
+            if bad:
+                raise ValueError(f"quantiles must lie in (0, 1], got {bad}")
+            self.quantiles: Tuple[float, ...] = tuple(quantiles)
+        else:
+            self.quantiles = self.WAIT_QUANTILES
         self.reset()
 
     def reset(self) -> None:
@@ -102,6 +144,8 @@ class ServerMetrics:
         #: arena slots bound -> tick count (arena mode only; stays empty
         #: on the gather/scatter fallback path, which has no slots)
         self.slot_occupancy_histogram: Dict[int, int] = {}
+        #: tenant id -> completed request count (see :func:`tenant_of`)
+        self.tenant_completed: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def observe_wait(self, wait_ticks: int) -> None:
@@ -125,6 +169,11 @@ class ServerMetrics:
             self.slot_occupancy_histogram.get(bound_slots, 0) + 1
         )
 
+    def observe_tenant(self, session_id: str) -> None:
+        """Attribute one completed request to the session's tenant."""
+        tenant = tenant_of(session_id)
+        self.tenant_completed[tenant] = self.tenant_completed.get(tenant, 0) + 1
+
     # ------------------------------------------------------------------
     @classmethod
     def merge(cls, parts: Iterable["ServerMetrics"]) -> "ServerMetrics":
@@ -142,7 +191,7 @@ class ServerMetrics:
         for part in parts:
             for name in cls.COUNTERS:
                 setattr(merged, name, getattr(merged, name) + getattr(part, name))
-            for name in cls.HISTOGRAMS:
+            for name in cls.HISTOGRAMS + cls.LABELED:
                 hist = getattr(merged, name)
                 for value, count in getattr(part, name).items():
                     hist[value] = hist.get(value, 0) + count
@@ -160,6 +209,8 @@ class ServerMetrics:
         }
         for name in self.HISTOGRAMS:
             state[name] = dict(getattr(self, name))
+        for name in self.LABELED:
+            state[name] = dict(getattr(self, name))
         return state
 
     @classmethod
@@ -172,6 +223,10 @@ class ServerMetrics:
             hist = getattr(metrics, name)
             for value, count in dict(state.get(name, {})).items():
                 hist[int(value)] = int(count)
+        for name in cls.LABELED:
+            labeled = getattr(metrics, name)
+            for value, count in dict(state.get(name, {})).items():
+                labeled[str(value)] = int(count)
         return metrics
 
     def wait_percentiles(self) -> Tuple[Optional[float], Optional[float]]:
@@ -180,6 +235,17 @@ class ServerMetrics:
             _percentile_from_histogram(self.wait_histogram, 0.50),
             _percentile_from_histogram(self.wait_histogram, 0.95),
         )
+
+    def wait_quantile(self, q: float) -> Optional[float]:
+        """Exact wait-latency quantile ``q`` in scheduler ticks."""
+        return _percentile_from_histogram(self.wait_histogram, q)
+
+    def wait_quantiles(self) -> Dict[str, Optional[float]]:
+        """Configured quantiles as ``{"p50_wait_ticks": ..., ...}``."""
+        return {
+            _quantile_key(q): _percentile_from_histogram(self.wait_histogram, q)
+            for q in self.quantiles
+        }
 
     def mean_occupancy(self, include_idle: bool = False) -> Optional[float]:
         """Mean dispatched batch size; idle (occupancy-0) ticks optional."""
@@ -208,8 +274,7 @@ class ServerMetrics:
         return self.state_bytes_copied / self.ticks
 
     def snapshot(self) -> Dict[str, object]:
-        p50, p95 = self.wait_percentiles()
-        return {
+        snap = {
             "requests_submitted": self.requests_submitted,
             "requests_completed": self.requests_completed,
             "requests_failed": self.requests_failed,
@@ -223,8 +288,6 @@ class ServerMetrics:
             "worker_restarts": self.worker_restarts,
             "admission_spills": self.admission_spills,
             "ticks": self.ticks,
-            "p50_wait_ticks": p50,
-            "p95_wait_ticks": p95,
             "mean_batch_occupancy": self.mean_occupancy(),
             "occupancy_histogram": {
                 str(k): v for k, v in sorted(self.occupancy_histogram.items())
@@ -236,7 +299,83 @@ class ServerMetrics:
                 str(k): v
                 for k, v in sorted(self.slot_occupancy_histogram.items())
             },
+            "tenant_completed": {
+                k: v for k, v in sorted(self.tenant_completed.items())
+            },
         }
+        snap.update(self.wait_quantiles())
+        return snap
+
+    # ------------------------------------------------------------------
+    def to_registry(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Mapping[str, object]] = None,
+        phase_stats: Optional[Mapping[str, Mapping[str, float]]] = None,
+    ) -> MetricsRegistry:
+        """Adopt this object into a :class:`MetricsRegistry` view.
+
+        Every counter becomes a ``serve_*`` counter, the exact
+        histograms export as histogram series, the per-tenant dimension
+        becomes a ``tenant``-labeled counter, and ``phase_stats`` (a
+        :meth:`repro.obs.profiler.PhaseTimer.stats` dict) adds
+        ``phase``-labeled seconds/bytes/count series.  ``labels`` are
+        attached to every series (e.g. ``{"shard": 3}``), so cluster
+        layers can export per-shard registries side by side.
+        """
+        reg = registry if registry is not None else MetricsRegistry()
+        for name in self.COUNTERS:
+            reg.counter(f"serve_{name}", getattr(self, name), labels=labels)
+        for q in self.quantiles:
+            value = _percentile_from_histogram(self.wait_histogram, q)
+            if value is not None:
+                reg.gauge(
+                    "serve_wait_ticks_quantile",
+                    value,
+                    labels={**(dict(labels) if labels else {}), "quantile": f"{q:g}"},
+                )
+        reg.histogram("serve_wait_ticks", self.wait_histogram, labels=labels)
+        reg.histogram(
+            "serve_batch_occupancy", self.occupancy_histogram, labels=labels
+        )
+        reg.histogram(
+            "serve_slot_occupancy", self.slot_occupancy_histogram, labels=labels
+        )
+        for tenant, count in sorted(self.tenant_completed.items()):
+            reg.counter(
+                "serve_tenant_requests_completed",
+                count,
+                labels={**(dict(labels) if labels else {}), "tenant": tenant},
+            )
+        if phase_stats:
+            for phase, entry in sorted(phase_stats.items()):
+                phase_labels = {
+                    **(dict(labels) if labels else {}), "phase": phase,
+                }
+                reg.counter(
+                    "engine_phase_seconds",
+                    float(entry.get("seconds", 0.0)),
+                    labels=phase_labels,
+                )
+                reg.counter(
+                    "engine_phase_bytes",
+                    int(entry.get("bytes", 0)),
+                    labels=phase_labels,
+                )
+                reg.counter(
+                    "engine_phase_count",
+                    int(entry.get("count", 0)),
+                    labels=phase_labels,
+                )
+        return reg
+
+    def to_prometheus_text(self, **kwargs) -> str:
+        """Prometheus text exposition of :meth:`to_registry`."""
+        return self.to_registry(**kwargs).to_prometheus_text()
+
+    def to_json(self, **kwargs) -> Dict[str, object]:
+        """Structured-JSON export of :meth:`to_registry`."""
+        return self.to_registry(**kwargs).to_json()
 
 
-__all__ = ["ServerMetrics"]
+__all__ = ["ServerMetrics", "tenant_of"]

@@ -9,8 +9,12 @@ worker takes down only its own sessions — which the cluster then
 restores on a replacement process.
 
 **Wire protocol.** Parent and worker speak length-prefixed frames over a
-``socketpair``: ``b"HP" | uint32 length | uint32 crc32 | payload``
-(pickled message).  :func:`read_frame` raises
+``socketpair``: ``b"HP" | uint32 length | uint32 crc32 | uint64
+trace_id | uint64 span_id | payload`` (pickled message).  The two
+fixed trace-context words carry the distributed-tracing parent across
+the process boundary — ``(0, 0)`` means untraced — and the crc32
+covers them together with the payload, so a corrupted trace context is
+rejected like any other corruption.  :func:`read_frame` raises
 :class:`~repro.errors.FrameError` for a truncated, corrupted, or
 oversized frame — never hangs, never guesses — and the parent converts
 any transport failure (EOF, reset, RPC timeout) into
@@ -64,6 +68,7 @@ from repro.errors import (
     ServeError,
     WorkerCrashed,
 )
+from repro.obs import FlightRecorder, PhaseTimer, Tracer
 from repro.serve.batcher import StepRequest
 from repro.serve.metrics import ServerMetrics
 from repro.serve.router import (
@@ -78,23 +83,36 @@ from repro.serve.supervisor import CheckpointSupervisor
 # ---------------------------------------------------------------------------
 
 FRAME_MAGIC = b"HP"
-_FRAME_HEADER = struct.Struct(">II")  # payload length, crc32
+_FRAME_LEN = struct.Struct(">I")  # payload length
+_FRAME_REST = struct.Struct(">IQQ")  # crc32, trace_id, span_id
 #: Frames above this size are rejected as corrupt before any allocation:
 #: a garbage length field must not make the reader try to buffer 4 GiB.
 MAX_FRAME_BYTES = 1 << 30
 
 
-def write_frame(sock: socket.socket, message: object) -> None:
-    """Send one framed message: magic, length, crc32, pickled payload."""
+def write_frame(
+    sock: socket.socket,
+    message: object,
+    trace: Optional[Tuple[int, int]] = None,
+) -> None:
+    """Send one framed message: magic, length, crc32, trace context,
+    pickled payload.  ``trace`` is an optional ``(trace_id, span_id)``
+    span context to propagate across the process boundary; ``None``
+    writes the all-zero untraced context."""
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) > MAX_FRAME_BYTES:
         raise FrameError(
             f"frame payload of {len(payload)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte bound"
         )
+    trace_id, span_id = trace if trace is not None else (0, 0)
+    trace_bytes = struct.pack(">QQ", trace_id, span_id)
+    crc = zlib.crc32(payload, zlib.crc32(trace_bytes))
     sock.sendall(
         FRAME_MAGIC
-        + _FRAME_HEADER.pack(len(payload), zlib.crc32(payload))
+        + _FRAME_LEN.pack(len(payload))
+        + struct.pack(">I", crc)
+        + trace_bytes
         + payload
     )
 
@@ -114,38 +132,56 @@ def _recv_exact(sock: socket.socket, n: int, what: str) -> bytes:
     return bytes(buf)
 
 
-def read_frame(sock: socket.socket) -> object:
-    """Read one framed message; fail loudly instead of hanging.
+def read_frame_traced(
+    sock: socket.socket,
+) -> Tuple[object, Optional[Tuple[int, int]]]:
+    """Read one framed message plus its trace context.
 
-    Raises :class:`EOFError` on a clean close at a frame boundary and
-    :class:`~repro.errors.FrameError` for anything malformed: wrong
-    magic, a length field beyond :data:`MAX_FRAME_BYTES`, a payload cut
-    short, or a crc32 mismatch.  A corrupted stream cannot be resynced —
-    callers must treat :class:`FrameError` as fatal for the connection.
+    Returns ``(message, trace)`` where ``trace`` is the frame header's
+    ``(trace_id, span_id)`` span context, or ``None`` for the all-zero
+    untraced context.  Raises :class:`EOFError` on a clean close at a
+    frame boundary and :class:`~repro.errors.FrameError` for anything
+    malformed: wrong magic, a length field beyond
+    :data:`MAX_FRAME_BYTES`, a header or payload cut short, or a crc32
+    mismatch (the crc covers trace context + payload).  A corrupted
+    stream cannot be resynced — callers must treat :class:`FrameError`
+    as fatal for the connection.
     """
+    # Magic + length first: the length bound must be checked before the
+    # reader commits to buffering anything else.
     first = sock.recv(1)
     if not first:
         raise EOFError("connection closed")
-    header = first + _recv_exact(
-        sock, len(FRAME_MAGIC) + _FRAME_HEADER.size - 1, "header"
+    head = first + _recv_exact(
+        sock, len(FRAME_MAGIC) + _FRAME_LEN.size - 1, "header"
     )
-    if header[: len(FRAME_MAGIC)] != FRAME_MAGIC:
+    if head[: len(FRAME_MAGIC)] != FRAME_MAGIC:
         raise FrameError(
-            f"bad frame magic {header[:len(FRAME_MAGIC)]!r} "
+            f"bad frame magic {head[:len(FRAME_MAGIC)]!r} "
             f"(expected {FRAME_MAGIC!r})"
         )
-    length, crc = _FRAME_HEADER.unpack(header[len(FRAME_MAGIC):])
+    (length,) = _FRAME_LEN.unpack(head[len(FRAME_MAGIC):])
     if length > MAX_FRAME_BYTES:
         raise FrameError(
             f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte bound"
         )
+    rest = _recv_exact(sock, _FRAME_REST.size, "header")
+    crc, trace_id, span_id = _FRAME_REST.unpack(rest)
     payload = _recv_exact(sock, length, "payload")
-    if zlib.crc32(payload) != crc:
+    if zlib.crc32(payload, zlib.crc32(rest[_FRAME_LEN.size:])) != crc:
         raise FrameError("frame crc32 mismatch (payload corrupted)")
     try:
-        return pickle.loads(payload)
+        message = pickle.loads(payload)
     except Exception as exc:  # corrupt pickle inside a well-formed frame
         raise FrameError(f"frame payload failed to unpickle: {exc}") from exc
+    trace = (trace_id, span_id) if trace_id or span_id else None
+    return message, trace
+
+
+def read_frame(sock: socket.socket) -> object:
+    """Read one framed message (see :func:`read_frame_traced`), dropping
+    the trace context — the call every non-tracing reader keeps using."""
+    return read_frame_traced(sock)[0]
 
 
 # ---------------------------------------------------------------------------
@@ -181,13 +217,24 @@ def _worker_completions(
 
 def _worker_stats(shard) -> Dict[str, object]:
     p50, p95 = shard.metrics.wait_percentiles()
-    return {
+    stats: Dict[str, object] = {
         "load": shard.load,
         "queue_depth": shard.queue_depth,
         "pending_counts": shard.pending_counts,
         "p95_wait": p95,
         "tick": shard.tick,
     }
+    # Observability piggybacks on every reply: finished spans drain to
+    # the parent (worker rings stay near-empty) and the cumulative
+    # per-phase engine profile rides along for cluster_profile() and
+    # the flight recorder.
+    if shard.tracer is not None:
+        spans = shard.tracer.drain()
+        if spans:
+            stats["spans"] = spans
+    if shard.profiler is not None:
+        stats["phase"] = shard.profiler.stats()
+    return stats
 
 
 def _proc_worker_main(
@@ -205,8 +252,21 @@ def _proc_worker_main(
     # worker down mid-frame (the parent will send "stop" or kill us).
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
+    # Observability flags ride in on shard_kwargs; the worker builds its
+    # own Tracer/PhaseTimer (span ids are pid-salted, so worker spans
+    # stay unique when the parent adopts them).
+    shard_kwargs = dict(shard_kwargs)
+    obs_trace = bool(shard_kwargs.pop("obs_trace", False))
+    obs_profile = bool(shard_kwargs.pop("obs_profile", False))
+
     engine = TiledEngine(config, rng=seed)
-    shard = EngineShard(engine, shard_id=shard_id, **shard_kwargs)
+    shard = EngineShard(
+        engine,
+        shard_id=shard_id,
+        tracer=Tracer() if obs_trace else None,
+        profiler=PhaseTimer() if obs_profile else None,
+        **shard_kwargs,
+    )
     inflight: Dict[int, StepRequest] = {}
     by_obj: Dict[int, int] = {}
     known: Set[str] = set()
@@ -216,13 +276,18 @@ def _proc_worker_main(
     ckpt_steps: Dict[str, int] = {}
 
     def submit_all(
-        submits: Sequence[Tuple[int, str, np.ndarray]]
+        submits: Sequence[Tuple[int, str, np.ndarray, Optional[tuple]]]
     ) -> List[Tuple[int, Optional[np.ndarray], Optional[str], int, int]]:
-        """Enqueue parent-admitted submits; a local refusal fails fast."""
+        """Enqueue parent-admitted submits; a local refusal fails fast.
+
+        Each submit carries the parent-side trace context (or ``None``),
+        so the worker's ``shard.submit`` span — and the per-request
+        dispatch span after it — parent into the originating trace.
+        """
         refused = []
-        for rid, session_id, x in submits:
+        for rid, session_id, x, ctx in submits:
             try:
-                request = shard.submit(session_id, x)
+                request = shard.submit(session_id, x, trace=ctx)
             except ConfigError as exc:
                 refused.append((rid, None, str(exc), shard.tick, shard.tick))
                 continue
@@ -236,7 +301,9 @@ def _proc_worker_main(
                 by_obj[id(request)] = rid
         return refused
 
-    def dispatch(msg: Dict[str, object]) -> Dict[str, object]:
+    def dispatch(
+        msg: Dict[str, object], frame_trace: Optional[tuple] = None
+    ) -> Dict[str, object]:
         cmd = msg["cmd"]
         # Fast-path admissions ride any frame, ahead of the command
         # proper (their submits may be in this very tick frame).  The
@@ -258,7 +325,10 @@ def _proc_worker_main(
             ok = True
         elif cmd == "tick":
             extra = submit_all(msg.get("submits", ()))
-            shard.run_tick()
+            # The parent's cluster.tick span context rides the frame
+            # header, so the worker-side shard.tick span crosses the
+            # process boundary into the same trace.
+            shard.run_tick(trace=frame_trace)
             ok = True
         elif cmd == "enqueue":
             # Recovery/attach replay: queue work without advancing time.
@@ -356,11 +426,11 @@ def _proc_worker_main(
 
     while True:
         try:
-            msg = read_frame(sock)
+            msg, frame_trace = read_frame_traced(sock)
         except (EOFError, FrameError, OSError):
             return  # parent went away or the stream is unrecoverable
         try:
-            reply = dispatch(msg)
+            reply = dispatch(msg, frame_trace)
         except Exception as exc:  # report, don't die: the shard is intact
             # Completions are NOT drained on the error path: the parent
             # raises before folding an error reply in, so anything done
@@ -430,11 +500,16 @@ class ProcWorker:
     def pid(self) -> int:
         return int(self.process.pid)
 
-    def send(self, message: Dict[str, object]) -> None:
+    def send(
+        self,
+        message: Dict[str, object],
+        trace: Optional[Tuple[int, int]] = None,
+    ) -> None:
         """Write one request frame (no reply yet) — the cluster's tick
-        fan-out sends to every worker before reading any reply."""
+        fan-out sends to every worker before reading any reply.
+        ``trace`` rides the frame header (see :func:`write_frame`)."""
         try:
-            write_frame(self.sock, message)
+            write_frame(self.sock, message, trace=trace)
         except socket.timeout as exc:
             self.kill()
             raise WorkerCrashed(
@@ -477,9 +552,13 @@ class ProcWorker:
             )
         return reply
 
-    def call(self, message: Dict[str, object]) -> Dict[str, object]:
+    def call(
+        self,
+        message: Dict[str, object],
+        trace: Optional[Tuple[int, int]] = None,
+    ) -> Dict[str, object]:
         """One RPC round trip (:meth:`send` + :meth:`recv_reply`)."""
-        self.send(message)
+        self.send(message, trace=trace)
         return self.recv_reply(message.get("cmd"))
 
     def kill(self) -> None:
@@ -558,6 +637,9 @@ class ProcCluster:
         checkpoint_min_log: int = 8,
         rpc_timeout: float = 60.0,
         admission_spill: bool = True,
+        tracer: Optional[Tracer] = None,
+        profile: bool = False,
+        flight_recorder: int = 0,
     ):
         if num_workers < 1:
             raise ConfigError(f"num_workers must be >= 1, got {num_workers}")
@@ -570,8 +652,25 @@ class ProcCluster:
             raise ConfigError(
                 f"checkpoint_min_log must be >= 0, got {checkpoint_min_log}"
             )
+        if flight_recorder < 0:
+            raise ConfigError(
+                f"flight_recorder must be >= 0, got {flight_recorder}"
+            )
         self.config = config
         self.seed = seed
+        #: Parent-side span collector; worker spans are adopted into it
+        #: from every reply, so one traced request's tree spans processes.
+        self.tracer = tracer
+        self.profile = profile
+        #: Last-K tick history per worker (spans + phase stats), dumped
+        #: into the supervisor's postmortems when a worker dies.
+        self.flight = (
+            FlightRecorder(flight_recorder) if flight_recorder > 0 else None
+        )
+        # Workers trace whenever anything consumes their spans: a parent
+        # tracer wants the distributed tree, a flight recorder wants the
+        # last-K history even with no tracer attached.
+        trace_enabled = tracer is not None or flight_recorder > 0
         self._shard_kwargs: Dict[str, object] = dict(
             max_batch=max_batch,
             max_wait_ticks=max_wait_ticks,
@@ -579,6 +678,8 @@ class ProcCluster:
             session_capacity=session_capacity,
             session_ttl_ticks=session_ttl_ticks,
             state_arena=state_arena,
+            obs_trace=trace_enabled,
+            obs_profile=profile,
         )
         self.queue_capacity = queue_capacity
         self.session_capacity = session_capacity
@@ -617,13 +718,22 @@ class ProcCluster:
         #: drains this — completions can also arrive on open/close/
         #: checkpoint replies, and none may be dropped).
         self._completed_stash: List[StepRequest] = []
-        self._buffers: List[List[Tuple[int, str, np.ndarray]]] = [
-            [] for _ in range(num_workers)
-        ]
+        self._buffers: List[
+            List[Tuple[int, str, np.ndarray, Optional[tuple]]]
+        ] = [[] for _ in range(num_workers)]
         #: Fast-path admitted sessions not yet announced to their worker;
         #: flushed with the next frame to that worker (any command).
         self._pending_opens: List[List[str]] = [[] for _ in range(num_workers)]
         self._worker_inflight: List[int] = [0] * num_workers
+        #: Oldest-first router.submit contexts of traced requests not yet
+        #: dispatched: the next cluster tick parents its span on the
+        #: oldest one, attributing the tick to the request it serves.
+        self._pending_traces: List[tuple] = []
+        #: Latest cumulative per-phase profile reported by each worker
+        #: (reset on respawn — the dead process's history is gone).
+        self._worker_phase: List[Dict[str, Dict[str, float]]] = [
+            {} for _ in range(num_workers)
+        ]
 
     def _spawn(self, index: int) -> ProcWorker:
         return ProcWorker(
@@ -658,7 +768,20 @@ class ProcCluster:
     # ------------------------------------------------------------------
     def _process_reply(self, index: int, reply: Dict[str, object]) -> None:
         """Fold a worker reply's completions and departures into the
-        parent's mirrors, logs, and routing table."""
+        parent's mirrors, logs, and routing table — and its spans and
+        phase profile into the parent's tracer and flight recorder."""
+        stats = reply.get("stats")
+        if isinstance(stats, dict):
+            spans = stats.get("spans") or []
+            phase = stats.get("phase")
+            if phase is not None:
+                self._worker_phase[index] = phase
+            if spans and self.tracer is not None:
+                self.tracer.adopt(spans)
+            if self.flight is not None and spans:
+                self.flight.record(
+                    index, int(stats.get("tick", 0)), spans, phase
+                )
         for rid, y, error, submitted_tick, completed_tick in reply.get(
             "completed", ()
         ):
@@ -784,7 +907,12 @@ class ProcCluster:
             self._rpc(index, {"cmd": "close", "session_id": session_id})
         self._forget_session(session_id)
 
-    def submit(self, session_id: str, x: np.ndarray) -> Optional[StepRequest]:
+    def submit(
+        self,
+        session_id: str,
+        x: np.ndarray,
+        trace: Optional[tuple] = None,
+    ) -> Optional[StepRequest]:
         """Queue one timestep; returns a mirror request, or ``None`` when
         the owning worker's queue bound is reached (backpressure).
 
@@ -792,7 +920,10 @@ class ProcCluster:
         RPC; admission is checked here, synchronously, against the
         parent's own count of that worker's in-flight requests (it
         mirrors the worker's bound exactly, so the refusal semantics
-        match the in-process servers).
+        match the in-process servers).  With a tracer attached the
+        routing hop is a ``router.submit`` span and its context ships to
+        the worker with the buffered submit, so the worker-side spans
+        join the same trace.
         """
         index = self.shard_of(session_id)
         x = np.asarray(x)
@@ -801,8 +932,17 @@ class ProcCluster:
             raise ConfigError(
                 f"submit expects x of shape ({input_size},), got {x.shape}"
             )
+        span = None
+        ctx = tuple(trace) if trace is not None else None
+        if self.tracer is not None:
+            span = self.tracer.start(
+                "router.submit", parent=trace, attrs={"session": session_id}
+            )
+            ctx = span.context
         if self._worker_inflight[index] >= self.queue_capacity:
             self.metrics.admission_rejects += 1
+            if span is not None:
+                self.tracer.end(span, accepted=False)
             return None
         step = self.supervisor.on_submit(session_id, x)
         rid = self._rid_counter
@@ -812,12 +952,17 @@ class ProcCluster:
             x=np.array(x, copy=True),
             submitted_tick=self.tick,
             seq=rid,
+            trace=ctx,
         )
         self._mirrors[rid] = mirror
         self._rid_info[rid] = (session_id, step, index)
         self._inflight_rids[session_id][step] = rid
-        self._buffers[index].append((rid, session_id, mirror.x))
+        self._buffers[index].append((rid, session_id, mirror.x, ctx))
         self._worker_inflight[index] += 1
+        if span is not None:
+            self.tracer.end(span, accepted=True)
+        if ctx is not None:
+            self._pending_traces.append(ctx)
         return mirror
 
     # ------------------------------------------------------------------
@@ -833,6 +978,15 @@ class ProcCluster:
         replay ghosts (recomputed steps whose results were already
         delivered) are resolved but not returned.
         """
+        tick_ctx: Optional[Tuple[int, int]] = None
+        tick_span = None
+        if self.tracer is not None:
+            parent = self._pending_traces[0] if self._pending_traces else None
+            tick_span = self.tracer.start(
+                "cluster.tick", parent=parent, attrs={"tick": self.tick}
+            )
+            tick_ctx = tick_span.context
+        self._pending_traces.clear()
         pending_reply: List[int] = []
         for index in range(len(self.workers)):
             submits = self._buffers[index]
@@ -847,13 +1001,15 @@ class ProcCluster:
             message = {"cmd": "tick", "submits": submits}
             self._attach_opens(index, message)
             try:
-                self.workers[index].send(message)
+                self.workers[index].send(message, trace=tick_ctx)
             except WorkerCrashed:
                 # The buffered submits are in the supervisor's logs (and
                 # buffered opens in its session set); recovery re-opens
                 # and re-enqueues them on the replacement worker.
                 self._recover_worker(index)
-                self.workers[index].send({"cmd": "tick", "submits": []})
+                self.workers[index].send(
+                    {"cmd": "tick", "submits": []}, trace=tick_ctx
+                )
             pending_reply.append(index)
         for index in pending_reply:
             try:
@@ -864,6 +1020,8 @@ class ProcCluster:
                     {"cmd": "tick", "submits": []}
                 )
             self._process_reply(index, reply)
+        if tick_span is not None:
+            self.tracer.end(tick_span, workers=len(pending_reply))
         self.tick += 1
         if (
             self.checkpoint_interval is not None
@@ -1035,6 +1193,13 @@ class ProcCluster:
         old = self.workers[index]
         old.kill()
         old.sock.close()
+        if self.flight is not None:
+            # Hand the dead worker's last-K tick history (spans + phase
+            # stats) to the supervisor before anything overwrites it —
+            # the postmortem a crash investigation starts from.
+            self.supervisor.on_worker_death(index, self.flight.dump(index))
+            self.flight.clear(index)
+        self._worker_phase[index] = {}
         self.workers[index] = self._spawn(index)
         self.restarts[index] += 1
         self.metrics.worker_restarts += 1
@@ -1068,7 +1233,9 @@ class ProcCluster:
                 )
             self._base_steps[session_id] = 0
         inflight = self._inflight_rids.setdefault(session_id, {})
-        submits: List[Tuple[int, str, np.ndarray]] = []
+        # Replay submits are untraced: the original request's spans were
+        # already recorded (or died with the worker's ring).
+        submits: List[Tuple[int, str, np.ndarray, Optional[tuple]]] = []
         for step, x in replay:
             rid = inflight.get(step)
             if rid is None:
@@ -1085,7 +1252,7 @@ class ProcCluster:
                 inflight[step] = rid
             else:
                 self._rid_info[rid] = (session_id, step, index)
-            submits.append((rid, session_id, x))
+            submits.append((rid, session_id, x, None))
             self._worker_inflight[index] += 1
         if submits:
             self._rpc(
@@ -1144,6 +1311,15 @@ class ProcCluster:
             parts.append(ServerMetrics.from_state(reply["ok"]))
         return ServerMetrics.merge(parts)
 
+    def cluster_profile(self) -> Dict[str, Dict[str, float]]:
+        """Merged per-phase engine profile across workers (empty unless
+        constructed with ``profile=True``).  Built from the cumulative
+        stats each worker piggybacks on its replies — no extra RPC."""
+        merged = PhaseTimer()
+        for phase in self._worker_phase:
+            merged.merge(phase)
+        return merged.stats()
+
     def snapshot(self) -> Dict[str, object]:
         """One JSON-able cluster snapshot: merged metrics + liveness."""
         snap = self.cluster_metrics().snapshot()
@@ -1172,6 +1348,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "write_frame",
     "read_frame",
+    "read_frame_traced",
     "ProcWorker",
     "ProcCluster",
 ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.engine import TiledEngine
+from repro.obs import PhaseTimer, Tracer
 from repro.serve.metrics import ServerMetrics
 from repro.serve.shard import EngineShard
 
@@ -49,6 +50,8 @@ class SessionServer(EngineShard):
         session_ttl_ticks: Optional[int] = None,
         state_arena: bool = True,
         metrics: Optional[ServerMetrics] = None,
+        tracer: Optional[Tracer] = None,
+        profiler: Optional[PhaseTimer] = None,
     ):
         super().__init__(
             engine,
@@ -60,6 +63,8 @@ class SessionServer(EngineShard):
             session_ttl_ticks=session_ttl_ticks,
             state_arena=state_arena,
             metrics=metrics,
+            tracer=tracer,
+            profiler=profiler,
         )
 
 

@@ -44,6 +44,7 @@ occupancy.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -51,6 +52,7 @@ import numpy as np
 from repro.core.engine import TiledEngine, gather_states, scatter_states
 from repro.dnc.numpy_ref import NumpyDNCState
 from repro.errors import CapacityError, ConfigError
+from repro.obs import PHASES, PhaseTimer, Tracer
 from repro.serve.arena import StateArena
 from repro.serve.batcher import MicroBatcher, StepRequest
 from repro.serve.metrics import ServerMetrics
@@ -80,10 +82,24 @@ class EngineShard:
         session_ttl_ticks: Optional[int] = None,
         state_arena: bool = True,
         metrics: Optional[ServerMetrics] = None,
+        tracer: Optional[Tracer] = None,
+        profiler: Optional[PhaseTimer] = None,
     ):
         self.engine = engine
         self.shard_id = shard_id
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        #: Optional request tracer: when set, every submit/tick emits
+        #: spans (``shard.submit`` / ``shard.tick`` / ``engine.step`` /
+        #: per-request ``shard.dispatch``); ``None`` costs one check per
+        #: hook.
+        self.tracer = tracer
+        #: Optional per-phase engine profiler — attached to the engine's
+        #: ``profiler`` seam so each tick's step attributes its wall time
+        #: to named phases; with a tracer too, the tick synthesizes
+        #: ``engine.phase:*`` child spans from the stat deltas.
+        self.profiler = profiler
+        if profiler is not None:
+            engine.profiler = profiler
         self.batcher = MicroBatcher(
             max_batch=max_batch,
             max_wait_ticks=max_wait_ticks,
@@ -137,6 +153,11 @@ class EngineShard:
     def p95_wait(self) -> Optional[float]:
         """p95 request wait in ticks (``None`` before any completion)."""
         return self.metrics.wait_percentiles()[1]
+
+    def phase_stats(self):
+        """Cumulative per-phase engine profile (empty without a
+        profiler) — a :meth:`repro.obs.profiler.PhaseTimer.stats` dict."""
+        return self.profiler.stats() if self.profiler is not None else {}
 
     # ------------------------------------------------------------------
     def _on_evict(self, session_id: str, reason: str) -> None:
@@ -318,13 +339,24 @@ class EngineShard:
         self.metrics.migrations_in += 1
 
     # ------------------------------------------------------------------
-    def submit(self, session_id: str, x: np.ndarray) -> Optional[StepRequest]:
+    def submit(
+        self,
+        session_id: str,
+        x: np.ndarray,
+        trace: Optional[tuple] = None,
+    ) -> Optional[StepRequest]:
         """Queue one timestep for ``session_id``; ``None`` means refused.
 
         A refusal is backpressure (the global queue is full) and counts
         as an admission reject; the session itself stays open.  A
         malformed input is rejected here, at the offending client —
         never inside ``run_tick``, where it would poison a whole batch.
+
+        ``trace`` is a propagated ``(trace_id, span_id)`` parent context
+        (the router/frontend span, possibly from another process); with
+        a tracer attached, the accepted request carries a
+        ``shard.submit`` span's context for its dispatch span to parent
+        on.
         """
         if session_id not in self.store:
             raise ConfigError(f"unknown session {session_id!r}")
@@ -334,15 +366,66 @@ class EngineShard:
             raise ConfigError(
                 f"submit expects x of shape ({input_size},), got {x.shape}"
             )
+        tracer = self.tracer
+        span = (
+            tracer.start(
+                "shard.submit",
+                parent=trace,
+                attrs={"session": session_id, "shard": self.shard_id},
+            )
+            if tracer is not None
+            else None
+        )
         request = self.batcher.submit(session_id, x, self.tick)
         if request is None:
             self.metrics.admission_rejects += 1
         else:
             self.metrics.requests_submitted += 1
+            if span is not None:
+                request.trace = span.context
+            elif trace is not None:
+                request.trace = tuple(trace)
+        if span is not None:
+            tracer.end(span, accepted=request is not None)
         return request
 
     # ------------------------------------------------------------------
-    def run_tick(self) -> List[StepRequest]:
+    def _traced_engine_step(self, tick_span, call):
+        """Run one engine step under an ``engine.step`` span, with
+        ``engine.phase:*`` child spans synthesized from the profiler's
+        stat delta (stitched sequentially across the step interval —
+        the phases execute in order, so the stitching is faithful up to
+        the unattributed slack between laps)."""
+        tracer = self.tracer
+        if tracer is None or tick_span is None:
+            return call()
+        prof = self.profiler
+        before = prof.stats() if prof is not None else None
+        span = tracer.start("engine.step", parent=tick_span)
+        result = call()
+        tracer.end(span)
+        if prof is not None:
+            delta = PhaseTimer.delta(before, prof.stats())
+            t = span.t_start
+            for phase in PHASES:
+                entry = delta.get(phase)
+                if not entry or entry["seconds"] <= 0.0:
+                    continue
+                t_end = min(t + entry["seconds"], span.t_end)
+                tracer.emit(
+                    f"engine.phase:{phase}",
+                    span,
+                    t,
+                    t_end,
+                    attrs={
+                        "bytes": int(entry["bytes"]),
+                        "count": int(entry["count"]),
+                    },
+                )
+                t = t_end
+        return result
+
+    def run_tick(self, trace: Optional[tuple] = None) -> List[StepRequest]:
         """Advance one scheduler tick; returns the requests completed.
 
         One tick = at most one batched engine step: expire idle sessions,
@@ -354,7 +437,15 @@ class EngineShard:
         into a fresh batch and scattered back.  Either way the batch row
         order is dispatch order, so both paths compute bit-identical
         results.
+
+        With a tracer attached the tick emits a ``shard.tick`` span —
+        parented on ``trace`` (the cluster's tick context, possibly from
+        another process) or, failing that, on the oldest traced request
+        it dispatches — plus per-request ``shard.dispatch`` spans and
+        the ``engine.step``/``engine.phase:*`` chain.
         """
+        tracer = self.tracer
+        t0_tick = time.perf_counter() if tracer is not None else 0.0
         tick = self.tick
         self.store.evict_expired(
             tick, protect=self.batcher.pending_sessions()
@@ -370,12 +461,30 @@ class EngineShard:
                 request.completed_tick = tick
                 self.metrics.requests_failed += 1
 
+        tick_span = None
+        if tracer is not None:
+            parent = trace
+            if parent is None:
+                for request in live:
+                    if request.trace is not None:
+                        parent = request.trace
+                        break
+            tick_span = tracer.start(
+                "shard.tick",
+                parent=parent,
+                attrs={"shard": self.shard_id, "tick": tick},
+            )
+            tick_span.t_start = t0_tick
+
         if live and self.arena is not None:
             slots = self.arena.indices([r.session_id for r in live])
             for slot, request in zip(slots, live):
                 self._x_buf[slot] = request.x  # casts to the dtype policy
-            y, _ = self.engine.step(
-                self._x_buf, self.arena.state, active=slots
+            y, _ = self._traced_engine_step(
+                tick_span,
+                lambda: self.engine.step(
+                    self._x_buf, self.arena.state, active=slots
+                ),
             )
             self.metrics.observe_state_copy(
                 self.engine.last_state_bytes_copied
@@ -389,13 +498,16 @@ class EngineShard:
                 request.completed_tick = tick
                 self.metrics.observe_wait(tick - request.submitted_tick)
                 self.metrics.requests_completed += 1
+                self.metrics.observe_tenant(request.session_id)
         elif live:
             records = [self.store.get(r.session_id) for r in live]
             batched_state = gather_states([rec.state for rec in records])
             xs = self._x_buf[: len(live)]
             for i, request in enumerate(live):
                 xs[i] = request.x
-            y, new_batched = self.engine.step(xs, batched_state)
+            y, new_batched = self._traced_engine_step(
+                tick_span, lambda: self.engine.step(xs, batched_state)
+            )
             new_states = scatter_states(new_batched)
             self.metrics.observe_state_copy(
                 batched_state.nbytes + new_batched.nbytes
@@ -411,6 +523,25 @@ class EngineShard:
                 request.completed_tick = tick
                 self.metrics.observe_wait(tick - request.submitted_tick)
                 self.metrics.requests_completed += 1
+                self.metrics.observe_tenant(request.session_id)
+
+        if tracer is not None:
+            t_done = time.perf_counter()
+            for request in live:
+                if request.trace is not None:
+                    tracer.emit(
+                        "shard.dispatch",
+                        request.trace,
+                        t0_tick,
+                        t_done,
+                        attrs={
+                            "session": request.session_id,
+                            "shard": self.shard_id,
+                            "wait_ticks": request.wait_ticks,
+                        },
+                    )
+            if tick_span is not None:
+                tracer.end(tick_span, occupancy=len(live))
 
         self.metrics.observe_occupancy(len(live))
         if self.arena is not None:

@@ -47,6 +47,14 @@ class CheckpointSupervisor:
         self.checkpoints_taken = 0
         #: Sessions rebuilt through :meth:`recovery_plan`.
         self.sessions_recovered = 0
+        #: worker index -> flight-recorder dump (last-K tick records)
+        #: captured at the moment the worker died.  Filled by
+        #: :meth:`on_worker_death`; later deaths of the same worker slot
+        #: overwrite earlier dumps (the newest crash is the one being
+        #: debugged).
+        self.postmortems: Dict[int, List[dict]] = {}
+        #: Worker deaths reported via :meth:`on_worker_death`.
+        self.worker_postmortems = 0
 
     # ------------------------------------------------------------------
     def __contains__(self, session_id: str) -> bool:
@@ -130,6 +138,19 @@ class CheckpointSupervisor:
         self._next_step.pop(session_id, None)
         self._logs.pop(session_id, None)
         self._checkpoints.pop(session_id, None)
+
+    # ------------------------------------------------------------------
+    def on_worker_death(self, worker: int, records: List[dict]) -> None:
+        """Store a dead worker's flight-recorder dump for postmortem.
+
+        ``records`` is the oldest-first last-K tick history the cluster's
+        :class:`~repro.obs.recorder.FlightRecorder` kept for the worker
+        (each entry: ``tick``, ``spans``, ``phase_stats``).  Stored even
+        when empty so callers can distinguish "worker died with no
+        recorded ticks" from "death never reported".
+        """
+        self.postmortems[worker] = list(records)
+        self.worker_postmortems += 1
 
     # ------------------------------------------------------------------
     def recovery_plan(

@@ -1,0 +1,197 @@
+"""ServerMetrics: merge exactness, quantiles, tenants, exporters.
+
+The cluster layers (thread-sharded and process-sharded) aggregate
+per-shard :class:`repro.serve.metrics.ServerMetrics` with
+:meth:`~repro.serve.metrics.ServerMetrics.merge`, and the whole
+observability story leans on one property: every statistic derived from
+the merged object equals the statistic of a single metrics object that
+had observed every event itself.  These tests pin that property
+directly — merge vs recompute-from-the-union — over disjoint bins,
+overlapping bins, and the per-tenant label dimension, plus the exact
+histogram quantiles and the registry export surfaces.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import validate_metrics_json
+from repro.serve.metrics import ServerMetrics, tenant_of
+
+
+def _observe(metrics: ServerMetrics, waits, occupancies=(), sessions=()):
+    for wait in waits:
+        metrics.observe_wait(int(wait))
+        metrics.requests_completed += 1
+    for occ in occupancies:
+        metrics.observe_occupancy(int(occ))
+    for session_id in sessions:
+        metrics.observe_tenant(session_id)
+
+
+def _union(parts):
+    """One metrics object that observed every part's events itself."""
+    union = ServerMetrics()
+    for part in parts:
+        for wait, count in part.wait_histogram.items():
+            for _ in range(count):
+                union.observe_wait(wait)
+        for occ, count in part.occupancy_histogram.items():
+            for _ in range(count):
+                union.observe_occupancy(occ)
+        for name in ServerMetrics.COUNTERS:
+            if name == "ticks":
+                continue  # observe_occupancy already advanced it
+            setattr(union, name, getattr(union, name) + getattr(part, name))
+        for tenant, count in part.tenant_completed.items():
+            union.tenant_completed[tenant] = (
+                union.tenant_completed.get(tenant, 0) + count
+            )
+    return union
+
+
+def _assert_equivalent(merged: ServerMetrics, union: ServerMetrics):
+    for name in ServerMetrics.COUNTERS:
+        assert getattr(merged, name) == getattr(union, name), name
+    for name in ServerMetrics.HISTOGRAMS + ServerMetrics.LABELED:
+        assert getattr(merged, name) == getattr(union, name), name
+    assert merged.wait_percentiles() == union.wait_percentiles()
+    assert merged.wait_quantiles() == union.wait_quantiles()
+    assert merged.mean_occupancy() == union.mean_occupancy()
+    assert merged.snapshot() == union.snapshot()
+
+
+def test_merge_disjoint_bins_equals_union():
+    """Shards that saw non-overlapping wait values merge exactly."""
+    a, b = ServerMetrics(), ServerMetrics()
+    _observe(a, waits=[1, 1, 2], occupancies=[4, 4])
+    _observe(b, waits=[7, 9, 9, 9], occupancies=[16])
+    merged = ServerMetrics.merge([a, b])
+    assert set(merged.wait_histogram) == {1, 2, 7, 9}
+    _assert_equivalent(merged, _union([a, b]))
+
+
+def test_merge_overlapping_bins_equals_union():
+    """Shared bin values sum counts rather than clobbering them."""
+    a, b, c = ServerMetrics(), ServerMetrics(), ServerMetrics()
+    _observe(a, waits=[1, 2, 2, 3], occupancies=[8, 8])
+    _observe(b, waits=[2, 3, 3, 4], occupancies=[8, 16])
+    _observe(c, waits=[3], occupancies=[0, 16])
+    merged = ServerMetrics.merge([a, b, c])
+    assert merged.wait_histogram == {1: 1, 2: 3, 3: 4, 4: 1}
+    _assert_equivalent(merged, _union([a, b, c]))
+
+
+def test_merge_random_shards_equals_union():
+    """The property, fuzzed: random shard splits of one event stream."""
+    gen = np.random.default_rng(11)
+    parts = []
+    for _ in range(5):
+        part = ServerMetrics()
+        _observe(
+            part,
+            waits=gen.integers(0, 12, size=int(gen.integers(0, 40))),
+            occupancies=gen.integers(0, 17, size=int(gen.integers(1, 20))),
+        )
+        part.admission_rejects = int(gen.integers(0, 5))
+        part.state_bytes_copied = int(gen.integers(0, 1 << 20))
+        parts.append(part)
+    _assert_equivalent(ServerMetrics.merge(parts), _union(parts))
+
+
+def test_merge_tenant_labels_sum_keywise():
+    """Per-tenant counts aggregate across shards like any histogram."""
+    a, b = ServerMetrics(), ServerMetrics()
+    _observe(a, waits=[], sessions=["t00-copy-0", "t00-copy-1", "t01-recall-2"])
+    _observe(b, waits=[], sessions=["t00-copy-3", "t02-copy-4"])
+    merged = ServerMetrics.merge([a, b])
+    assert merged.tenant_completed == {"t00": 3, "t01": 1, "t02": 1}
+    assert tenant_of("t03-copy-7") == "t03"
+    # Sessions without a tenant prefix fall back to the whole id.
+    assert tenant_of("solo") == "solo"
+
+
+def test_wait_quantiles_exact_nearest_rank():
+    """p50/p95/p99 from the histogram match nearest-rank on raw data."""
+    metrics = ServerMetrics()
+    waits = [0] * 50 + [1] * 30 + [2] * 15 + [5] * 4 + [40] * 1
+    _observe(metrics, waits=waits)
+    ordered = sorted(waits)
+    for q in (0.50, 0.95, 0.99, 1.0):
+        rank = max(1, int(np.ceil(q * len(ordered))))
+        assert metrics.wait_quantile(q) == float(ordered[rank - 1]), q
+    p50, p95 = metrics.wait_percentiles()
+    assert (p50, p95) == (0.0, 2.0)
+    assert metrics.wait_quantile(0.99) == 5.0
+    quantiles = metrics.wait_quantiles()
+    assert quantiles == {
+        "p50_wait_ticks": 0.0, "p95_wait_ticks": 2.0, "p99_wait_ticks": 5.0,
+    }
+
+
+def test_configurable_quantiles_surface_in_snapshot():
+    metrics = ServerMetrics(quantiles=(0.5, 0.999))
+    _observe(metrics, waits=list(range(1000)))
+    snap = metrics.snapshot()
+    # Nearest-rank over 0..999: rank ceil(q * 1000), 1-based.
+    assert snap["p50_wait_ticks"] == 499.0
+    assert snap["p99.9_wait_ticks"] == 998.0
+    assert "p95_wait_ticks" not in snap
+    with pytest.raises(ValueError):
+        ServerMetrics(quantiles=(0.5, 1.5))
+    with pytest.raises(ValueError):
+        ServerMetrics(quantiles=(0.0,))
+
+
+def test_empty_metrics_quantiles_are_none():
+    metrics = ServerMetrics()
+    assert metrics.wait_quantile(0.99) is None
+    assert metrics.wait_percentiles() == (None, None)
+    assert metrics.mean_occupancy() is None
+
+
+def test_state_roundtrip_with_tenants_is_exact():
+    """to_state/from_state (the worker RPC form) loses nothing."""
+    metrics = ServerMetrics()
+    _observe(
+        metrics,
+        waits=[0, 0, 1, 3, 3, 3, 9],
+        occupancies=[0, 4, 16, 16],
+        sessions=["t00-copy-0", "t01-recall-1", "t00-copy-2"],
+    )
+    metrics.admission_rejects = 3
+    metrics.state_bytes_copied = 4096
+    clone = ServerMetrics.from_state(metrics.to_state())
+    _assert_equivalent(clone, metrics)
+    # And the RPC form itself is JSON-able (the wire requirement).
+    json.dumps(metrics.to_state())
+
+
+def test_registry_export_validates_and_carries_labels():
+    metrics = ServerMetrics()
+    _observe(
+        metrics,
+        waits=[0, 1, 1, 2],
+        occupancies=[4, 4],
+        sessions=["t00-copy-0", "t01-copy-1"],
+    )
+    phase_stats = {
+        "controller": {"seconds": 0.25, "bytes": 1024, "count": 4},
+        "read": {"seconds": 0.5, "bytes": 2048, "count": 4},
+    }
+    registry = metrics.to_registry(
+        labels={"shard": "3"}, phase_stats=phase_stats
+    )
+    data = json.loads(registry.to_json_text())
+    problems = validate_metrics_json(data)
+    assert problems == [], "\n".join(problems)
+    text = registry.to_prometheus_text()
+    assert 'serve_requests_completed{shard="3"} 4' in text
+    assert 'serve_tenant_requests_completed{shard="3",tenant="t00"} 1' in text
+    assert 'engine_phase_seconds{phase="controller",shard="3"} 0.25' in text
+    # Quantile gauges ride the same labels.
+    assert 'serve_wait_ticks_quantile{quantile="0.5",shard="3"}' in text
+    # Histogram series render cumulative buckets plus sum/count.
+    assert 'serve_wait_ticks_bucket{shard="3",le="+Inf"} 4' in text
+    assert 'serve_wait_ticks_count{shard="3"} 4' in text
