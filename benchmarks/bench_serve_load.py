@@ -11,9 +11,11 @@ in :mod:`repro.eval.bench_schema` (``SERVE_ENTRY_KEYS``)::
       "concurrent_sessions": 16, "requests_per_sec": x,
       "speedup_vs_sequential": y, "state_arena": true, ...,
       "variants": {
-        "state_arena":    {...},   # resident slot-pinned hot path
-        "gather_scatter": {...}    # PR 3 per-tick pack/unpack fallback
-      }
+        "state_arena":       {...},   # resident slot-pinned hot path
+        "gather_scatter":    {...},   # PR 3 per-tick pack/unpack fallback
+        "backend_reference": {...},   # kernel-backend A/B under the
+        "backend_tuned":     {...}    # full arena serving stack
+      }                               # (+ backend_torch when importable)
     }
 
 Asserted floors (conservative, as ever — the measured ratios typically
@@ -33,10 +35,12 @@ import pathlib
 
 from repro.core.config import HiMAConfig
 from repro.eval.bench_schema import merge_artifact, validate_serve_load
+from repro.core.backend import available_backends
 from repro.serve import (
     SessionServer,
     generate_scripts,
     measure_serve_ab,
+    measure_serve_backend_ab,
     measure_serve_load,
     run_open_loop,
 )
@@ -118,6 +122,50 @@ def test_serve_state_path_ab_trajectory():
     assert arena.requests_per_sec >= 1.15 * gather_scatter.requests_per_sec
     # The mechanism, exactly: 16 join writes vs 2 * 16 rows * 4 ticks.
     assert arena.state_bytes_copied * 4 <= gather_scatter.state_bytes_copied
+
+
+def test_serve_backend_ab_trajectory():
+    """Kernel-backend A/B under the full resident-arena serving stack.
+
+    The serving path steps masked batches through the fused *in-place*
+    write — a different kernel entry point than the batched-throughput
+    A/B — so this variant pair prices the backend swap where a
+    deployment actually runs it.  The floors are correctness-first:
+    served-vs-solo must stay <= 1e-10 under a non-default backend (the
+    seam cannot cost the serving stack its determinism bar), and the
+    tuned backend must not materially regress serving throughput.  The
+    recorded entries carry the measured ratio for the trajectory.
+    """
+    backends = ["reference", "tuned"]
+    if "torch" in available_backends():
+        backends.append("torch")
+    results = measure_serve_backend_ab(
+        HiMAConfig(**SERVE_AB_CONFIG),
+        backends=tuple(backends),
+        num_sessions=16, steps_per_session=4,
+        max_batch=16, max_wait_ticks=1, repeats=7,
+    )
+    _merge_artifact({
+        "variants": {
+            f"backend_{name}": result.to_json()
+            for name, result in results.items()
+        },
+    })
+    for name in ("reference", "tuned"):
+        result = results[name]
+        assert result.state_arena
+        assert result.backend == name
+        # Served-vs-solo determinism holds per backend — the serving
+        # stack's bar, independent of which kernels step it.
+        assert result.microbatch_max_abs_diff <= 1e-10
+        assert result.mean_batch_occupancy >= 8.0
+        assert result.admission_rejects == 0
+    # The tuned backend must never tax serving (conservative floor;
+    # its in-place panel sweep typically wins on this config).
+    assert (
+        results["tuned"].requests_per_sec
+        >= 0.95 * results["reference"].requests_per_sec
+    )
 
 
 def test_serve_load_artifact_schema_valid():

@@ -3,6 +3,8 @@
 * :mod:`repro.core.config` — architecture configuration and the three
   prototype presets (HiMA-baseline, HiMA-DNC, HiMA-DNC-D),
 * :mod:`repro.core.kernels` — the Table 1 kernel registry,
+* :mod:`repro.core.backend` — pluggable kernel backends for the hot
+  path (reference / tuned CPU / optional torch),
 * :mod:`repro.core.partition` — submatrix-wise partition traffic models
   (Eqs. 1-3) and optimizers,
 * :mod:`repro.core.mapping` — memory-to-tile placement,
@@ -14,6 +16,12 @@
 """
 
 from repro.core.config import HiMAConfig
+from repro.core.backend import (
+    KernelBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 from repro.core.kernels import KERNEL_REGISTRY, KernelSpec, table1_rows
 from repro.core.partition import (
     Partition,
@@ -33,6 +41,10 @@ from repro.core.metrics import EfficiencyMetrics, compare_designs
 
 __all__ = [
     "HiMAConfig",
+    "KernelBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
     "KERNEL_REGISTRY",
     "KernelSpec",
     "table1_rows",

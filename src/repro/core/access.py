@@ -177,9 +177,7 @@ class DenseAccess(AccessPolicy):
         ct = engine.memory_map.ct_node
         # Row-wise shards: normalization fully local; scores need one
         # global softmax -> tiles exchange (max, sum) psums with the CT.
-        key_unit = K.l2_normalize(interface.write_key)
-        mem_unit = K.l2_normalize(state.memory)
-        scores = (mem_unit @ key_unit[..., :, None])[..., 0]
+        scores = engine.backend.write_scores(state.memory, interface.write_key)
         for t in range(nt):
             log.add("similarity", t, ct, 2 * b)  # local max + local exp-sum
         content_w = engine._softmax(interface.write_strength * scores)
@@ -212,14 +210,14 @@ class DenseAccess(AccessPolicy):
             # Partial-occupancy dense masked step: advance only the
             # active slots, in place on the resident arrays — the
             # inactive N^2 rows are neither read nor written.
-            SK.fused_erase_write_linkage_inplace(
+            engine.backend.fused_erase_write_linkage_inplace(
                 state.memory, state.linkage, state.precedence,
                 write_w, interface.erase, interface.write_vector,
                 active=engine._fused_active, scratch=engine._masked_scratch,
             )
             return state.memory, state.linkage, state.precedence
         if cfg.fused_write_linkage:
-            return SK.fused_erase_write_linkage(
+            return engine.backend.fused_erase_write_linkage(
                 state.memory, state.linkage, state.precedence,
                 write_w, interface.erase, interface.write_vector,
                 workspace=engine._active_workspace,
@@ -235,8 +233,7 @@ class DenseAccess(AccessPolicy):
         nt = engine.config.num_tiles
         ct = engine.memory_map.ct_node
         r = engine.config.num_reads
-        rkey_unit = K.l2_normalize(interface.read_keys)
-        rscores = rkey_unit @ np.swapaxes(K.l2_normalize(memory), -1, -2)
+        rscores = engine.backend.read_scores(memory, interface.read_keys)
         for t in range(nt):
             log.add("similarity", t, ct, 2 * b * r)
         content_r = engine._softmax(
@@ -314,9 +311,7 @@ class SparseAccess(AccessPolicy):
         ct = engine.memory_map.ct_node
         # The similarity scan stays a dense O(N·W) matmul (it is BLAS
         # bound, not the hot term); sparsity enters at the softmax.
-        key_unit = K.l2_normalize(interface.write_key)
-        mem_unit = K.l2_normalize(state.memory)
-        scores = (mem_unit @ key_unit[..., :, None])[..., 0]
+        scores = engine.backend.write_scores(state.memory, interface.write_key)
         for t in range(nt):
             log.add("similarity", t, ct, 2 * b)
         scaled = interface.write_strength * scores
@@ -370,7 +365,7 @@ class SparseAccess(AccessPolicy):
             # Masked dense step: advance the active slots in place on
             # the resident arrays, touching only the written rows of
             # the O(N^2) fields.
-            SK.sparse_erase_write_linkage_inplace(
+            engine.backend.sparse_erase_write_linkage_inplace(
                 state.memory, state.linkage, state.precedence,
                 write_w, interface.erase, interface.write_vector,
                 active=engine._fused_active,
@@ -378,7 +373,7 @@ class SparseAccess(AccessPolicy):
             return state.memory, state.linkage, state.precedence
         # Plain (caller-owned state) step: same arithmetic on copies —
         # the bitwise plain-vs-masked consistency the serving bar needs.
-        return SK.sparse_erase_write_linkage(
+        return engine.backend.sparse_erase_write_linkage(
             state.memory, state.linkage, state.precedence,
             write_w, interface.erase, interface.write_vector,
         )
@@ -388,8 +383,7 @@ class SparseAccess(AccessPolicy):
         nt = engine.config.num_tiles
         ct = engine.memory_map.ct_node
         r = engine.config.num_reads
-        rkey_unit = K.l2_normalize(interface.read_keys)
-        rscores = rkey_unit @ np.swapaxes(K.l2_normalize(memory), -1, -2)
+        rscores = engine.backend.read_scores(memory, interface.read_keys)
         for t in range(nt):
             log.add("similarity", t, ct, 2 * b * r)
         scaled = interface.read_strengths[..., None] * rscores

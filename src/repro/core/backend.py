@@ -1,0 +1,626 @@
+"""Pluggable kernel backends for the engine's bandwidth-bound hot path.
+
+The O(N^2) erase/write/linkage phase and the content-addressing matmuls
+dominate step time exactly where production configs live (N >= 256,
+float64) — the numpy-on-CPU reference path saturates memory bandwidth
+there, not arithmetic.  This module puts a seam under
+:mod:`repro.core.kernels`: a :class:`KernelBackend` owns the hot-path
+kernels (fused write phase, sparse write phase, content scores, batched
+argsort), the engine constructs one per instance from
+``HiMAConfig(backend=...)``, and every access policy / masked serving
+path dispatches through it.
+
+Three backends ship:
+
+* ``reference`` — the verbatim numpy path.  Every method delegates to
+  the exact pre-seam code, so all existing bitwise / <=1e-10 bars keep
+  holding unchanged.
+* ``tuned`` — a pure-numpy CPU backend that wins on bandwidth-bound
+  configs while staying **bitwise identical** to ``reference``: the
+  linkage update is cache-blocked over row panels (one read + one write
+  DRAM sweep of the N^2 field instead of ~4), temporaries are resident
+  per-backend scratch instead of fresh allocations, and content
+  addressing routes through ``out=``.  Bitwise equality is by
+  construction: every per-cell ufunc sequence is the reference one
+  (IEEE-754 multiplication and addition are commutative for finite
+  floats, so ``a *= b`` reproduces ``multiply(b, a)`` exactly), and
+  block boundaries never move a reduction.
+* ``torch`` — optional (``pip install repro-hima[torch]``), registered
+  lazily when torch is importable; see
+  :mod:`repro.core.backend_torch`.  Runs CPU or CUDA and brings up the
+  reduced-precision dtypes (``float16``/``bfloat16``) under the
+  existing dtype policy.
+
+Backend instances are **per-engine** (scratch buffers are not shared
+across the sharded serving stack's thread pools); ``make_backend``
+returns a fresh instance every call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core import kernels as SK
+from repro.dnc import numpy_ref as K
+from repro.errors import ConfigError
+
+try:  # Optional accelerant: BLAS rank-1 update for the tuned linkage
+    from scipy.linalg import blas as _scipy_blas  # sweep.  Without scipy
+except ImportError:  # the tuned backend falls back to the two-pass
+    _scipy_blas = None  # multiply-plus-add form (same blocking, same math).
+
+#: BLAS ``?ger`` routines by dtype for the tuned backend's rank-1
+#: linkage accumulation.  Only the exact-match single/double routines
+#: are used — ``get_blas_funcs`` would silently upcast other dtypes
+#: through a copy, defeating the in-place update.
+_GER = {}
+if _scipy_blas is not None:
+    _GER = {"<f4": _scipy_blas.sger, "<f8": _scipy_blas.dger}
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "KernelBackend",
+    "ReferenceBackend",
+    "TunedBackend",
+    "available_backends",
+    "check_backend_name",
+    "make_backend",
+    "register_backend",
+]
+
+#: Built-in backend names, in documentation order.  ``torch`` is only
+#: *constructible* when torch is importable, but the name is always
+#: valid in ``HiMAConfig`` so configs can be built and serialized on
+#: machines without the extra installed.
+BACKEND_CHOICES = ("reference", "tuned", "torch")
+
+
+class KernelBackend:
+    """Hot-path kernel set behind the engine's write/content phases.
+
+    Subclasses override the kernel methods; the contracts (shapes,
+    ufunc-order bitwise guarantees, ``active``/``workspace``/``scratch``
+    semantics) are those of the :mod:`repro.core.kernels` functions each
+    method shadows.  The base class supplies the numpy batched argsort
+    every CPU backend shares.
+    """
+
+    #: Registry name; set by subclasses.
+    name = "abstract"
+    #: Dtype-policy names this backend can compute under.
+    supported_dtypes: Tuple[str, ...] = ("float64", "float32")
+
+    # -- content addressing ------------------------------------------------
+    def write_scores(self, memory: np.ndarray, write_key: np.ndarray) -> np.ndarray:
+        """Raw cosine scores ``(..., N)`` of one write key against memory."""
+        raise NotImplementedError
+
+    def read_scores(self, memory: np.ndarray, read_keys: np.ndarray) -> np.ndarray:
+        """Raw cosine scores ``(..., R, N)`` of the read keys against memory."""
+        raise NotImplementedError
+
+    def stacked_write_scores(
+        self, local_mem: np.ndarray, write_key: np.ndarray
+    ) -> np.ndarray:
+        """Per-tile write scores ``(..., Nt, n)`` for the stacked DNC-D path."""
+        raise NotImplementedError
+
+    def stacked_read_scores(
+        self, local_mem: np.ndarray, read_keys: np.ndarray
+    ) -> np.ndarray:
+        """Per-tile read scores ``(..., Nt, R, n)`` for the stacked DNC-D path."""
+        raise NotImplementedError
+
+    # -- batched sorter ----------------------------------------------------
+    def argsort(self, values: np.ndarray) -> np.ndarray:
+        """Stable ascending argsort along the last axis."""
+        return np.argsort(values, axis=-1, kind="stable")
+
+    # -- fused dense write phase -------------------------------------------
+    def fused_erase_write_linkage(
+        self,
+        memory: np.ndarray,
+        linkage: np.ndarray,
+        precedence: np.ndarray,
+        write_w: np.ndarray,
+        erase: np.ndarray,
+        value: np.ndarray,
+        active: Optional[np.ndarray] = None,
+        workspace: Optional[SK.FusedWriteWorkspace] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def fused_erase_write_linkage_inplace(
+        self,
+        memory: np.ndarray,
+        linkage: np.ndarray,
+        precedence: np.ndarray,
+        write_w: np.ndarray,
+        erase: np.ndarray,
+        value: np.ndarray,
+        active: np.ndarray,
+        scratch: Optional[Dict] = None,
+    ) -> None:
+        raise NotImplementedError
+
+    # -- sparse write phase ------------------------------------------------
+    def sparse_erase_write_linkage(
+        self,
+        memory: np.ndarray,
+        linkage: np.ndarray,
+        precedence: np.ndarray,
+        write_w: np.ndarray,
+        erase: np.ndarray,
+        value: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Delegates to the reference sparse kernel (already O(K·N))."""
+        return SK.sparse_erase_write_linkage(
+            memory, linkage, precedence, write_w, erase, value
+        )
+
+    def sparse_erase_write_linkage_inplace(
+        self,
+        memory: np.ndarray,
+        linkage: np.ndarray,
+        precedence: np.ndarray,
+        write_w: np.ndarray,
+        erase: np.ndarray,
+        value: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> None:
+        SK.sparse_erase_write_linkage_inplace(
+            memory, linkage, precedence, write_w, erase, value, active=active
+        )
+
+
+class ReferenceBackend(KernelBackend):
+    """The verbatim pre-seam numpy path.
+
+    Every method body is the exact code that lived inline in
+    ``DenseAccess``/``SparseAccess``/``TiledEngine._step_distributed``
+    before the backend layer, so dense and sparse trajectories are
+    bitwise-identical to the pre-refactor engine.
+    """
+
+    name = "reference"
+
+    def write_scores(self, memory, write_key):
+        key_unit = K.l2_normalize(write_key)
+        mem_unit = K.l2_normalize(memory)
+        return (mem_unit @ key_unit[..., :, None])[..., 0]
+
+    def read_scores(self, memory, read_keys):
+        rkey_unit = K.l2_normalize(read_keys)
+        return rkey_unit @ np.swapaxes(K.l2_normalize(memory), -1, -2)
+
+    def stacked_write_scores(self, local_mem, write_key):
+        key_unit = K.l2_normalize(write_key)
+        return SK.stacked_key_scores(K.l2_normalize(local_mem), key_unit)
+
+    def stacked_read_scores(self, local_mem, read_keys):
+        rkey_unit = K.l2_normalize(read_keys)
+        return SK.stacked_read_scores(rkey_unit, K.l2_normalize(local_mem))
+
+    def fused_erase_write_linkage(
+        self, memory, linkage, precedence, write_w, erase, value,
+        active=None, workspace=None,
+    ):
+        return SK.fused_erase_write_linkage(
+            memory, linkage, precedence, write_w, erase, value,
+            active=active, workspace=workspace,
+        )
+
+    def fused_erase_write_linkage_inplace(
+        self, memory, linkage, precedence, write_w, erase, value,
+        active, scratch=None,
+    ):
+        SK.fused_erase_write_linkage_inplace(
+            memory, linkage, precedence, write_w, erase, value,
+            active=active, scratch=scratch,
+        )
+
+
+class TunedBackend(ReferenceBackend):
+    """Cache-blocked, scratch-resident CPU backend; bitwise == reference.
+
+    Where the win comes from on bandwidth-bound configs (N >= 256, the
+    whole write-phase working set past L3):
+
+    * the linkage update streams the N^2 field once in row panels sized
+      to stay cache-resident — the reference path sweeps it from DRAM
+      ~4x (materialize, multiply, add, plus the ``w x p`` outer-product
+      temporary) while the blocked pass reads each linkage panel once
+      and writes each output panel once, with both small temporaries
+      hot in cache;
+    * the ``w_i * p_j`` rank-1 accumulation rides a single BLAS
+      ``?ger`` sweep over each hot panel instead of the reference's
+      multiply-into-scratch plus add — one FMA pass, no outer-product
+      temporary, and on compute-throttled hosts one fewer elementwise
+      kernel launch per panel;
+    * the masked in-place path drops the two full N^2 scratch buffers
+      and the copy-back entirely: panels of the resident linkage are
+      updated where they live;
+    * the memory-rows update routes through ``out=`` into per-backend
+      resident scratch, so steady-state steps allocate nothing
+      O(N^2)-shaped;
+    * below :attr:`min_blocked_n` rows the whole write phase delegates
+      to the reference kernels — panel bookkeeping costs more than it
+      saves once the working set fits L2, and a tuned backend that
+      loses on the small-N base config is not tuned.
+
+    Content addressing factors the memory row norms out of the cosine
+    dot product (see the note above the score methods): the matmul runs
+    on raw memory and the small score panel is rescaled, instead of
+    materializing a full unit-normalized copy of memory per call.
+    The stacked DNC-D score paths stay on the inherited reference
+    arithmetic — distributed tiles are small enough that the factored
+    form has nothing to amortize.
+
+    Numerics: the memory and precedence updates see the reference ufunc
+    sequence exactly (in-place forms lean on IEEE-754 multiply/add
+    commutativity; the only reduction, ``write_w.sum``, is taken
+    unblocked), so those fields stay bitwise on the reference.  The
+    linkage field's ``?ger`` accumulation rounds once per element where
+    the reference rounds twice (multiply, then add), an ulp-scale
+    per-step difference bounded by ``VERIFY_TOLERANCES`` for every
+    supported dtype — trajectory-level equivalence is pinned in
+    ``tests/test_backends.py``.  Panel boundaries are numerically
+    irrelevant (every update is row-elementwise).
+    """
+
+    name = "tuned"
+
+    #: Target bytes per streamed linkage panel (input panel, output
+    #: panel, and per-panel temporary each get roughly this much, so the
+    #: blocked working set is ~3x this).  Chosen to sit comfortably
+    #: inside a per-core L2.
+    panel_bytes = 1 << 18
+
+    #: Below this many memory rows the write phase delegates to the
+    #: reference kernels: the N^2 field already fits in cache and the
+    #: panel/scratch bookkeeping is pure overhead there.
+    min_blocked_n = 128
+
+    def __init__(self):
+        self._scratch: Dict[Tuple, np.ndarray] = {}
+
+    def _buf(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        key = (tag, shape, np.dtype(dtype).str)
+        held = self._scratch.get(key)
+        if held is None:
+            held = np.empty(shape, dtype=dtype)
+            self._scratch[key] = held
+        return held
+
+    def _panel_rows(self, linkage: np.ndarray) -> int:
+        """Rows per linkage panel so one panel ~ :attr:`panel_bytes`."""
+        n = linkage.shape[-1]
+        lead = 1
+        for dim in linkage.shape[:-2]:
+            lead *= dim
+        row_bytes = max(1, lead * n * linkage.dtype.itemsize)
+        return max(1, min(n, self.panel_bytes // row_bytes))
+
+    # -- content addressing ------------------------------------------------
+    # Factored cosine scores: the reference materializes a full
+    # unit-normalized copy of memory (an N*W write plus an N*W divide)
+    # per addressing call; algebraically the row norms factor out of the
+    # dot product, so the tuned form runs the matmul on raw memory and
+    # rescales the (H, N) score panel by ``1/sqrt(|m_i|^2 + eps)`` —
+    # same epsilon-floored math, O(H*N) divisions instead of O(N*W),
+    # and no full-size normalized temporary.  (An ``out=``-routed
+    # variant of the *reference* arithmetic was also A/B'd and measured
+    # slower — BLAS picks a better path when it owns the output; the
+    # win here is doing less work, not routing the same work.)
+
+    def write_scores(self, memory, write_key):
+        key_unit = K.l2_normalize(write_key)
+        sq = np.einsum("...nw,...nw->...n", memory, memory)
+        scores = (memory @ key_unit[..., :, None])[..., 0]
+        scores /= np.sqrt(sq + K._NORM_EPSILON)
+        return scores
+
+    def read_scores(self, memory, read_keys):
+        rkey_unit = K.l2_normalize(read_keys)
+        sq = np.einsum("...nw,...nw->...n", memory, memory)
+        scores = rkey_unit @ np.swapaxes(memory, -1, -2)
+        scores /= np.sqrt(sq + K._NORM_EPSILON)[..., None, :]
+        return scores
+
+    # -- fused dense write phase -------------------------------------------
+    def _linkage_panels(
+        self,
+        linkage_in: np.ndarray,
+        out: np.ndarray,
+        w_col: np.ndarray,
+        write_w: np.ndarray,
+        precedence: np.ndarray,
+        inplace: bool,
+    ) -> None:
+        """Blocked ``((1 - w_i) - w_j) * L + w_i * p_j`` with zeroed diagonal.
+
+        ``out`` may be ``linkage_in`` itself (``inplace=True``) — each
+        panel's old values are fully consumed by the multiply before
+        they are overwritten.
+        """
+        n = write_w.shape[-1]
+        if (
+            linkage_in.flags.c_contiguous
+            and out.flags.c_contiguous
+            and write_w.flags.c_contiguous
+            and precedence.flags.c_contiguous
+        ):
+            # Contiguous fast path: stream each lead element's (n, n)
+            # matrix through contiguous row panels.  Strided cross-lead
+            # slabs measure ~25% slower on the same sweep.
+            lin3 = linkage_in.reshape((-1, n, n))
+            out3 = out.reshape((-1, n, n))
+            w2 = write_w.reshape((-1, n))
+            p2 = precedence.reshape((-1, n))
+            rows_per = max(
+                1,
+                min(n, self.panel_bytes // max(1, n * linkage_in.dtype.itemsize)),
+            )
+            tmp = self._buf("fused.lpanel", (rows_per, n), linkage_in.dtype)
+            ger = _GER.get(linkage_in.dtype.str)
+            diag = np.arange(n)
+            for b in range(lin3.shape[0]):
+                lin_b, out_b = lin3[b], out3[b]
+                wc = w2[b][:, None]
+                w_row_b = w2[b][None, :]
+                p_row_b = p2[b][None, :]
+                omw_b = 1.0 - wc
+                for r0 in range(0, n, rows_per):
+                    r1 = min(n, r0 + rows_per)
+                    t = tmp[: r1 - r0]
+                    np.subtract(omw_b[r0:r1], w_row_b, out=t)
+                    panel = out_b[r0:r1]
+                    if inplace:
+                        np.multiply(panel, t, out=panel)
+                    else:
+                        np.multiply(t, lin_b[r0:r1], out=panel)
+                    if ger is not None:
+                        # panel += w_i * p_j as one BLAS rank-1 pass:
+                        # panel.T is F-contiguous (panel is a row slice
+                        # of a C matrix), so ?ger updates it in place,
+                        # fusing the reference's multiply-into-scratch
+                        # and add sweeps into a single FMA sweep with
+                        # one rounding per element.
+                        ger(1.0, p2[b], w2[b][r0:r1], a=panel.T,
+                            overwrite_a=1)
+                    else:
+                        np.multiply(wc[r0:r1], p_row_b, out=t)
+                        panel += t
+                out_b[diag, diag] = 0.0
+            return
+        w_row = write_w[..., None, :]
+        p_row = precedence[..., None, :]
+        omw = 1.0 - w_col
+        rows_per = self._panel_rows(linkage_in)
+        tmp = self._buf(
+            "fused.ltmp", linkage_in.shape[:-2] + (rows_per, n), linkage_in.dtype
+        )
+        for r0 in range(0, n, rows_per):
+            r1 = min(n, r0 + rows_per)
+            rows = r1 - r0
+            t = tmp[..., :rows, :]
+            np.subtract(omw[..., r0:r1, :], w_row, out=t)
+            panel = out[..., r0:r1, :]
+            if inplace:
+                # multiply(panel, t) == reference multiply(t, panel):
+                # IEEE-754 multiplication is commutative bit-for-bit.
+                np.multiply(panel, t, out=panel)
+            else:
+                np.multiply(t, linkage_in[..., r0:r1, :], out=panel)
+            np.multiply(w_col[..., r0:r1, :], p_row, out=t)
+            panel += t
+            panel[..., np.arange(rows), np.arange(r0, r1)] = 0.0
+
+    def fused_erase_write_linkage(
+        self, memory, linkage, precedence, write_w, erase, value,
+        active=None, workspace=None,
+    ):
+        if write_w.shape[-1] < self.min_blocked_n:
+            return super().fused_erase_write_linkage(
+                memory, linkage, precedence, write_w, erase, value,
+                active=active, workspace=workspace,
+            )
+        if active is not None:
+            # Masked variant: gather the active slots, run the plain
+            # kernel, scatter into copies — the reference structure.
+            if memory.ndim < 3:
+                raise ValueError(
+                    "fused_erase_write_linkage(active=...) needs a leading "
+                    f"batch axis; got memory of shape {memory.shape}"
+                )
+            idx = np.asarray(active)
+            if idx.dtype == np.bool_:
+                idx = np.flatnonzero(idx)
+            out_memory = memory.copy()
+            out_linkage = linkage.copy()
+            out_precedence = precedence.copy()
+            if idx.size:
+                erase_b = np.broadcast_to(
+                    erase, write_w.shape[:-1] + erase.shape[-1:]
+                )
+                value_b = np.broadcast_to(
+                    value, write_w.shape[:-1] + value.shape[-1:]
+                )
+                sub = self.fused_erase_write_linkage(
+                    memory[idx], linkage[idx], precedence[idx],
+                    write_w[idx], erase_b[idx], value_b[idx],
+                )
+                out_memory[idx], out_linkage[idx], out_precedence[idx] = sub
+            return out_memory, out_linkage, out_precedence
+
+        w_col = write_w[..., :, None]
+        if workspace is None:
+            # Outputs become caller-owned state arrays: they must be
+            # fresh, never backend scratch.
+            new_memory = np.empty_like(memory)
+            new_linkage = np.empty_like(linkage)
+            new_precedence = np.empty_like(precedence)
+        else:
+            new_memory = workspace._get("memory", memory)
+            new_linkage = workspace._get("linkage", linkage)
+            new_precedence = workspace._get("precedence", precedence)
+            if (new_memory is memory or new_linkage is linkage
+                    or new_precedence is precedence):
+                raise ValueError(
+                    "workspace output buffer aliases its input; a caller "
+                    "recycled the arrays of the state it is about to step"
+                )
+
+        # Memory rows: m * (1 - w x e) + w x v, reference ufunc order;
+        # the value term lands in resident scratch instead of a fresh
+        # (..., N, W) temporary.
+        np.multiply(w_col, erase[..., None, :], out=new_memory)
+        np.subtract(1.0, new_memory, out=new_memory)
+        new_memory *= memory
+        mem_term = self._buf("fused.mterm", memory.shape, memory.dtype)
+        np.multiply(w_col, value[..., None, :], out=mem_term)
+        new_memory += mem_term
+
+        self._linkage_panels(
+            linkage, new_linkage, w_col, write_w, precedence, inplace=False
+        )
+
+        # Precedence: (1 - sum w) * p + w, from the previous precedence.
+        wsum = write_w.sum(axis=-1, keepdims=True)
+        np.subtract(1.0, wsum, out=wsum)
+        np.multiply(wsum, precedence, out=new_precedence)
+        new_precedence += write_w
+        return new_memory, new_linkage, new_precedence
+
+    def fused_erase_write_linkage_inplace(
+        self, memory, linkage, precedence, write_w, erase, value,
+        active, scratch=None,
+    ):
+        # ``scratch`` is accepted for interface parity but unused: the
+        # backend's own buffers replace the caller-held dict, and the
+        # two N^2 scratch arrays the reference kernel needs do not exist
+        # here at all.
+        if write_w.shape[-1] < self.min_blocked_n:
+            return super().fused_erase_write_linkage_inplace(
+                memory, linkage, precedence, write_w, erase, value,
+                active=active, scratch=scratch,
+            )
+        if memory.ndim < 3:
+            raise ValueError(
+                "fused_erase_write_linkage_inplace needs a leading batch "
+                f"axis; got memory of shape {memory.shape}"
+            )
+        idx = np.asarray(active)
+        if idx.dtype == np.bool_:
+            idx = np.flatnonzero(idx)
+        if idx.size == 0:
+            return
+        erase_b = np.broadcast_to(erase, write_w.shape[:-1] + erase.shape[-1:])
+        value_b = np.broadcast_to(value, write_w.shape[:-1] + value.shape[-1:])
+        mw = self._buf("fused.mw", memory.shape[-2:], memory.dtype)
+        for s in idx:
+            m, link, p, w = memory[s], linkage[s], precedence[s], write_w[s]
+            w_col = w[:, None]
+            # Memory rows in place: (1 - w x e) is consumed by the
+            # multiply before m is overwritten, and m *= mw reproduces
+            # the reference multiply(mw, m) bit-for-bit.
+            np.multiply(w_col, erase_b[s][None, :], out=mw)
+            np.subtract(1.0, mw, out=mw)
+            np.multiply(m, mw, out=m)
+            np.multiply(w_col, value_b[s][None, :], out=mw)
+            m += mw
+            # Linkage panels updated where they live — no N^2 scratch,
+            # no copy-back.
+            self._linkage_panels(link, link, w_col, w, p, inplace=True)
+            # Precedence reads old p; the panels above consumed it, so
+            # it may now be overwritten: (1 - sum w) * p + w.
+            np.multiply(1.0 - w.sum(), p, out=p)
+            p += w
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+BackendFactory = Callable[..., KernelBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register ``factory(config) -> KernelBackend`` under ``name``."""
+    _REGISTRY[name] = factory
+
+
+register_backend("reference", lambda config: ReferenceBackend())
+register_backend("tuned", lambda config: TunedBackend())
+
+_torch_probe_done = False
+
+
+def _ensure_torch_registered() -> None:
+    """Import the torch backend module once, if torch is importable.
+
+    The module self-registers on import; an ImportError leaves the
+    registry without ``torch`` and :func:`make_backend` reports the
+    missing extra.
+    """
+    global _torch_probe_done
+    if _torch_probe_done or "torch" in _REGISTRY:
+        return
+    _torch_probe_done = True
+    try:
+        from repro.core import backend_torch  # noqa: F401
+    except ImportError:
+        pass
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names constructible right now (``torch`` only when importable)."""
+    _ensure_torch_registered()
+    return tuple(sorted(_REGISTRY))
+
+
+def check_backend_name(name: str) -> None:
+    """Validate a config-level backend name; raises :class:`ConfigError`.
+
+    ``torch`` passes even when torch is not installed — the name is
+    legal, construction is what requires the extra — so configs remain
+    buildable everywhere.  Third-party names pass once registered.
+    """
+    if name in BACKEND_CHOICES or name in _REGISTRY:
+        return
+    raise ConfigError(
+        f"backend must be one of {BACKEND_CHOICES} (or a name registered "
+        f"via repro.core.backend.register_backend), got {name!r}"
+    )
+
+
+def make_backend(config) -> KernelBackend:
+    """Construct a fresh backend instance for one engine.
+
+    Raises :class:`ConfigError` when the name is unknown, when
+    ``torch`` is requested without torch installed, or when the
+    backend cannot compute under ``config.dtype``.
+    """
+    name = config.backend
+    if name == "torch":
+        _ensure_torch_registered()
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        if name == "torch":
+            raise ConfigError(
+                "backend 'torch' requires torch, which is not importable; "
+                "install the extra: pip install 'repro-hima[torch]'"
+            )
+        check_backend_name(name)  # raises for unknown names
+        raise ConfigError(f"backend {name!r} is not registered")
+    backend = factory(config)
+    if config.dtype not in backend.supported_dtypes:
+        raise ConfigError(
+            f"backend {name!r} supports dtypes {backend.supported_dtypes}, "
+            f"got dtype {config.dtype!r}"
+        )
+    return backend

@@ -13,6 +13,7 @@ The three named prototypes of the paper's evaluation:
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
@@ -21,6 +22,9 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.utils.validation import (
     DTYPE_CHOICES,
+    EXTENDED_DTYPE_CHOICES,
+    REDUCED_DTYPE_CHOICES,
+    STORAGE_DTYPES,
     check_in,
     check_probability,
     check_positive,
@@ -97,6 +101,19 @@ class HiMAConfig:
     sequence_length: int = 8  # timesteps per inference "test"
     dtype: str = "float64"  # engine-wide numeric policy (see DTYPE_CHOICES)
 
+    #: Kernel backend for the hot path (see :mod:`repro.core.backend`):
+    #: ``"reference"`` is the verbatim numpy path, ``"tuned"`` the
+    #: cache-blocked CPU backend (within ``VERIFY_TOLERANCES`` of the
+    #: reference, faster at large N), ``"torch"`` the optional torch
+    #: backend (CPU or CUDA; requires ``pip install repro-hima[torch]``).
+    #: The reduced-precision dtypes (``float16``/``bfloat16``) require
+    #: the torch backend.  The default honours the ``REPRO_BACKEND``
+    #: environment variable (CI runs whole suites under the tuned
+    #: backend this way); explicit ``backend=`` always wins.
+    backend: str = field(
+        default_factory=lambda: os.environ.get("REPRO_BACKEND", "reference")
+    )
+
     def __post_init__(self):
         check_positive("memory_size", self.memory_size)
         check_positive("word_size", self.word_size)
@@ -134,7 +151,20 @@ class HiMAConfig:
         check_positive("macs_per_cycle", self.macs_per_cycle)
         check_positive("link_words_per_cycle", self.link_words_per_cycle)
         check_positive("sequence_length", self.sequence_length)
-        check_in("dtype", self.dtype, DTYPE_CHOICES)
+        check_in("dtype", self.dtype, EXTENDED_DTYPE_CHOICES)
+        # Deferred import: backend.py imports kernels.py which imports
+        # this module; by the time a config is *constructed* all three
+        # are fully loaded.
+        from repro.core.backend import check_backend_name
+
+        check_backend_name(self.backend)
+        if self.dtype in REDUCED_DTYPE_CHOICES and self.backend != "torch":
+            raise ConfigError(
+                f"dtype {self.dtype!r} is a reduced-precision compute dtype "
+                f"and requires backend='torch' (numpy stores it as "
+                f"{STORAGE_DTYPES[self.dtype]!r} but cannot compute in it); "
+                f"install the extra: pip install 'repro-hima[torch]'"
+            )
         if self.memory_size % self.num_tiles != 0:
             raise ConfigError(
                 f"memory_size ({self.memory_size}) must be divisible by "
@@ -148,8 +178,14 @@ class HiMAConfig:
     # ------------------------------------------------------------------
     @property
     def np_dtype(self) -> np.dtype:
-        """The numpy dtype every engine state/weight buffer uses."""
-        return np.dtype(self.dtype)
+        """The numpy *storage* dtype every engine state/weight buffer uses.
+
+        For the reduced-precision compute dtypes (``float16``,
+        ``bfloat16``) this is ``float32`` — numpy state stays float32
+        while the torch backend computes the hot path in the true half
+        precision (see ``repro.utils.validation.STORAGE_DTYPES``).
+        """
+        return np.dtype(STORAGE_DTYPES[self.dtype])
 
     @property
     def local_rows(self) -> int:

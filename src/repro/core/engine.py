@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core import kernels as SK  # stacked shard kernels
 from repro.core.access import make_access_policy
+from repro.core.backend import make_backend
 from repro.core.config import HiMAConfig
 from repro.core.mapping import MemoryMap
 from repro.dnc import numpy_ref as K  # the shared numpy kernels
@@ -230,6 +231,11 @@ class TiledEngine:
         #: the step (see :mod:`repro.core.access`): dense is the paper's
         #: verbatim path, sparse is top-K addressing at O(K·N)/step.
         self.access = make_access_policy(config)
+        #: The kernel backend owning the hot path (fused write phase,
+        #: content scores, batched argsort); per-engine instance — tuned
+        #: backends hold scratch that must not be shared across the
+        #: sharded serving stack's threads (see :mod:`repro.core.backend`).
+        self.backend = make_backend(config)
         # Resident buffers for the fused write kernel, used only inside
         # masked steps where this engine controls the output arrays'
         # lifecycle (see _step_masked); plain steps return caller-owned
@@ -514,8 +520,30 @@ class TiledEngine:
             (steps, batch, self.reference.config.output_size),
             dtype=self.config.np_dtype,
         )
-        for t in range(steps):
-            outputs[t], state = self.step(inputs[t], state)
+        # Intermediate states are engine-private here (the loop drops
+        # each one), so the fused write may ping-pong the resident
+        # workspace instead of allocating fresh O(N^2) outputs every
+        # step.  Values are bitwise-unchanged — only the destination
+        # buffers differ.  Public step() callers keep fresh outputs:
+        # they may retain states arbitrarily (checkpoints, arenas).
+        use_workspace = (
+            self.config.fused_write_linkage
+            and not self.config.distributed
+            and self.config.access_policy == "dense"
+        )
+        try:
+            for t in range(steps):
+                if use_workspace:
+                    self._active_workspace = self._fused_workspace
+                old = state
+                outputs[t], state = self.step(inputs[t], state)
+                if use_workspace:
+                    self._active_workspace = None
+                    self._fused_workspace.recycle(
+                        old.memory, old.linkage, old.precedence
+                    )
+        finally:
+            self._active_workspace = None
         return outputs
 
     # ------------------------------------------------------------------
@@ -709,7 +737,7 @@ class TiledEngine:
             _, order = self.sorter.sort(usage)
             per_tile = n_local
         else:
-            order = np.argsort(usage, axis=-1, kind="stable")
+            order = self.backend.argsort(usage)
             per_tile = n_local
         for t in range(cfg.num_tiles):
             log.add("usage_sort", t, ct, b * per_tile)  # (sorted) shard to CT
@@ -776,8 +804,9 @@ class TiledEngine:
         def gate(g):
             return g[..., None] if isinstance(g, np.ndarray) else g
 
-        key_unit = K.l2_normalize(interface.write_key)
-        scores = SK.stacked_key_scores(K.l2_normalize(local_mem), key_unit)
+        scores = self.backend.stacked_write_scores(
+            local_mem, interface.write_key
+        )
         content_w = self._softmax(gate(interface.write_strength) * scores)
 
         psi = K.retention(interface.free_gates[..., None, :], local_read_prev)
@@ -785,7 +814,7 @@ class TiledEngine:
         if cfg.skim_fraction > 0.0:
             order = skimmed_sort_order(local_usage, cfg.skim_fraction)
         else:
-            order = np.argsort(local_usage, axis=-1, kind="stable")
+            order = self.backend.argsort(local_usage)
         alloc = K.allocation_from_order(local_usage, order)
         local_write_w = K.write_weight_merge(
             content_w, alloc,
@@ -800,7 +829,9 @@ class TiledEngine:
                 local_mem_in = self._dncd_stage("mem_in", local_mem)
                 local_link_in = self._dncd_stage("link_in", local_link_prev)
                 local_prec_in = self._dncd_stage("prec_in", local_prec_prev)
-            local_new_mem, local_link, local_prec = SK.fused_erase_write_linkage(
+            local_new_mem, local_link, local_prec = (
+                self.backend.fused_erase_write_linkage
+            )(
                 local_mem_in, local_link_in, local_prec_in, local_write_w,
                 interface.erase[..., None, :],
                 interface.write_vector[..., None, :],
@@ -817,9 +848,8 @@ class TiledEngine:
             )
             local_prec = K.precedence_update(local_prec_prev, local_write_w)
 
-        rkey_unit = K.l2_normalize(interface.read_keys)
-        local_rscores = SK.stacked_read_scores(
-            rkey_unit, K.l2_normalize(local_new_mem)
+        local_rscores = self.backend.stacked_read_scores(
+            local_new_mem, interface.read_keys
         )
         local_content_r = self._softmax(
             interface.read_strengths[..., None, :, None] * local_rscores, axis=-1
@@ -919,7 +949,18 @@ class TiledEngine:
     #: float64 keeps the historical 1e-9 bound; float32 accumulates
     #: rounding through the recurrent state, so the bound is loosened to
     #: what a few steps of ~1e-7 relative error can produce.
-    VERIFY_TOLERANCES = {"float64": 1e-9, "float32": 1e-3}
+    #: Per-dtype bars for :meth:`verify_against_reference`.  The
+    #: reduced-precision entries cover the torch backend computing the
+    #: hot path in true half precision against the float32-storage
+    #: reference model: ``bfloat16`` keeps 8 mantissa bits (~4e-3
+    #: relative per op) and ``float16`` 11 (~5e-4), amplified over the
+    #: recurrent verify trajectory.
+    VERIFY_TOLERANCES = {
+        "float64": 1e-9,
+        "float32": 1e-3,
+        "float16": 1e-1,
+        "bfloat16": 2.5e-1,
+    }
 
     def verify_against_reference(
         self,

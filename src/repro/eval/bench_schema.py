@@ -46,7 +46,7 @@ import pathlib
 import re
 from typing import Callable, Dict, List, Union
 
-from repro.utils.validation import DTYPE_CHOICES
+from repro.utils.validation import EXTENDED_DTYPE_CHOICES
 
 
 def merge_artifact(path: Union[str, pathlib.Path], update: Dict) -> None:
@@ -97,6 +97,7 @@ ENTRY_KEYS = (
     "skim_fraction",
     "fused_write_linkage",
     "masked_dense_min_occupancy",
+    "backend",
 )
 
 #: Variant entries the artifact must include: the sort-enabled hot paths,
@@ -104,7 +105,10 @@ ENTRY_KEYS = (
 #: write/linkage kernel A/B pair (fused single-sweep vs the three-pass
 #: legacy path, same config otherwise), and the partial-occupancy
 #: masked-step A/B (dense-capacity in-place write phase vs the compact
-#: gather path, same half-occupancy workload).
+#: gather path, same half-occupancy workload), and the kernel-backend
+#: A/B pair (reference vs tuned on the identical bandwidth-bound
+#: float64 N>=256 config; a ``backend_torch`` entry additionally
+#: appears when torch is importable but is never required).
 REQUIRED_VARIANTS = (
     "two_stage_sort",
     "skim",
@@ -114,6 +118,8 @@ REQUIRED_VARIANTS = (
     "unfused_write_linkage",
     "masked_dense_occupancy",
     "masked_gather_occupancy",
+    "backend_reference",
+    "backend_tuned",
 )
 
 
@@ -130,9 +136,17 @@ def _check_entry(
         if key not in entry:
             problems.append(f"{where}: missing key {key!r}")
     dtype = entry.get("dtype")
-    if "dtype" in entry and dtype not in DTYPE_CHOICES:
+    if "dtype" in entry and dtype not in EXTENDED_DTYPE_CHOICES:
         problems.append(
-            f"{where}: dtype must be one of {DTYPE_CHOICES}, got {dtype!r}"
+            f"{where}: dtype must be one of {EXTENDED_DTYPE_CHOICES}, "
+            f"got {dtype!r}"
+        )
+    backend = entry.get("backend")
+    if "backend" in entry and (
+        not isinstance(backend, str) or not backend
+    ):
+        problems.append(
+            f"{where}: backend must be a non-empty string, got {backend!r}"
         )
     for key in positive_keys:
         value = entry.get(key)
@@ -194,6 +208,16 @@ def validate_trajectory(data: object) -> List[str]:
             "variants['masked_gather_occupancy']: entry must have "
             "masked_dense_min_occupancy=1.0 (compact gather path forced)"
         )
+    for name, backend in (
+        ("backend_reference", "reference"),
+        ("backend_tuned", "tuned"),
+        ("backend_torch", "torch"),  # optional; checked only when present
+    ):
+        entry = variants.get(name)
+        if isinstance(entry, dict) and entry.get("backend") != backend:
+            problems.append(
+                f"variants[{name!r}]: entry must have backend={backend!r}"
+            )
     return problems
 
 
@@ -224,6 +248,7 @@ SERVE_ENTRY_KEYS = (
     "state_arena",
     "state_bytes_copied",
     "tracing",
+    "backend",
 )
 
 #: Variant entries the serve artifact must include: the resident
@@ -232,12 +257,16 @@ SERVE_ENTRY_KEYS = (
 #: throughput ratio (and in ``state_bytes_copied``) — plus the
 #: observability A/B (full tracing + per-phase profiling vs none, same
 #: workload), where the ``tracing_on`` entry is held to a <3% overhead
-#: floor by the obs-smoke bench.
+#: floor by the obs-smoke bench — plus the kernel-backend A/B pair
+#: (reference vs tuned serving the identical arena workload at the
+#: state-heavy N=384 config).
 SERVE_REQUIRED_VARIANTS = (
     "state_arena",
     "gather_scatter",
     "tracing_on",
     "tracing_off",
+    "backend_reference",
+    "backend_tuned",
 )
 
 _SERVE_POSITIVE = (
@@ -309,6 +338,16 @@ def validate_serve_load(data: object) -> List[str]:
         problems.append(
             "variants['tracing_off']: entry must have tracing=false"
         )
+    for name, backend in (
+        ("backend_reference", "reference"),
+        ("backend_tuned", "tuned"),
+        ("backend_torch", "torch"),  # optional; checked only when present
+    ):
+        entry = variants.get(name)
+        if isinstance(entry, dict) and entry.get("backend") != backend:
+            problems.append(
+                f"variants[{name!r}]: entry must have backend={backend!r}"
+            )
     return problems
 
 

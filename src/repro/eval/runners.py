@@ -81,6 +81,9 @@ class BatchedThroughput:
     #: the dense-capacity in-place path, 1.0 forces the compact gather
     #: path) — what the masked-occupancy A/B variants toggle.
     masked_dense_min_occupancy: float = 0.75
+    #: Kernel backend the measurement ran under (see
+    #: :mod:`repro.core.backend`) — what the backend A/B variants toggle.
+    backend: str = "reference"
 
     def to_json(self) -> Dict[str, object]:
         """One ``BENCH_batched_throughput.json`` trajectory entry.
@@ -166,7 +169,115 @@ def measure_batched_throughput(
         skim_fraction=config.skim_fraction,
         fused_write_linkage=config.fused_write_linkage,
         masked_dense_min_occupancy=config.masked_dense_min_occupancy,
+        backend=config.backend,
     )
+
+
+def measure_backend_ab(
+    config=None,
+    backends: Sequence[str] = ("reference", "tuned"),
+    batch_size: int = 16,
+    seq_len: int = 8,
+    repeats: int = 9,
+    rng: int = 0,
+) -> Dict[str, BatchedThroughput]:
+    """Interleaved A/B of kernel backends on one batched workload.
+
+    One engine per backend, all fed the identical ``(T, B, input)``
+    inputs.  Timing rounds are interleaved and the visit order is
+    re-shuffled every round from a seeded generator (the ``variants``
+    convention, hardened): timing one backend to completion and then
+    the next — or visiting them in any *fixed* alternation — lets
+    allocator/cache warm-up and background-load drift masquerade as a
+    backend difference, which at the >=1.25x floor this A/B gates
+    would be a real hazard.  Each backend keeps its best (minimum)
+    round, the standard noise-robust estimator on a shared machine.
+
+    The sequential baseline shared by every entry runs the *first*
+    backend (the control) on a **separate engine instance**, so
+    ``speedup_vs_seq`` ratios are comparable across entries without the
+    baseline's unbatched rounds re-warming the control contestant's
+    buffers between timed rounds (which would systematically favour the
+    control in the A/B itself).  Each backend's ``batch1_max_abs_diff``
+    compares its batch-of-1 run against that baseline engine's unbatched
+    run — expected exactly 0.0 for ``reference``, and bounded by the
+    dtype's ``VERIFY_TOLERANCES`` entry for ``tuned`` (single-rounding
+    BLAS rank-1 linkage accumulation) and ``torch``.
+    """
+    from repro.core.config import HiMAConfig
+    from repro.core.engine import TiledEngine
+
+    if config is None:
+        config = HiMAConfig(
+            memory_size=256, word_size=32, num_reads=2, num_tiles=8,
+            hidden_size=64, two_stage_sort=False,
+        )
+    engines = {
+        name: TiledEngine(config.with_features(backend=name), rng=rng)
+        for name in backends
+    }
+    control = backends[0]
+    # The sequential baseline gets its own engine (control backend) so
+    # its unbatched rounds never touch — and never re-warm — the
+    # control contestant's scratch between timed batched rounds.
+    seq_engine = TiledEngine(config.with_features(backend=control), rng=rng)
+    gen = np.random.default_rng(rng)
+    inputs = gen.standard_normal(
+        (seq_len, batch_size, seq_engine.reference.config.input_size)
+    ).astype(config.np_dtype)
+
+    # Full-workload warm-up: steady-state scratch, allocator arenas and
+    # caches all settle before any timed round.
+    for engine in engines.values():
+        engine.run_batch(inputs)
+        engine.traffic.clear()
+    seq_engine.run(inputs[:2, 0])
+    seq_engine.traffic.clear()
+
+    best = {name: float("inf") for name in backends}
+    sequential_time = float("inf")
+    names = list(backends) + ["__sequential__"]
+    order_rng = np.random.default_rng(rng + 0x5EED)
+    for round_index in range(max(1, repeats)):
+        order = list(names)
+        order_rng.shuffle(order)
+        for name in order:
+            start = time.perf_counter()
+            if name == "__sequential__":
+                for i in range(batch_size):
+                    seq_engine.run(inputs[:, i])
+                sequential_time = min(
+                    sequential_time, time.perf_counter() - start
+                )
+                seq_engine.traffic.clear()
+            else:
+                engines[name].run_batch(inputs)
+                best[name] = min(best[name], time.perf_counter() - start)
+                engines[name].traffic.clear()
+
+    single = seq_engine.run(inputs[:, 0])
+    seq_engine.traffic.clear()
+    total_steps = seq_len * batch_size
+    results: Dict[str, BatchedThroughput] = {}
+    for name in backends:
+        batch1 = engines[name].run_batch(inputs[:, :1])
+        engines[name].traffic.clear()
+        results[name] = BatchedThroughput(
+            batch_size=batch_size,
+            seq_len=seq_len,
+            steps_per_sec=total_steps / best[name],
+            sequential_steps_per_sec=total_steps / sequential_time,
+            speedup_vs_seq=sequential_time / best[name],
+            batch1_max_abs_diff=float(np.max(np.abs(batch1[:, 0] - single))),
+            dtype=config.dtype,
+            memory_size=config.memory_size,
+            two_stage_sort=config.two_stage_sort,
+            skim_fraction=config.skim_fraction,
+            fused_write_linkage=config.fused_write_linkage,
+            masked_dense_min_occupancy=config.masked_dense_min_occupancy,
+            backend=name,
+        )
+    return results
 
 
 def measure_masked_occupancy(
@@ -259,6 +370,7 @@ def measure_masked_occupancy(
         skim_fraction=config.skim_fraction,
         fused_write_linkage=config.fused_write_linkage,
         masked_dense_min_occupancy=config.masked_dense_min_occupancy,
+        backend=config.backend,
     )
 
 

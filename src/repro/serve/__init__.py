@@ -61,6 +61,7 @@ from repro.serve.loadgen import (
     large_n_sparse_config,
     measure_proc_serve,
     measure_serve_ab,
+    measure_serve_backend_ab,
     measure_serve_load,
     measure_serve_memory_sweep,
     measure_serve_tracing_ab,
@@ -102,6 +103,7 @@ __all__ = [
     "measure_proc_serve",
     "large_n_sparse_config",
     "measure_serve_ab",
+    "measure_serve_backend_ab",
     "measure_serve_load",
     "measure_serve_memory_sweep",
     "measure_serve_tracing_ab",

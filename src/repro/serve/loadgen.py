@@ -68,12 +68,13 @@ def timed_reps(
     setup/teardown (server construction, worker-process spawns) out of
     its critical section; wrap the critical section in
     :func:`timed_call` when the whole call should be timed.  Rounds are
-    interleaved and the visit order flips every round: on a busy box,
-    background load drifts over seconds, and timing one runner as a
-    block lets that drift (and allocator/cache warm-up) masquerade as a
-    difference between runners.  ``cleanup`` runs after every timed
-    call, outside its measurement (e.g. clearing engine traffic
-    counters).
+    interleaved and the visit order is re-shuffled every round from a
+    fixed seed: on a busy box, background load drifts over seconds, and
+    timing one runner as a block — or visiting runners in any *fixed*
+    alternation — lets that drift (and allocator/cache warm-up)
+    masquerade as a difference between runners.  ``cleanup`` runs after
+    every timed call, outside its measurement (e.g. clearing engine
+    traffic counters).
 
     Returns ``(best, first)``: the minimum elapsed seconds per runner,
     and each runner's round-0 payload — the measured workloads are
@@ -83,8 +84,10 @@ def timed_reps(
     names = list(runners)
     best: Dict[str, float] = {name: float("inf") for name in names}
     first: Dict[str, object] = {}
+    order_rng = np.random.default_rng(0x5EED)
     for round_index in range(max(1, repeats)):
-        order = names if round_index % 2 == 0 else list(reversed(names))
+        order = list(names)
+        order_rng.shuffle(order)
         for name in order:
             elapsed, payload = runners[name]()
             if cleanup is not None:
@@ -352,6 +355,10 @@ class ServeLoadResult:
     #: tracing + per-phase engine profiling); the ``tracing_on`` /
     #: ``tracing_off`` artifact pair prices that overhead.
     tracing: bool = False
+    #: Kernel backend the serving engine stepped with
+    #: (:mod:`repro.core.backend`); the ``backend_*`` artifact pair
+    #: prices swapping the hot-path kernels under the full stack.
+    backend: str = "reference"
 
     def to_json(self) -> Dict[str, object]:
         """One ``BENCH_serve_load.json`` artifact entry."""
@@ -465,6 +472,7 @@ def measure_serve_load(
         memory_size=config.memory_size,
         state_arena=state_arena,
         state_bytes_copied=metrics.state_bytes_copied,
+            backend=config.backend,
     )
 
 
@@ -579,9 +587,140 @@ def measure_serve_ab(
             memory_size=config.memory_size,
             state_arena=state_arena,
             state_bytes_copied=metrics.state_bytes_copied,
+            backend=config.backend,
         )
 
     return build(True), build(False)
+
+
+def measure_serve_backend_ab(
+    config=None,
+    backends: Sequence[str] = ("reference", "tuned"),
+    num_sessions: int = 16,
+    steps_per_session: int = 4,
+    max_batch: int = 16,
+    max_wait_ticks: int = 1,
+    repeats: int = 5,
+    rng: SeedLike = 0,
+) -> Dict[str, ServeLoadResult]:
+    """A/B kernel backends under the full serving stack, interleaved.
+
+    One engine per backend (``config.with_features(backend=name)``), all
+    serving the identical scripted workload through the resident-arena
+    :class:`~repro.serve.server.SessionServer` — this drives the masked
+    in-place fused write, the path a serving deployment actually lives
+    on.  Timing rounds are interleaved with a seeded shuffled visit
+    order (:func:`timed_reps`) and each backend keeps its best round.
+
+    Correctness: every backend's served outputs are checked against *its
+    own* solo unbatched runs — the served-vs-solo determinism bar
+    (``microbatch_max_abs_diff``), which must hold no matter which
+    backend the engine steps with.  The timed sequential baseline runs
+    on the first (control) backend so ``speedup_vs_sequential`` is
+    comparable across entries.
+    """
+    from repro.core.config import HiMAConfig
+    from repro.core.engine import TiledEngine
+
+    if config is None:
+        config = HiMAConfig(
+            memory_size=32, word_size=16, num_tiles=4, hidden_size=32,
+            two_stage_sort=False,
+        )
+    engines = {
+        name: TiledEngine(config.with_features(backend=name), rng=rng)
+        for name in backends
+    }
+    control = backends[0]
+    input_size = engines[control].reference.config.input_size
+    gen = new_rng(rng)
+    kinds = [WORKLOAD_KINDS[i % len(WORKLOAD_KINDS)] for i in range(num_sessions)]
+    scripts = [
+        SessionScript(
+            session_id=f"{kinds[i]}-{i}",
+            arrival_tick=0,
+            kind=kinds[i],
+            inputs=_WORKLOADS[kinds[i]](gen, steps_per_session, input_size),
+        )
+        for i in range(num_sessions)
+    ]
+    total_requests = num_sessions * steps_per_session
+
+    def serve_once(name: str):
+        server = SessionServer(
+            engines[name],
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            queue_capacity=max(total_requests, 1),
+            session_capacity=max(num_sessions, 1),
+            state_arena=True,
+        )
+        results = run_open_loop(server, scripts)
+        return server, results
+
+    def cleanup():
+        for engine in engines.values():
+            engine.traffic.clear()
+
+    # Warm up every backend's served path plus the control's solo path.
+    for name in backends:
+        serve_once(name)
+    engines[control].run(scripts[0].inputs[:2])
+    cleanup()
+
+    runners: Dict[str, Callable[[], Tuple[float, object]]] = {
+        name: (lambda n=name: timed_call(lambda: serve_once(n)))
+        for name in backends
+    }
+    runners["sequential"] = lambda: timed_call(
+        lambda: {s.session_id: engines[control].run(s.inputs) for s in scripts}
+    )
+    best, first = timed_reps(runners, repeats, cleanup=cleanup)
+    sequential_time = best["sequential"]
+
+    results: Dict[str, ServeLoadResult] = {}
+    for name in backends:
+        server, served = first[name]
+        if name == control:
+            baseline = first["sequential"]
+        else:
+            baseline = {
+                s.session_id: engines[name].run(s.inputs) for s in scripts
+            }
+            cleanup()
+        diff = 0.0
+        for script in scripts:
+            got = np.stack([r.y for r in served[script.session_id]])
+            diff = max(
+                diff,
+                float(np.max(np.abs(got - baseline[script.session_id]))),
+            )
+        metrics = server.metrics
+        p50, p95 = metrics.wait_percentiles()
+        p99 = metrics.wait_quantile(0.99)
+        served_time = best[name]
+        results[name] = ServeLoadResult(
+            concurrent_sessions=num_sessions,
+            steps_per_session=steps_per_session,
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            requests_per_sec=total_requests / served_time,
+            sequential_requests_per_sec=total_requests / sequential_time,
+            speedup_vs_sequential=sequential_time / served_time,
+            microbatch_max_abs_diff=diff,
+            p50_wait_ticks=float(p50 if p50 is not None else -1.0),
+            p95_wait_ticks=float(p95 if p95 is not None else -1.0),
+            p99_wait_ticks=float(p99 if p99 is not None else -1.0),
+            mean_batch_occupancy=float(metrics.mean_occupancy() or 0.0),
+            admission_rejects=metrics.admission_rejects,
+            evictions=metrics.evictions_ttl + metrics.evictions_lru,
+            dtype=config.dtype,
+            memory_size=config.memory_size,
+            state_arena=True,
+            state_bytes_copied=metrics.state_bytes_copied,
+            backend=name,
+        )
+    return results
 
 
 def measure_serve_tracing_ab(
@@ -708,6 +847,7 @@ def measure_serve_tracing_ab(
             memory_size=config.memory_size,
             state_arena=True,
             state_bytes_copied=metrics.state_bytes_copied,
+            backend=config.backend,
             tracing=tracing,
         )
 
@@ -847,6 +987,7 @@ def measure_serve_memory_sweep(
             memory_size=config.memory_size,
             state_arena=True,
             state_bytes_copied=metrics.state_bytes_copied,
+            backend=config.backend,
         )
     return results
 

@@ -1,0 +1,409 @@
+"""Kernel-backend seam: registry, per-backend numerics, serving churn.
+
+The acceptance bars for the pluggable backend layer:
+
+* the ``reference`` backend is the pre-seam numpy path *verbatim* — its
+  methods must be bitwise-identical to the inline expressions they
+  replaced, on both the dense and sparse write phases;
+* the ``tuned`` backend must stay within the engine's per-dtype
+  ``VERIFY_TOLERANCES`` of the reference on randomized trajectories
+  across every engine mode (dense, distributed, sparse, masked,
+  unfused), and its fused kernels keep the memory/precedence fields
+  bitwise on identical inputs (only the linkage's single-rounding BLAS
+  rank-1 accumulation may differ, at ulp scale);
+* the full serving stack — arena micro-batching, sharded migration,
+  process-worker crash recovery — must hold its <= 1e-10
+  served-vs-solo bar under a non-default backend;
+* the ``torch`` backend is import-optional: the *name* always
+  validates, construction without torch raises a :class:`ConfigError`
+  pointing at the extra, and the torch tests below skip cleanly when
+  torch is absent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as SK
+from repro.core.backend import (
+    _REGISTRY,
+    ReferenceBackend,
+    TunedBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from repro.core.config import HiMAConfig
+from repro.core.engine import TiledEngine
+from repro.dnc import numpy_ref as K
+from repro.errors import ConfigError
+
+TOLERANCES = TiledEngine.VERIFY_TOLERANCES
+
+#: Large enough that the tuned backend's blocked write phase actually
+#: engages (``memory_size >= TunedBackend.min_blocked_n``) while staying
+#: fast as a unit test.
+BLOCKED_CONFIG = dict(
+    memory_size=128, word_size=16, num_reads=2, num_tiles=4,
+    hidden_size=32, two_stage_sort=False,
+)
+
+#: Below the blocking threshold: the tuned write phase delegates to the
+#: reference kernels here.
+SMALL_CONFIG = dict(
+    memory_size=32, word_size=16, num_reads=2, num_tiles=4,
+    hidden_size=32, two_stage_sort=False,
+)
+
+
+def make_engine(backend, **features):
+    base = dict(BLOCKED_CONFIG)
+    base.update(features)
+    return TiledEngine(HiMAConfig(**base, backend=backend), rng=0)
+
+
+def trajectory_inputs(engine, steps=6, batch=4, seed=1):
+    gen = np.random.default_rng(seed)
+    return gen.standard_normal(
+        (steps, batch, engine.reference.config.input_size)
+    ).astype(engine.config.np_dtype)
+
+
+# ---------------------------------------------------------------------------
+# Registry and config validation
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_cpu_backends_always_available(self):
+        names = available_backends()
+        assert "reference" in names
+        assert "tuned" in names
+        assert names == tuple(sorted(names))
+
+    def test_make_backend_returns_fresh_instances(self):
+        """Backends hold scratch; engines must never share one."""
+        config = HiMAConfig(**SMALL_CONFIG, backend="tuned")
+        assert make_backend(config) is not make_backend(config)
+        assert (
+            TiledEngine(config, rng=0).backend
+            is not TiledEngine(config, rng=0).backend
+        )
+
+    def test_engine_backend_matches_config(self):
+        assert isinstance(make_engine("reference").backend, ReferenceBackend)
+        assert isinstance(make_engine("tuned").backend, TunedBackend)
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(ConfigError, match="backend"):
+            HiMAConfig(**SMALL_CONFIG, backend="cuda9000")
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ConfigError, match="dtype"):
+            HiMAConfig(**SMALL_CONFIG, dtype="float8")
+
+    @pytest.mark.parametrize("dtype", ["float16", "bfloat16"])
+    def test_reduced_dtype_requires_torch_backend(self, dtype):
+        with pytest.raises(ConfigError, match="torch"):
+            HiMAConfig(**SMALL_CONFIG, dtype=dtype)
+
+    def test_torch_name_validates_without_torch(self):
+        """The *name* is always legal; construction needs the extra."""
+        config = HiMAConfig(**SMALL_CONFIG, backend="torch")
+        assert config.backend == "torch"
+
+    def test_torch_engine_without_torch_points_at_extra(self):
+        if "torch" in available_backends():
+            pytest.skip("torch installed; covered by TestTorchBackend")
+        with pytest.raises(ConfigError, match="repro-hima\\[torch\\]"):
+            TiledEngine(HiMAConfig(**SMALL_CONFIG, backend="torch"), rng=0)
+
+    def test_third_party_registration(self):
+        register_backend("thirdparty", lambda config: ReferenceBackend())
+        try:
+            config = HiMAConfig(**SMALL_CONFIG, backend="thirdparty")
+            engine = TiledEngine(config, rng=0)
+            out = engine.run_batch(trajectory_inputs(engine, steps=2))
+            assert np.isfinite(out).all()
+        finally:
+            _REGISTRY.pop("thirdparty", None)
+
+
+# ---------------------------------------------------------------------------
+# Reference backend == pre-seam arithmetic, bitwise
+# ---------------------------------------------------------------------------
+
+
+class TestReferenceBitwise:
+    """Each method must reproduce the inline pre-seam expression exactly."""
+
+    def setup_method(self):
+        gen = np.random.default_rng(3)
+        self.backend = ReferenceBackend()
+        self.memory = gen.standard_normal((4, 64, 16))
+        self.write_key = gen.standard_normal((4, 16))
+        self.read_keys = gen.standard_normal((4, 2, 16))
+        self.linkage = gen.standard_normal((4, 64, 64)) * 0.01
+        self.precedence = gen.random((4, 64))
+        self.write_w = gen.random((4, 64)) * 0.05
+        self.erase = gen.random((4, 16))
+        self.value = gen.standard_normal((4, 16))
+
+    def test_write_scores_bitwise(self):
+        key_unit = K.l2_normalize(self.write_key)
+        expected = (K.l2_normalize(self.memory) @ key_unit[..., :, None])[..., 0]
+        got = self.backend.write_scores(self.memory, self.write_key)
+        assert np.array_equal(got, expected)
+
+    def test_read_scores_bitwise(self):
+        expected = K.l2_normalize(self.read_keys) @ np.swapaxes(
+            K.l2_normalize(self.memory), -1, -2
+        )
+        got = self.backend.read_scores(self.memory, self.read_keys)
+        assert np.array_equal(got, expected)
+
+    def test_fused_dense_write_bitwise(self):
+        expected = SK.fused_erase_write_linkage(
+            self.memory, self.linkage, self.precedence,
+            self.write_w, self.erase, self.value,
+        )
+        got = self.backend.fused_erase_write_linkage(
+            self.memory, self.linkage, self.precedence,
+            self.write_w, self.erase, self.value,
+        )
+        for e, g in zip(expected, got):
+            assert np.array_equal(e, g)
+
+    def test_sparse_write_bitwise(self):
+        args = (
+            self.memory.copy(), self.linkage.copy(), self.precedence.copy(),
+            self.write_w, self.erase, self.value,
+        )
+        expected = SK.sparse_erase_write_linkage(
+            self.memory, self.linkage, self.precedence,
+            self.write_w, self.erase, self.value,
+        )
+        got = self.backend.sparse_erase_write_linkage(*args)
+        for e, g in zip(expected, got):
+            assert np.array_equal(e, g)
+
+    def test_argsort_stable(self):
+        values = np.array([[0.5, 0.5, 0.1], [0.2, 0.2, 0.9]])
+        expected = np.argsort(values, axis=-1, kind="stable")
+        assert np.array_equal(self.backend.argsort(values), expected)
+
+
+# ---------------------------------------------------------------------------
+# Tuned backend numerics
+# ---------------------------------------------------------------------------
+
+
+class TestTunedNumerics:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize(
+        "features",
+        [
+            {},
+            {"distributed": True},
+            {"access_policy": "sparse", "access_top_k": 12},
+            {"fused_write_linkage": False},
+            {"two_stage_sort": True},
+        ],
+        ids=["dense", "distributed", "sparse", "unfused", "two_stage"],
+    )
+    def test_trajectory_within_tolerance(self, dtype, features):
+        """Randomized trajectories across engine modes, both CPU dtypes."""
+        tol = TOLERANCES[dtype]
+        for seed in (1, 2):
+            engines = {
+                name: make_engine(name, dtype=dtype, **features)
+                for name in ("reference", "tuned")
+            }
+            inputs = trajectory_inputs(engines["reference"], seed=seed)
+            outs = {n: e.run_batch(inputs) for n, e in engines.items()}
+            diff = float(np.max(np.abs(outs["reference"] - outs["tuned"])))
+            assert diff <= tol, (features, seed, diff)
+
+    def test_masked_stepping_within_tolerance(self):
+        """Partial-occupancy masked steps (the serving arena's shape)."""
+        outs = {}
+        active = np.array([True, True, False, True, False, True])
+        for name in ("reference", "tuned"):
+            engine = make_engine(name)
+            inputs = trajectory_inputs(engine, steps=5, batch=6)
+            state = engine.initial_state(6)
+            for t in range(5):
+                out, state = engine.step(inputs[t], state, active=active)
+            outs[name] = out[active]
+        diff = float(np.max(np.abs(outs["reference"] - outs["tuned"])))
+        assert diff <= TOLERANCES["float64"]
+
+    def test_fused_kernel_memory_precedence_bitwise(self):
+        """On identical inputs only the linkage may differ (ulp-scale
+        single-rounding BLAS accumulation); memory and precedence see
+        the reference ufunc sequence exactly."""
+        gen = np.random.default_rng(5)
+        n = TunedBackend.min_blocked_n * 2
+        memory = gen.standard_normal((2, n, 16))
+        linkage = gen.standard_normal((2, n, n)) * 0.01
+        precedence = gen.random((2, n))
+        write_w = gen.random((2, n)) * 0.02
+        erase, value = gen.random((2, 16)), gen.standard_normal((2, 16))
+        args = (memory, linkage, precedence, write_w, erase, value)
+        ref = ReferenceBackend().fused_erase_write_linkage(*args)
+        tuned = TunedBackend().fused_erase_write_linkage(*args)
+        assert np.array_equal(ref[0], tuned[0])  # memory
+        assert np.array_equal(ref[2], tuned[2])  # precedence
+        link_diff = float(np.max(np.abs(ref[1] - tuned[1])))
+        assert link_diff <= 1e-12
+
+    def test_small_n_write_phase_delegates_bitwise(self):
+        """Below ``min_blocked_n`` the whole fused write phase is the
+        reference kernel, bit for bit."""
+        gen = np.random.default_rng(6)
+        n = TunedBackend.min_blocked_n // 2
+        args = (
+            gen.standard_normal((3, n, 8)),
+            gen.standard_normal((3, n, n)) * 0.01,
+            gen.random((3, n)),
+            gen.random((3, n)) * 0.05,
+            gen.random((3, 8)),
+            gen.standard_normal((3, 8)),
+        )
+        ref = ReferenceBackend().fused_erase_write_linkage(*args)
+        tuned = TunedBackend().fused_erase_write_linkage(*args)
+        for e, g in zip(ref, tuned):
+            assert np.array_equal(e, g)
+
+    def test_batch_of_one_matches_unbatched(self):
+        """The engine-wide batch-of-1 bitwise invariant holds under
+        the tuned backend too."""
+        engine = make_engine("tuned")
+        inputs = trajectory_inputs(engine, steps=5, batch=3)
+        batch1 = engine.run_batch(inputs[:, :1])
+        single = engine.run(inputs[:, 0])
+        assert np.array_equal(batch1[:, 0], single)
+
+
+# ---------------------------------------------------------------------------
+# Serving stack under a non-default backend
+# ---------------------------------------------------------------------------
+
+
+class TestServeChurnTunedBackend:
+    def test_arena_server_matches_solo(self):
+        from repro.serve import SessionServer
+
+        engine = make_engine("tuned", num_reads=1)
+        solo = make_engine("tuned", num_reads=1)
+        gen = np.random.default_rng(11)
+        inputs = {
+            f"s{i}": gen.standard_normal(
+                (6, engine.reference.config.input_size)
+            )
+            for i in range(4)
+        }
+        requests = {}
+        with SessionServer(
+            engine, max_batch=4, max_wait_ticks=1,
+            session_capacity=8, state_arena=True,
+        ) as server:
+            for sid in inputs:
+                assert server.open_session(sid) == sid
+                requests[sid] = [server.submit(sid, x) for x in inputs[sid]]
+            server.drain()
+        for sid, reqs in requests.items():
+            assert all(r.done and r.error is None for r in reqs), sid
+            served = np.stack([r.y for r in reqs])
+            expected = solo.run(inputs[sid])
+            assert np.max(np.abs(served - expected)) <= 1e-10, sid
+
+    def test_sharded_migration_matches_solo(self):
+        from repro.serve import ShardedServer
+
+        engines = [make_engine("tuned", num_reads=1) for _ in range(2)]
+        gen = np.random.default_rng(13)
+        inputs = {
+            f"s{i}": gen.standard_normal(
+                (6, engines[0].reference.config.input_size)
+            )
+            for i in range(4)
+        }
+        cluster = ShardedServer(
+            engines, max_batch=4, max_wait_ticks=1, session_capacity=8
+        )
+        requests = {}
+        for sid, xs in inputs.items():
+            assert cluster.open_session(sid) == sid
+            requests[sid] = [cluster.submit(sid, x) for x in xs]
+        cluster.run_tick()
+        victim = "s0"
+        src = cluster.shard_of(victim)
+        cluster.migrate_session(victim, 1 - src)
+        assert cluster.shard_of(victim) == 1 - src
+        cluster.drain()
+        cluster.close()
+        solo = make_engine("tuned", num_reads=1)
+        for sid, xs in inputs.items():
+            assert all(r.done and r.error is None for r in requests[sid]), sid
+            served = np.stack([r.y for r in requests[sid]])
+            assert np.max(np.abs(served - solo.run(xs))) <= 1e-10, sid
+
+    def test_proc_cluster_kill_and_restore_matches_solo(self):
+        """Crash recovery replays checkpoints on worker processes that
+        rebuilt their engines — config-carried backend selection must
+        survive the round trip."""
+        from repro.serve import ProcCluster
+
+        config = HiMAConfig(
+            memory_size=128, word_size=8, num_reads=1, num_tiles=4,
+            hidden_size=16, two_stage_sort=False, backend="tuned",
+        )
+        xs = [np.full(8, 0.1 * (t + 1)) for t in range(6)]
+        with ProcCluster(
+            config, seed=7, num_workers=1, max_batch=4, max_wait_ticks=1,
+            session_capacity=8, checkpoint_interval=3, rpc_timeout=30.0,
+        ) as cluster:
+            sid = cluster.open_session("s")
+            requests = [cluster.submit(sid, x) for x in xs[:3]]
+            cluster.run_tick()
+            cluster.kill_worker(0)
+            requests += [cluster.submit(sid, x) for x in xs[3:]]
+            cluster.drain()
+            assert cluster.worker_restarts == 1
+            solo = TiledEngine(config, rng=7)
+            state = solo.initial_state()
+            for t, request in enumerate(requests):
+                assert request.done and request.error is None
+                y, state = solo.step(xs[t], state)
+                np.testing.assert_allclose(request.y, y, atol=1e-10, rtol=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Torch backend (skips cleanly when torch is absent)
+# ---------------------------------------------------------------------------
+
+
+class TestTorchBackend:
+    @pytest.fixture(autouse=True)
+    def _require_torch(self):
+        pytest.importorskip("torch")
+
+    def test_registered_when_importable(self):
+        assert "torch" in available_backends()
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_trajectory_within_tolerance(self, dtype):
+        engines = {
+            name: make_engine(name, dtype=dtype)
+            for name in ("reference", "torch")
+        }
+        inputs = trajectory_inputs(engines["reference"])
+        outs = {n: e.run_batch(inputs) for n, e in engines.items()}
+        diff = float(np.max(np.abs(outs["reference"] - outs["torch"])))
+        assert diff <= TOLERANCES[dtype]
+
+    @pytest.mark.parametrize("dtype", ["float16", "bfloat16"])
+    def test_reduced_dtype_verifies(self, dtype):
+        engine = make_engine("torch", dtype=dtype)
+        error = engine.verify_against_reference(steps=3, batch_size=4)
+        assert error <= TOLERANCES[dtype]
