@@ -25,9 +25,9 @@ from repro.core.config import HiMAConfig
 from repro.core.engine import TiledEngine
 from repro.eval.bench_schema import merge_artifact, validate_serve_load
 from repro.obs import (
-    PHASES,
     PhaseTimer,
     Tracer,
+    engine_phases,
     render_span_tree,
     validate_metrics_json,
     validate_trace_jsonl,
@@ -89,7 +89,9 @@ def test_traced_serve_exports_valid_jsonl(tmp_path):
     # every profiled phase hanging under the ticks.
     names = {rec["name"] for rec in server.tracer.records()}
     assert {"shard.submit", "shard.tick", "shard.dispatch", "engine.step"} <= names
-    assert {f"engine.phase:{phase}" for phase in PHASES} <= names
+    # Which read label fires follows the serve engine's backend.
+    phases = engine_phases(server.engine.backend.read_phase_label)
+    assert {f"engine.phase:{phase}" for phase in phases} <= names
     tree = render_span_tree(server.tracer.records())
     assert "shard.tick" in tree and "engine.phase:controller" in tree
 
@@ -106,7 +108,7 @@ def test_metrics_exports_validate():
     text = registry.to_prometheus_text()
     assert "# TYPE" in text and "serve_requests_completed" in text
     # Every profiled phase surfaces as a labelled series.
-    for phase in PHASES:
+    for phase in engine_phases(server.engine.backend.read_phase_label):
         assert f'phase="{phase}"' in text
 
 

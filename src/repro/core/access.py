@@ -145,7 +145,11 @@ class AccessPolicy:
         the per-slot element model lives in
         :func:`repro.core.kernels.phase_touched_bytes` with the policy
         contributing its support size, so sparse phases report the
-        O(K·N) footprint they actually touch.
+        O(K·N) footprint they actually touch.  The read phase's linkage
+        pass count comes from the backend (a fused sweep streams the
+        linkage once, the reference matvec pair twice); the sparse read
+        kernel always gathers both the support rows and columns, so the
+        sparse policy keeps the two-pass model over its K-row support.
         """
         cfg = engine.config
         per_slot = SK.phase_touched_bytes(
@@ -155,6 +159,9 @@ class AccessPolicy:
             r=cfg.num_reads,
             rows=self.support_rows(engine),
             hidden=cfg.hidden_size,
+            read_linkage_passes=(
+                2 if self.is_sparse else engine.backend.read_linkage_passes
+            ),
         )
         return b * per_slot * np.dtype(cfg.np_dtype).itemsize
 
@@ -247,12 +254,16 @@ class DenseAccess(AccessPolicy):
         return engine._forward_backward(linkage, prev_read_w, log)
 
     def read_weights(self, engine, content_r, fwd, bwd, read_modes):
-        return K.read_weight_merge(content_r, fwd, bwd, read_modes)
+        return engine.backend.read_weight_mix(content_r, fwd, bwd, read_modes)
 
     def read_vectors(self, engine, memory, read_w, log, b):
         cfg = engine.config
         ct = engine.memory_map.ct_node
-        read_vecs = K.read_vectors(memory, read_w)
+        # Under the masked dense step the inactive slots' reads are
+        # discarded by the scatter, so the backend may skip them.
+        read_vecs = engine.backend.read_vectors(
+            memory, read_w, active=engine._fused_active
+        )
         for t in range(cfg.num_tiles):
             log.add("memory_read", t, ct, b * cfg.num_reads * cfg.word_size)
         return read_vecs
@@ -398,7 +409,6 @@ class SparseAccess(AccessPolicy):
         cfg = engine.config
         mmap = engine.memory_map
         r = prev_read_w.shape[-2]
-        n = linkage.shape[-1]
         b = engine._traffic_words(_lead_batch(prev_read_w.shape[:-2]))
         # Dense message pattern, K-scaled words: operand segments and
         # psum chains carry the support rows only.
@@ -418,20 +428,14 @@ class SparseAccess(AccessPolicy):
         # f = w_r L^T / b = w_r L contracted over the previous read
         # weights' support: the weights are non-negative with at most K
         # nonzeros per head (read truncation), so the dropped terms are
-        # exact zeros.
-        lead = prev_read_w.shape[:-2]
-        rw = prev_read_w.reshape((-1,) + prev_read_w.shape[-2:])
-        link = linkage.reshape((-1,) + linkage.shape[-2:])
-        idx = _topk_largest(rw, self.top_k)
-        vals = np.take_along_axis(rw, idx, axis=-1)
-        fidx = np.arange(link.shape[0])[:, None, None]
-        bwd = np.einsum("frk,frkn->frn", vals, link[fidx, idx, :])
-        link_t = np.swapaxes(link, -1, -2)
-        fwd = np.einsum("frk,frkn->frn", vals, link_t[fidx, idx, :])
-        return fwd.reshape(lead + (r, n)), bwd.reshape(lead + (r, n))
+        # exact zeros.  The policy owns the support selection; the
+        # ≤2K-row gather/contract kernel lives on the backend seam.
+        idx = _topk_largest(prev_read_w, self.top_k)
+        vals = np.take_along_axis(prev_read_w, idx, axis=-1)
+        return engine.backend.sparse_forward_backward(linkage, vals, idx)
 
     def read_weights(self, engine, content_r, fwd, bwd, read_modes):
-        read_w = K.read_weight_merge(content_r, fwd, bwd, read_modes)
+        read_w = engine.backend.read_weight_mix(content_r, fwd, bwd, read_modes)
         # Truncate to the K largest entries per head (no renormalize,
         # following Rae et al.) so the recurrent read support stays
         # sparse.  At K=N this is an identity copy.
@@ -444,17 +448,12 @@ class SparseAccess(AccessPolicy):
     def read_vectors(self, engine, memory, read_w, log, b):
         cfg = engine.config
         ct = engine.memory_map.ct_node
-        r = read_w.shape[-2]
-        lead = read_w.shape[:-2]
-        rw = read_w.reshape((-1,) + read_w.shape[-2:])
-        mem = memory.reshape((-1,) + memory.shape[-2:])
-        idx = _topk_largest(rw, self.top_k)
-        vals = np.take_along_axis(rw, idx, axis=-1)
-        fidx = np.arange(mem.shape[0])[:, None, None]
-        read_vecs = np.einsum("frk,frkw->frw", vals, mem[fidx, idx, :])
+        idx = _topk_largest(read_w, self.top_k)
+        vals = np.take_along_axis(read_w, idx, axis=-1)
+        read_vecs = engine.backend.sparse_read_vectors(memory, vals, idx)
         for t in range(cfg.num_tiles):
             log.add("memory_read", t, ct, b * cfg.num_reads * cfg.word_size)
-        return read_vecs.reshape(lead + (r, memory.shape[-1]))
+        return read_vecs
 
 
 def make_access_policy(config: HiMAConfig) -> AccessPolicy:

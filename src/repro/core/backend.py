@@ -92,6 +92,20 @@ class KernelBackend:
     #: Dtype-policy names this backend can compute under.
     supported_dtypes: Tuple[str, ...] = ("float64", "float32")
 
+    #: PhaseTimer label the engine attributes read-phase time to.
+    #: ``"read"`` is the classic unfused forward/backward + read path;
+    #: backends whose read kernels fuse the linkage sweeps report
+    #: ``"read_phase"`` so profiles distinguish the two (both labels
+    #: live in :data:`repro.obs.profiler.PHASES`).
+    read_phase_label = "read"
+
+    #: How many times this backend's read phase streams the linkage
+    #: support: 2 for the separate forward + backward matvecs, 1 for a
+    #: fused single-pass sweep.  Feeds the
+    #: :func:`repro.core.kernels.phase_touched_bytes` read model so the
+    #: profiler's bytes column reflects what the kernel actually moves.
+    read_linkage_passes = 2
+
     # -- content addressing ------------------------------------------------
     def write_scores(self, memory: np.ndarray, write_key: np.ndarray) -> np.ndarray:
         """Raw cosine scores ``(..., N)`` of one write key against memory."""
@@ -174,6 +188,103 @@ class KernelBackend:
             memory, linkage, precedence, write_w, erase, value, active=active
         )
 
+    # -- read phase ----------------------------------------------------
+    # The base-class bodies ARE the pre-seam numpy path (like
+    # ``argsort``): forward/backward is the stacked matmul pair of
+    # :func:`repro.dnc.numpy_ref.forward_backward`, the mix is the
+    # three-term merge, and the gather is ``read_w @ memory``.
+    # ``ReferenceBackend`` inherits them unchanged, which is what keeps
+    # dense trajectories bitwise on the pre-refactor engine.
+    #
+    # ``active`` contract (all three dense methods): ``None`` computes
+    # the full batch; an index/bool array computes only those leading
+    # batch slots and returns zeros in the inactive rows.  Per-slot
+    # results are bitwise-equal to the full-batch call on the same rows
+    # (the kernels are independent per batch element), matching the
+    # masked-step scatter semantics of ``TiledEngine._step_masked_dense``.
+
+    @staticmethod
+    def _active_index(active, batch_like: np.ndarray) -> np.ndarray:
+        if batch_like.ndim < 3:
+            raise ValueError(
+                "read kernels with active= need a leading batch axis; got "
+                f"shape {batch_like.shape}"
+            )
+        idx = np.asarray(active)
+        if idx.dtype == np.bool_:
+            idx = np.flatnonzero(idx)
+        return idx
+
+    def forward_backward(
+        self,
+        linkage: np.ndarray,
+        read_w: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Temporal weightings ``f = w_r L^T``, ``b = w_r L`` (both ``(..., R, N)``)."""
+        if active is not None:
+            idx = self._active_index(active, linkage)
+            fwd = np.zeros_like(read_w)
+            bwd = np.zeros_like(read_w)
+            if idx.size:
+                fwd[idx], bwd[idx] = self.forward_backward(
+                    linkage[idx], read_w[idx]
+                )
+            return fwd, bwd
+        return K.forward_backward(linkage, read_w)
+
+    def read_weight_mix(
+        self,
+        content_w: np.ndarray,
+        fwd: np.ndarray,
+        bwd: np.ndarray,
+        read_modes: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Three-mode merge of backward/content/forward weightings."""
+        if active is not None:
+            idx = self._active_index(active, content_w)
+            out = np.zeros_like(content_w)
+            if idx.size:
+                modes_b = np.broadcast_to(
+                    read_modes, content_w.shape[:-1] + read_modes.shape[-1:]
+                )
+                out[idx] = self.read_weight_mix(
+                    content_w[idx], fwd[idx], bwd[idx], modes_b[idx]
+                )
+            return out
+        return K.read_weight_merge(content_w, fwd, bwd, read_modes)
+
+    def read_vectors(
+        self,
+        memory: np.ndarray,
+        read_w: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Weighted read ``(..., R, W)`` of memory under the read weights."""
+        if active is not None:
+            idx = self._active_index(active, memory)
+            out = np.zeros(
+                read_w.shape[:-1] + (memory.shape[-1],), dtype=memory.dtype
+            )
+            if idx.size:
+                out[idx] = self.read_vectors(memory[idx], read_w[idx])
+            return out
+        return K.read_vectors(memory, read_w)
+
+    # K-support sparse forms: ``vals``/``idx`` are the top-K read-weight
+    # support from ``SparseAccess`` (O(R·K·N) / O(R·K·W) gather-bound
+    # kernels — every CPU backend shares the numpy reference bodies).
+    def sparse_forward_backward(
+        self, linkage: np.ndarray, vals: np.ndarray, idx: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return SK.sparse_forward_backward(linkage, vals, idx)
+
+    def sparse_read_vectors(
+        self, memory: np.ndarray, vals: np.ndarray, idx: np.ndarray
+    ) -> np.ndarray:
+        return SK.sparse_read_vectors(memory, vals, idx)
+
 
 class ReferenceBackend(KernelBackend):
     """The verbatim pre-seam numpy path.
@@ -239,6 +350,11 @@ class TunedBackend(ReferenceBackend):
       multiply-into-scratch plus add — one FMA pass, no outer-product
       temporary, and on compute-throttled hosts one fewer elementwise
       kernel launch per panel;
+    * the read phase's forward/backward matvec pair fuses into one
+      blocked pass over the same row panels (see
+      :meth:`forward_backward`): the linkage is streamed from DRAM once
+      per tick instead of twice, and the read-weight mix rides resident
+      scratch (:meth:`read_weight_mix`, bitwise on the reference);
     * the masked in-place path drops the two full N^2 scratch buffers
       and the copy-back entirely: panels of the resident linkage are
       updated where they live;
@@ -283,8 +399,15 @@ class TunedBackend(ReferenceBackend):
     #: panel/scratch bookkeeping is pure overhead there.
     min_blocked_n = 128
 
-    def __init__(self):
+    def __init__(self, config=None):
         self._scratch: Dict[Tuple, np.ndarray] = {}
+        #: The fused read-phase sweep honours the config's
+        #: ``read_phase_fused`` A/B flag; a bare ``TunedBackend()``
+        #: (tests, third-party construction) defaults to fused.
+        self.read_fused = bool(getattr(config, "read_phase_fused", True))
+        if self.read_fused:
+            self.read_phase_label = "read_phase"
+            self.read_linkage_passes = 1
 
     def _buf(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
         key = (tag, shape, np.dtype(dtype).str)
@@ -539,6 +662,86 @@ class TunedBackend(ReferenceBackend):
             np.multiply(1.0 - w.sum(), p, out=p)
             p += w
 
+    # -- read phase ----------------------------------------------------
+    def forward_backward(self, linkage, read_w, active=None):
+        """Fused single-pass forward/backward over linkage row panels.
+
+        The reference runs two full matmuls (``w_r L^T`` then
+        ``w_r L``), streaming the N^2 linkage from DRAM twice per tick.
+        Here each cache-resident row panel ``L[r0:r1]`` feeds *both*
+        contractions while hot: the backward accumulates
+        ``b += w_r[:, r0:r1] @ L[r0:r1]`` (a rank-panel update into a
+        scratch psum) and the forward writes
+        ``f[:, r0:r1] = w_r @ L[r0:r1].T`` — one read sweep of the
+        linkage total.  Forward rows keep the reference's full-length
+        dot products; the backward's panel-blocked reduction reorders
+        the sum, so the result is tolerance-level (not bitwise) vs the
+        reference — bounded by ``VERIFY_TOLERANCES`` and pinned in
+        ``tests/test_backends.py``.
+
+        Delegates to the reference pair below :attr:`min_blocked_n`
+        (both matmuls already fit in cache), under ``active=`` (the
+        masked base path gathers the sub-batch and re-enters here), for
+        non-contiguous operands, and under ``read_phase_fused=False``.
+        """
+        n = linkage.shape[-1]
+        if (
+            not self.read_fused
+            or active is not None
+            or n < self.min_blocked_n
+            or not (linkage.flags.c_contiguous and read_w.flags.c_contiguous)
+        ):
+            return super().forward_backward(linkage, read_w, active=active)
+        r = read_w.shape[-2]
+        lin3 = linkage.reshape((-1, n, n))
+        rw3 = read_w.reshape((-1, r, n))
+        # Outputs become step intermediates the caller retains (read_w
+        # derives from them), so they must be fresh, never scratch.
+        fwd = np.empty_like(read_w)
+        bwd = np.empty_like(read_w)
+        fwd3 = fwd.reshape((-1, r, n))
+        bwd3 = bwd.reshape((-1, r, n))
+        rows_per = max(
+            1, min(n, self.panel_bytes // max(1, n * linkage.dtype.itemsize))
+        )
+        tmp = self._buf("read.psum", (r, n), linkage.dtype)
+        for b in range(lin3.shape[0]):
+            lin_b, rw_b = lin3[b], rw3[b]
+            fwd_b, bwd_b = fwd3[b], bwd3[b]
+            bwd_b[...] = 0.0
+            for r0 in range(0, n, rows_per):
+                r1 = min(n, r0 + rows_per)
+                panel = lin_b[r0:r1]
+                # Backward psum: the panel's rows contracted against the
+                # matching read-weight columns, accumulated while hot.
+                np.matmul(rw_b[:, r0:r1], panel, out=tmp)
+                bwd_b += tmp
+                # Forward columns r0:r1: full-length dot products against
+                # the same resident panel's rows.
+                np.matmul(rw_b, panel.T, out=fwd_b[:, r0:r1])
+        return fwd, bwd
+
+    def read_weight_mix(self, content_w, fwd, bwd, read_modes, active=None):
+        """Scratch-resident three-term merge; bitwise == reference.
+
+        Same association as the reference expression
+        (``(m0*b + m1*c) + m2*f`` evaluated left to right), so only the
+        temporaries change: two resident buffers instead of five fresh
+        ``(.., R, N)`` allocations per step.
+        """
+        if not self.read_fused or active is not None:
+            return super().read_weight_mix(
+                content_w, fwd, bwd, read_modes, active=active
+            )
+        # Output becomes the state's read weighting: fresh, not scratch.
+        out = np.multiply(read_modes[..., 0:1], bwd)
+        tmp = self._buf("read.mix", out.shape, out.dtype)
+        np.multiply(read_modes[..., 1:2], content_w, out=tmp)
+        out += tmp
+        np.multiply(read_modes[..., 2:3], fwd, out=tmp)
+        out += tmp
+        return out
+
 
 # ---------------------------------------------------------------------------
 # Registry
@@ -555,7 +758,7 @@ def register_backend(name: str, factory: BackendFactory) -> None:
 
 
 register_backend("reference", lambda config: ReferenceBackend())
-register_backend("tuned", lambda config: TunedBackend())
+register_backend("tuned", lambda config: TunedBackend(config))
 
 _torch_probe_done = False
 

@@ -61,6 +61,15 @@ class TorchBackend(KernelBackend):
         # the reduced-precision compute dtypes).
         self._storage = config.np_dtype
         self._storage_torch = _COMPUTE_DTYPES[self._storage.name]
+        # Read phase in torch (one seam crossing covers forward/backward,
+        # mix, and gather — the whole tick now computes in the backend's
+        # dtype).  ``read_phase_fused=False`` falls back to the numpy
+        # reference read path for A/B runs.  The linkage still feeds two
+        # matmuls here (torch owns the blocking), so the two-pass bytes
+        # model stands.
+        self.read_fused = bool(getattr(config, "read_phase_fused", True))
+        if self.read_fused:
+            self.read_phase_label = "read_phase"
 
     # -- seam crossings ----------------------------------------------------
     def _to(self, array: np.ndarray) -> torch.Tensor:
@@ -106,6 +115,41 @@ class TorchBackend(KernelBackend):
         rkey_unit = self._unit(self._to(read_keys))
         scores = torch.einsum("...rw,...tnw->...trn", rkey_unit, mem_unit)
         return self._from(scores)
+
+    # -- read phase ----------------------------------------------------
+    # Dense read kernels in torch; the masked ``active=`` forms ride the
+    # base class's gather/compute/scatter (which re-enters these on the
+    # active sub-batch), and the K-support sparse forms stay on the
+    # inherited numpy kernels — they are gather-bound, not a bandwidth
+    # problem, same as the sparse write phase.
+
+    def forward_backward(self, linkage, read_w, active=None):
+        if not self.read_fused or active is not None:
+            return super().forward_backward(linkage, read_w, active=active)
+        link_t = self._to(linkage)
+        rw_t = self._to(read_w)
+        fwd = torch.matmul(rw_t, link_t.transpose(-1, -2))
+        bwd = torch.matmul(rw_t, link_t)
+        return self._from(fwd), self._from(bwd)
+
+    def read_weight_mix(self, content_w, fwd, bwd, read_modes, active=None):
+        if not self.read_fused or active is not None:
+            return super().read_weight_mix(
+                content_w, fwd, bwd, read_modes, active=active
+            )
+        modes = self._to(read_modes)
+        mixed = (
+            modes[..., 0:1] * self._to(bwd)
+            + modes[..., 1:2] * self._to(content_w)
+            + modes[..., 2:3] * self._to(fwd)
+        )
+        return self._from(mixed)
+
+    def read_vectors(self, memory, read_w, active=None):
+        if not self.read_fused or active is not None:
+            return super().read_vectors(memory, read_w, active=active)
+        reads = torch.matmul(self._to(read_w), self._to(memory))
+        return self._from(reads)
 
     # -- fused dense write phase -------------------------------------------
     def _fused_torch(

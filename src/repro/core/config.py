@@ -82,6 +82,15 @@ class HiMAConfig:
     #: exists for A/B benchmarking and as an escape hatch.
     fused_write_linkage: bool = True
 
+    #: Let the backend fuse the read phase's forward/backward linkage
+    #: sweeps into one blocked pass (and route the read-weight mix
+    #: through backend scratch).  Only backends with a fused read
+    #: kernel honour it (``tuned``, ``torch``); the reference path is
+    #: unaffected.  Like ``fused_write_linkage``, the flag exists for
+    #: A/B benchmarking (the ``read_fused``/``read_unfused`` variants
+    #: of ``BENCH_batched_throughput.json``) and as an escape hatch.
+    read_phase_fused: bool = True
+
     #: Occupancy fraction at which a partially-masked step
     #: (:meth:`~repro.core.engine.TiledEngine.step` with ``active=``
     #: covering some but not all slots) switches from the compact

@@ -636,7 +636,12 @@ class TiledEngine:
         # --- Memory read: local partials + psum reduction at the CT. ------
         read_vecs = access.read_vectors(self, memory, read_w, log, b)
         if prof is not None:
-            tp = prof.lap("read", tp, access.bytes_touched("read", self, b))
+            # Fused-read backends report under "read_phase" so profiles
+            # distinguish the single-pass sweep from the classic path.
+            tp = prof.lap(
+                self.backend.read_phase_label, tp,
+                access.bytes_touched("read", self, b),
+            )
 
         y = self._output(lstm_h, read_vecs)
         new_state = NumpyDNCState(
@@ -694,7 +699,12 @@ class TiledEngine:
         """``f = L w_r`` / ``b = L^T w_r`` with blockwise psum traffic.
 
         Like :meth:`_linkage_update`, traffic is logged per linkage block
-        while the compute runs as one stacked matmul pair.
+        while the compute dispatches through the backend seam (reference:
+        one stacked matmul pair; tuned: a fused single-pass panel sweep).
+        The NoC events stay identical whichever kernel computes — the
+        dataflow is a property of the partition, not of the kernel
+        fusion — while the profiler's bytes column tracks the backend
+        via ``access.bytes_touched``.
         """
         cfg = self.config
         mmap = self.memory_map
@@ -715,7 +725,9 @@ class TiledEngine:
                 log.add("forward_backward", t, t + 1, b * r * mmap.block_rows)
             if bi + 1 < nt_h:
                 log.add("forward_backward", t, t + nt_w, b * r * mmap.block_cols)
-        return K.forward_backward(linkage, prev_read_w)
+        return self.backend.forward_backward(
+            linkage, prev_read_w, active=self._fused_active
+        )
 
     def _usage_sort(self, usage: np.ndarray, log: TrafficLog) -> np.ndarray:
         """Sorted order via the configured sorter, with traffic.
@@ -854,12 +866,14 @@ class TiledEngine:
         local_content_r = self._softmax(
             interface.read_strengths[..., None, :, None] * local_rscores, axis=-1
         )
-        local_fwd, local_bwd = K.forward_backward(local_link, local_read_prev)
-        local_read_w = K.read_weight_merge(
+        local_fwd, local_bwd = self.backend.forward_backward(
+            local_link, local_read_prev
+        )
+        local_read_w = self.backend.read_weight_mix(
             local_content_r, local_fwd, local_bwd,
             interface.read_modes[..., None, :, :],
         )
-        local_reads = K.read_vectors(local_new_mem, local_read_w)
+        local_reads = self.backend.read_vectors(local_new_mem, local_read_w)
 
         # Eq. (4) with uniform alpha: the engine models dataflow, the
         # trained alpha lives in repro.dnc.distributed.DNCD.

@@ -46,7 +46,8 @@ from repro.dnc.instrumentation import KernelCategory
 
 
 def phase_touched_bytes(
-    phase: str, *, n: int, w: int, r: int, rows: int, hidden: int
+    phase: str, *, n: int, w: int, r: int, rows: int, hidden: int,
+    read_linkage_passes: int = 2,
 ) -> int:
     """Elements touched by one engine-step phase for one batch slot.
 
@@ -57,6 +58,12 @@ def phase_touched_bytes(
     element counts — the caller multiplies by batch and dtype itemsize.
     The estimates deliberately track the dominant arrays only (the same
     granularity as Table 1's access counts), not every temporary.
+
+    ``read_linkage_passes`` is how many times the read phase streams the
+    linkage support: 2 for the reference forward + backward matvec pair,
+    1 when a backend fuses both sweeps into a single pass over the
+    linkage (``KernelBackend.read_linkage_passes`` reports what the
+    selected backend actually does).
     """
     if phase == "controller":
         # LSTM gate blocks over the hidden state.
@@ -73,7 +80,7 @@ def phase_touched_bytes(
         return 2 * n * rows + rows * w + 2 * n
     if phase == "read":
         # Forward/backward over the linkage support + weighted read.
-        return 2 * n * rows + r * rows * w + r * n
+        return read_linkage_passes * n * rows + r * rows * w + r * n
     if phase == "output":
         return hidden + r * w
     return 0
@@ -544,6 +551,54 @@ def sparse_erase_write_linkage(
     return new_memory, new_linkage, new_precedence
 
 
+# ---------------------------------------------------------------------------
+# Sparse read-phase kernels (K-support forward/backward + read gather)
+# ---------------------------------------------------------------------------
+
+
+def sparse_forward_backward(
+    linkage: np.ndarray, vals: np.ndarray, idx: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Forward/backward matvecs over a top-K read-weight support.
+
+    ``vals``/``idx`` are the ``(..., R, K)`` nonzero read-weight values
+    and their index-sorted memory-row indices (from
+    ``SparseAccess``'s top-K truncation).  Gathers the ≤K rows of the
+    linkage (and of its transpose) the support touches and contracts
+    over them — O(R·K·N) instead of the dense O(R·N^2) matmul pair.
+    The dropped terms are exact zeros, so at full support this matches
+    :func:`repro.dnc.numpy_ref.forward_backward` to rounding.
+    """
+    lead = vals.shape[:-2]
+    r, n = vals.shape[-2], linkage.shape[-1]
+    link = linkage.reshape((-1,) + linkage.shape[-2:])
+    v = vals.reshape((-1,) + vals.shape[-2:])
+    i = idx.reshape((-1,) + idx.shape[-2:])
+    fidx = np.arange(link.shape[0])[:, None, None]
+    bwd = np.einsum("frk,frkn->frn", v, link[fidx, i, :])
+    link_t = np.swapaxes(link, -1, -2)
+    fwd = np.einsum("frk,frkn->frn", v, link_t[fidx, i, :])
+    return fwd.reshape(lead + (r, n)), bwd.reshape(lead + (r, n))
+
+
+def sparse_read_vectors(
+    memory: np.ndarray, vals: np.ndarray, idx: np.ndarray
+) -> np.ndarray:
+    """Weighted read over a top-K read-weight support.
+
+    Same support convention as :func:`sparse_forward_backward`; gathers
+    the ≤K memory rows per head and contracts — O(R·K·W) per slot.
+    """
+    lead = vals.shape[:-2]
+    r = vals.shape[-2]
+    mem = memory.reshape((-1,) + memory.shape[-2:])
+    v = vals.reshape((-1,) + vals.shape[-2:])
+    i = idx.reshape((-1,) + idx.shape[-2:])
+    fidx = np.arange(mem.shape[0])[:, None, None]
+    read_vecs = np.einsum("frk,frkw->frw", v, mem[fidx, i, :])
+    return read_vecs.reshape(lead + (r, memory.shape[-1]))
+
+
 @dataclass(frozen=True)
 class KernelSpec:
     """One DNC kernel's Table 1 row."""
@@ -824,4 +879,6 @@ __all__ = [
     "fused_erase_write_linkage_inplace",
     "sparse_erase_write_linkage",
     "sparse_erase_write_linkage_inplace",
+    "sparse_forward_backward",
+    "sparse_read_vectors",
 ]

@@ -97,6 +97,7 @@ ENTRY_KEYS = (
     "skim_fraction",
     "fused_write_linkage",
     "masked_dense_min_occupancy",
+    "read_phase_fused",
     "backend",
 )
 
@@ -108,7 +109,11 @@ ENTRY_KEYS = (
 #: gather path, same half-occupancy workload), and the kernel-backend
 #: A/B pair (reference vs tuned on the identical bandwidth-bound
 #: float64 N>=256 config; a ``backend_torch`` entry additionally
-#: appears when torch is importable but is never required).
+#: appears when torch is importable but is never required), and the
+#: read-phase kernel A/B pair (tuned backend with the fused
+#: single-sweep forward/backward read kernel vs the same backend with
+#: ``read_phase_fused=false`` — two separate linkage sweeps — on the
+#: same float64 N>=256 config as the backend pair).
 REQUIRED_VARIANTS = (
     "two_stage_sort",
     "skim",
@@ -120,6 +125,8 @@ REQUIRED_VARIANTS = (
     "masked_gather_occupancy",
     "backend_reference",
     "backend_tuned",
+    "read_fused",
+    "read_unfused",
 )
 
 
@@ -217,6 +224,20 @@ def validate_trajectory(data: object) -> List[str]:
         if isinstance(entry, dict) and entry.get("backend") != backend:
             problems.append(
                 f"variants[{name!r}]: entry must have backend={backend!r}"
+            )
+    for name, fused in (("read_fused", True), ("read_unfused", False)):
+        entry = variants.get(name)
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("read_phase_fused") is not fused:
+            problems.append(
+                f"variants[{name!r}]: entry must have "
+                f"read_phase_fused={'true' if fused else 'false'}"
+            )
+        if entry.get("backend") != "tuned":
+            problems.append(
+                f"variants[{name!r}]: entry must have backend='tuned' "
+                "(only the tuned backend honours the read-phase flag)"
             )
     return problems
 

@@ -81,6 +81,10 @@ class BatchedThroughput:
     #: the dense-capacity in-place path, 1.0 forces the compact gather
     #: path) — what the masked-occupancy A/B variants toggle.
     masked_dense_min_occupancy: float = 0.75
+    #: Whether the backend was allowed to fuse the read phase's
+    #: forward/backward linkage sweeps into one blocked pass — what the
+    #: ``read_fused``/``read_unfused`` A/B variants toggle.
+    read_phase_fused: bool = True
     #: Kernel backend the measurement ran under (see
     #: :mod:`repro.core.backend`) — what the backend A/B variants toggle.
     backend: str = "reference"
@@ -169,6 +173,7 @@ def measure_batched_throughput(
         skim_fraction=config.skim_fraction,
         fused_write_linkage=config.fused_write_linkage,
         masked_dense_min_occupancy=config.masked_dense_min_occupancy,
+        read_phase_fused=config.read_phase_fused,
         backend=config.backend,
     )
 
@@ -180,25 +185,40 @@ def measure_backend_ab(
     seq_len: int = 8,
     repeats: int = 9,
     rng: int = 0,
+    variants: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> Dict[str, BatchedThroughput]:
-    """Interleaved A/B of kernel backends on one batched workload.
+    """Interleaved A/B of kernel-backend variants on one batched workload.
 
-    One engine per backend, all fed the identical ``(T, B, input)``
+    Each contestant is a *variant*: a label mapped to the
+    ``config.with_features(...)`` overrides that define it.  By default
+    the variants are one plain entry per name in ``backends``
+    (``{name: {"backend": name}}``), which keeps the classic
+    backend-vs-backend A/B; pass ``variants`` explicitly to race other
+    feature axes on the same workload — e.g. the tuned backend with and
+    without the fused read-phase kernel::
+
+        measure_backend_ab(variants={
+            "reference": {"backend": "reference"},
+            "read_unfused": {"backend": "tuned", "read_phase_fused": False},
+            "read_fused": {"backend": "tuned"},
+        })
+
+    One engine per variant, all fed the identical ``(T, B, input)``
     inputs.  Timing rounds are interleaved and the visit order is
     re-shuffled every round from a seeded generator (the ``variants``
-    convention, hardened): timing one backend to completion and then
+    convention, hardened): timing one variant to completion and then
     the next — or visiting them in any *fixed* alternation — lets
     allocator/cache warm-up and background-load drift masquerade as a
-    backend difference, which at the >=1.25x floor this A/B gates
-    would be a real hazard.  Each backend keeps its best (minimum)
+    variant difference, which at the >=1.25x floor this A/B gates
+    would be a real hazard.  Each variant keeps its best (minimum)
     round, the standard noise-robust estimator on a shared machine.
 
     The sequential baseline shared by every entry runs the *first*
-    backend (the control) on a **separate engine instance**, so
+    variant (the control) on a **separate engine instance**, so
     ``speedup_vs_seq`` ratios are comparable across entries without the
     baseline's unbatched rounds re-warming the control contestant's
     buffers between timed rounds (which would systematically favour the
-    control in the A/B itself).  Each backend's ``batch1_max_abs_diff``
+    control in the A/B itself).  Each variant's ``batch1_max_abs_diff``
     compares its batch-of-1 run against that baseline engine's unbatched
     run — expected exactly 0.0 for ``reference``, and bounded by the
     dtype's ``VERIFY_TOLERANCES`` entry for ``tuned`` (single-rounding
@@ -212,15 +232,22 @@ def measure_backend_ab(
             memory_size=256, word_size=32, num_reads=2, num_tiles=8,
             hidden_size=64, two_stage_sort=False,
         )
-    engines = {
-        name: TiledEngine(config.with_features(backend=name), rng=rng)
-        for name in backends
+    if variants is None:
+        variants = {name: {"backend": name} for name in backends}
+    if not variants:
+        raise ValueError("measure_backend_ab needs at least one variant")
+    configs = {
+        name: config.with_features(**features)
+        for name, features in variants.items()
     }
-    control = backends[0]
-    # The sequential baseline gets its own engine (control backend) so
+    engines = {
+        name: TiledEngine(configs[name], rng=rng) for name in variants
+    }
+    control = next(iter(variants))
+    # The sequential baseline gets its own engine (control variant) so
     # its unbatched rounds never touch — and never re-warm — the
     # control contestant's scratch between timed batched rounds.
-    seq_engine = TiledEngine(config.with_features(backend=control), rng=rng)
+    seq_engine = TiledEngine(configs[control], rng=rng)
     gen = np.random.default_rng(rng)
     inputs = gen.standard_normal(
         (seq_len, batch_size, seq_engine.reference.config.input_size)
@@ -234,9 +261,9 @@ def measure_backend_ab(
     seq_engine.run(inputs[:2, 0])
     seq_engine.traffic.clear()
 
-    best = {name: float("inf") for name in backends}
+    best = {name: float("inf") for name in variants}
     sequential_time = float("inf")
-    names = list(backends) + ["__sequential__"]
+    names = list(variants) + ["__sequential__"]
     order_rng = np.random.default_rng(rng + 0x5EED)
     for round_index in range(max(1, repeats)):
         order = list(names)
@@ -259,7 +286,8 @@ def measure_backend_ab(
     seq_engine.traffic.clear()
     total_steps = seq_len * batch_size
     results: Dict[str, BatchedThroughput] = {}
-    for name in backends:
+    for name in variants:
+        cfg = configs[name]
         batch1 = engines[name].run_batch(inputs[:, :1])
         engines[name].traffic.clear()
         results[name] = BatchedThroughput(
@@ -269,13 +297,14 @@ def measure_backend_ab(
             sequential_steps_per_sec=total_steps / sequential_time,
             speedup_vs_seq=sequential_time / best[name],
             batch1_max_abs_diff=float(np.max(np.abs(batch1[:, 0] - single))),
-            dtype=config.dtype,
-            memory_size=config.memory_size,
-            two_stage_sort=config.two_stage_sort,
-            skim_fraction=config.skim_fraction,
-            fused_write_linkage=config.fused_write_linkage,
-            masked_dense_min_occupancy=config.masked_dense_min_occupancy,
-            backend=name,
+            dtype=cfg.dtype,
+            memory_size=cfg.memory_size,
+            two_stage_sort=cfg.two_stage_sort,
+            skim_fraction=cfg.skim_fraction,
+            fused_write_linkage=cfg.fused_write_linkage,
+            masked_dense_min_occupancy=cfg.masked_dense_min_occupancy,
+            read_phase_fused=cfg.read_phase_fused,
+            backend=cfg.backend,
         )
     return results
 
@@ -370,6 +399,7 @@ def measure_masked_occupancy(
         skim_fraction=config.skim_fraction,
         fused_write_linkage=config.fused_write_linkage,
         masked_dense_min_occupancy=config.masked_dense_min_occupancy,
+        read_phase_fused=config.read_phase_fused,
         backend=config.backend,
     )
 
@@ -425,12 +455,18 @@ def measure_sparse_access(
     accuracy_steps: int = 12,
     rng: int = 0,
     num_tiles: int = 8,
+    backend: Optional[str] = None,
 ) -> Dict[str, "SparseAccessResult"]:
     """A/B dense vs sparse top-K access at one memory size.
 
     Returns a variants map — ``dense_n{N}`` plus one ``sparse_k{K}_n{N}``
     per requested K — matching the ``BENCH_sparse_access.json`` naming
     scheme, so callers can merge the result straight into the artifact.
+    ``backend`` selects the kernel backend both sides run under (the
+    dense baseline and every sparse K), so a tuned-backend lane measures
+    the same dense-vs-sparse ratio with the fused kernels engaged; the
+    default (``None``) keeps the config's own default, which honours
+    ``REPRO_BACKEND`` — how the CI sparse-tuned bench lane runs.
 
     Timing exercises the serving hot path: masked stepping at full
     occupancy (``TiledEngine.step(active=arange(B))``), warm-up first,
@@ -445,11 +481,13 @@ def measure_sparse_access(
     from repro.core.config import HiMAConfig
     from repro.core.engine import TiledEngine
 
+    backend_kwargs = {} if backend is None else {"backend": backend}
+
     def make_config(policy: str, top_k: int) -> "HiMAConfig":
         return HiMAConfig(
             memory_size=memory_size, word_size=16, num_reads=1,
             num_tiles=num_tiles, hidden_size=32, two_stage_sort=False,
-            access_policy=policy, access_top_k=top_k,
+            access_policy=policy, access_top_k=top_k, **backend_kwargs,
         )
 
     def time_masked(config) -> float:
@@ -558,6 +596,7 @@ __all__ = [
     "register",
     "BatchedThroughput",
     "measure_batched_throughput",
+    "measure_backend_ab",
     "measure_masked_occupancy",
     "SparseAccessResult",
     "measure_sparse_access",

@@ -32,7 +32,7 @@ end-to-end when enabled (asserted in ``benchmarks/bench_obs_smoke.py``).
 """
 
 from repro.obs.metrics import MetricsRegistry, validate_metrics_json
-from repro.obs.profiler import PHASES, PhaseTimer
+from repro.obs.profiler import PHASES, PhaseTimer, engine_phases
 from repro.obs.recorder import FlightRecorder
 from repro.obs.trace import (
     SPAN_KEYS,
@@ -50,6 +50,7 @@ __all__ = [
     "SpanContext",
     "Tracer",
     "PhaseTimer",
+    "engine_phases",
     "MetricsRegistry",
     "FlightRecorder",
     "render_span_tree",

@@ -33,16 +33,33 @@ from typing import Dict, Mapping, Optional
 #: The named phases the engine step attributes time to, in execution
 #: order.  ``gather_scatter`` covers masked-step state staging (compact
 #: gather/scatter and workspace scatter); the rest are the DNC phase
-#: sequence of ``TiledEngine._step_dnc``.
+#: sequence of ``TiledEngine._step_dnc``.  Exactly one of ``read`` /
+#: ``read_phase`` fires per step — which one is the backend's
+#: ``read_phase_label`` (``read`` for the classic forward/backward +
+#: gather path, ``read_phase`` for backends with a fused read kernel);
+#: use :func:`engine_phases` for the label set one engine emits.
 PHASES = (
     "controller",
     "content_addressing",
     "sort_allocation",
     "erase_write_linkage",
     "read",
+    "read_phase",
     "output",
     "gather_scatter",
 )
+
+
+def engine_phases(read_label: str = "read"):
+    """The phase labels an engine with the given read label emits.
+
+    ``read_label`` is the backend's ``read_phase_label``; the result is
+    :data:`PHASES` minus the unused read label, in order — the expected
+    key/span set for that engine's profiles and ``engine.phase:*``
+    spans.
+    """
+    drop = {"read", "read_phase"} - {read_label}
+    return tuple(p for p in PHASES if p not in drop)
 
 StatDict = Dict[str, Dict[str, float]]
 
@@ -140,4 +157,4 @@ class PhaseTimer:
         return out
 
 
-__all__ = ["PHASES", "PhaseTimer"]
+__all__ = ["PHASES", "PhaseTimer", "engine_phases"]

@@ -147,6 +147,9 @@ class TestReferenceBitwise:
         self.write_w = gen.random((4, 64)) * 0.05
         self.erase = gen.random((4, 16))
         self.value = gen.standard_normal((4, 16))
+        self.read_w = gen.random((4, 2, 64)) * 0.05
+        self.content_r = gen.random((4, 2, 64)) * 0.05
+        self.read_modes = gen.random((4, 2, 3))
 
     def test_write_scores_bitwise(self):
         key_unit = K.l2_normalize(self.write_key)
@@ -191,6 +194,92 @@ class TestReferenceBitwise:
         expected = np.argsort(values, axis=-1, kind="stable")
         assert np.array_equal(self.backend.argsort(values), expected)
 
+    # -- read-phase kernels (the PR 10 seam extension) -----------------
+
+    def test_forward_backward_bitwise(self):
+        expected_f = self.read_w @ np.swapaxes(self.linkage, -1, -2)
+        expected_b = self.read_w @ self.linkage
+        fwd, bwd = self.backend.forward_backward(self.linkage, self.read_w)
+        assert np.array_equal(fwd, expected_f)
+        assert np.array_equal(bwd, expected_b)
+
+    def test_read_weight_mix_bitwise(self):
+        fwd, bwd = self.backend.forward_backward(self.linkage, self.read_w)
+        expected = (
+            self.read_modes[..., 0:1] * bwd
+            + self.read_modes[..., 1:2] * self.content_r
+            + self.read_modes[..., 2:3] * fwd
+        )
+        got = self.backend.read_weight_mix(
+            self.content_r, fwd, bwd, self.read_modes
+        )
+        assert np.array_equal(got, expected)
+
+    def test_read_vectors_bitwise(self):
+        expected = self.read_w @ self.memory
+        got = self.backend.read_vectors(self.memory, self.read_w)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("as_bool", [False, True])
+    def test_masked_read_kernels_scatter_semantics(self, as_bool):
+        """``active=`` computes the active slots bitwise and zeros the rest."""
+        idx = np.array([0, 2])
+        active = idx
+        if as_bool:
+            active = np.zeros(4, dtype=bool)
+            active[idx] = True
+        fwd, bwd = self.backend.forward_backward(
+            self.linkage, self.read_w, active=active
+        )
+        full_f, full_b = self.backend.forward_backward(
+            self.linkage, self.read_w
+        )
+        mixed = self.backend.read_weight_mix(
+            self.content_r, full_f, full_b, self.read_modes, active=active
+        )
+        full_mix = self.backend.read_weight_mix(
+            self.content_r, full_f, full_b, self.read_modes
+        )
+        reads = self.backend.read_vectors(
+            self.memory, self.read_w, active=active
+        )
+        full_reads = self.backend.read_vectors(self.memory, self.read_w)
+        inactive = np.array([1, 3])
+        for masked, full in ((fwd, full_f), (bwd, full_b),
+                             (mixed, full_mix), (reads, full_reads)):
+            assert np.array_equal(masked[idx], full[idx])
+            assert not masked[inactive].any()
+
+    def test_masked_read_kernels_require_batch_axis(self):
+        with pytest.raises(ValueError, match="batch axis"):
+            self.backend.forward_backward(
+                self.linkage[0], self.read_w[0], active=np.array([0])
+            )
+
+    def test_sparse_read_kernels_bitwise(self):
+        """The K-support forms reproduce the pre-seam inline einsum."""
+        from repro.core.access import _topk_largest
+
+        top_k = 8
+        idx = _topk_largest(self.read_w, top_k)
+        vals = np.take_along_axis(self.read_w, idx, axis=-1)
+        fidx = np.arange(4)[:, None, None]
+        expected_b = np.einsum(
+            "frk,frkn->frn", vals, self.linkage[fidx, idx, :]
+        )
+        link_t = np.swapaxes(self.linkage, -1, -2)
+        expected_f = np.einsum("frk,frkn->frn", vals, link_t[fidx, idx, :])
+        fwd, bwd = self.backend.sparse_forward_backward(
+            self.linkage, vals, idx
+        )
+        assert np.array_equal(fwd, expected_f)
+        assert np.array_equal(bwd, expected_b)
+        expected_r = np.einsum(
+            "frk,frkw->frw", vals, self.memory[fidx, idx, :]
+        )
+        got = self.backend.sparse_read_vectors(self.memory, vals, idx)
+        assert np.array_equal(got, expected_r)
+
 
 # ---------------------------------------------------------------------------
 # Tuned backend numerics
@@ -206,9 +295,13 @@ class TestTunedNumerics:
             {"distributed": True},
             {"access_policy": "sparse", "access_top_k": 12},
             {"fused_write_linkage": False},
+            {"read_phase_fused": False},
             {"two_stage_sort": True},
         ],
-        ids=["dense", "distributed", "sparse", "unfused", "two_stage"],
+        ids=[
+            "dense", "distributed", "sparse", "unfused", "read_unfused",
+            "two_stage",
+        ],
     )
     def test_trajectory_within_tolerance(self, dtype, features):
         """Randomized trajectories across engine modes, both CPU dtypes."""
@@ -282,6 +375,94 @@ class TestTunedNumerics:
         batch1 = engine.run_batch(inputs[:, :1])
         single = engine.run(inputs[:, 0])
         assert np.array_equal(batch1[:, 0], single)
+
+    # -- read-phase kernels --------------------------------------------
+
+    def test_fused_forward_backward_within_tolerance(self):
+        """The single-pass panel sweep vs the reference matmul pair.
+
+        The forward rows are full-length dot products (same result, one
+        GEMM call shape away); the backward's panel-blocked psum
+        reorders the reduction, so the bar is the float64 verification
+        tolerance, not bitwise.
+        """
+        gen = np.random.default_rng(7)
+        n = TunedBackend.min_blocked_n * 2
+        linkage = gen.standard_normal((3, n, n)) * 0.01
+        read_w = gen.random((3, 2, n)) * 0.05
+        ref_f, ref_b = ReferenceBackend().forward_backward(linkage, read_w)
+        tuned = TunedBackend()
+        assert tuned.read_fused
+        fwd, bwd = tuned.forward_backward(linkage, read_w)
+        assert float(np.max(np.abs(fwd - ref_f))) <= TOLERANCES["float64"]
+        assert float(np.max(np.abs(bwd - ref_b))) <= TOLERANCES["float64"]
+
+    def test_small_n_read_phase_delegates_bitwise(self):
+        """Below ``min_blocked_n`` the fused sweep is the reference
+        matmul pair, bit for bit."""
+        gen = np.random.default_rng(8)
+        n = TunedBackend.min_blocked_n // 2
+        linkage = gen.standard_normal((3, n, n)) * 0.01
+        read_w = gen.random((3, 2, n)) * 0.05
+        ref = ReferenceBackend().forward_backward(linkage, read_w)
+        got = TunedBackend().forward_backward(linkage, read_w)
+        for e, g in zip(ref, got):
+            assert np.array_equal(e, g)
+
+    def test_masked_read_phase_matches_reference_rows(self):
+        """``active=`` gathers the sub-batch through the fused kernel;
+        per-row results stay within tolerance of the reference rows and
+        inactive rows are exact zeros."""
+        gen = np.random.default_rng(9)
+        n = TunedBackend.min_blocked_n * 2
+        linkage = gen.standard_normal((4, n, n)) * 0.01
+        read_w = gen.random((4, 2, n)) * 0.05
+        active = np.array([True, False, True, False])
+        ref_f, ref_b = ReferenceBackend().forward_backward(linkage, read_w)
+        fwd, bwd = TunedBackend().forward_backward(
+            linkage, read_w, active=active
+        )
+        tol = TOLERANCES["float64"]
+        assert float(np.max(np.abs(fwd[active] - ref_f[active]))) <= tol
+        assert float(np.max(np.abs(bwd[active] - ref_b[active]))) <= tol
+        assert not fwd[~active].any() and not bwd[~active].any()
+
+    def test_read_weight_mix_bitwise(self):
+        """The scratch-resident merge keeps the reference association
+        exactly — bitwise, unlike the blocked forward/backward."""
+        gen = np.random.default_rng(10)
+        content = gen.random((4, 2, 64))
+        fwd = gen.random((4, 2, 64))
+        bwd = gen.random((4, 2, 64))
+        modes = gen.random((4, 2, 3))
+        ref = ReferenceBackend().read_weight_mix(content, fwd, bwd, modes)
+        got = TunedBackend().read_weight_mix(content, fwd, bwd, modes)
+        assert np.array_equal(got, ref)
+
+    def test_read_unfused_flag_restores_reference_read_path(self):
+        """``read_phase_fused=False`` must route the tuned backend's
+        read phase through the inherited reference kernels bitwise, and
+        report the classic label/passes for profiling."""
+        config = HiMAConfig(**BLOCKED_CONFIG, backend="tuned",
+                            read_phase_fused=False)
+        backend = make_backend(config)
+        assert not backend.read_fused
+        assert backend.read_phase_label == "read"
+        assert backend.read_linkage_passes == 2
+        gen = np.random.default_rng(11)
+        n = TunedBackend.min_blocked_n * 2
+        linkage = gen.standard_normal((2, n, n)) * 0.01
+        read_w = gen.random((2, 2, n)) * 0.05
+        ref = ReferenceBackend().forward_backward(linkage, read_w)
+        got = backend.forward_backward(linkage, read_w)
+        for e, g in zip(ref, got):
+            assert np.array_equal(e, g)
+
+    def test_fused_read_reports_phase_label(self):
+        backend = make_backend(HiMAConfig(**BLOCKED_CONFIG, backend="tuned"))
+        assert backend.read_fused
+        assert backend.read_phase_label == "read_phase"
+        assert backend.read_linkage_passes == 1
 
 
 # ---------------------------------------------------------------------------
@@ -371,6 +552,38 @@ class TestServeChurnTunedBackend:
             cluster.drain()
             assert cluster.worker_restarts == 1
             solo = TiledEngine(config, rng=7)
+            state = solo.initial_state()
+            for t, request in enumerate(requests):
+                assert request.done and request.error is None
+                y, state = solo.step(xs[t], state)
+                np.testing.assert_allclose(request.y, y, atol=1e-10, rtol=0.0)
+
+    def test_proc_cluster_churn_sparse_read_path_tuned(self):
+        """Kill/restore churn with ``backend="tuned"`` *and* sparse
+        access: the replayed worker engine must rebuild the tuned
+        backend and run the sparse read kernels (top-K forward/backward
+        and read gather through the seam) to the 1e-10 served-vs-solo
+        bar."""
+        from repro.serve import ProcCluster
+
+        config = HiMAConfig(
+            memory_size=128, word_size=8, num_reads=1, num_tiles=4,
+            hidden_size=16, two_stage_sort=False, backend="tuned",
+            access_policy="sparse", access_top_k=16,
+        )
+        xs = [np.full(8, 0.07 * (t + 1)) for t in range(6)]
+        with ProcCluster(
+            config, seed=9, num_workers=1, max_batch=4, max_wait_ticks=1,
+            session_capacity=8, checkpoint_interval=3, rpc_timeout=30.0,
+        ) as cluster:
+            sid = cluster.open_session("s")
+            requests = [cluster.submit(sid, x) for x in xs[:3]]
+            cluster.run_tick()
+            cluster.kill_worker(0)
+            requests += [cluster.submit(sid, x) for x in xs[3:]]
+            cluster.drain()
+            assert cluster.worker_restarts == 1
+            solo = TiledEngine(config, rng=9)
             state = solo.initial_state()
             for t, request in enumerate(requests):
                 assert request.done and request.error is None

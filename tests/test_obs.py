@@ -27,6 +27,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.core.backend import available_backends, make_backend
 from repro.core.config import HiMAConfig
 from repro.core.engine import TiledEngine
 from repro.obs import (
@@ -35,6 +36,7 @@ from repro.obs import (
     FlightRecorder,
     PhaseTimer,
     Tracer,
+    engine_phases,
     render_span_tree,
     validate_metrics_json,
     validate_trace_jsonl,
@@ -204,19 +206,23 @@ class TestPhaseTimer:
         assert a.stats() == after
         assert PhaseTimer.delta(None, after) == after
 
-    def test_engine_phase_attribution_at_n256(self):
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_engine_phase_attribution_at_n256(self, backend):
         """Profiled phases account for >= 90% of step wall time at N=256.
 
         The bar that makes the per-phase breakdown trustworthy: at
-        serving scale the engine step *is* its seven phases, so the sum
-        of attributed phase seconds must essentially equal the measured
-        step time.  (Failing this means a meaningful slice of the step
-        runs outside any phase bracket.)
+        serving scale the engine step *is* its phases, so the sum of
+        attributed phase seconds must essentially equal the measured
+        step time — under every registered backend, including the ones
+        whose fused read kernel reports as ``read_phase``.  (Failing
+        this means a meaningful slice of the step runs outside any
+        phase bracket.)
         """
         import time
 
         config = serve_config(
             memory_size=256, word_size=16, num_tiles=8, hidden_size=32,
+            backend=backend,
         )
         engine = TiledEngine(config, rng=SEED)
         inputs = np.sign(
@@ -230,7 +236,8 @@ class TestPhaseTimer:
         engine.run(inputs)
         wall = time.perf_counter() - start
         attributed = engine.profiler.total_seconds()
-        assert set(engine.profiler.stats()) <= set(PHASES)
+        expected = engine_phases(engine.backend.read_phase_label)
+        assert set(engine.profiler.stats()) <= set(expected)
         assert attributed >= 0.90 * wall
         engine.profiler = None
 
@@ -300,7 +307,10 @@ class TestTracedServing:
         records = server.tracer.records()
         names = _by_name(records)
         assert {"shard.submit", "shard.dispatch", "shard.tick", "engine.step"} <= set(names)
-        assert {f"engine.phase:{p}" for p in PHASES} <= set(names)
+        # The emitted phase labels follow the engine's backend (the
+        # fused-read backends report "read_phase" instead of "read").
+        expected_phases = engine_phases(engine.backend.read_phase_label)
+        assert {f"engine.phase:{p}" for p in expected_phases} <= set(names)
         _assert_connected(records)
         # Each dispatch covers its request's full queue->done interval,
         # parented on that request's submit span.
@@ -372,7 +382,8 @@ class TestTracedServing:
         frontend_traces = {r["trace_id"] for r in names["frontend.submit"]}
         assert {r["trace_id"] for r in names["shard.submit"]} <= frontend_traces
         _assert_connected(records)
-        assert {f"engine.phase:{p}" for p in PHASES} <= set(names)
+        expected_phases = engine_phases(make_backend(config).read_phase_label)
+        assert {f"engine.phase:{p}" for p in expected_phases} <= set(names)
         assert sum(entry["seconds"] for entry in profile.values()) > 0.0
 
         path = tmp_path / "trace.jsonl"
